@@ -1,0 +1,507 @@
+package repro_test
+
+// Benchmark harness regenerating every table and figure of the paper's
+// evaluation, plus the ablations listed in DESIGN.md §5. Each experiment
+// bench reports its headline quantities through b.ReportMetric so that
+// `go test -bench=. -benchmem` doubles as the reproduction log (recorded in
+// EXPERIMENTS.md). Heavy protocol benches use reduced set sizes so a full
+// run stays in minutes; cmd/pdeval runs the paper-sized protocol.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/das"
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+	"repro/internal/featpyr"
+	"repro/internal/fixed"
+	"repro/internal/hog"
+	"repro/internal/hw/accel"
+	"repro/internal/hw/hogpipe"
+	"repro/internal/hw/nhogmem"
+	"repro/internal/hw/resource"
+	"repro/internal/hw/svmpipe"
+	"repro/internal/hw/timemux"
+	"repro/internal/imgproc"
+	"repro/internal/svm"
+)
+
+// benchOptions is the reduced protocol used by the experiment benches.
+func benchOptions() experiments.Options {
+	o := experiments.DefaultOptions()
+	o.Protocol = dataset.Protocol{TrainPos: 80, TrainNeg: 240, TestPos: 60, TestNeg: 240}
+	return o
+}
+
+// BenchmarkTable1ScaleSweep regenerates Table 1 (E1): accuracy and TP/TN
+// for image-scaling vs HOG-feature-scaling at scales 1.1-1.5.
+func BenchmarkTable1ScaleSweep(b *testing.B) {
+	o := benchOptions()
+	var last *experiments.Table1Result
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table1(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(last.BaseAcc*100, "acc1.0_%")
+	b.ReportMetric(last.Rows[0].ImageAcc*100, "accImg1.1_%")
+	b.ReportMetric(last.Rows[0].HOGAcc*100, "accHOG1.1_%")
+	b.ReportMetric(last.Rows[len(last.Rows)-1].HOGAcc*100, "accHOG1.5_%")
+}
+
+// BenchmarkFigure4ROC regenerates Figure 4 (E2): ROC AUC and EER at scales
+// 1.0 and 1.1 for both methods.
+func BenchmarkFigure4ROC(b *testing.B) {
+	o := benchOptions()
+	o.Scales = nil // ROC only
+	var pairs []experiments.ROCPair
+	for i := 0; i < b.N; i++ {
+		s, err := experiments.RunStudy(o, []float64{1.0, 1.1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		pairs = s.ROC
+	}
+	b.ReportMetric(pairs[0].ImageAUC, "AUC1.0")
+	b.ReportMetric(pairs[1].ImageAUC, "AUCimg1.1")
+	b.ReportMetric(pairs[1].HOGAUC, "AUChog1.1")
+	b.ReportMetric(pairs[1].HOGEER, "EERhog1.1")
+}
+
+// BenchmarkTable2Resources regenerates Table 2 (E3): the resource rollup of
+// the two-scale HDTV accelerator on the ZC7020.
+func BenchmarkTable2Resources(b *testing.B) {
+	var total resource.Usage
+	for i := 0; i < b.N; i++ {
+		br, err := resource.Estimate(resource.PaperParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		total = br.Total
+	}
+	b.ReportMetric(total.LUT, "LUT")
+	b.ReportMetric(total.FF, "FF")
+	b.ReportMetric(total.BRAM, "BRAM36")
+	b.ReportMetric(total.DSP, "DSP48")
+}
+
+// BenchmarkThroughputHDTV regenerates the Section 5 throughput claims (E4):
+// cycles per HDTV frame, classifier cycles, and frames per second at
+// 125 MHz, from the closed-form cycle model.
+func BenchmarkThroughputHDTV(b *testing.B) {
+	cfg := accel.DefaultConfig()
+	var rep *accel.FrameReport
+	for i := 0; i < b.N; i++ {
+		r, err := accel.AnalyticReport(cfg, 1920, 1080)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep = r
+	}
+	b.ReportMetric(float64(rep.ExtractorCycles), "extractCyc")
+	b.ReportMetric(float64(rep.ClassifierSum), "classifyCyc")
+	b.ReportMetric(rep.Throughput.FPS(), "fps")
+	b.ReportMetric(float64(rep.ClassifierSum)/cfg.ClockHz*1e3, "classifyMs")
+}
+
+// BenchmarkHDTVExtractorSim runs the full pixel-per-cycle extractor
+// simulation on a real HDTV frame (the slow, high-fidelity version of E4).
+func BenchmarkHDTVExtractorSim(b *testing.B) {
+	g := dataset.New(3)
+	scene, err := g.MakeScene(dataset.HDTVSceneConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var rep hogpipe.Report
+	for i := 0; i < b.N; i++ {
+		_, r, err := hogpipe.RunFrame(scene.Frame, hogpipe.DefaultConfig(), 125e6)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep = r
+	}
+	b.ReportMetric(float64(rep.Cycles), "cycles")
+	b.ReportMetric(rep.Throughput.FPS(), "fps@125MHz")
+}
+
+// BenchmarkStoppingDistance regenerates the Section 1 worked numbers (E5).
+func BenchmarkStoppingDistance(b *testing.B) {
+	var r50, r70 das.Report
+	for i := 0; i < b.N; i++ {
+		r50 = das.Analyze(das.Scenario{SpeedKmh: 50})
+		r70 = das.Analyze(das.Scenario{SpeedKmh: 70})
+	}
+	b.ReportMetric(r50.BrakingDistance, "brake50_m")
+	b.ReportMetric(r50.StoppingDistance, "stop50_m")
+	b.ReportMetric(r70.BrakingDistance, "brake70_m")
+	b.ReportMetric(r70.StoppingDistance, "stop70_m")
+}
+
+// BenchmarkScaleCrossover extends Table 1 to scales up to 2.0 (E7): where
+// the proposed method stops winning.
+func BenchmarkScaleCrossover(b *testing.B) {
+	o := benchOptions()
+	o.Scales = []float64{1.1, 1.3, 1.5, 1.7, 2.0}
+	var cross float64
+	var gap float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table1(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cross = r.CrossoverScale()
+		last := r.Rows[len(r.Rows)-1]
+		gap = (last.ImageAcc - last.HOGAcc) * 100
+	}
+	b.ReportMetric(cross, "crossoverScale")
+	b.ReportMetric(gap, "gapAt2.0_%")
+}
+
+// BenchmarkNHOGMemSchedule verifies and times the 72-cycle two-column read
+// schedule (E8).
+func BenchmarkNHOGMemSchedule(b *testing.B) {
+	var cycles int
+	for i := 0; i < b.N; i++ {
+		sched, err := nhogmem.PairSchedule(i%100, i%50, 16, 36)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := nhogmem.CheckConflictFree(sched); err != nil {
+			b.Fatal(err)
+		}
+		cycles = nhogmem.ScheduleCycles(sched)
+	}
+	b.ReportMetric(float64(cycles), "cycles/2cols")
+}
+
+// --- Ablation benches (DESIGN.md §5) ---
+
+func benchFeatureMap(b *testing.B, w, h int) *hog.FeatureMap {
+	b.Helper()
+	img := imgproc.NewGray(w, h)
+	rng := rand.New(rand.NewSource(5))
+	for i := range img.Pix {
+		img.Pix[i] = uint8(rng.Intn(256))
+	}
+	fm, err := hog.Compute(imgproc.BoxBlur(img, 1), hog.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return fm
+}
+
+// BenchmarkAblationScalerKind compares the float bilinear feature scaler
+// against the hardware shift-and-add fixed-point scaler: speed here,
+// accuracy in TestTable1FixedPoint.
+func BenchmarkAblationScalerKind(b *testing.B) {
+	fm := benchFeatureMap(b, 640, 480)
+	b.Run("float", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := featpyr.ScaleMapBy(fm, 1.2, featpyr.ScaleConfig{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("fixed-shift-add", func(b *testing.B) {
+		fs := featpyr.NewFixedScaler()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := fs.ScaleMapBy(fm, 1.2); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationBlockLayout compares the hardware per-cell block layout
+// (4608-dim window) against the Dalal-Triggs overlap layout (3780-dim).
+func BenchmarkAblationBlockLayout(b *testing.B) {
+	img := imgproc.NewGray(640, 480)
+	rng := rand.New(rand.NewSource(6))
+	for i := range img.Pix {
+		img.Pix[i] = uint8(rng.Intn(256))
+	}
+	for _, layout := range []hog.Layout{hog.LayoutPerCell, hog.LayoutOverlap} {
+		b.Run(layout.String(), func(b *testing.B) {
+			cfg := hog.DefaultConfig()
+			cfg.Layout = layout
+			var dim int
+			for i := 0; i < b.N; i++ {
+				fm, err := hog.Compute(img, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				dim = fm.BlocksX * fm.BlocksY * fm.BlockLen
+			}
+			b.ReportMetric(float64(dim), "mapDim")
+		})
+	}
+}
+
+// BenchmarkAblationNorm compares the block normalization schemes.
+func BenchmarkAblationNorm(b *testing.B) {
+	img := imgproc.NewGray(640, 480)
+	rng := rand.New(rand.NewSource(7))
+	for i := range img.Pix {
+		img.Pix[i] = uint8(rng.Intn(256))
+	}
+	for _, n := range []hog.Norm{hog.L2Hys, hog.L2, hog.L1Sqrt} {
+		b.Run(n.String(), func(b *testing.B) {
+			cfg := hog.DefaultConfig()
+			cfg.Norm = n
+			for i := 0; i < b.N; i++ {
+				if _, err := hog.Compute(img, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSVMLoss compares L1 vs L2 hinge training on the same
+// problem: epochs to converge and training accuracy.
+func BenchmarkAblationSVMLoss(b *testing.B) {
+	g := dataset.New(8)
+	set, err := g.RenderAt(g.NewSpecSet(60, 180), 1.0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x, err := core.ExtractDescriptors(set, core.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, loss := range []svm.Loss{svm.L1, svm.L2} {
+		b.Run(loss.String(), func(b *testing.B) {
+			cfg := svm.DefaultTrainConfig()
+			cfg.Loss = loss
+			cfg.C = 0.01
+			var acc float64
+			var epochs int
+			for i := 0; i < b.N; i++ {
+				res, err := svm.Train(x, set.Labels, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				acc = svm.Accuracy(res.Model, x, set.Labels)
+				epochs = res.Epochs
+			}
+			b.ReportMetric(acc*100, "trainAcc_%")
+			b.ReportMetric(float64(epochs), "epochs")
+		})
+	}
+}
+
+// BenchmarkAblationMACBAR sweeps the MACBAR pipeline depth: classifier
+// cycles per HDTV frame and LUT cost.
+func BenchmarkAblationMACBAR(b *testing.B) {
+	for _, bars := range []int{2, 4, 8} {
+		b.Run(map[int]string{2: "2bars", 4: "4bars", 8: "8bars"}[bars], func(b *testing.B) {
+			// Fewer MACBARs -> more passes per window: cycles scale by 8/bars.
+			cfg := svmpipe.DefaultConfig()
+			var cyc int64
+			for i := 0; i < b.N; i++ {
+				cyc = cfg.FrameCycles(240, 135) * int64(8/bars)
+			}
+			p := resource.PaperParams()
+			p.MACBARs = bars
+			br, err := resource.Estimate(p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(cyc), "cycles")
+			b.ReportMetric(br.Total.LUT, "LUT")
+		})
+	}
+}
+
+// BenchmarkAblationMemDepth compares the 18-row NHOGMem of this paper with
+// the 135-row memory of [DSD'14]: BRAM cost.
+func BenchmarkAblationMemDepth(b *testing.B) {
+	for _, rows := range []int{18, 135} {
+		b.Run(map[int]string{18: "18rows", 135: "135rows"}[rows], func(b *testing.B) {
+			var bram float64
+			for i := 0; i < b.N; i++ {
+				p := resource.PaperParams()
+				p.MemRows = rows
+				br, err := resource.Estimate(p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				bram = br.Total.BRAM
+			}
+			b.ReportMetric(bram, "BRAM36")
+			b.ReportMetric(bram/1.4, "ZC7020_%")
+		})
+	}
+}
+
+// --- Component micro-benchmarks ---
+
+// BenchmarkHOGComputeVGA times dense HOG extraction on a 640x480 frame (the
+// stage the paper accelerates).
+func BenchmarkHOGComputeVGA(b *testing.B) {
+	img := imgproc.NewGray(640, 480)
+	rng := rand.New(rand.NewSource(9))
+	for i := range img.Pix {
+		img.Pix[i] = uint8(rng.Intn(256))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hog.Compute(img, hog.DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSVMScoreWindow times one 4608-dim window classification.
+func BenchmarkSVMScoreWindow(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	m := &svm.Model{W: make([]float64, 4608)}
+	x := make([]float64, 4608)
+	for i := range m.W {
+		m.W[i] = rng.NormFloat64()
+		x[i] = rng.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Score(x)
+	}
+}
+
+// BenchmarkImagePyramidVsFeaturePyramid times full-frame detection in both
+// modes — the speedup that motivates the paper's contribution.
+func BenchmarkImagePyramidVsFeaturePyramid(b *testing.B) {
+	g := dataset.New(11)
+	set, err := g.RenderAt(g.NewSpecSet(60, 180), 1.0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	det, err := core.Train(set, core.DefaultConfig(), core.DefaultTrainOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	scene, err := g.MakeScene(dataset.DefaultSceneConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []core.PyramidMode{core.ImagePyramid, core.FeaturePyramid} {
+		b.Run(mode.String(), func(b *testing.B) {
+			cfg := det.Config()
+			cfg.Mode = mode
+			d, err := core.NewDetector(det.Model(), cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := d.Detect(scene.Frame); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCORDIC times the magnitude/orientation unit of the HW extractor.
+func BenchmarkCORDIC(b *testing.B) {
+	var mag, ang int64
+	for i := 0; i < b.N; i++ {
+		mag, ang = hogpipe.CORDICVector(int64(i%511)-255, int64((i*7)%511)-255)
+	}
+	_ = mag
+	_ = ang
+}
+
+// BenchmarkModelQuantization times fixed-point conversion of a full model.
+func BenchmarkModelQuantization(b *testing.B) {
+	rng := rand.New(rand.NewSource(12))
+	m := &svm.Model{W: make([]float64, 4608)}
+	for i := range m.W {
+		m.W[i] = rng.NormFloat64()
+	}
+	f := fixed.Q(3, 12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := svm.Quantize(m, f); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTimeMuxComparison regenerates the related-work comparison: the
+// Hahnle et al. [9] time-multiplexed image-pyramid architecture versus this
+// paper's feature-pyramid accelerator, on extraction cycles and fabric.
+func BenchmarkTimeMuxComparison(b *testing.B) {
+	var cmp *timemux.Compare
+	for i := 0; i < b.N; i++ {
+		featRep, err := accel.AnalyticReport(accel.DefaultConfig(), 1920, 1080)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dac, err := resource.Estimate(resource.PaperParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		cmp, err = timemux.CompareWith(timemux.Hahnle2013(), featRep.Throughput.FPS(),
+			featRep.ExtractorCycles, dac.Total.LUT)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(cmp.ExtractionRatio, "extractRatio")
+	b.ReportMetric(cmp.TimeMuxLUT/cmp.FeaturePyrLUT, "LUTratio")
+	b.ReportMetric(cmp.TimeMuxFPS, "timemuxFPS")
+}
+
+// BenchmarkAblationOctaveLambda compares detection with the Dollar-style
+// octave pyramid at different power-law corrections against the paper's
+// single-base feature pyramid.
+func BenchmarkAblationOctaveLambda(b *testing.B) {
+	g := dataset.New(13)
+	set, err := g.RenderAt(g.NewSpecSet(60, 180), 1.0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	det, err := core.Train(set, core.DefaultConfig(), core.DefaultTrainOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	scene, err := g.MakeScene(dataset.DefaultSceneConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, lambda := range []float64{0, 0.11, 0.3} {
+		b.Run(map[float64]string{0: "lambda0", 0.11: "lambda0.11", 0.3: "lambda0.3"}[lambda], func(b *testing.B) {
+			var n int
+			for i := 0; i < b.N; i++ {
+				dets, err := det.DetectOctave(scene.Frame, core.OctavePyramidConfig{Lambda: lambda})
+				if err != nil {
+					b.Fatal(err)
+				}
+				n = len(dets)
+			}
+			b.ReportMetric(float64(n), "detections")
+		})
+	}
+}
+
+// BenchmarkRobustnessNoise regenerates the noise robustness study (an
+// extension beyond the paper's tables; see EXPERIMENTS.md).
+func BenchmarkRobustnessNoise(b *testing.B) {
+	o := benchOptions()
+	var pts []experiments.RobustnessPoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, err = experiments.NoiseStudy(o, 1.2, []float64{6, 20})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(pts[0].HOGAcc*100, "HOGacc@6_%")
+	b.ReportMetric(pts[1].HOGAcc*100, "HOGacc@20_%")
+	b.ReportMetric(pts[1].ImageAcc*100, "Imgacc@20_%")
+}

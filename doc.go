@@ -1,0 +1,15 @@
+// Package repro is a from-scratch Go reproduction of Hemmati, Biglari-
+// Abhari, Niar and Berber, "Real-Time Multi-Scale Pedestrian Detection for
+// Driver Assistance Systems" (DAC 2017): HOG + linear-SVM pedestrian
+// detection where the multi-scale pyramid is built by down-sampling the
+// normalized HOG feature map instead of the input image, together with a
+// cycle-level model of the paper's FPGA accelerator (streaming HOG
+// extractor, banked NHOGMem, shift-and-add scaler chain, MACBAR SVM
+// engine) and its resource model.
+//
+// The implementation lives under internal/ (see DESIGN.md for the system
+// inventory); cmd/ holds the command-line tools, examples/ the runnable
+// walkthroughs, and bench_test.go in this package regenerates every table
+// and figure of the paper's evaluation (results recorded in
+// EXPERIMENTS.md).
+package repro

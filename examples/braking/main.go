@@ -1,0 +1,57 @@
+// Braking: the driver-assistance timing analysis that motivates the paper
+// (Section 1). Computes perception-reaction and braking distances across
+// speeds, derives the required detection range and latency budget, and maps
+// the 20-60 m operating window onto the detector's multi-scale ladder.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/das"
+)
+
+func main() {
+	fmt.Println("=== stopping distances (a = 6.5 m/s^2, PRT = 1.5 s) ===")
+	fmt.Printf("%8s %12s %12s %12s %10s\n", "km/h", "reaction m", "braking m", "stopping m", "stop s")
+	for _, kmh := range []float64{30, 40, 50, 60, 70, 80, 90, 100} {
+		r := das.Analyze(das.Scenario{SpeedKmh: kmh})
+		fmt.Printf("%8.0f %12.2f %12.2f %12.2f %10.2f\n",
+			kmh, r.ReactionDistance, r.BrakingDistance, r.StoppingDistance, r.TimeToStop)
+	}
+	fmt.Println("\npaper's worked examples:")
+	for _, kmh := range []float64{50, 70} {
+		fmt.Println("  " + das.Analyze(das.Scenario{SpeedKmh: kmh}).String())
+	}
+
+	fmt.Println("\n=== what the 60 fps requirement buys ===")
+	for _, fps := range []float64{10, 30, 60} {
+		b := das.BudgetAt(70, fps)
+		fmt.Printf("%5.0f fps: %.1f ms/frame, %.2f m travelled per frame at 70 km/h\n",
+			fps, b.FrameTime*1e3, b.MetresPerFrame)
+	}
+
+	fmt.Println("\n=== detection range and latency budgets ===")
+	for _, kmh := range []float64{50, 70} {
+		s := das.Scenario{SpeedKmh: kmh}
+		need := das.RequiredDetectionRange(s, 2 /* m margin */, 1.0/60)
+		budget := das.MaxDetectorLatency(s, 60)
+		fmt.Printf("%3.0f km/h: need %.1f m of range with a 60 fps detector; "+
+			"latency budget inside 60 m: %.2f s\n", kmh, need, budget)
+	}
+
+	fmt.Println("\n=== pixel scales across the 20-60 m window ===")
+	const focal = 1500 // px, a typical dashcam
+	for _, d := range []float64{20, 30, 40, 50, 60} {
+		h := das.PixelHeightAtDistance(1.75, d, focal)
+		s := das.ScaleForDistance(1.75, d, focal, 128)
+		fmt.Printf("%5.0f m: pedestrian ~%3.0f px tall, detector scale %.2fx\n", d, h, s)
+	}
+	scales := das.ScalesForRange(1.75, 20, 60, focal, 128, 1.1)
+	fmt.Printf("\n1.1-step ladder covering 20-60 m: %d scales:", len(scales))
+	for _, s := range scales {
+		fmt.Printf(" %.2f", s)
+	}
+	fmt.Println()
+	fmt.Println("(the paper's hardware implements 2 of these; \"a larger device ... could be")
+	fmt.Println(" easily extended to cover several scales\", Section 5)")
+}

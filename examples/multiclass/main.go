@@ -1,0 +1,99 @@
+// Multiclass: the paper points out that its parallel SVM instances enable
+// "real-time multiple object detection" — the same HOG feature stream can
+// feed one model per object class. This example trains a pedestrian model
+// (64x128 window) and a vehicle model (64x64 window), then runs both over
+// one street frame.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/imgproc"
+)
+
+func main() {
+	log.SetFlags(0)
+	gen := dataset.New(55)
+
+	// Pedestrian class.
+	pedSet, err := gen.RenderAt(gen.NewSpecSet(150, 450), 1.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pedCfg := core.DefaultConfig()
+	pedCfg.Threshold = 0.2
+	pedDet, err := core.Train(pedSet, pedCfg, core.DefaultTrainOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pedestrian model: %d weights (64x128 window)\n", len(pedDet.Model().W))
+
+	// Vehicle class: square 64x64 window.
+	vehSpecs := gen.NewVehicleSpecSet(150, 450)
+	vehSet, err := gen.RenderVehicleAt(vehSpecs, 1.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	vehCfg := core.DefaultConfig()
+	vehCfg.WindowW = dataset.VehicleWindowW
+	vehCfg.WindowH = dataset.VehicleWindowH
+	vehCfg.Threshold = 0.2
+	vehDet, err := core.Train(vehSet, vehCfg, core.DefaultTrainOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("vehicle model:    %d weights (64x64 window)\n", len(vehDet.Model().W))
+
+	multi, err := core.NewMultiDetector(
+		core.Class{Name: "pedestrian", Detector: pedDet},
+		core.Class{Name: "vehicle", Detector: vehDet},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One frame with both object classes (a fresh generator so the demo
+	// frame is stable regardless of how much data the training consumed).
+	demo := dataset.New(77)
+	frame := demo.Render(demo.NewSpec(false), 512, 384)
+	pspec := demo.NewSpec(true)
+	pspec.Pose.CenterXFrac = 0.5
+	pspec.Pose.HeightFrac = 0.88
+	pw := demo.Render(pspec, 64, 128)
+	imgproc.Paste(frame, pw, 64, 128, -1)
+	vspec := demo.NewSpec(false)
+	vs := dataset.RandomVehicle(rand.New(rand.NewSource(9)))
+	vspec.VehicleSpec = &vs
+	vspec.Hard = nil
+	vw := demo.Render(vspec, 96, 96)
+	imgproc.Paste(frame, vw, 320, 192, -1)
+
+	dets, err := multi.Detect(frame)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%d detections on the combined frame:\n", len(dets))
+	for _, d := range dets {
+		fmt.Printf("  %-10s %v score %.3f\n", d.Class, d.Box, d.Score)
+	}
+
+	// Annotated output: red pedestrians, blue vehicles.
+	rgb := imgproc.FromGray(frame)
+	for _, d := range dets {
+		if d.Class == "pedestrian" {
+			rgb.DrawRect(d.Box, 255, 40, 40, 2)
+		} else {
+			rgb.DrawRect(d.Box, 60, 60, 255, 2)
+		}
+	}
+	if err := imgproc.WritePPMFile("multiclass_annotated.ppm", rgb); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nwrote multiclass_annotated.ppm (red = pedestrian, blue = vehicle)")
+	fmt.Println("(in hardware this is one shared HOG extractor feeding one SVM")
+	fmt.Println(" instance per class — the paper's multi-object capability)")
+}

@@ -1,0 +1,95 @@
+// Tracking: runs the detector over a synthetic dashcam clip and feeds the
+// per-frame detections into the IoU tracker — the temporal layer a real
+// driver-assistance system adds on top of the paper's per-frame detector.
+// Reports MOTA-style quality and confirmation latency, then converts that
+// latency into metres of travel at highway speed (closing the loop with
+// the paper's Section 1 reaction-time analysis).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/das"
+	"repro/internal/dataset"
+	"repro/internal/eval"
+	"repro/internal/track"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Train the per-frame detector.
+	gen := dataset.New(33)
+	trainSet, err := gen.RenderAt(gen.NewSpecSet(150, 450), 1.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Threshold = 0.35 // the tracker filters the residual false alarms
+	cfg.NMSOverlap = 0.2
+	opts := core.DefaultTrainOptions()
+	// One round of hard-negative mining on pedestrian-free street scenes:
+	// static-background clips otherwise grow persistent false tracks.
+	opts.MineRounds = 1
+	opts.MineMax = 200
+	for i := 0; i < 3; i++ {
+		s, err := gen.MakeScene(dataset.SceneConfig{W: 640, H: 480, Pedestrians: 0, ClutterDensity: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts.MineScenes = append(opts.MineScenes, s.Frame)
+	}
+	det, err := core.Train(trainSet, cfg, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A 3-second clip at 10 fps with two approaching walkers.
+	seqCfg := dataset.DefaultSequenceConfig()
+	seqCfg.Frames = 30
+	seq, err := gen.MakeSequence(seqCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("clip: %d frames, %d walkers, %.0f fps\n",
+		len(seq.Frames), seqCfg.Pedestrians, seqCfg.FPS)
+
+	// Detect per frame.
+	var dets [][]eval.Detection
+	for f, frame := range seq.Frames {
+		d, err := det.Detect(frame)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dets = append(dets, d)
+		if f%10 == 0 {
+			fmt.Printf("  frame %2d: %d detections\n", f, len(d))
+		}
+	}
+
+	// Track and score.
+	tc := track.DefaultConfig()
+	tc.ConfirmHits = 2
+	tc.MatchIoU = 0.25
+	m, err := track.Evaluate(tc, dets, seq.Truth, seq.IDs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntracking over %d frames:\n", m.Frames)
+	fmt.Printf("  matches=%d misses=%d falseTracks=%d idSwitches=%d\n",
+		m.Matches, m.Misses, m.FalseTracks, m.IDSwitches)
+	fmt.Printf("  MOTA = %.3f\n", m.MOTA())
+	fmt.Printf("  mean confirmation latency = %.1f frames\n", m.MeanConfirmLatency)
+
+	// What that latency costs on the road.
+	latencyS := (m.MeanConfirmLatency + 1) / seqCfg.FPS
+	for _, kmh := range []float64{50, 70} {
+		dist := das.KmhToMs(kmh) * latencyS
+		fmt.Printf("  at %.0f km/h the vehicle covers %.2f m before a new pedestrian is confirmed\n",
+			kmh, dist)
+	}
+	fmt.Println("\n(a 60 fps detector shrinks that distance by 6x versus 10 fps —")
+	fmt.Println(" the real-time requirement the paper's accelerator exists to meet)")
+}

@@ -1,0 +1,283 @@
+// Package core implements the paper's primary contribution as a library:
+// multi-scale sliding-window pedestrian detection with HOG features and a
+// linear SVM, supporting both the conventional image-pyramid method and the
+// proposed HOG-feature-pyramid method (Section 4), plus the two
+// single-window classification scenarios of Figure 3 used by the Table 1 /
+// Figure 4 analysis.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/eval"
+	"repro/internal/featpyr"
+	"repro/internal/geom"
+	"repro/internal/hog"
+	"repro/internal/imgproc"
+	"repro/internal/svm"
+)
+
+// PyramidMode selects how the detector covers scales.
+type PyramidMode int
+
+const (
+	// ImagePyramid is the conventional method: the frame is resized per
+	// scale and HOG features are recomputed at every level.
+	ImagePyramid PyramidMode = iota
+	// FeaturePyramid is the paper's method: HOG features are extracted
+	// once at native scale and the normalized feature map is down-sampled
+	// per level (each level interpolated directly from the base map).
+	FeaturePyramid
+	// FeaturePyramidChained down-samples each level from the previous one,
+	// matching the hardware's cascaded scaler modules (Figure 6).
+	FeaturePyramidChained
+	// FeaturePyramidFixed is FeaturePyramidChained computed with the
+	// bit-accurate shift-and-add fixed-point scaler.
+	FeaturePyramidFixed
+)
+
+// String implements fmt.Stringer.
+func (m PyramidMode) String() string {
+	switch m {
+	case ImagePyramid:
+		return "image-pyramid"
+	case FeaturePyramid:
+		return "feature-pyramid"
+	case FeaturePyramidChained:
+		return "feature-pyramid-chained"
+	case FeaturePyramidFixed:
+		return "feature-pyramid-fixed"
+	}
+	return fmt.Sprintf("PyramidMode(%d)", int(m))
+}
+
+// Config holds the detector parameters. Use DefaultConfig as a baseline.
+type Config struct {
+	HOG     hog.Config
+	WindowW int // detection window width in pixels (64)
+	WindowH int // detection window height in pixels (128)
+	// ScaleStep is the pyramid ratio between adjacent scales (1.1).
+	ScaleStep float64
+	// MaxScales caps the number of pyramid levels; 0 means as many as fit.
+	// The paper's hardware uses 2 (memory-limited, Section 5).
+	MaxScales int
+	// Mode selects image- versus feature-pyramid detection.
+	Mode PyramidMode
+	// Threshold is the SVM decision threshold: windows scoring above it
+	// are detections.
+	Threshold float64
+	// NMSOverlap is the IoU above which overlapping detections are
+	// suppressed; <= 0 disables NMS.
+	NMSOverlap float64
+	// Interp is the resampling kernel for the image pyramid.
+	Interp imgproc.Interp
+	// Scale configures the float feature scaler.
+	Scale featpyr.ScaleConfig
+	// Fixed configures the fixed-point scaler (FeaturePyramidFixed); nil
+	// uses featpyr.NewFixedScaler defaults.
+	Fixed *featpyr.FixedScaler
+}
+
+// DefaultConfig returns the paper's detector configuration with the
+// feature-pyramid mode and unlimited scales.
+func DefaultConfig() Config {
+	return Config{
+		HOG:        hog.DefaultConfig(),
+		WindowW:    64,
+		WindowH:    128,
+		ScaleStep:  1.1,
+		Mode:       FeaturePyramid,
+		Threshold:  0,
+		NMSOverlap: 0.3,
+		Interp:     imgproc.Bilinear,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if err := c.HOG.Validate(); err != nil {
+		return err
+	}
+	if c.WindowW < c.HOG.CellSize || c.WindowH < c.HOG.CellSize {
+		return fmt.Errorf("core: window %dx%d smaller than a cell", c.WindowW, c.WindowH)
+	}
+	if c.WindowW%c.HOG.CellSize != 0 || c.WindowH%c.HOG.CellSize != 0 {
+		return fmt.Errorf("core: window %dx%d not a whole number of %d-px cells",
+			c.WindowW, c.WindowH, c.HOG.CellSize)
+	}
+	if c.ScaleStep <= 1 {
+		return fmt.Errorf("core: scale step %g must exceed 1", c.ScaleStep)
+	}
+	return nil
+}
+
+// DescriptorLen returns the feature-vector length a model must have for
+// this configuration.
+func (c Config) DescriptorLen() int { return c.HOG.DescriptorLen(c.WindowW, c.WindowH) }
+
+// windowBlocks returns the window size in blocks.
+func (c Config) windowBlocks() (bx, by int) {
+	cx, cy := c.HOG.WindowCells(c.WindowW, c.WindowH)
+	return c.HOG.WindowBlocks(cx, cy)
+}
+
+// Detector is a trained multi-scale pedestrian detector.
+type Detector struct {
+	cfg   Config
+	model *svm.Model
+}
+
+// NewDetector validates the configuration against the model dimensions.
+func NewDetector(model *svm.Model, cfg Config) (*Detector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if model == nil {
+		return nil, fmt.Errorf("core: nil model")
+	}
+	if want := cfg.DescriptorLen(); len(model.W) != want {
+		return nil, fmt.Errorf("core: model has %d weights, config needs %d", len(model.W), want)
+	}
+	return &Detector{cfg: cfg, model: model}, nil
+}
+
+// Config returns the detector's configuration.
+func (d *Detector) Config() Config { return d.cfg }
+
+// Model returns the detector's SVM model.
+func (d *Detector) Model() *svm.Model { return d.model }
+
+// Detect runs multi-scale detection on the frame and returns the surviving
+// detections (after thresholding and NMS) in frame pixel coordinates,
+// highest score first.
+func (d *Detector) Detect(frame *imgproc.Gray) ([]eval.Detection, error) {
+	raw, err := d.DetectRaw(frame)
+	if err != nil {
+		return nil, err
+	}
+	if d.cfg.NMSOverlap > 0 {
+		raw = NMS(raw, d.cfg.NMSOverlap)
+	}
+	return raw, nil
+}
+
+// DetectRaw runs multi-scale detection without non-maximum suppression.
+func (d *Detector) DetectRaw(frame *imgproc.Gray) ([]eval.Detection, error) {
+	switch d.cfg.Mode {
+	case ImagePyramid:
+		return d.detectImagePyramid(frame)
+	case FeaturePyramid, FeaturePyramidChained, FeaturePyramidFixed:
+		return d.detectFeaturePyramid(frame)
+	}
+	return nil, fmt.Errorf("core: unknown pyramid mode %v", d.cfg.Mode)
+}
+
+// scanLevel slides the detection window over one feature map, appending
+// scored detections. scale maps level pixel coordinates back to the frame.
+func (d *Detector) scanLevel(fm *hog.FeatureMap, scale float64, out []eval.Detection) []eval.Detection {
+	wbx, wby := d.cfg.windowBlocks()
+	if fm.BlocksX < wbx || fm.BlocksY < wby {
+		return out
+	}
+	buf := make([]float64, wbx*wby*fm.BlockLen)
+	cell := d.cfg.HOG.CellSize
+	for by := 0; by+wby <= fm.BlocksY; by++ {
+		for bx := 0; bx+wbx <= fm.BlocksX; bx++ {
+			if !fm.WindowInto(buf, bx, by, wbx, wby) {
+				continue
+			}
+			score := d.model.Score(buf)
+			if score <= d.cfg.Threshold {
+				continue
+			}
+			// Window anchor in level pixels, then back to frame pixels.
+			box := geom.XYWH(bx*cell, by*cell, d.cfg.WindowW, d.cfg.WindowH).Scale(scale)
+			out = append(out, eval.Detection{Box: box, Score: score})
+		}
+	}
+	return out
+}
+
+// maxLevels returns the level cap handed to the pyramid builders.
+func (d *Detector) maxLevels() int {
+	if d.cfg.MaxScales > 0 {
+		return d.cfg.MaxScales
+	}
+	return 0 // unlimited, bounded by window fit
+}
+
+func (d *Detector) detectImagePyramid(frame *imgproc.Gray) ([]eval.Detection, error) {
+	levels := imgproc.Pyramid(frame, d.cfg.ScaleStep, d.cfg.WindowW, d.cfg.WindowH,
+		d.maxLevels(), d.cfg.Interp)
+	if len(levels) == 0 {
+		return nil, fmt.Errorf("core: frame %dx%d smaller than detection window", frame.W, frame.H)
+	}
+	var out []eval.Detection
+	for i, img := range levels {
+		fm, err := hog.Compute(img, d.cfg.HOG)
+		if err != nil {
+			return nil, fmt.Errorf("core: level %d: %w", i, err)
+		}
+		// The exact scale of this level (sizes are rounded per level).
+		sx := float64(frame.W) / float64(img.W)
+		out = d.scanLevel(fm, sx, out)
+	}
+	sortByScore(out)
+	return out, nil
+}
+
+func (d *Detector) detectFeaturePyramid(frame *imgproc.Gray) ([]eval.Detection, error) {
+	base, err := hog.Compute(frame, d.cfg.HOG)
+	if err != nil {
+		return nil, err
+	}
+	wbx, wby := d.cfg.windowBlocks()
+	var levels []featpyr.Level
+	switch d.cfg.Mode {
+	case FeaturePyramid:
+		p, err := featpyr.Build(base, d.cfg.ScaleStep, wbx, wby, d.maxLevels(), d.cfg.Scale)
+		if err != nil {
+			return nil, err
+		}
+		levels = p.Levels
+	case FeaturePyramidChained:
+		p, err := featpyr.BuildChained(base, d.cfg.ScaleStep, wbx, wby, d.maxLevels(), d.cfg.Scale)
+		if err != nil {
+			return nil, err
+		}
+		levels = p.Levels
+	case FeaturePyramidFixed:
+		scaler := d.cfg.Fixed
+		if scaler == nil {
+			scaler = featpyr.NewFixedScaler()
+		}
+		if base.BlocksX < wbx || base.BlocksY < wby {
+			return nil, fmt.Errorf("core: frame %dx%d smaller than detection window", frame.W, frame.H)
+		}
+		levels = []featpyr.Level{{Scale: 1, Map: base}}
+		prev := base
+		for i := 1; d.cfg.MaxScales == 0 || i < d.cfg.MaxScales; i++ {
+			m, _, err := scaler.ScaleMapBy(prev, d.cfg.ScaleStep)
+			if err != nil {
+				break
+			}
+			if m.BlocksX < wbx || m.BlocksY < wby {
+				break
+			}
+			levels = append(levels, featpyr.Level{
+				Scale: levels[i-1].Scale * d.cfg.ScaleStep,
+				Map:   m,
+			})
+			prev = m
+		}
+	}
+	var out []eval.Detection
+	for _, l := range levels {
+		// Effective scale of this level from the block-grid ratio (grids
+		// are rounded per level, like image pyramid sizes).
+		sx := float64(base.BlocksX) / float64(l.Map.BlocksX)
+		out = d.scanLevel(l.Map, sx, out)
+	}
+	sortByScore(out)
+	return out, nil
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/eval"
+	"repro/internal/imgproc"
+)
+
+// Multi-class detection: the paper points out that "employing several
+// instances of the SVM classifier could provide real-time multiple object
+// detection capability which is highly demanded in applications such as
+// driver assistance systems" — the same HOG feature stream feeds one SVM
+// model per object class (pedestrians, vehicles, ...). This file provides
+// the software counterpart: several Detectors (possibly with different
+// window geometries) run over one frame.
+
+// Class pairs a label with its trained detector.
+type Class struct {
+	Name     string
+	Detector *Detector
+}
+
+// ClassDetection is a detection tagged with its object class.
+type ClassDetection struct {
+	Class string
+	eval.Detection
+}
+
+// MultiDetector runs several single-class detectors over a frame. When the
+// classes share a HOG configuration the hardware shares one extractor; in
+// software each detector currently extracts independently (the cycle model
+// in hw/accel accounts for the shared-extractor case).
+type MultiDetector struct {
+	classes []Class
+}
+
+// NewMultiDetector validates and bundles the classes.
+func NewMultiDetector(classes ...Class) (*MultiDetector, error) {
+	if len(classes) == 0 {
+		return nil, fmt.Errorf("core: multi-detector needs at least one class")
+	}
+	seen := map[string]bool{}
+	for _, c := range classes {
+		if c.Name == "" {
+			return nil, fmt.Errorf("core: class with empty name")
+		}
+		if seen[c.Name] {
+			return nil, fmt.Errorf("core: duplicate class %q", c.Name)
+		}
+		seen[c.Name] = true
+		if c.Detector == nil {
+			return nil, fmt.Errorf("core: class %q has no detector", c.Name)
+		}
+	}
+	return &MultiDetector{classes: append([]Class(nil), classes...)}, nil
+}
+
+// Classes returns the configured class names in order.
+func (m *MultiDetector) Classes() []string {
+	out := make([]string, len(m.classes))
+	for i, c := range m.classes {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// Detect runs every class detector over the frame concurrently and merges
+// the results, highest score first. NMS is applied per class by each
+// detector; classes do not suppress each other (a pedestrian next to a car
+// is two objects).
+func (m *MultiDetector) Detect(frame *imgproc.Gray) ([]ClassDetection, error) {
+	results := make([][]ClassDetection, len(m.classes))
+	errs := make([]error, len(m.classes))
+	var wg sync.WaitGroup
+	for i, c := range m.classes {
+		wg.Add(1)
+		go func(i int, c Class) {
+			defer wg.Done()
+			dets, err := c.Detector.Detect(frame)
+			if err != nil {
+				errs[i] = fmt.Errorf("core: class %q: %w", c.Name, err)
+				return
+			}
+			out := make([]ClassDetection, len(dets))
+			for j, d := range dets {
+				out[j] = ClassDetection{Class: c.Name, Detection: d}
+			}
+			results[i] = out
+		}(i, c)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	var merged []ClassDetection
+	for _, r := range results {
+		merged = append(merged, r...)
+	}
+	// Sort by descending score, stable across classes.
+	for i := 1; i < len(merged); i++ {
+		for j := i; j > 0 && merged[j].Score > merged[j-1].Score; j-- {
+			merged[j], merged[j-1] = merged[j-1], merged[j]
+		}
+	}
+	return merged, nil
+}

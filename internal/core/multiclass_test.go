@@ -1,0 +1,149 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/imgproc"
+	"repro/internal/svm"
+)
+
+// vehicleConfig returns the 64x64 vehicle detector configuration.
+func vehicleConfig() Config {
+	cfg := DefaultConfig()
+	cfg.WindowW = dataset.VehicleWindowW
+	cfg.WindowH = dataset.VehicleWindowH
+	return cfg
+}
+
+var (
+	vehOnce sync.Once
+	vehDet  *Detector
+	vehErr  error
+)
+
+func vehicleDetector(t *testing.T, g *dataset.Generator) *Detector {
+	t.Helper()
+	vehOnce.Do(func() {
+		set, err := g.RenderVehicleAt(g.NewVehicleSpecSet(120, 360), 1.0)
+		if err != nil {
+			vehErr = err
+			return
+		}
+		vehDet, vehErr = Train(set, vehicleConfig(), DefaultTrainOptions())
+	})
+	if vehErr != nil {
+		t.Fatal(vehErr)
+	}
+	return vehDet
+}
+
+func TestVehicleClassSeparable(t *testing.T) {
+	_, g := testDetector(t)
+	det := vehicleDetector(t, g)
+	test, err := g.RenderVehicleAt(g.NewVehicleSpecSet(40, 120), 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := ExtractDescriptors(test, vehicleConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := svm.Accuracy(det.Model(), x, test.Labels); acc < 0.85 {
+		t.Errorf("vehicle test accuracy %.3f < 0.85", acc)
+	}
+}
+
+func TestVehicleDescriptorLength(t *testing.T) {
+	// 64x64 window -> 8x8 cells -> 8x8 per-cell blocks x 36 = 2304.
+	if got := vehicleConfig().DescriptorLen(); got != 2304 {
+		t.Errorf("vehicle descriptor = %d, want 2304", got)
+	}
+}
+
+func TestNewMultiDetectorValidation(t *testing.T) {
+	det, g := testDetector(t)
+	veh := vehicleDetector(t, g)
+	if _, err := NewMultiDetector(); err == nil {
+		t.Error("empty class list should error")
+	}
+	if _, err := NewMultiDetector(Class{Name: "", Detector: det}); err == nil {
+		t.Error("empty class name should error")
+	}
+	if _, err := NewMultiDetector(Class{Name: "p", Detector: nil}); err == nil {
+		t.Error("nil detector should error")
+	}
+	if _, err := NewMultiDetector(
+		Class{Name: "p", Detector: det}, Class{Name: "p", Detector: veh}); err == nil {
+		t.Error("duplicate class should error")
+	}
+	m, err := NewMultiDetector(
+		Class{Name: "pedestrian", Detector: det},
+		Class{Name: "vehicle", Detector: veh})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := m.Classes()
+	if len(names) != 2 || names[0] != "pedestrian" || names[1] != "vehicle" {
+		t.Errorf("classes = %v", names)
+	}
+}
+
+// TestMultiDetectorFindsBothClasses: one frame with a pedestrian and a
+// car; the multi-detector must tag each with the right class.
+func TestMultiDetectorFindsBothClasses(t *testing.T) {
+	det, g := testDetector(t)
+	veh := vehicleDetector(t, g)
+	m, err := NewMultiDetector(
+		Class{Name: "pedestrian", Detector: det},
+		Class{Name: "vehicle", Detector: veh})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	frame := g.Render(g.NewSpec(false), 320, 256)
+	pw := g.Render(g.NewSpec(true), 64, 128)
+	imgproc.Paste(frame, pw, 32, 64, -1)
+	pedBox := geom.XYWH(32, 64, 64, 128)
+
+	vspec := g.NewSpec(false)
+	vspec.Hard = nil
+	vv := dataset.RandomVehicle(rand.New(rand.NewSource(5)))
+	vspec.VehicleSpec = &vv
+	vwin := g.Render(vspec, 64, 64)
+	imgproc.Paste(frame, vwin, 200, 128, -1)
+	vehBox := geom.XYWH(200, 128, 64, 64)
+
+	dets, err := m.Detect(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundPed, foundVeh := false, false
+	for _, d := range dets {
+		switch d.Class {
+		case "pedestrian":
+			if geom.IoU(d.Box, pedBox) >= 0.4 {
+				foundPed = true
+			}
+		case "vehicle":
+			if geom.IoU(d.Box, vehBox) >= 0.4 {
+				foundVeh = true
+			}
+		}
+	}
+	if !foundPed {
+		t.Error("pedestrian not found by its class")
+	}
+	if !foundVeh {
+		t.Error("vehicle not found by its class")
+	}
+	// Merged results are sorted by score.
+	for i := 1; i < len(dets); i++ {
+		if dets[i].Score > dets[i-1].Score {
+			t.Fatal("merged detections not sorted")
+		}
+	}
+}

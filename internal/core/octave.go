@@ -1,0 +1,118 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/eval"
+	"repro/internal/featpyr"
+	"repro/internal/hog"
+	"repro/internal/imgproc"
+)
+
+// This file implements the fast-feature-pyramid baseline of Dollar et al.
+// (TPAMI 2014), the closest prior work the paper builds on (reference [4]):
+// HOG features are computed exactly once per octave (scales 1, 2, 4, ...)
+// from resized images, and the levels in between are approximated by
+// resampling the nearest octave's feature map with a power-law channel
+// correction F_s ~ (s/s')^-lambda * resample(F_s'). The paper's method is
+// the limiting case with a single octave and lambda = 0.
+
+// OctavePyramidConfig tunes the Dollar-style detector mode.
+type OctavePyramidConfig struct {
+	// Lambda is the power-law correction exponent for HOG-like channels
+	// (Dollar et al. measure ~0.11 for gradient histograms; normalized
+	// HOG blocks are close to scale-invariant so 0 is also reasonable).
+	Lambda float64
+}
+
+// DetectOctave runs multi-scale detection with per-octave feature
+// computation and intra-octave approximation. It complements the
+// PyramidMode detectors on Detector: same model, same window geometry.
+func (d *Detector) DetectOctave(frame *imgproc.Gray, oc OctavePyramidConfig) ([]eval.Detection, error) {
+	raw, err := d.DetectOctaveRaw(frame, oc)
+	if err != nil {
+		return nil, err
+	}
+	if d.cfg.NMSOverlap > 0 {
+		raw = NMS(raw, d.cfg.NMSOverlap)
+	}
+	return raw, nil
+}
+
+// DetectOctaveRaw is DetectOctave without non-maximum suppression.
+func (d *Detector) DetectOctaveRaw(frame *imgproc.Gray, oc OctavePyramidConfig) ([]eval.Detection, error) {
+	if err := d.cfg.Validate(); err != nil {
+		return nil, err
+	}
+	wbx, wby := d.cfg.windowBlocks()
+
+	// Real octaves: scales 1, 2, 4, ... while the window still fits.
+	type octave struct {
+		scale float64
+		fm    *hog.FeatureMap
+	}
+	var octaves []octave
+	for s := 1.0; ; s *= 2 {
+		w := int(math.Round(float64(frame.W) / s))
+		h := int(math.Round(float64(frame.H) / s))
+		if w < d.cfg.WindowW || h < d.cfg.WindowH {
+			break
+		}
+		img := frame
+		if s != 1 {
+			img = imgproc.Resize(frame, w, h, d.cfg.Interp)
+		}
+		fm, err := hog.Compute(img, d.cfg.HOG)
+		if err != nil {
+			return nil, fmt.Errorf("core: octave %.0fx: %w", s, err)
+		}
+		if fm.BlocksX < wbx || fm.BlocksY < wby {
+			break
+		}
+		octaves = append(octaves, octave{scale: s, fm: fm})
+	}
+	if len(octaves) == 0 {
+		return nil, fmt.Errorf("core: frame %dx%d smaller than detection window", frame.W, frame.H)
+	}
+
+	var out []eval.Detection
+	level := 0
+	for {
+		if d.cfg.MaxScales > 0 && level >= d.cfg.MaxScales {
+			break
+		}
+		scale := math.Pow(d.cfg.ScaleStep, float64(level))
+		// Nearest real octave at or below this scale.
+		oi := 0
+		for i := range octaves {
+			if octaves[i].scale <= scale {
+				oi = i
+			}
+		}
+		base := octaves[oi]
+		rel := scale / base.scale // intra-octave factor in [1, 2)
+		outBX := int(math.Round(float64(base.fm.BlocksX) / rel))
+		outBY := int(math.Round(float64(base.fm.BlocksY) / rel))
+		if outBX < wbx || outBY < wby {
+			break
+		}
+		var fm *hog.FeatureMap
+		if rel == 1 {
+			fm = base.fm
+		} else {
+			var err error
+			fm, err = featpyr.ScaleMapRatio(base.fm, outBX, outBY, rel, rel,
+				featpyr.ScaleConfig{Lambda: oc.Lambda})
+			if err != nil {
+				return nil, err
+			}
+		}
+		// Effective frame scale of this level.
+		eff := base.scale * float64(base.fm.BlocksX) / float64(fm.BlocksX)
+		out = d.scanLevel(fm, eff, out)
+		level++
+	}
+	sortByScore(out)
+	return out, nil
+}

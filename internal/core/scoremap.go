@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/featpyr"
+	"repro/internal/hog"
+	"repro/internal/imgproc"
+)
+
+// ScoreMap is the dense grid of SVM decision values of one pyramid level:
+// entry (x, y) is the score of the window anchored at block (x, y). It is
+// the intermediate the sliding-window detector thresholds, exposed for
+// heat-map inspection and custom post-processing.
+type ScoreMap struct {
+	Scale  float64 // level scale relative to the frame
+	W, H   int     // anchor grid dimensions
+	Scores []float64
+}
+
+// At returns the score of anchor (x, y).
+func (sm *ScoreMap) At(x, y int) float64 { return sm.Scores[y*sm.W+x] }
+
+// Max returns the peak score and its anchor.
+func (sm *ScoreMap) Max() (x, y int, score float64) {
+	score = math.Inf(-1)
+	for i, v := range sm.Scores {
+		if v > score {
+			score = v
+			x, y = i%sm.W, i/sm.W
+		}
+	}
+	return x, y, score
+}
+
+// ToImage renders the map as an 8-bit heat image, linearly mapping
+// [min, max] to [0, 255]. A constant map renders mid-grey.
+func (sm *ScoreMap) ToImage() *imgproc.Gray {
+	img := imgproc.NewGray(sm.W, sm.H)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range sm.Scores {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if hi <= lo {
+		for i := range img.Pix {
+			img.Pix[i] = 128
+		}
+		return img
+	}
+	for i, v := range sm.Scores {
+		img.Pix[i] = uint8(255 * (v - lo) / (hi - lo))
+	}
+	return img
+}
+
+// ScoreMaps computes the dense decision values of every feature-pyramid
+// level for the frame (no thresholding, no NMS). Levels follow the
+// detector's configuration (ScaleStep, MaxScales).
+func (d *Detector) ScoreMaps(frame *imgproc.Gray) ([]*ScoreMap, error) {
+	base, err := hog.Compute(frame, d.cfg.HOG)
+	if err != nil {
+		return nil, err
+	}
+	wbx, wby := d.cfg.windowBlocks()
+	p, err := featpyr.Build(base, d.cfg.ScaleStep, wbx, wby, d.maxLevels(), d.cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+	var out []*ScoreMap
+	for _, level := range p.Levels {
+		fm := level.Map
+		nx := fm.BlocksX - wbx + 1
+		ny := fm.BlocksY - wby + 1
+		if nx < 1 || ny < 1 {
+			continue
+		}
+		sm := &ScoreMap{
+			Scale:  float64(base.BlocksX) / float64(fm.BlocksX),
+			W:      nx,
+			H:      ny,
+			Scores: make([]float64, nx*ny),
+		}
+		buf := make([]float64, wbx*wby*fm.BlockLen)
+		for by := 0; by < ny; by++ {
+			for bx := 0; bx < nx; bx++ {
+				if !fm.WindowInto(buf, bx, by, wbx, wby) {
+					return nil, fmt.Errorf("core: window (%d,%d) extraction failed", bx, by)
+				}
+				sm.Scores[by*nx+bx] = d.model.Score(buf)
+			}
+		}
+		out = append(out, sm)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("core: frame %dx%d smaller than detection window", frame.W, frame.H)
+	}
+	return out, nil
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/eval"
+	"repro/internal/hog"
+	"repro/internal/imgproc"
+	"repro/internal/svm"
+)
+
+// ExtractDescriptors computes the HOG descriptor of every window in the
+// set, returning a feature matrix aligned with the set's labels. Windows
+// must match the configured window size.
+func ExtractDescriptors(set *dataset.Set, cfg Config) ([][]float64, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	x := make([][]float64, 0, set.Len())
+	for i, img := range set.Images {
+		if img.W != cfg.WindowW || img.H != cfg.WindowH {
+			return nil, fmt.Errorf("core: window %d is %dx%d, want %dx%d",
+				i, img.W, img.H, cfg.WindowW, cfg.WindowH)
+		}
+		d, err := hog.Descriptor(img, cfg.HOG)
+		if err != nil {
+			return nil, fmt.Errorf("core: window %d: %w", i, err)
+		}
+		x = append(x, d)
+	}
+	return x, nil
+}
+
+// TrainOptions bundles the SVM solver configuration and the optional
+// hard-negative mining loop.
+type TrainOptions struct {
+	SVM svm.TrainConfig
+	// MineRounds is the number of hard-negative mining rounds; 0 disables
+	// mining (Dalal-Triggs use one round on INRIA).
+	MineRounds int
+	// MineScenes are pedestrian-free frames scanned for false positives
+	// during mining.
+	MineScenes []*imgproc.Gray
+	// MineMax caps the negatives added per round.
+	MineMax int
+}
+
+// DefaultTrainOptions returns sensible defaults for the synthetic protocol:
+// a mildly regularized L2-loss solver and no mining.
+func DefaultTrainOptions() TrainOptions {
+	tc := svm.DefaultTrainConfig()
+	tc.C = 0.01
+	tc.Tol = 0.05
+	return TrainOptions{SVM: tc, MineMax: 500}
+}
+
+// Train fits a detector model on a window set, optionally followed by
+// hard-negative mining rounds: after each round the detector scans the
+// mining scenes and the highest-scoring false alarms join the negative set,
+// exactly the bootstrapping procedure of Dalal-Triggs that LibLinear-based
+// pipelines (including the paper's) rely on.
+func Train(set *dataset.Set, cfg Config, opts TrainOptions) (*Detector, error) {
+	x, err := ExtractDescriptors(set, cfg)
+	if err != nil {
+		return nil, err
+	}
+	labels := append([]int(nil), set.Labels...)
+	res, err := svm.Train(x, labels, opts.SVM)
+	if err != nil {
+		return nil, err
+	}
+	det, err := NewDetector(res.Model, cfg)
+	if err != nil {
+		return nil, err
+	}
+	for round := 0; round < opts.MineRounds && len(opts.MineScenes) > 0; round++ {
+		added := 0
+		for _, scene := range opts.MineScenes {
+			if added >= opts.MineMax {
+				break
+			}
+			fps, err := det.hardNegatives(scene, opts.MineMax-added)
+			if err != nil {
+				return nil, fmt.Errorf("core: mining round %d: %w", round, err)
+			}
+			for _, d := range fps {
+				x = append(x, d)
+				labels = append(labels, -1)
+				added++
+			}
+		}
+		if added == 0 {
+			break
+		}
+		res, err = svm.Train(x, labels, opts.SVM)
+		if err != nil {
+			return nil, err
+		}
+		det, err = NewDetector(res.Model, cfg)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return det, nil
+}
+
+// hardNegatives scans a pedestrian-free frame and returns the descriptors
+// of up to max false-positive windows, strongest first.
+func (d *Detector) hardNegatives(frame *imgproc.Gray, max int) ([][]float64, error) {
+	dets, err := d.Detect(frame)
+	if err != nil {
+		return nil, err
+	}
+	fm, err := hog.Compute(frame, d.cfg.HOG)
+	if err != nil {
+		return nil, err
+	}
+	wbx, wby := d.cfg.windowBlocks()
+	cell := d.cfg.HOG.CellSize
+	var out [][]float64
+	for _, det := range dets {
+		if len(out) >= max {
+			break
+		}
+		// Only mine native-scale detections: their descriptors can be read
+		// straight from the base feature map.
+		if det.Box.W() != d.cfg.WindowW || det.Box.H() != d.cfg.WindowH {
+			continue
+		}
+		bx, by := det.Box.Min.X/cell, det.Box.Min.Y/cell
+		if w := fm.Window(bx, by, wbx, wby); w != nil {
+			out = append(out, w)
+		}
+	}
+	return out, nil
+}
+
+// EvaluateOnScene runs the detector on a frame with known ground truth and
+// returns the match result at the given IoU threshold — the detector-level
+// integration metric used by tests and examples.
+func (d *Detector) EvaluateOnScene(scene *dataset.Scene, iou float64) (eval.MatchResult, error) {
+	dets, err := d.Detect(scene.Frame)
+	if err != nil {
+		return eval.MatchResult{}, err
+	}
+	return eval.MatchDetections(dets, scene.Truth, iou), nil
+}

@@ -1,0 +1,179 @@
+// Package das models the driver-assistance-system timing requirements that
+// motivate the paper (Section 1): perception-brake reaction time, braking
+// distance, total stopping distance, and the detection range / frame budget
+// a real-time pedestrian detector must satisfy.
+package das
+
+import (
+	"fmt"
+	"math"
+)
+
+// NominalPRT is the nominal perception-brake reaction time in seconds used
+// by the paper (after Green, 2000). Individual drivers range roughly from
+// 0.7 s to 1.5 s or more.
+const NominalPRT = 1.5
+
+// NominalDeceleration is the vehicle deceleration in m/s^2 assumed by the
+// paper for the braking-distance analysis.
+const NominalDeceleration = 6.5
+
+// KmhToMs converts a speed from km/h to m/s.
+func KmhToMs(kmh float64) float64 { return kmh / 3.6 }
+
+// MsToKmh converts a speed from m/s to km/h.
+func MsToKmh(ms float64) float64 { return ms * 3.6 }
+
+// BrakingDistance returns the distance in metres needed to stop from the
+// given speed (m/s) under constant deceleration a (m/s^2): v^2 / (2a).
+// It panics if a is not positive.
+func BrakingDistance(speedMs, a float64) float64 {
+	if a <= 0 {
+		panic("das: deceleration must be positive")
+	}
+	return speedMs * speedMs / (2 * a)
+}
+
+// ReactionDistance returns the distance in metres travelled during the
+// perception-brake reaction time prt (seconds) at the given speed (m/s).
+func ReactionDistance(speedMs, prt float64) float64 { return speedMs * prt }
+
+// StoppingDistance returns the total stopping distance: reaction distance
+// plus braking distance.
+func StoppingDistance(speedMs, prt, a float64) float64 {
+	return ReactionDistance(speedMs, prt) + BrakingDistance(speedMs, a)
+}
+
+// Scenario bundles the parameters of one stopping-distance analysis.
+type Scenario struct {
+	SpeedKmh     float64 // vehicle speed in km/h
+	PRT          float64 // perception-brake reaction time in seconds
+	Deceleration float64 // braking deceleration in m/s^2
+}
+
+// Report is the computed outcome of a Scenario.
+type Report struct {
+	Scenario
+	SpeedMs          float64 // speed in m/s
+	BrakingDistance  float64 // metres
+	ReactionDistance float64 // metres
+	StoppingDistance float64 // metres
+	TimeToStop       float64 // seconds from hazard onset to standstill
+}
+
+// Analyze computes the stopping-distance report for s. Zero-valued PRT or
+// Deceleration fall back to the paper's nominal values.
+func Analyze(s Scenario) Report {
+	if s.PRT == 0 {
+		s.PRT = NominalPRT
+	}
+	if s.Deceleration == 0 {
+		s.Deceleration = NominalDeceleration
+	}
+	v := KmhToMs(s.SpeedKmh)
+	bd := BrakingDistance(v, s.Deceleration)
+	rd := ReactionDistance(v, s.PRT)
+	return Report{
+		Scenario:         s,
+		SpeedMs:          v,
+		BrakingDistance:  bd,
+		ReactionDistance: rd,
+		StoppingDistance: bd + rd,
+		TimeToStop:       s.PRT + v/s.Deceleration,
+	}
+}
+
+// String renders the report in the style of the paper's worked example.
+func (r Report) String() string {
+	return fmt.Sprintf("%.0f km/h: braking %.2f m, reaction %.2f m, stopping %.2f m (%.2f s)",
+		r.SpeedKmh, r.BrakingDistance, r.ReactionDistance, r.StoppingDistance, r.TimeToStop)
+}
+
+// RequiredDetectionRange returns the detection range in metres a DAS needs
+// so that a pedestrian first seen at that range can still be avoided: the
+// stopping distance plus a safety margin (metres) plus the distance covered
+// during the detector's own latency (seconds).
+func RequiredDetectionRange(s Scenario, marginM, detectorLatencyS float64) float64 {
+	r := Analyze(s)
+	return r.StoppingDistance + marginM + r.SpeedMs*detectorLatencyS
+}
+
+// MaxDetectorLatency returns the largest detector latency (seconds) that
+// keeps the required detection range within rangeM metres for scenario s,
+// or 0 if even a zero-latency detector cannot satisfy it.
+func MaxDetectorLatency(s Scenario, rangeM float64) float64 {
+	r := Analyze(s)
+	slack := rangeM - r.StoppingDistance
+	if slack <= 0 || r.SpeedMs == 0 {
+		return 0
+	}
+	return slack / r.SpeedMs
+}
+
+// FrameBudget describes what a given detector frame rate means in terms of
+// distance travelled between consecutive frames.
+type FrameBudget struct {
+	FPS            float64 // detector frame rate
+	FrameTime      float64 // seconds per frame
+	MetresPerFrame float64 // distance the vehicle covers between frames
+}
+
+// BudgetAt returns the frame budget at the given vehicle speed (km/h) and
+// detector frame rate. It panics if fps is not positive.
+func BudgetAt(speedKmh, fps float64) FrameBudget {
+	if fps <= 0 {
+		panic("das: fps must be positive")
+	}
+	ft := 1 / fps
+	return FrameBudget{FPS: fps, FrameTime: ft, MetresPerFrame: KmhToMs(speedKmh) * ft}
+}
+
+// PixelHeightAtDistance returns the approximate pixel height of a pedestrian
+// of the given physical height (metres) at the given distance (metres) for a
+// pinhole camera with the given focal length in pixels. This links the
+// paper's 20-60 m operating range to the multi-scale detection requirement:
+// nearer pedestrians are taller than the 128-pixel training window and need
+// coarser scales.
+func PixelHeightAtDistance(personHeightM, distanceM, focalPx float64) float64 {
+	if distanceM <= 0 {
+		panic("das: distance must be positive")
+	}
+	return focalPx * personHeightM / distanceM
+}
+
+// ScaleForDistance returns the detector scale factor (relative to the 128 px
+// training height) needed to detect a pedestrian of the given height at the
+// given distance, i.e. pixelHeight / windowHeight. Values above 1 require
+// down-scaling (image or feature pyramid).
+func ScaleForDistance(personHeightM, distanceM, focalPx float64, windowHeightPx int) float64 {
+	if windowHeightPx <= 0 {
+		panic("das: window height must be positive")
+	}
+	return PixelHeightAtDistance(personHeightM, distanceM, focalPx) / float64(windowHeightPx)
+}
+
+// ScalesForRange returns the geometric ladder of scale factors (step apart,
+// e.g. 1.1) needed to cover pedestrians of the given height between nearM
+// and farM. The returned slice is sorted ascending and always includes the
+// scale for farM (clamped to a minimum of 1.0, the native training scale).
+func ScalesForRange(personHeightM, nearM, farM, focalPx float64, windowHeightPx int, step float64) []float64 {
+	if step <= 1 {
+		panic("das: scale step must exceed 1")
+	}
+	if nearM > farM {
+		nearM, farM = farM, nearM
+	}
+	sNear := ScaleForDistance(personHeightM, nearM, focalPx, windowHeightPx)
+	sFar := ScaleForDistance(personHeightM, farM, focalPx, windowHeightPx)
+	if sFar < 1 {
+		sFar = 1
+	}
+	if sNear < sFar {
+		sNear = sFar
+	}
+	var scales []float64
+	for s := sFar; s < sNear*math.Sqrt(step); s *= step {
+		scales = append(scales, s)
+	}
+	return scales
+}

@@ -1,0 +1,263 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/hog"
+	"repro/internal/imgproc"
+	"repro/internal/svm"
+)
+
+func TestGeneratorDeterministic(t *testing.T) {
+	a := New(42).PositiveWindow()
+	b := New(42).PositiveWindow()
+	if !bytes.Equal(a.Pix, b.Pix) {
+		t.Error("same seed must produce identical windows")
+	}
+	c := New(43).PositiveWindow()
+	if bytes.Equal(a.Pix, c.Pix) {
+		t.Error("different seeds should produce different windows")
+	}
+}
+
+func TestWindowDimensions(t *testing.T) {
+	g := New(1)
+	p := g.PositiveWindow()
+	if p.W != WindowW || p.H != WindowH {
+		t.Errorf("positive window %dx%d, want %dx%d", p.W, p.H, WindowW, WindowH)
+	}
+	n := g.NegativeWindow()
+	if n.W != WindowW || n.H != WindowH {
+		t.Errorf("negative window %dx%d", n.W, n.H)
+	}
+}
+
+func TestRenderSameSpecDifferentScales(t *testing.T) {
+	g := New(2)
+	spec := g.NewSpec(true)
+	base := g.Render(spec, WindowW, WindowH)
+	big := g.Render(spec, 2*WindowW, 2*WindowH)
+	if big.W != 128 || big.H != 256 {
+		t.Fatalf("scaled render %dx%d", big.W, big.H)
+	}
+	// Rendering the same spec twice at the same size is identical.
+	again := g.Render(spec, WindowW, WindowH)
+	if !bytes.Equal(base.Pix, again.Pix) {
+		t.Error("Render is not deterministic")
+	}
+	// The 2x render must be approximately the base image enlarged: compare
+	// a downsampled version. (Noise fields differ in sample count, so
+	// allow a generous error.)
+	down := imgproc.Resize(big, WindowW, WindowH, imgproc.Bilinear)
+	var mae float64
+	for i := range base.Pix {
+		mae += math.Abs(float64(base.Pix[i]) - float64(down.Pix[i]))
+	}
+	mae /= float64(len(base.Pix))
+	if mae > 25 {
+		t.Errorf("2x render downsampled differs from base by MAE %.1f", mae)
+	}
+}
+
+func TestSpecSetLabelsAndCounts(t *testing.T) {
+	g := New(3)
+	ss := g.NewSpecSet(5, 7)
+	if len(ss.Specs) != 12 || len(ss.Labels) != 12 {
+		t.Fatalf("spec set sizes: %d specs, %d labels", len(ss.Specs), len(ss.Labels))
+	}
+	set, err := g.RenderAt(ss, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos, neg := set.Counts()
+	if pos != 5 || neg != 7 {
+		t.Errorf("counts %d/%d, want 5/7", pos, neg)
+	}
+	for i, spec := range ss.Specs {
+		if spec.Positive != (ss.Labels[i] == 1) {
+			t.Fatalf("spec %d label mismatch", i)
+		}
+	}
+	if _, err := g.RenderAt(ss, 0.5); err == nil {
+		t.Error("sub-unit scale should error")
+	}
+}
+
+func TestRenderAtScaleDimensions(t *testing.T) {
+	g := New(4)
+	ss := g.NewSpecSet(1, 1)
+	for _, scale := range []float64{1.0, 1.1, 1.5, 2.0} {
+		set, err := g.RenderAt(ss, scale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantW := int(float64(WindowW)*scale + 0.5)
+		wantH := int(float64(WindowH)*scale + 0.5)
+		if set.Images[0].W != wantW || set.Images[0].H != wantH {
+			t.Errorf("scale %v: %dx%d, want %dx%d", scale, set.Images[0].W, set.Images[0].H, wantW, wantH)
+		}
+	}
+}
+
+func TestMakeSplitProtocol(t *testing.T) {
+	g := New(5)
+	split, err := g.MakeSplit(SmallProtocol())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos, neg := split.Train.Counts()
+	if pos != 120 || neg != 360 {
+		t.Errorf("train counts %d/%d", pos, neg)
+	}
+	if len(split.TestSpecs.Specs) != 500 {
+		t.Errorf("test specs %d, want 500", len(split.TestSpecs.Specs))
+	}
+	if _, err := g.MakeSplit(Protocol{}); err == nil {
+		t.Error("zero protocol should error")
+	}
+}
+
+func TestPaperProtocolSizes(t *testing.T) {
+	p := PaperProtocol()
+	if p.TestPos != 1126 || p.TestNeg != 4530 {
+		t.Errorf("paper protocol test sizes %d/%d, want 1126/4530 (Section 4)", p.TestPos, p.TestNeg)
+	}
+}
+
+// TestClassesAreSeparable is the load-bearing test of the substitution: a
+// linear SVM on HOG features must separate synthetic pedestrians from
+// synthetic clutter well — otherwise the dataset cannot stand in for INRIA
+// in the scale experiments.
+func TestClassesAreSeparable(t *testing.T) {
+	g := New(6)
+	split, err := g.MakeSplit(Protocol{TrainPos: 150, TrainNeg: 450, TestPos: 60, TestNeg: 240})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := hog.DefaultConfig()
+	var x [][]float64
+	for _, img := range split.Train.Images {
+		d, err := hog.Descriptor(img, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x = append(x, d)
+	}
+	tc := svm.DefaultTrainConfig()
+	tc.C = 0.01
+	res, err := svm.Train(x, split.Train.Labels, tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	test, err := g.RenderAt(split.TestSpecs, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var xt [][]float64
+	for _, img := range test.Images {
+		d, err := hog.Descriptor(img, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xt = append(xt, d)
+	}
+	acc := svm.Accuracy(res.Model, xt, test.Labels)
+	if acc < 0.9 {
+		t.Errorf("test accuracy %.3f < 0.9: synthetic classes not separable enough", acc)
+	}
+	t.Logf("synthetic pedestrian test accuracy: %.4f", acc)
+}
+
+func TestFigureBoundsInsideBox(t *testing.T) {
+	g := New(7)
+	for i := 0; i < 50; i++ {
+		pose := RandomPose(g.rng)
+		box := geom.XYWH(10, 10, 64, 128)
+		fb := FigureBounds(box, pose)
+		if fb.Empty() {
+			t.Fatal("empty figure bounds")
+		}
+		// The figure can lean/stride slightly outside, but its bulk stays in.
+		inter := fb.Intersect(box)
+		if float64(inter.Area()) < 0.8*float64(fb.Area()) {
+			t.Errorf("figure bounds %v mostly outside box %v", fb, box)
+		}
+	}
+}
+
+func TestMakeSceneGroundTruth(t *testing.T) {
+	g := New(8)
+	cfg := DefaultSceneConfig()
+	scene, err := g.MakeScene(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scene.Frame.W != cfg.W || scene.Frame.H != cfg.H {
+		t.Fatalf("frame %dx%d", scene.Frame.W, scene.Frame.H)
+	}
+	if len(scene.Truth) == 0 {
+		t.Fatal("no pedestrians placed")
+	}
+	if len(scene.Truth) != len(scene.Heights) {
+		t.Fatal("truth/heights length mismatch")
+	}
+	for i, b := range scene.Truth {
+		if !scene.Frame.Bounds().ContainsRect(b.Intersect(scene.Frame.Bounds())) || b.Empty() {
+			t.Errorf("truth %d box %v invalid", i, b)
+		}
+		// No heavy overlap between figures.
+		for j := i + 1; j < len(scene.Truth); j++ {
+			if geom.IoU(b, scene.Truth[j]) > 0.3 {
+				t.Errorf("figures %d and %d overlap heavily", i, j)
+			}
+		}
+	}
+}
+
+func TestMakeSceneErrors(t *testing.T) {
+	g := New(9)
+	if _, err := g.MakeScene(SceneConfig{W: 10, H: 10}); err == nil {
+		t.Error("tiny scene should error")
+	}
+}
+
+func TestMakeSceneHDTV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("HDTV scene is slow")
+	}
+	g := New(10)
+	scene, err := g.MakeScene(HDTVSceneConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scene.Frame.W != 1920 || scene.Frame.H != 1080 {
+		t.Fatalf("HDTV frame %dx%d", scene.Frame.W, scene.Frame.H)
+	}
+	if len(scene.Truth) < 2 {
+		t.Errorf("HDTV scene placed only %d pedestrians", len(scene.Truth))
+	}
+}
+
+func TestPedestrianHasVerticalStructure(t *testing.T) {
+	// Sanity check on gradient statistics: pedestrians produce more
+	// vertical-edge energy (horizontal gradients) than the flat background
+	// alone — the signature HOG keys on.
+	g := New(11)
+	g.NoiseStddev = 0
+	pos := g.PositiveWindow()
+	cfgH := hog.DefaultConfig()
+	grid, err := hog.ComputeCells(pos, cfgH)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, v := range grid.Hist {
+		total += v
+	}
+	if total <= 0 {
+		t.Fatal("pedestrian window has no gradient energy at all")
+	}
+}

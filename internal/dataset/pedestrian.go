@@ -1,0 +1,175 @@
+// Package dataset provides the synthetic substitute for the INRIA person
+// dataset used by the paper's accuracy analysis (Section 4, Table 1,
+// Figure 4). The INRIA photographs are not redistributable, so this package
+// generates procedural pedestrians — articulated head/torso/limb
+// silhouettes with randomized pose, gait, clothing contrast, lighting and
+// sensor noise — over structured street-scene clutter, plus negative
+// windows sampled from pedestrian-free scenes.
+//
+// What matters for the reproduction is not photorealism but that the
+// generated windows exercise the identical code path (HOG extraction,
+// image- versus feature-scaling, linear SVM) with pedestrian-like oriented
+// gradient statistics: roughly vertically symmetric, omega-shaped
+// head-shoulder contours against cluttered backgrounds. See DESIGN.md for
+// the substitution rationale.
+package dataset
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/geom"
+	"repro/internal/imgproc"
+)
+
+// WindowW and WindowH are the detection window dimensions used throughout
+// the paper (64x128 pixels).
+const (
+	WindowW = 64
+	WindowH = 128
+)
+
+// Pose describes one articulated pedestrian instance. All lengths are
+// fractions of the figure height; angles are radians from vertical.
+type Pose struct {
+	HeightFrac   float64 // figure height as a fraction of the box height
+	CenterXFrac  float64 // horizontal center as a fraction of box width
+	GaitPhase    float64 // walking cycle phase in [0, 2pi)
+	StrideAmpl   float64 // leg swing amplitude (radians)
+	ArmAmpl      float64 // arm swing amplitude (radians)
+	LeanAngle    float64 // whole-body lean (radians)
+	HeadSize     float64 // head diameter fraction
+	ShoulderFrac float64 // shoulder half-width fraction
+	HipFrac      float64 // hip half-width fraction
+	BodyTone     uint8   // torso/arm intensity
+	LegTone      uint8   // leg intensity (pants vs shirt two-tone)
+	HeadTone     uint8   // head intensity
+}
+
+// RandomPose draws a plausible pedestrian pose from rng.
+func RandomPose(rng *rand.Rand) Pose {
+	// Two-tone clothing: tones are drawn apart from each other and from
+	// typical backgrounds (which are mid-grey).
+	dark := rng.Float64() < 0.5
+	tone := func(primary bool) uint8 {
+		if primary == dark {
+			return uint8(20 + rng.Intn(60)) // dark clothing
+		}
+		return uint8(170 + rng.Intn(70)) // light clothing
+	}
+	return Pose{
+		HeightFrac:   0.78 + rng.Float64()*0.16,
+		CenterXFrac:  0.42 + rng.Float64()*0.16,
+		GaitPhase:    rng.Float64() * 2 * math.Pi,
+		StrideAmpl:   0.10 + rng.Float64()*0.35,
+		ArmAmpl:      0.05 + rng.Float64()*0.30,
+		LeanAngle:    (rng.Float64() - 0.5) * 0.12,
+		HeadSize:     0.13 + rng.Float64()*0.03,
+		ShoulderFrac: 0.10 + rng.Float64()*0.04,
+		HipFrac:      0.07 + rng.Float64()*0.03,
+		BodyTone:     tone(true),
+		LegTone:      tone(rng.Float64() < 0.3), // usually contrasting pants
+		HeadTone:     uint8(80 + rng.Intn(120)),
+	}
+}
+
+// DrawPedestrian renders the pose into img within the given box. The
+// figure's feet rest near the box bottom. Rendering is pure geometry; the
+// caller applies blur/noise/lighting afterwards.
+func DrawPedestrian(img *imgproc.Gray, box geom.Rect, p Pose) {
+	h := float64(box.H()) * p.HeightFrac
+	if h < 8 {
+		return
+	}
+	// Anchor: feet baseline at the bottom of the figure.
+	baseY := float64(box.Max.Y) - 0.02*float64(box.H())
+	topY := baseY - h
+	cx := float64(box.Min.X) + p.CenterXFrac*float64(box.W())
+
+	// Whole-body lean shifts upper-body x linearly with height.
+	leanAt := func(y float64) float64 {
+		return cx + (baseY-y)*math.Tan(p.LeanAngle)
+	}
+
+	pt := func(x, y float64) geom.Pt { return geom.Pt{X: int(math.Round(x)), Y: int(math.Round(y))} }
+
+	headD := p.HeadSize * h
+	neckY := topY + headD*1.05
+	shoulderY := neckY + 0.03*h
+	hipY := topY + 0.50*h
+	kneeY := topY + 0.74*h
+
+	shoulderHalf := p.ShoulderFrac * h
+	hipHalf := p.HipFrac * h
+	limbW := int(math.Max(2, 0.045*h))
+
+	// Legs first (behind torso): thigh hip->knee, shin knee->ankle, with a
+	// scissor swing and slight knee bend on the trailing leg.
+	legSwing := p.StrideAmpl * math.Sin(p.GaitPhase)
+	for side := -1.0; side <= 1.0; side += 2 {
+		swing := legSwing * side
+		hx := leanAt(hipY) + side*hipHalf*0.6
+		thighLen := kneeY - hipY
+		kx := hx + thighLen*math.Tan(swing)
+		// Knee bend: the back-swinging leg bends forward at the knee.
+		bend := 0.35 * math.Max(0, -swing*side*2)
+		shinLen := baseY - kneeY
+		ax := kx + shinLen*math.Tan(swing*0.6+bend*side)
+		ThickLineTone(img, pt(hx, hipY), pt(kx, kneeY), limbW, p.LegTone)
+		ThickLineTone(img, pt(kx, kneeY), pt(ax, baseY), limbW, p.LegTone)
+		// Foot: small horizontal smear at the ankle.
+		ThickLineTone(img, pt(ax, baseY), pt(ax+float64(side)*0.03*h+4, baseY), limbW-1, p.LegTone)
+	}
+
+	// Torso: a quad from shoulders to hips (hourglass-ish taper).
+	FillQuadTone(img,
+		pt(leanAt(shoulderY)-shoulderHalf, shoulderY),
+		pt(leanAt(shoulderY)+shoulderHalf, shoulderY),
+		pt(leanAt(hipY)+hipHalf, hipY),
+		pt(leanAt(hipY)-hipHalf, hipY),
+		p.BodyTone)
+
+	// Arms: upper arm shoulder->elbow, forearm elbow->wrist, counter-phase
+	// to the legs.
+	armSwing := p.ArmAmpl * math.Sin(p.GaitPhase+math.Pi)
+	elbowY := shoulderY + 0.18*h
+	wristY := shoulderY + 0.34*h
+	for side := -1.0; side <= 1.0; side += 2 {
+		swing := armSwing * side
+		sx := leanAt(shoulderY) + side*shoulderHalf*0.95
+		upperLen := elbowY - shoulderY
+		ex := sx + upperLen*math.Tan(swing)
+		foreLen := wristY - elbowY
+		wx := ex + foreLen*math.Tan(swing*1.4)
+		ThickLineTone(img, pt(sx, shoulderY), pt(ex, elbowY), limbW-1, p.BodyTone)
+		ThickLineTone(img, pt(ex, elbowY), pt(wx, wristY), limbW-1, p.BodyTone)
+	}
+
+	// Head last: ellipse over the neck.
+	hx := leanAt(neckY)
+	imgproc.FillEllipse(img, geom.R(
+		int(hx-headD/2), int(topY),
+		int(hx+headD/2), int(topY+headD)), p.HeadTone)
+}
+
+// ThickLineTone and FillQuadTone re-export the drawing primitives so scene
+// code outside imgproc reads naturally; they simply forward.
+func ThickLineTone(img *imgproc.Gray, a, b geom.Pt, width int, tone uint8) {
+	imgproc.ThickLine(img, a, b, width, tone)
+}
+
+// FillQuadTone forwards to imgproc.FillQuad.
+func FillQuadTone(img *imgproc.Gray, p0, p1, p2, p3 geom.Pt, tone uint8) {
+	imgproc.FillQuad(img, p0, p1, p2, p3, tone)
+}
+
+// FigureBounds returns the tight pixel box the pose occupies inside the
+// given drawing box (used to produce ground-truth rectangles).
+func FigureBounds(box geom.Rect, p Pose) geom.Rect {
+	h := float64(box.H()) * p.HeightFrac
+	baseY := float64(box.Max.Y) - 0.02*float64(box.H())
+	topY := baseY - h
+	cx := float64(box.Min.X) + p.CenterXFrac*float64(box.W())
+	halfW := math.Max(p.ShoulderFrac, p.HipFrac)*h + 0.35*p.StrideAmpl*h
+	return geom.R(int(cx-halfW), int(topY), int(cx+halfW), int(baseY))
+}

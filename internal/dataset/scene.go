@@ -1,0 +1,159 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/geom"
+	"repro/internal/imgproc"
+)
+
+// Scene is a full synthetic street frame with pedestrian ground truth, used
+// by the full-frame detector tests, the examples and the hardware
+// simulation driver.
+type Scene struct {
+	Frame *imgproc.Gray
+	// Truth holds one tight bounding box per pedestrian.
+	Truth []geom.Rect
+	// Heights holds the pixel height of each pedestrian (parallel to
+	// Truth), handy for scale analysis.
+	Heights []int
+}
+
+// SceneConfig controls street-scene synthesis.
+type SceneConfig struct {
+	W, H int // frame size
+	// Pedestrians is the number of figures to place.
+	Pedestrians int
+	// MinHeight/MaxHeight bound the pedestrian pixel heights (multi-scale
+	// content). Defaults: 100 to 0.45*H.
+	MinHeight, MaxHeight int
+	// ClutterDensity scales the number of background objects (1 = default).
+	ClutterDensity float64
+}
+
+// DefaultSceneConfig returns a 640x480 scene with three pedestrians.
+func DefaultSceneConfig() SceneConfig {
+	return SceneConfig{W: 640, H: 480, Pedestrians: 3, ClutterDensity: 1}
+}
+
+// HDTVSceneConfig returns the paper's 1920x1080 frame with pedestrians at
+// two distinct scales (the configuration the accelerator targets).
+func HDTVSceneConfig() SceneConfig {
+	return SceneConfig{W: 1920, H: 1080, Pedestrians: 6, ClutterDensity: 1}
+}
+
+// MakeScene renders a street scene with non-overlapping pedestrians and
+// returns the frame plus ground truth.
+func (g *Generator) MakeScene(cfg SceneConfig) (*Scene, error) {
+	if cfg.W < WindowW || cfg.H < WindowH {
+		return nil, fmt.Errorf("dataset: scene %dx%d smaller than one window", cfg.W, cfg.H)
+	}
+	if cfg.MinHeight == 0 {
+		cfg.MinHeight = 100
+	}
+	if cfg.MaxHeight == 0 {
+		cfg.MaxHeight = int(0.45 * float64(cfg.H))
+	}
+	if cfg.MaxHeight > cfg.H {
+		cfg.MaxHeight = cfg.H
+	}
+	if cfg.MinHeight > cfg.MaxHeight {
+		cfg.MinHeight = cfg.MaxHeight
+	}
+	if cfg.ClutterDensity <= 0 {
+		cfg.ClutterDensity = 1
+	}
+	frame := imgproc.NewGray(cfg.W, cfg.H)
+
+	// Sky-to-road gradient with a horizon at 45% height.
+	horizon := int(0.45 * float64(cfg.H))
+	imgproc.VerticalGradient(frame, geom.R(0, 0, cfg.W, horizon), 190, 150)
+	imgproc.VerticalGradient(frame, geom.R(0, horizon, cfg.W, cfg.H), 110, 70)
+
+	// Buildings: rectangles above the horizon.
+	nBuild := int(float64(cfg.W) / 130 * cfg.ClutterDensity)
+	x := 0
+	for i := 0; i < nBuild && x < cfg.W; i++ {
+		bw := 60 + g.rng.Intn(140)
+		bh := horizon/2 + g.rng.Intn(horizon/2)
+		tone := clampTone(100 + g.rng.Intn(80))
+		imgproc.FillRect(frame, geom.XYWH(x, horizon-bh, bw, bh), tone)
+		// Windows.
+		for wy := horizon - bh + 8; wy < horizon-12; wy += 22 {
+			for wx := x + 6; wx < x+bw-10; wx += 18 {
+				imgproc.FillRect(frame, geom.XYWH(wx, wy, 8, 12), clampTone(int(tone)-60))
+			}
+		}
+		x += bw + g.rng.Intn(40)
+	}
+
+	// Street furniture: poles and road markings.
+	nPoles := int(float64(cfg.W) / 200 * cfg.ClutterDensity)
+	for i := 0; i < nPoles; i++ {
+		px := g.rng.Intn(cfg.W)
+		ph := 80 + g.rng.Intn(cfg.H/3)
+		baseY := horizon + g.rng.Intn(cfg.H-horizon)
+		tone := clampTone(40 + g.rng.Intn(60))
+		imgproc.FillRect(frame, geom.XYWH(px, baseY-ph, 3+g.rng.Intn(3), ph), tone)
+	}
+	for i := 0; i < 4; i++ {
+		y := horizon + (cfg.H-horizon)*(i+1)/5
+		imgproc.FillRect(frame, geom.XYWH(0, y, cfg.W, 2), 160)
+	}
+
+	scene := &Scene{Frame: frame}
+	// Place pedestrians on the ground plane: larger figures lower in the
+	// frame (nearer the camera), avoiding overlap.
+	for i := 0; i < cfg.Pedestrians; i++ {
+		var box geom.Rect
+		placed := false
+		for attempt := 0; attempt < 50 && !placed; attempt++ {
+			h := cfg.MinHeight + g.rng.Intn(cfg.MaxHeight-cfg.MinHeight+1)
+			w := h / 2
+			// Ground-plane placement: feet between horizon and bottom,
+			// proportional to size.
+			t := float64(h-cfg.MinHeight) / float64(cfg.MaxHeight-cfg.MinHeight+1)
+			feetY := horizon + int(t*float64(cfg.H-horizon-4)) + g.rng.Intn(20)
+			if feetY > cfg.H-2 {
+				feetY = cfg.H - 2
+			}
+			x := g.rng.Intn(maxInt(1, cfg.W-w))
+			box = geom.XYWH(x, feetY-h, w, h)
+			if box.Min.Y < 0 {
+				continue
+			}
+			ok := true
+			for _, prev := range scene.Truth {
+				if geom.IoU(box, prev) > 0.05 {
+					ok = false
+					break
+				}
+			}
+			placed = ok
+		}
+		if !placed {
+			continue
+		}
+		pose := RandomPose(g.rng)
+		// Center the figure in its box so ground truth is tight.
+		pose.CenterXFrac = 0.5
+		pose.HeightFrac = 0.95
+		DrawPedestrian(frame, box, pose)
+		scene.Truth = append(scene.Truth, FigureBounds(box, pose))
+		scene.Heights = append(scene.Heights, box.H())
+	}
+
+	// Global degradation.
+	blurred := imgproc.GaussianBlur(frame, 0.7)
+	noisy := imgproc.AddGaussianNoise(blurred, g.NoiseStddev*0.7, rand.New(rand.NewSource(g.rng.Int63())))
+	scene.Frame = noisy
+	return scene, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

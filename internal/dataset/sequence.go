@@ -1,0 +1,139 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/geom"
+	"repro/internal/imgproc"
+)
+
+// Sequence is a short synthetic dashcam clip: frames with per-frame ground
+// truth and stable pedestrian identities, used by the tracking substrate
+// and the latency experiments (a DAS does not classify stills — it must
+// keep seeing the same pedestrian as both approach).
+type Sequence struct {
+	Frames []*imgproc.Gray
+	// Truth[f] lists the ground-truth boxes of frame f.
+	Truth [][]geom.Rect
+	// IDs[f][i] is the stable identity of Truth[f][i].
+	IDs [][]int
+}
+
+// SequenceConfig controls clip synthesis.
+type SequenceConfig struct {
+	W, H   int // frame size
+	Frames int // clip length
+	// Pedestrians is the number of walkers.
+	Pedestrians int
+	// FPS sets the time base for motion (walking speed, approach rate).
+	FPS float64
+	// ApproachRate grows pedestrian height per second, simulating ego
+	// motion towards them (fraction/second, e.g. 0.1 = 10%/s).
+	ApproachRate float64
+	// WalkSpeedPx is the lateral walking speed in pixels/second at the
+	// base height.
+	WalkSpeedPx float64
+}
+
+// DefaultSequenceConfig returns a 2-second 640x480 clip at 10 fps.
+func DefaultSequenceConfig() SequenceConfig {
+	return SequenceConfig{
+		W: 640, H: 480, Frames: 20, Pedestrians: 2, FPS: 10,
+		ApproachRate: 0.08, WalkSpeedPx: 40,
+	}
+}
+
+// walker is the persistent state of one pedestrian across a clip.
+type walker struct {
+	id     int
+	x      float64 // center x in pixels
+	feetY  float64
+	height float64
+	vx     float64 // pixels/second
+	pose   Pose
+	gaitHz float64
+}
+
+// MakeSequence renders a clip with persistent walkers: each advances its
+// position and gait phase per frame while the background stays fixed
+// (static ego camera plus approach-induced growth).
+func (g *Generator) MakeSequence(cfg SequenceConfig) (*Sequence, error) {
+	if cfg.W < WindowW || cfg.H < WindowH {
+		return nil, fmt.Errorf("dataset: sequence frame %dx%d smaller than one window", cfg.W, cfg.H)
+	}
+	if cfg.Frames < 1 {
+		return nil, fmt.Errorf("dataset: need at least one frame")
+	}
+	if cfg.FPS <= 0 {
+		return nil, fmt.Errorf("dataset: FPS must be positive")
+	}
+	if cfg.Pedestrians < 0 {
+		return nil, fmt.Errorf("dataset: negative pedestrian count")
+	}
+	// A fixed background scene without pedestrians.
+	bgScene, err := g.MakeScene(SceneConfig{
+		W: cfg.W, H: cfg.H, Pedestrians: 0, ClutterDensity: 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	bg := bgScene.Frame
+
+	horizon := int(0.45 * float64(cfg.H))
+	walkers := make([]*walker, 0, cfg.Pedestrians)
+	for i := 0; i < cfg.Pedestrians; i++ {
+		h := 130 + g.rng.Float64()*80
+		dir := 1.0
+		if g.rng.Float64() < 0.5 {
+			dir = -1
+		}
+		w := &walker{
+			id:     i,
+			x:      float64(cfg.W) * (0.2 + 0.6*g.rng.Float64()),
+			feetY:  float64(horizon) + (float64(cfg.H)-float64(horizon))*(0.3+0.6*g.rng.Float64()),
+			height: h,
+			vx:     dir * cfg.WalkSpeedPx * (0.6 + 0.8*g.rng.Float64()),
+			pose:   RandomPose(g.rng),
+			gaitHz: 1.5 + g.rng.Float64(),
+		}
+		w.pose.CenterXFrac = 0.5
+		w.pose.HeightFrac = 0.95
+		walkers = append(walkers, w)
+	}
+
+	seq := &Sequence{}
+	dt := 1 / cfg.FPS
+	noiseRng := rand.New(rand.NewSource(g.rng.Int63()))
+	for f := 0; f < cfg.Frames; f++ {
+		frame := bg.Clone()
+		var truth []geom.Rect
+		var ids []int
+		for _, w := range walkers {
+			// Advance state.
+			if f > 0 {
+				w.x += w.vx * dt
+				w.height *= 1 + cfg.ApproachRate*dt
+				w.pose.GaitPhase += 2 * math.Pi * w.gaitHz * dt
+			}
+			// Bounce at frame edges.
+			half := w.height / 4
+			if w.x < half || w.x > float64(cfg.W)-half {
+				w.vx = -w.vx
+				w.x = math.Max(half, math.Min(float64(cfg.W)-half, w.x))
+			}
+			hh := int(w.height)
+			box := geom.XYWH(int(w.x)-hh/4, int(w.feetY)-hh, hh/2, hh)
+			DrawPedestrian(frame, box, w.pose)
+			truth = append(truth, FigureBounds(box, w.pose))
+			ids = append(ids, w.id)
+		}
+		frame = imgproc.AddGaussianNoise(imgproc.GaussianBlur(frame, 0.6),
+			g.NoiseStddev*0.7, noiseRng)
+		seq.Frames = append(seq.Frames, frame)
+		seq.Truth = append(seq.Truth, truth)
+		seq.IDs = append(seq.IDs, ids)
+	}
+	return seq, nil
+}

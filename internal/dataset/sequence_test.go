@@ -1,0 +1,131 @@
+package dataset
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestMakeSequenceShape(t *testing.T) {
+	g := New(21)
+	cfg := DefaultSequenceConfig()
+	seq, err := g.MakeSequence(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.Frames) != cfg.Frames || len(seq.Truth) != cfg.Frames || len(seq.IDs) != cfg.Frames {
+		t.Fatalf("lengths %d/%d/%d, want %d", len(seq.Frames), len(seq.Truth), len(seq.IDs), cfg.Frames)
+	}
+	for f := range seq.Truth {
+		if len(seq.Truth[f]) != len(seq.IDs[f]) {
+			t.Fatalf("frame %d: truth/id mismatch", f)
+		}
+		if len(seq.Truth[f]) != cfg.Pedestrians {
+			t.Fatalf("frame %d: %d walkers, want %d", f, len(seq.Truth[f]), cfg.Pedestrians)
+		}
+	}
+}
+
+func TestMakeSequenceIdentitiesPersist(t *testing.T) {
+	g := New(22)
+	seq, err := g.MakeSequence(DefaultSequenceConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The same ID must appear in every frame, with bounded inter-frame
+	// motion (the tracker's working assumption).
+	for f := 1; f < len(seq.Frames); f++ {
+		for i, id := range seq.IDs[f] {
+			found := false
+			for j, prevID := range seq.IDs[f-1] {
+				if prevID != id {
+					continue
+				}
+				found = true
+				cPrev := seq.Truth[f-1][j].Center()
+				cNow := seq.Truth[f][i].Center()
+				dx := cNow.X - cPrev.X
+				dy := cNow.Y - cPrev.Y
+				if dx < 0 {
+					dx = -dx
+				}
+				if dy < 0 {
+					dy = -dy
+				}
+				if dx > 40 || dy > 40 {
+					t.Fatalf("frame %d id %d jumped by (%d,%d)", f, id, dx, dy)
+				}
+			}
+			if !found {
+				t.Fatalf("frame %d: id %d has no predecessor", f, id)
+			}
+		}
+	}
+}
+
+func TestMakeSequenceApproachGrowsWalkers(t *testing.T) {
+	g := New(23)
+	cfg := DefaultSequenceConfig()
+	cfg.ApproachRate = 0.2
+	cfg.Frames = 15
+	seq, err := g.MakeSequence(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := seq.Truth[0][0].H()
+	last := seq.Truth[len(seq.Truth)-1][0].H()
+	if last <= first {
+		t.Errorf("walker did not grow while approaching: %d -> %d px", first, last)
+	}
+}
+
+func TestMakeSequenceFramesDiffer(t *testing.T) {
+	g := New(24)
+	cfg := DefaultSequenceConfig()
+	cfg.Frames = 3
+	seq, err := g.MakeSequence(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(seq.Frames[0].Pix, seq.Frames[1].Pix) {
+		t.Error("consecutive frames identical (no motion rendered)")
+	}
+}
+
+func TestMakeSequenceErrors(t *testing.T) {
+	g := New(25)
+	if _, err := g.MakeSequence(SequenceConfig{W: 10, H: 10, Frames: 3, FPS: 10}); err == nil {
+		t.Error("tiny frames should error")
+	}
+	if _, err := g.MakeSequence(SequenceConfig{W: 640, H: 480, Frames: 0, FPS: 10}); err == nil {
+		t.Error("zero frames should error")
+	}
+	if _, err := g.MakeSequence(SequenceConfig{W: 640, H: 480, Frames: 3, FPS: 0}); err == nil {
+		t.Error("zero fps should error")
+	}
+	if _, err := g.MakeSequence(SequenceConfig{W: 640, H: 480, Frames: 3, FPS: 10, Pedestrians: -1}); err == nil {
+		t.Error("negative pedestrians should error")
+	}
+}
+
+func TestMakeSequenceTruthInsideFrame(t *testing.T) {
+	g := New(26)
+	cfg := DefaultSequenceConfig()
+	cfg.Frames = 25
+	cfg.WalkSpeedPx = 120 // fast walkers stress the bounce logic
+	seq, err := g.MakeSequence(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds := geom.R(0, 0, cfg.W, cfg.H)
+	for f, boxes := range seq.Truth {
+		for _, b := range boxes {
+			// The bulk of every figure stays on screen.
+			vis := b.Intersect(bounds)
+			if float64(vis.Area()) < 0.5*float64(b.Area()) {
+				t.Fatalf("frame %d: walker mostly off screen: %v", f, b)
+			}
+		}
+	}
+}

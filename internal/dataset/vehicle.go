@@ -1,0 +1,133 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/geom"
+	"repro/internal/imgproc"
+)
+
+// errScale formats the shared out-of-range render-scale error.
+func errScale(s float64) error {
+	return fmt.Errorf("dataset: render scale %g must be >= 1", s)
+}
+
+// Vehicle support: the paper notes that HOG+SVM "has also been employed in
+// detection of other object classes such as vehicles" and that its several
+// SVM classifier instances "could provide real-time multiple object
+// detection capability". This file supplies the second object class that
+// exercises that capability: procedural rear-view car silhouettes.
+
+// VehicleWindowW and VehicleWindowH are the vehicle detection window
+// dimensions (square 64x64: rear-view cars are wider than tall).
+const (
+	VehicleWindowW = 64
+	VehicleWindowH = 64
+)
+
+// VehicleSpec describes one procedural vehicle in normalized coordinates.
+type VehicleSpec struct {
+	CenterX   float64 // horizontal center, fraction of box width
+	WidthFrac float64 // body width, fraction of box width
+	Aspect    float64 // body height / body width
+	CabinFrac float64 // cabin height fraction of body height
+	BodyTone  uint8
+	GlassTone uint8
+	WheelTone uint8
+}
+
+// RandomVehicle draws a plausible vehicle spec.
+func RandomVehicle(rng *rand.Rand) VehicleSpec {
+	dark := rng.Float64() < 0.5
+	body := uint8(150 + rng.Intn(90))
+	if dark {
+		body = uint8(20 + rng.Intn(70))
+	}
+	return VehicleSpec{
+		CenterX:   0.42 + rng.Float64()*0.16,
+		WidthFrac: 0.62 + rng.Float64()*0.25,
+		Aspect:    0.55 + rng.Float64()*0.20,
+		CabinFrac: 0.35 + rng.Float64()*0.15,
+		BodyTone:  body,
+		GlassTone: uint8(40 + rng.Intn(80)),
+		WheelTone: uint8(10 + rng.Intn(40)),
+	}
+}
+
+// DrawVehicle renders the spec into img within box: body rectangle with a
+// trapezoidal cabin, rear window, and two wheels at the ground line.
+func DrawVehicle(img *imgproc.Gray, box geom.Rect, v VehicleSpec) {
+	w := float64(box.W())
+	bw := v.WidthFrac * w
+	bh := v.Aspect * bw
+	if bw < 6 || bh < 6 {
+		return
+	}
+	cx := float64(box.Min.X) + v.CenterX*w
+	groundY := float64(box.Max.Y) - 0.06*float64(box.H())
+	bodyTop := groundY - bh*(1-v.CabinFrac)
+	cabinTop := groundY - bh
+
+	pt := func(x, y float64) geom.Pt { return geom.Pt{X: int(x + 0.5), Y: int(y + 0.5)} }
+
+	// Body.
+	imgproc.FillRect(img, geom.R(
+		int(cx-bw/2), int(bodyTop), int(cx+bw/2), int(groundY)), v.BodyTone)
+	// Cabin: trapezoid narrower than the body.
+	imgproc.FillQuad(img,
+		pt(cx-bw*0.32, cabinTop),
+		pt(cx+bw*0.32, cabinTop),
+		pt(cx+bw*0.42, bodyTop),
+		pt(cx-bw*0.42, bodyTop),
+		v.BodyTone)
+	// Rear window inside the cabin.
+	imgproc.FillQuad(img,
+		pt(cx-bw*0.26, cabinTop+bh*0.06),
+		pt(cx+bw*0.26, cabinTop+bh*0.06),
+		pt(cx+bw*0.33, bodyTop-bh*0.04),
+		pt(cx-bw*0.33, bodyTop-bh*0.04),
+		v.GlassTone)
+	// Wheels.
+	wr := bw * 0.11
+	for _, side := range []float64{-1, 1} {
+		wx := cx + side*bw*0.33
+		imgproc.FillEllipse(img, geom.R(
+			int(wx-wr), int(groundY-wr*0.9), int(wx+wr), int(groundY+wr*0.9)), v.WheelTone)
+	}
+}
+
+// NewVehicleSpecSet draws nPos windows containing a vehicle and nNeg
+// vehicle-free clutter windows, as renderable specs (positives first).
+// Vehicle windows reuse the street-clutter background machinery.
+func (g *Generator) NewVehicleSpecSet(nPos, nNeg int) *SpecSet {
+	ss := &SpecSet{}
+	for i := 0; i < nPos; i++ {
+		spec := g.NewSpec(false)
+		spec.Hard = nil // never place the pedestrian-like hard negative under a car
+		spec.VehicleSpec = &VehicleSpec{}
+		*spec.VehicleSpec = RandomVehicle(g.rng)
+		ss.Specs = append(ss.Specs, spec)
+		ss.Labels = append(ss.Labels, 1)
+	}
+	for i := 0; i < nNeg; i++ {
+		ss.Specs = append(ss.Specs, g.NewSpec(false))
+		ss.Labels = append(ss.Labels, -1)
+	}
+	return ss
+}
+
+// RenderVehicleAt rasterizes a vehicle spec set at the given scale of the
+// 64x64 vehicle window.
+func (g *Generator) RenderVehicleAt(ss *SpecSet, scale float64) (*Set, error) {
+	if scale < 1 {
+		return nil, errScale(scale)
+	}
+	w := int(float64(VehicleWindowW)*scale + 0.5)
+	h := int(float64(VehicleWindowH)*scale + 0.5)
+	out := &Set{Labels: append([]int(nil), ss.Labels...)}
+	for _, spec := range ss.Specs {
+		out.Images = append(out.Images, g.Render(spec, w, h))
+	}
+	return out, nil
+}

@@ -1,0 +1,159 @@
+package eval
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func bootstrapFixture(n int, acc float64, seed int64) ([]float64, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	scores := make([]float64, n)
+	labels := make([]int, n)
+	for i := range scores {
+		labels[i] = 1
+		if i%2 == 1 {
+			labels[i] = -1
+		}
+		correct := rng.Float64() < acc
+		if (labels[i] == 1) == correct {
+			scores[i] = 1
+		} else {
+			scores[i] = -1
+		}
+	}
+	return scores, labels
+}
+
+func TestBootstrapAccuracyCoversPoint(t *testing.T) {
+	scores, labels := bootstrapFixture(1000, 0.9, 1)
+	iv, err := BootstrapAccuracy(scores, labels, 0, 0.95, 500, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !iv.Contains(iv.Point) {
+		t.Errorf("interval %v does not contain its own point", iv)
+	}
+	if iv.Point < 0.85 || iv.Point > 0.95 {
+		t.Errorf("point %.3f far from designed 0.9", iv.Point)
+	}
+	// ~0.9 accuracy on 1000 samples: sd ~ 0.0095, so a 95% interval spans
+	// roughly +-2sd.
+	width := iv.Hi - iv.Lo
+	if width < 0.01 || width > 0.08 {
+		t.Errorf("interval width %.4f implausible", width)
+	}
+	if iv.String() == "" {
+		t.Error("empty interval string")
+	}
+}
+
+func TestBootstrapIntervalNarrowsWithN(t *testing.T) {
+	s1, l1 := bootstrapFixture(200, 0.85, 3)
+	s2, l2 := bootstrapFixture(5000, 0.85, 4)
+	small, err := BootstrapAccuracy(s1, l1, 0, 0.95, 400, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := BootstrapAccuracy(s2, l2, 0, 0.95, 400, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if (big.Hi - big.Lo) >= (small.Hi - small.Lo) {
+		t.Errorf("interval did not narrow: n=200 width %.4f vs n=5000 width %.4f",
+			small.Hi-small.Lo, big.Hi-big.Lo)
+	}
+}
+
+func TestBootstrapAccuracyErrors(t *testing.T) {
+	s, l := bootstrapFixture(50, 0.9, 7)
+	if _, err := BootstrapAccuracy(nil, nil, 0, 0.95, 100, 1); err == nil {
+		t.Error("empty should error")
+	}
+	if _, err := BootstrapAccuracy(s, l[:10], 0, 0.95, 100, 1); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := BootstrapAccuracy(s, l, 0, 1.5, 100, 1); err == nil {
+		t.Error("bad level should error")
+	}
+	if _, err := BootstrapAccuracy(s, l, 0, 0.95, 3, 1); err == nil {
+		t.Error("too few reps should error")
+	}
+}
+
+func TestBootstrapDiffDetectsRealGap(t *testing.T) {
+	// Method A strictly dominates on 8% of examples.
+	n := 2000
+	rng := rand.New(rand.NewSource(8))
+	scoresA := make([]float64, n)
+	scoresB := make([]float64, n)
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = 1
+		if i%2 == 1 {
+			labels[i] = -1
+		}
+		right := float64(labels[i])
+		scoresA[i] = right // A always correct
+		if rng.Float64() < 0.08 {
+			scoresB[i] = -right // B wrong 8% of the time
+		} else {
+			scoresB[i] = right
+		}
+	}
+	iv, err := BootstrapAccuracyDiff(scoresA, scoresB, labels, 0, 0.95, 500, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv.Lo <= 0 {
+		t.Errorf("real 8%% gap not significant: %v", iv)
+	}
+	if iv.Point < 0.06 || iv.Point > 0.10 {
+		t.Errorf("point diff %.3f far from designed 0.08", iv.Point)
+	}
+}
+
+func TestBootstrapDiffNoGapStraddlesZero(t *testing.T) {
+	// Two methods with identical error processes but independent errors.
+	n := 800
+	rng := rand.New(rand.NewSource(10))
+	scoresA := make([]float64, n)
+	scoresB := make([]float64, n)
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = 1
+		if i%2 == 1 {
+			labels[i] = -1
+		}
+		right := float64(labels[i])
+		scoresA[i], scoresB[i] = right, right
+		if rng.Float64() < 0.1 {
+			scoresA[i] = -right
+		}
+		if rng.Float64() < 0.1 {
+			scoresB[i] = -right
+		}
+	}
+	iv, err := BootstrapAccuracyDiff(scoresA, scoresB, labels, 0, 0.95, 500, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !iv.Contains(0) {
+		t.Errorf("equal methods produced a significant interval: %v", iv)
+	}
+}
+
+func TestBootstrapDiffErrors(t *testing.T) {
+	s, l := bootstrapFixture(20, 0.9, 12)
+	if _, err := BootstrapAccuracyDiff(s, s[:5], l, 0, 0.95, 100, 1); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := BootstrapAccuracyDiff(nil, nil, nil, 0, 0.95, 100, 1); err == nil {
+		t.Error("empty should error")
+	}
+	if _, err := BootstrapAccuracyDiff(s, s, l, 0, 0, 100, 1); err == nil {
+		t.Error("bad level should error")
+	}
+	if _, err := BootstrapAccuracyDiff(s, s, l, 0, 0.95, 2, 1); err == nil {
+		t.Error("too few reps should error")
+	}
+}

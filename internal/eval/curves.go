@@ -1,0 +1,169 @@
+package eval
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// This file adds the complementary detector-evaluation curves the
+// pedestrian-detection literature uses alongside ROC: precision-recall
+// with average precision (PASCAL-style), and the DET curve (log-log miss
+// rate versus false positives) popularized by Dollar et al.'s benchmark —
+// the evaluation the paper's references [4][6] report.
+
+// PRPoint is one operating point of a precision-recall curve.
+type PRPoint struct {
+	Threshold         float64
+	Precision, Recall float64
+}
+
+// PRCurve is a precision-recall curve ordered by increasing recall.
+type PRCurve struct {
+	Points []PRPoint
+	Pos    int
+}
+
+// ComputePR builds the precision-recall curve over scored examples with
+// +1/-1 labels by sweeping the threshold across every distinct score.
+func ComputePR(scores []float64, labels []int) (*PRCurve, error) {
+	if len(scores) != len(labels) {
+		return nil, fmt.Errorf("eval: %d scores but %d labels", len(scores), len(labels))
+	}
+	if len(scores) == 0 {
+		return nil, errors.New("eval: empty score set")
+	}
+	type sl struct {
+		s float64
+		y int
+	}
+	data := make([]sl, len(scores))
+	pos := 0
+	for i := range scores {
+		switch labels[i] {
+		case 1:
+			pos++
+		case -1:
+		default:
+			return nil, fmt.Errorf("eval: label %d at index %d not in {-1,+1}", labels[i], i)
+		}
+		data[i] = sl{scores[i], labels[i]}
+	}
+	if pos == 0 {
+		return nil, errors.New("eval: PR curve needs positive examples")
+	}
+	sort.Slice(data, func(i, j int) bool { return data[i].s > data[j].s })
+	curve := &PRCurve{Pos: pos}
+	tp, fp := 0, 0
+	for i := 0; i < len(data); {
+		s := data[i].s
+		for i < len(data) && data[i].s == s {
+			if data[i].y == 1 {
+				tp++
+			} else {
+				fp++
+			}
+			i++
+		}
+		curve.Points = append(curve.Points, PRPoint{
+			Threshold: s,
+			Precision: float64(tp) / float64(tp+fp),
+			Recall:    float64(tp) / float64(pos),
+		})
+	}
+	return curve, nil
+}
+
+// AP returns the average precision: the area under the precision-recall
+// curve computed with the standard interpolated (monotone-envelope) rule.
+func (c *PRCurve) AP() float64 {
+	if len(c.Points) == 0 {
+		return 0
+	}
+	// Monotone non-increasing precision envelope from the right.
+	n := len(c.Points)
+	prec := make([]float64, n)
+	best := 0.0
+	for i := n - 1; i >= 0; i-- {
+		if c.Points[i].Precision > best {
+			best = c.Points[i].Precision
+		}
+		prec[i] = best
+	}
+	ap := 0.0
+	prevRecall := 0.0
+	for i := 0; i < n; i++ {
+		ap += (c.Points[i].Recall - prevRecall) * prec[i]
+		prevRecall = c.Points[i].Recall
+	}
+	return ap
+}
+
+// PrecisionAtRecall returns the highest precision achievable at or above
+// the given recall, or 0 if the recall is never reached.
+func (c *PRCurve) PrecisionAtRecall(minRecall float64) float64 {
+	best := 0.0
+	for _, p := range c.Points {
+		if p.Recall >= minRecall && p.Precision > best {
+			best = p.Precision
+		}
+	}
+	return best
+}
+
+// DETPoint is one point of a DET curve: false positive rate (or FPPI in
+// the detector setting) against miss rate, both usually drawn on log axes.
+type DETPoint struct {
+	Threshold float64
+	FPR       float64
+	MissRate  float64
+}
+
+// ComputeDET derives the DET curve from classification scores (the
+// window-level analogue; frame-level FPPI curves come from MissRateFPPI).
+func ComputeDET(scores []float64, labels []int) ([]DETPoint, error) {
+	roc, err := ComputeROC(scores, labels)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]DETPoint, 0, len(roc.Points))
+	for _, p := range roc.Points {
+		out = append(out, DETPoint{Threshold: p.Threshold, FPR: p.FPR, MissRate: 1 - p.TPR})
+	}
+	return out, nil
+}
+
+// LogAvgMissRate computes the log-average miss rate over nine FPR
+// reference points log-spaced in [1e-2, 1] (the Caltech benchmark
+// convention adapted to window-level FPR): the geometric mean of the miss
+// rates at those operating points.
+func LogAvgMissRate(det []DETPoint) float64 {
+	if len(det) == 0 {
+		return 1
+	}
+	// det is ordered by increasing FPR (it derives from the ROC sweep).
+	// The miss rate at a reference FPR is the value at the first operating
+	// point whose FPR reaches the reference — i.e. where the sweep crosses
+	// it. (Taking a minimum over FPR <= ref would wrongly credit every
+	// classifier with the trivial accept-everything point.)
+	missAt := func(fpr float64) float64 {
+		for _, p := range det {
+			if p.FPR >= fpr {
+				return p.MissRate
+			}
+		}
+		return det[len(det)-1].MissRate
+	}
+	sum := 0.0
+	n := 9
+	for i := 0; i < n; i++ {
+		f := math.Pow(10, -2+2*float64(i)/float64(n-1)) // 1e-2 .. 1e0
+		m := missAt(f)
+		if m < 1e-10 {
+			m = 1e-10
+		}
+		sum += math.Log(m)
+	}
+	return math.Exp(sum / float64(n))
+}

@@ -1,0 +1,163 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestComputePRPerfect(t *testing.T) {
+	scores := []float64{3, 2, 1, -1, -2}
+	labels := []int{1, 1, 1, -1, -1}
+	pr, err := ComputePR(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ap := pr.AP(); ap != 1 {
+		t.Errorf("perfect AP = %v, want 1", ap)
+	}
+	// First point: highest threshold, precision 1.
+	if pr.Points[0].Precision != 1 {
+		t.Errorf("first precision = %v", pr.Points[0].Precision)
+	}
+	last := pr.Points[len(pr.Points)-1]
+	if last.Recall != 1 {
+		t.Errorf("final recall = %v, want 1", last.Recall)
+	}
+}
+
+func TestComputePRRandomNearPrior(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var scores []float64
+	var labels []int
+	for i := 0; i < 4000; i++ {
+		scores = append(scores, rng.Float64())
+		if i%4 == 0 { // 25% positives
+			labels = append(labels, 1)
+		} else {
+			labels = append(labels, -1)
+		}
+	}
+	pr, err := ComputePR(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ap := pr.AP(); math.Abs(ap-0.25) > 0.05 {
+		t.Errorf("random AP = %v, want ~prior 0.25", ap)
+	}
+}
+
+func TestComputePRErrors(t *testing.T) {
+	if _, err := ComputePR(nil, nil); err == nil {
+		t.Error("empty should error")
+	}
+	if _, err := ComputePR([]float64{1}, []int{1, 1}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := ComputePR([]float64{1, 2}, []int{-1, -1}); err == nil {
+		t.Error("no positives should error")
+	}
+	if _, err := ComputePR([]float64{1}, []int{2}); err == nil {
+		t.Error("bad label should error")
+	}
+}
+
+func TestAPBoundsAndMonotoneEnvelope(t *testing.T) {
+	// A zig-zag precision curve: the interpolated AP uses the envelope.
+	scores := []float64{5, 4, 3, 2, 1}
+	labels := []int{1, -1, 1, 1, -1}
+	pr, err := ComputePR(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap := pr.AP()
+	if ap <= 0 || ap > 1 {
+		t.Fatalf("AP = %v out of bounds", ap)
+	}
+	// At recall 1/3 the top-scoring positive alone gives precision 1.
+	if got := pr.PrecisionAtRecall(1.0 / 3); got != 1 {
+		t.Errorf("precision@recall(1/3) = %v, want 1", got)
+	}
+	// At recall 2/3 the best operating point is tp=3/fp=1: 0.75.
+	if got := pr.PrecisionAtRecall(2.0 / 3); got != 0.75 {
+		t.Errorf("precision@recall(2/3) = %v, want 0.75", got)
+	}
+	if got := pr.PrecisionAtRecall(2); got != 0 {
+		t.Errorf("unreachable recall should give 0, got %v", got)
+	}
+}
+
+func TestComputeDETComplementsROC(t *testing.T) {
+	scores := []float64{3, 2, 1, -1, -2, -3}
+	labels := []int{1, 1, -1, 1, -1, -1}
+	det, err := ComputeDET(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roc, err := ComputeROC(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(det) != len(roc.Points) {
+		t.Fatal("DET/ROC point counts differ")
+	}
+	for i := range det {
+		if math.Abs(det[i].MissRate-(1-roc.Points[i].TPR)) > 1e-12 {
+			t.Fatal("miss rate != 1 - TPR")
+		}
+	}
+}
+
+func TestLogAvgMissRate(t *testing.T) {
+	// Perfect classifier: miss rate 0 (floored) everywhere -> tiny LAMR.
+	scores := []float64{2, 1, -1, -2}
+	labels := []int{1, 1, -1, -1}
+	det, err := ComputeDET(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lamr := LogAvgMissRate(det); lamr > 1e-9 {
+		t.Errorf("perfect LAMR = %v, want ~0", lamr)
+	}
+	// Inverted classifier: misses everything at low FPR -> LAMR near 1.
+	for i := range scores {
+		scores[i] = -scores[i]
+	}
+	det, err = ComputeDET(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lamr := LogAvgMissRate(det); lamr < 0.5 {
+		t.Errorf("inverted LAMR = %v, want near 1", lamr)
+	}
+	// Empty curve degrades gracefully.
+	if LogAvgMissRate(nil) != 1 {
+		t.Error("empty DET should give LAMR 1")
+	}
+}
+
+func TestBetterClassifierLowerLAMR(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	mk := func(sep float64) []DETPoint {
+		var scores []float64
+		var labels []int
+		for i := 0; i < 2000; i++ {
+			l, mean := 1, sep/2
+			if i%2 == 1 {
+				l, mean = -1, -sep/2
+			}
+			scores = append(scores, mean+rng.NormFloat64())
+			labels = append(labels, l)
+		}
+		det, err := ComputeDET(scores, labels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return det
+	}
+	strong := LogAvgMissRate(mk(4))
+	weak := LogAvgMissRate(mk(1))
+	if strong >= weak {
+		t.Errorf("LAMR: strong %v should beat weak %v", strong, weak)
+	}
+}

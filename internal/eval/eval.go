@@ -1,0 +1,340 @@
+// Package eval implements the classifier and detector evaluation metrics of
+// the paper: confusion counts, detection accuracy (Table 1), ROC curves
+// with AUC and EER (Figure 4), and miss-rate/FPPI curves plus ground-truth
+// matching for full-frame detector evaluation.
+package eval
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// Confusion holds binary classification counts.
+type Confusion struct {
+	TP, TN, FP, FN int
+}
+
+// Total returns the number of evaluated examples.
+func (c Confusion) Total() int { return c.TP + c.TN + c.FP + c.FN }
+
+// Accuracy returns (TP+TN)/total, the metric of the paper's Table 1.
+func (c Confusion) Accuracy() float64 {
+	t := c.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(c.TP+c.TN) / float64(t)
+}
+
+// TPR returns the true positive rate (recall, detection rate).
+func (c Confusion) TPR() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// FPR returns the false positive rate.
+func (c Confusion) FPR() float64 {
+	if c.FP+c.TN == 0 {
+		return 0
+	}
+	return float64(c.FP) / float64(c.FP+c.TN)
+}
+
+// Precision returns TP/(TP+FP), or 0 when nothing was predicted positive.
+func (c Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// MissRate returns FN/(TP+FN), the pedestrian-detection convention.
+func (c Confusion) MissRate() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.FN) / float64(c.TP+c.FN)
+}
+
+// String implements fmt.Stringer.
+func (c Confusion) String() string {
+	return fmt.Sprintf("TP=%d TN=%d FP=%d FN=%d acc=%.4f", c.TP, c.TN, c.FP, c.FN, c.Accuracy())
+}
+
+// Confuse classifies scored examples at the given decision threshold:
+// scores above the threshold predict positive. Labels are +1/-1.
+func Confuse(scores []float64, labels []int, threshold float64) (Confusion, error) {
+	if len(scores) != len(labels) {
+		return Confusion{}, fmt.Errorf("eval: %d scores but %d labels", len(scores), len(labels))
+	}
+	var c Confusion
+	for i, s := range scores {
+		pos := s > threshold
+		switch {
+		case labels[i] == 1 && pos:
+			c.TP++
+		case labels[i] == 1 && !pos:
+			c.FN++
+		case labels[i] == -1 && pos:
+			c.FP++
+		case labels[i] == -1 && !pos:
+			c.TN++
+		default:
+			return Confusion{}, fmt.Errorf("eval: label %d at index %d not in {-1,+1}", labels[i], i)
+		}
+	}
+	return c, nil
+}
+
+// ROCPoint is one operating point of a ROC curve.
+type ROCPoint struct {
+	Threshold float64
+	FPR, TPR  float64
+}
+
+// ROC is a receiver operating characteristic curve, ordered by increasing
+// FPR (decreasing threshold).
+type ROC struct {
+	Points []ROCPoint
+	// Pos and Neg are the class sizes the curve was computed from.
+	Pos, Neg int
+}
+
+// ComputeROC builds the ROC curve by sweeping the decision threshold over
+// every distinct score. The curve always includes the (0,0) and (1,1)
+// endpoints.
+func ComputeROC(scores []float64, labels []int) (*ROC, error) {
+	if len(scores) != len(labels) {
+		return nil, fmt.Errorf("eval: %d scores but %d labels", len(scores), len(labels))
+	}
+	if len(scores) == 0 {
+		return nil, errors.New("eval: empty score set")
+	}
+	type sl struct {
+		s float64
+		y int
+	}
+	data := make([]sl, len(scores))
+	pos, neg := 0, 0
+	for i := range scores {
+		switch labels[i] {
+		case 1:
+			pos++
+		case -1:
+			neg++
+		default:
+			return nil, fmt.Errorf("eval: label %d at index %d not in {-1,+1}", labels[i], i)
+		}
+		data[i] = sl{scores[i], labels[i]}
+	}
+	if pos == 0 || neg == 0 {
+		return nil, errors.New("eval: ROC needs both classes")
+	}
+	// Sort by descending score; sweep the threshold downwards.
+	sort.Slice(data, func(i, j int) bool { return data[i].s > data[j].s })
+	roc := &ROC{Pos: pos, Neg: neg}
+	roc.Points = append(roc.Points, ROCPoint{Threshold: math.Inf(1), FPR: 0, TPR: 0})
+	tp, fp := 0, 0
+	for i := 0; i < len(data); {
+		// Consume ties together so the curve is a function of threshold.
+		s := data[i].s
+		for i < len(data) && data[i].s == s {
+			if data[i].y == 1 {
+				tp++
+			} else {
+				fp++
+			}
+			i++
+		}
+		roc.Points = append(roc.Points, ROCPoint{
+			Threshold: s,
+			FPR:       float64(fp) / float64(neg),
+			TPR:       float64(tp) / float64(pos),
+		})
+	}
+	return roc, nil
+}
+
+// AUC returns the area under the curve by trapezoidal integration; 1.0 is a
+// perfect classifier, 0.5 is chance.
+func (r *ROC) AUC() float64 {
+	var auc float64
+	for i := 1; i < len(r.Points); i++ {
+		a, b := r.Points[i-1], r.Points[i]
+		auc += (b.FPR - a.FPR) * (a.TPR + b.TPR) / 2
+	}
+	return auc
+}
+
+// EER returns the equal error rate: the error value at the operating point
+// where the false positive rate equals the false negative rate (1-TPR),
+// linearly interpolating between curve samples.
+func (r *ROC) EER() float64 {
+	// Walk the curve for the sign change of f(p) = FPR - (1 - TPR).
+	prev := r.Points[0]
+	fPrev := prev.FPR - (1 - prev.TPR) // starts at -1
+	for _, p := range r.Points[1:] {
+		f := p.FPR - (1 - p.TPR)
+		if f >= 0 {
+			// Interpolate between prev and p.
+			if f == fPrev {
+				return p.FPR
+			}
+			t := -fPrev / (f - fPrev)
+			fpr := prev.FPR + t*(p.FPR-prev.FPR)
+			fnr := (1 - prev.TPR) + t*((1-p.TPR)-(1-prev.TPR))
+			return (fpr + fnr) / 2
+		}
+		prev, fPrev = p, f
+	}
+	return 1
+}
+
+// TPRAtFPR returns the highest TPR achievable at or below the given false
+// positive rate.
+func (r *ROC) TPRAtFPR(maxFPR float64) float64 {
+	best := 0.0
+	for _, p := range r.Points {
+		if p.FPR <= maxFPR && p.TPR > best {
+			best = p.TPR
+		}
+	}
+	return best
+}
+
+// ThresholdAtFPR returns the decision threshold whose operating point has
+// the highest TPR subject to FPR <= maxFPR.
+func (r *ROC) ThresholdAtFPR(maxFPR float64) float64 {
+	best := math.Inf(1)
+	bestTPR := -1.0
+	for _, p := range r.Points {
+		if p.FPR <= maxFPR && p.TPR > bestTPR {
+			bestTPR = p.TPR
+			best = p.Threshold
+		}
+	}
+	return best
+}
+
+// Detection is a scored detector output box in frame coordinates.
+type Detection struct {
+	Box   geom.Rect
+	Score float64
+}
+
+// MatchResult summarizes matching detections against ground truth.
+type MatchResult struct {
+	TP, FP, FN int
+	// Matched[i] is the index of the ground-truth box matched by
+	// detection i, or -1 for false positives.
+	Matched []int
+}
+
+// MatchDetections greedily matches detections (processed in descending
+// score order) to ground-truth boxes at the given IoU threshold, the
+// standard PASCAL protocol: each ground-truth box may be matched at most
+// once, later overlapping detections count as false positives.
+func MatchDetections(dets []Detection, truth []geom.Rect, iouThresh float64) MatchResult {
+	order := make([]int, len(dets))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return dets[order[a]].Score > dets[order[b]].Score })
+
+	res := MatchResult{Matched: make([]int, len(dets))}
+	for i := range res.Matched {
+		res.Matched[i] = -1
+	}
+	used := make([]bool, len(truth))
+	for _, di := range order {
+		bestIoU := iouThresh
+		bestGT := -1
+		for gi, gt := range truth {
+			if used[gi] {
+				continue
+			}
+			if iou := geom.IoU(dets[di].Box, gt); iou >= bestIoU {
+				bestIoU = iou
+				bestGT = gi
+			}
+		}
+		if bestGT >= 0 {
+			used[bestGT] = true
+			res.Matched[di] = bestGT
+			res.TP++
+		} else {
+			res.FP++
+		}
+	}
+	for _, u := range used {
+		if !u {
+			res.FN++
+		}
+	}
+	return res
+}
+
+// MissRateFPPIPoint is one point of a miss-rate versus false-positives-per-
+// image curve (the standard pedestrian benchmark plot).
+type MissRateFPPIPoint struct {
+	Threshold float64
+	FPPI      float64
+	MissRate  float64
+}
+
+// MissRateFPPI sweeps the detection score threshold over per-frame
+// detections and ground truth, returning the miss-rate/FPPI curve. dets and
+// truth are parallel per-frame slices.
+func MissRateFPPI(dets [][]Detection, truth [][]geom.Rect, iouThresh float64) ([]MissRateFPPIPoint, error) {
+	if len(dets) != len(truth) {
+		return nil, fmt.Errorf("eval: %d detection frames but %d truth frames", len(dets), len(truth))
+	}
+	if len(dets) == 0 {
+		return nil, errors.New("eval: no frames")
+	}
+	// Collect all scores as candidate thresholds.
+	var scores []float64
+	totalGT := 0
+	for _, frame := range dets {
+		for _, d := range frame {
+			scores = append(scores, d.Score)
+		}
+	}
+	for _, frame := range truth {
+		totalGT += len(frame)
+	}
+	if totalGT == 0 {
+		return nil, errors.New("eval: no ground truth boxes")
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(scores)))
+	// Thin to at most ~64 thresholds for tractability.
+	stride := len(scores)/64 + 1
+	var points []MissRateFPPIPoint
+	for i := 0; i < len(scores); i += stride {
+		thr := scores[i]
+		tp, fp := 0, 0
+		for f := range dets {
+			var kept []Detection
+			for _, d := range dets[f] {
+				if d.Score >= thr {
+					kept = append(kept, d)
+				}
+			}
+			m := MatchDetections(kept, truth[f], iouThresh)
+			tp += m.TP
+			fp += m.FP
+		}
+		points = append(points, MissRateFPPIPoint{
+			Threshold: thr,
+			FPPI:      float64(fp) / float64(len(dets)),
+			MissRate:  1 - float64(tp)/float64(totalGT),
+		})
+	}
+	return points, nil
+}

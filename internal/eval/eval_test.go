@@ -1,0 +1,343 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+func TestConfusionMetrics(t *testing.T) {
+	c := Confusion{TP: 80, TN: 90, FP: 10, FN: 20}
+	if c.Total() != 200 {
+		t.Errorf("Total = %d", c.Total())
+	}
+	if got := c.Accuracy(); got != 0.85 {
+		t.Errorf("Accuracy = %v, want 0.85", got)
+	}
+	if got := c.TPR(); got != 0.8 {
+		t.Errorf("TPR = %v, want 0.8", got)
+	}
+	if got := c.FPR(); got != 0.1 {
+		t.Errorf("FPR = %v, want 0.1", got)
+	}
+	if got := c.MissRate(); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("MissRate = %v, want 0.2", got)
+	}
+	if got := c.Precision(); math.Abs(got-80.0/90) > 1e-12 {
+		t.Errorf("Precision = %v", got)
+	}
+	// Degenerate cases return 0, not NaN.
+	var z Confusion
+	if z.Accuracy() != 0 || z.TPR() != 0 || z.FPR() != 0 || z.Precision() != 0 || z.MissRate() != 0 {
+		t.Error("zero confusion should yield zero metrics")
+	}
+}
+
+func TestConfuse(t *testing.T) {
+	scores := []float64{2, 1, -1, -2}
+	labels := []int{1, -1, 1, -1}
+	c, err := Confuse(scores, labels, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.TP != 1 || c.FP != 1 || c.FN != 1 || c.TN != 1 {
+		t.Errorf("confusion = %+v", c)
+	}
+	// Threshold shifts the split.
+	c2, _ := Confuse(scores, labels, 1.5)
+	if c2.TP != 1 || c2.FP != 0 || c2.TN != 2 || c2.FN != 1 {
+		t.Errorf("thresholded confusion = %+v", c2)
+	}
+	if _, err := Confuse(scores, labels[:2], 0); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := Confuse([]float64{1}, []int{3}, 0); err == nil {
+		t.Error("bad label should error")
+	}
+}
+
+func TestROCPerfectClassifier(t *testing.T) {
+	scores := []float64{3, 2, 1, -1, -2, -3}
+	labels := []int{1, 1, 1, -1, -1, -1}
+	roc, err := ComputeROC(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc := roc.AUC(); auc != 1 {
+		t.Errorf("AUC = %v, want 1", auc)
+	}
+	if eer := roc.EER(); eer > 1e-12 {
+		t.Errorf("EER = %v, want 0", eer)
+	}
+}
+
+func TestROCRandomScoresNearChance(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var scores []float64
+	var labels []int
+	for i := 0; i < 4000; i++ {
+		scores = append(scores, rng.Float64())
+		if i%2 == 0 {
+			labels = append(labels, 1)
+		} else {
+			labels = append(labels, -1)
+		}
+	}
+	roc, err := ComputeROC(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc := roc.AUC(); math.Abs(auc-0.5) > 0.05 {
+		t.Errorf("random AUC = %v, want ~0.5", auc)
+	}
+	if eer := roc.EER(); math.Abs(eer-0.5) > 0.05 {
+		t.Errorf("random EER = %v, want ~0.5", eer)
+	}
+}
+
+func TestROCInvertedClassifier(t *testing.T) {
+	scores := []float64{-3, -2, -1, 1, 2, 3}
+	labels := []int{1, 1, 1, -1, -1, -1}
+	roc, err := ComputeROC(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc := roc.AUC(); auc != 0 {
+		t.Errorf("inverted AUC = %v, want 0", auc)
+	}
+	if eer := roc.EER(); math.Abs(eer-1) > 1e-9 {
+		t.Errorf("inverted EER = %v, want 1", eer)
+	}
+}
+
+func TestROCEndpointsAndMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var scores []float64
+	var labels []int
+	for i := 0; i < 500; i++ {
+		l := 1
+		mean := 0.5
+		if i%2 == 1 {
+			l = -1
+			mean = -0.5
+		}
+		scores = append(scores, mean+rng.NormFloat64())
+		labels = append(labels, l)
+	}
+	roc, err := ComputeROC(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := roc.Points[0], roc.Points[len(roc.Points)-1]
+	if first.FPR != 0 || first.TPR != 0 {
+		t.Errorf("curve must start at (0,0), got (%v,%v)", first.FPR, first.TPR)
+	}
+	if last.FPR != 1 || last.TPR != 1 {
+		t.Errorf("curve must end at (1,1), got (%v,%v)", last.FPR, last.TPR)
+	}
+	for i := 1; i < len(roc.Points); i++ {
+		if roc.Points[i].FPR < roc.Points[i-1].FPR || roc.Points[i].TPR < roc.Points[i-1].TPR {
+			t.Fatal("ROC must be monotone in both axes")
+		}
+		if roc.Points[i].Threshold > roc.Points[i-1].Threshold {
+			t.Fatal("thresholds must decrease along the curve")
+		}
+	}
+}
+
+func TestROCErrors(t *testing.T) {
+	if _, err := ComputeROC(nil, nil); err == nil {
+		t.Error("empty input should error")
+	}
+	if _, err := ComputeROC([]float64{1}, []int{1, 1}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := ComputeROC([]float64{1, 2}, []int{1, 1}); err == nil {
+		t.Error("single class should error")
+	}
+	if _, err := ComputeROC([]float64{1, 2}, []int{1, 0}); err == nil {
+		t.Error("bad label should error")
+	}
+}
+
+func TestTPRAtFPRAndThreshold(t *testing.T) {
+	scores := []float64{4, 3, 2, 1}
+	labels := []int{1, -1, 1, -1}
+	roc, err := ComputeROC(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At FPR 0 only the first positive is caught: TPR 0.5.
+	if got := roc.TPRAtFPR(0); got != 0.5 {
+		t.Errorf("TPR@FPR0 = %v, want 0.5", got)
+	}
+	if got := roc.TPRAtFPR(1); got != 1 {
+		t.Errorf("TPR@FPR1 = %v, want 1", got)
+	}
+	thr := roc.ThresholdAtFPR(0)
+	if thr < 3 {
+		t.Errorf("threshold@FPR0 = %v, want >= 3 to exclude the top negative", thr)
+	}
+}
+
+// Property: AUC is always within [0,1] and flipping all scores gives 1-AUC.
+func TestAUCFlipProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 50 + rng.Intn(100)
+		scores := make([]float64, n)
+		labels := make([]int, n)
+		for i := range scores {
+			scores[i] = rng.NormFloat64()
+			if rng.Intn(2) == 0 {
+				labels[i] = 1
+			} else {
+				labels[i] = -1
+			}
+		}
+		// Guarantee both classes.
+		labels[0], labels[1] = 1, -1
+		roc, err := ComputeROC(scores, labels)
+		if err != nil {
+			return false
+		}
+		auc := roc.AUC()
+		flipped := make([]float64, n)
+		for i, s := range scores {
+			flipped[i] = -s
+		}
+		roc2, err := ComputeROC(flipped, labels)
+		if err != nil {
+			return false
+		}
+		return auc >= 0 && auc <= 1 && math.Abs(auc+roc2.AUC()-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatchDetectionsBasic(t *testing.T) {
+	truth := []geom.Rect{geom.XYWH(10, 10, 20, 40), geom.XYWH(100, 10, 20, 40)}
+	dets := []Detection{
+		{Box: geom.XYWH(11, 11, 20, 40), Score: 0.9},  // matches GT 0
+		{Box: geom.XYWH(12, 12, 20, 40), Score: 0.8},  // duplicate -> FP
+		{Box: geom.XYWH(200, 10, 20, 40), Score: 0.7}, // no GT -> FP
+	}
+	m := MatchDetections(dets, truth, 0.5)
+	if m.TP != 1 || m.FP != 2 || m.FN != 1 {
+		t.Errorf("match = %+v", m)
+	}
+	if m.Matched[0] != 0 || m.Matched[1] != -1 || m.Matched[2] != -1 {
+		t.Errorf("matched indices = %v", m.Matched)
+	}
+}
+
+func TestMatchDetectionsScoreOrderWins(t *testing.T) {
+	truth := []geom.Rect{geom.XYWH(10, 10, 20, 40)}
+	// Lower-scored detection listed first; the higher-scored one must win
+	// the ground-truth match.
+	dets := []Detection{
+		{Box: geom.XYWH(12, 12, 20, 40), Score: 0.5},
+		{Box: geom.XYWH(10, 10, 20, 40), Score: 0.9},
+	}
+	m := MatchDetections(dets, truth, 0.5)
+	if m.Matched[1] != 0 {
+		t.Errorf("high scorer should match: %v", m.Matched)
+	}
+	if m.Matched[0] != -1 {
+		t.Error("low scorer should be the duplicate FP")
+	}
+}
+
+func TestMatchDetectionsEmpty(t *testing.T) {
+	m := MatchDetections(nil, nil, 0.5)
+	if m.TP != 0 || m.FP != 0 || m.FN != 0 {
+		t.Errorf("empty match = %+v", m)
+	}
+	m2 := MatchDetections(nil, []geom.Rect{geom.XYWH(0, 0, 5, 5)}, 0.5)
+	if m2.FN != 1 {
+		t.Error("unmatched truth should be FN")
+	}
+}
+
+func TestMissRateFPPI(t *testing.T) {
+	truth := [][]geom.Rect{
+		{geom.XYWH(10, 10, 20, 40)},
+		{geom.XYWH(50, 10, 20, 40)},
+	}
+	dets := [][]Detection{
+		{{Box: geom.XYWH(10, 10, 20, 40), Score: 0.9}, {Box: geom.XYWH(200, 10, 20, 40), Score: 0.3}},
+		{{Box: geom.XYWH(50, 10, 20, 40), Score: 0.8}},
+	}
+	pts, err := MissRateFPPI(dets, truth, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) == 0 {
+		t.Fatal("no curve points")
+	}
+	// At the loosest threshold: both GT matched, one FP over two frames.
+	last := pts[len(pts)-1]
+	if last.MissRate != 0 {
+		t.Errorf("loosest miss rate = %v, want 0", last.MissRate)
+	}
+	if last.FPPI != 0.5 {
+		t.Errorf("loosest FPPI = %v, want 0.5", last.FPPI)
+	}
+	// Errors.
+	if _, err := MissRateFPPI(dets, truth[:1], 0.5); err == nil {
+		t.Error("frame mismatch should error")
+	}
+	if _, err := MissRateFPPI(nil, nil, 0.5); err == nil {
+		t.Error("no frames should error")
+	}
+	if _, err := MissRateFPPI([][]Detection{{}}, [][]geom.Rect{{}}, 0.5); err == nil {
+		t.Error("no ground truth should error")
+	}
+}
+
+func TestEERBetweenSamplesInterpolates(t *testing.T) {
+	// Construct scores where EER falls between curve samples.
+	scores := []float64{5, 4, 3, 2, 1, 0}
+	labels := []int{1, 1, -1, 1, -1, -1}
+	roc, err := ComputeROC(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eer := roc.EER()
+	if eer < 0 || eer > 1 {
+		t.Fatalf("EER = %v out of range", eer)
+	}
+	// For this arrangement FPR=1/3 when TPR=2/3: EER = 1/3.
+	if math.Abs(eer-1.0/3) > 1e-9 {
+		t.Errorf("EER = %v, want 1/3", eer)
+	}
+}
+
+// Property: matching conserves counts — TP+FP equals the detection count
+// and TP+FN equals the truth count, for arbitrary inputs.
+func TestMatchDetectionsCountProperty(t *testing.T) {
+	f := func(seed int64, nd, nt uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dets := make([]Detection, int(nd)%12)
+		for i := range dets {
+			dets[i] = Detection{
+				Box:   geom.XYWH(rng.Intn(100), rng.Intn(100), rng.Intn(40)+5, rng.Intn(40)+5),
+				Score: rng.Float64(),
+			}
+		}
+		truth := make([]geom.Rect, int(nt)%8)
+		for i := range truth {
+			truth[i] = geom.XYWH(rng.Intn(100), rng.Intn(100), rng.Intn(40)+5, rng.Intn(40)+5)
+		}
+		m := MatchDetections(dets, truth, 0.5)
+		return m.TP+m.FP == len(dets) && m.TP+m.FN == len(truth)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

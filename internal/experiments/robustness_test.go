@@ -1,0 +1,128 @@
+package experiments
+
+import "testing"
+
+func robustnessOptions() Options {
+	o := QuickOptions()
+	o.Protocol.TrainPos = 80
+	o.Protocol.TrainNeg = 240
+	o.Protocol.TestPos = 50
+	o.Protocol.TestNeg = 150
+	return o
+}
+
+func TestNoiseStudyDegradesGracefully(t *testing.T) {
+	o := robustnessOptions()
+	pts, err := NoiseStudy(o, 1.2, []float64{0, 6, 20, 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Accuracy at the training noise level (6) must be strong for both.
+	if pts[1].ImageAcc < 0.85 || pts[1].HOGAcc < 0.85 {
+		t.Errorf("nominal-noise accuracies too low: %+v", pts[1])
+	}
+	// Heavy noise must not help.
+	if pts[3].ImageAcc > pts[1].ImageAcc+0.05 {
+		t.Errorf("image method improved under heavy noise: %+v", pts)
+	}
+	if pts[3].HOGAcc > pts[1].HOGAcc+0.05 {
+		t.Errorf("HOG method improved under heavy noise: %+v", pts)
+	}
+	// The proposed method must not collapse disproportionately: within 10%
+	// of the conventional method even at sigma 40.
+	if pts[3].HOGAcc < pts[3].ImageAcc-0.10 {
+		t.Errorf("feature scaling disproportionately noise-sensitive: %+v", pts[3])
+	}
+	t.Logf("\n%s", RenderRobustness("sigma", pts))
+}
+
+func TestOcclusionStudyMonotone(t *testing.T) {
+	o := robustnessOptions()
+	pts, err := OcclusionStudy(o, 1.2, []float64{0, 0.25, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Half-occluded pedestrians must be harder than unoccluded ones for
+	// both methods (legs carry much of the HOG signature).
+	if pts[2].ImageAcc > pts[0].ImageAcc+0.02 || pts[2].HOGAcc > pts[0].HOGAcc+0.02 {
+		t.Errorf("occlusion did not hurt: %+v", pts)
+	}
+	t.Logf("\n%s", RenderRobustness("occl", pts))
+}
+
+func TestOcclusionStudyRejectsBadFraction(t *testing.T) {
+	o := robustnessOptions()
+	if _, err := OcclusionStudy(o, 1.2, []float64{1.5}); err == nil {
+		t.Error("fraction >= 1 should error")
+	}
+}
+
+func TestDiffCI(t *testing.T) {
+	o := robustnessOptions()
+	iv, err := DiffCI(o, 1.2, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv.Lo > iv.Hi || !iv.Contains(iv.Point) {
+		t.Fatalf("malformed interval %v", iv)
+	}
+	// The per-scale accuracy gap between the methods is small (Table 1):
+	// the interval must live within a few percent of zero.
+	if iv.Point < -0.1 || iv.Point > 0.1 {
+		t.Errorf("point difference %.3f implausibly large", iv.Point)
+	}
+	t.Logf("HOG-minus-image accuracy diff at 1.2: %v", iv)
+}
+
+func TestFogStudyDegradesBothMethods(t *testing.T) {
+	o := robustnessOptions()
+	pts, err := FogStudy(o, 1.1, []float64{0, 0.5, 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	if pts[0].ImageAcc < 0.85 || pts[0].HOGAcc < 0.85 {
+		t.Errorf("clear-weather accuracy too low: %+v", pts[0])
+	}
+	// Heavy fog must hurt both methods (block normalization recovers local
+	// contrast, so the degradation is graceful but real).
+	if pts[2].ImageAcc > pts[0].ImageAcc+0.02 || pts[2].HOGAcc > pts[0].HOGAcc+0.02 {
+		t.Errorf("fog did not degrade detection: %+v", pts)
+	}
+	t.Logf("\n%s", RenderRobustness("fog", pts))
+}
+
+func TestLayoutStudy(t *testing.T) {
+	o := robustnessOptions()
+	pts, err := LayoutStudy(o, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	perCell, overlap := pts[0], pts[1]
+	if perCell.Dim != 4608 || overlap.Dim != 3780 {
+		t.Errorf("dims %d/%d, want 4608/3780", perCell.Dim, overlap.Dim)
+	}
+	// Both layouts must work well; the HW layout must not cost more than a
+	// few percent anywhere (the premise of adopting it for banking).
+	for _, p := range pts {
+		if p.TestAcc < 0.9 {
+			t.Errorf("%s native accuracy %.3f < 0.9", p.Layout, p.TestAcc)
+		}
+	}
+	if perCell.ScaleAcc < overlap.ScaleAcc-0.05 {
+		t.Errorf("per-cell layout disproportionately bad at scale: %.3f vs %.3f",
+			perCell.ScaleAcc, overlap.ScaleAcc)
+	}
+	t.Logf("layout study: %+v", pts)
+}

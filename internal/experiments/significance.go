@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/imgproc"
+)
+
+// DiffCI bootstraps the paired accuracy difference (proposed HOG-scaling
+// minus conventional image-scaling) at one test scale, with a 95%
+// percentile interval. Both methods score the same windows, so the paired
+// bootstrap is the appropriate significance test for Table 1's per-scale
+// comparisons.
+func DiffCI(o Options, scale float64, reps int) (eval.Interval, error) {
+	tr, err := setup(o)
+	if err != nil {
+		return eval.Interval{}, err
+	}
+	model := tr.det.Model()
+	cfg := tr.det.Config()
+	set, err := tr.testSet(o, scale)
+	if err != nil {
+		return eval.Interval{}, err
+	}
+	hogScores, err := scoreSet(set, o.Parallelism, func(img *imgproc.Gray) (float64, error) {
+		return core.ClassifyFeatureScaled(model, img, cfg)
+	})
+	if err != nil {
+		return eval.Interval{}, err
+	}
+	imgScores, err := scoreSet(set, o.Parallelism, func(img *imgproc.Gray) (float64, error) {
+		return core.ClassifyImageScaled(model, img, cfg)
+	})
+	if err != nil {
+		return eval.Interval{}, err
+	}
+	return eval.BootstrapAccuracyDiff(hogScores, imgScores, set.Labels,
+		cfg.Threshold, 0.95, reps, o.Seed)
+}

@@ -1,0 +1,260 @@
+// Package featpyr implements the paper's central contribution: multi-scale
+// detection by down-sampling the *normalized HOG feature map* instead of
+// the input image. Re-running gradient and histogram extraction per scale
+// (the conventional image pyramid) is the most expensive stage of the
+// detection chain; resampling the feature map moves pyramid construction
+// after feature extraction, where it costs a small fraction as much
+// (Section 4 of the paper).
+//
+// Two scaler implementations are provided:
+//
+//   - the float bilinear scaler, used for the algorithmic analysis
+//     (Table 1, Figure 4), and
+//   - FixedScaler, a bit-accurate model of the hardware's shift-and-add
+//     scaling modules (Section 5, Figure 6), which quantizes features and
+//     interpolation coefficients to fixed point and multiplies using CSD
+//     shift-add networks only.
+package featpyr
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/hog"
+)
+
+// ScaleConfig controls feature-map resampling.
+type ScaleConfig struct {
+	// Nearest selects nearest-neighbour resampling instead of bilinear.
+	Nearest bool
+	// Renormalize re-applies the block normalization of the map's HOG
+	// config after resampling. Interpolation of unit-norm blocks yields
+	// slightly sub-unit norms; renormalization restores the invariant.
+	// The paper's hardware does not renormalize (it would need another
+	// divider stage), so the default is off.
+	Renormalize bool
+	// Lambda applies the Dollar et al. power-law channel correction: when
+	// down-sampling by factor s, features are multiplied by s^-Lambda.
+	// Zero (the paper's choice) disables the correction.
+	Lambda float64
+}
+
+// ScaleMap resamples fm to an outBX x outBY block grid. Factors are implied
+// by the dimension ratio; use ScaleMapBy for an explicit scale factor or
+// ScaleMapRatio when the true content ratio differs from the integer grid
+// ratio. The feature channel count and HOG configuration carry over
+// unchanged.
+func ScaleMap(fm *hog.FeatureMap, outBX, outBY int, cfg ScaleConfig) (*hog.FeatureMap, error) {
+	if outBX < 1 || outBY < 1 {
+		return nil, fmt.Errorf("featpyr: invalid target grid %dx%d", outBX, outBY)
+	}
+	return ScaleMapRatio(fm, outBX, outBY,
+		float64(fm.BlocksX)/float64(outBX), float64(fm.BlocksY)/float64(outBY), cfg)
+}
+
+// ScaleMapRatio resamples fm to an outBX x outBY grid with explicit
+// source-per-target sampling ratios. This matters when the source content
+// extends past the integer cell grid: a 70-pixel-wide window has 8 whole
+// cells but 70/8 = 8.75 cells of content, so mapping it onto an 8-block
+// target needs rx = 8.75/8, not the identity the grid dimensions imply.
+// Source samples beyond the grid clamp to the border (those pixels were
+// dropped during cell binning).
+func ScaleMapRatio(fm *hog.FeatureMap, outBX, outBY int, rx, ry float64, cfg ScaleConfig) (*hog.FeatureMap, error) {
+	if outBX < 1 || outBY < 1 {
+		return nil, fmt.Errorf("featpyr: invalid target grid %dx%d", outBX, outBY)
+	}
+	if rx <= 0 || ry <= 0 {
+		return nil, fmt.Errorf("featpyr: non-positive sampling ratios %g, %g", rx, ry)
+	}
+	out := &hog.FeatureMap{
+		BlocksX:  outBX,
+		BlocksY:  outBY,
+		BlockLen: fm.BlockLen,
+		Feat:     make([]float64, outBX*outBY*fm.BlockLen),
+		Cfg:      fm.Cfg,
+	}
+	sx := rx
+	sy := ry
+	n := fm.BlockLen
+	for oy := 0; oy < outBY; oy++ {
+		fy := (float64(oy)+0.5)*sy - 0.5
+		for ox := 0; ox < outBX; ox++ {
+			fx := (float64(ox)+0.5)*sx - 0.5
+			dst := out.Block(ox, oy)
+			if cfg.Nearest {
+				bx := clampi(int(math.Round(fx)), 0, fm.BlocksX-1)
+				by := clampi(int(math.Round(fy)), 0, fm.BlocksY-1)
+				copy(dst, fm.Block(bx, by))
+				continue
+			}
+			x0 := int(math.Floor(fx))
+			y0 := int(math.Floor(fy))
+			ax := fx - float64(x0)
+			ay := fy - float64(y0)
+			c00 := fm.Block(clampi(x0, 0, fm.BlocksX-1), clampi(y0, 0, fm.BlocksY-1))
+			c10 := fm.Block(clampi(x0+1, 0, fm.BlocksX-1), clampi(y0, 0, fm.BlocksY-1))
+			c01 := fm.Block(clampi(x0, 0, fm.BlocksX-1), clampi(y0+1, 0, fm.BlocksY-1))
+			c11 := fm.Block(clampi(x0+1, 0, fm.BlocksX-1), clampi(y0+1, 0, fm.BlocksY-1))
+			w00 := (1 - ax) * (1 - ay)
+			w10 := ax * (1 - ay)
+			w01 := (1 - ax) * ay
+			w11 := ax * ay
+			for k := 0; k < n; k++ {
+				dst[k] = w00*c00[k] + w10*c10[k] + w01*c01[k] + w11*c11[k]
+			}
+		}
+	}
+	applyLambda(out, sx, sy, cfg.Lambda)
+	if cfg.Renormalize {
+		renormalize(out)
+	}
+	return out, nil
+}
+
+// ScaleMapBy resamples fm by the given scale factor: factor > 1 shrinks the
+// map by that factor (detecting objects factor times larger than the
+// training window), mirroring image down-sampling by the same factor.
+func ScaleMapBy(fm *hog.FeatureMap, factor float64, cfg ScaleConfig) (*hog.FeatureMap, error) {
+	if factor <= 0 {
+		return nil, fmt.Errorf("featpyr: non-positive scale factor %g", factor)
+	}
+	outBX := int(math.Round(float64(fm.BlocksX) / factor))
+	outBY := int(math.Round(float64(fm.BlocksY) / factor))
+	if outBX < 1 || outBY < 1 {
+		return nil, fmt.Errorf("featpyr: factor %g shrinks %dx%d map away", factor, fm.BlocksX, fm.BlocksY)
+	}
+	return ScaleMap(fm, outBX, outBY, cfg)
+}
+
+func applyLambda(fm *hog.FeatureMap, sx, sy, lambda float64) {
+	if lambda == 0 {
+		return
+	}
+	s := math.Sqrt(sx * sy)
+	gain := math.Pow(s, -lambda)
+	for i := range fm.Feat {
+		fm.Feat[i] *= gain
+	}
+}
+
+// renormalize re-applies L2 normalization to every block of fm in place
+// (the Renormalize option; uses the map's configured epsilon).
+func renormalize(fm *hog.FeatureMap) {
+	eps := fm.Cfg.Epsilon
+	if eps <= 0 {
+		eps = 1e-3
+	}
+	for by := 0; by < fm.BlocksY; by++ {
+		for bx := 0; bx < fm.BlocksX; bx++ {
+			b := fm.Block(bx, by)
+			var ss float64
+			for _, v := range b {
+				ss += v * v
+			}
+			inv := 1 / math.Sqrt(ss+eps*eps)
+			for i := range b {
+				b[i] *= inv
+			}
+		}
+	}
+}
+
+func clampi(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Level is one scale of a feature pyramid.
+type Level struct {
+	// Scale is the detection scale of this level relative to the base map:
+	// a window matched at Scale s corresponds to an object s times larger
+	// than the training window in the original image.
+	Scale float64
+	Map   *hog.FeatureMap
+}
+
+// Pyramid is a HOG feature pyramid: level 0 is the base feature map at the
+// native scale, later levels are progressively down-sampled feature maps.
+type Pyramid struct {
+	Levels []Level
+}
+
+// Build constructs a feature pyramid from the base map. Each level i holds
+// the base map down-sampled by step^i. Construction stops when a level
+// would be smaller than minBX x minBY blocks (the window size) or after
+// maxLevels levels (0 means unlimited). Every level is resampled directly
+// from the base map to avoid compounding interpolation error; the
+// hardware's chained scaler (Figure 6) is modelled separately in
+// BuildChained and in package hw/scaler.
+func Build(base *hog.FeatureMap, step float64, minBX, minBY, maxLevels int, cfg ScaleConfig) (*Pyramid, error) {
+	if step <= 1 {
+		return nil, fmt.Errorf("featpyr: pyramid step %g must exceed 1", step)
+	}
+	if maxLevels <= 0 {
+		maxLevels = math.MaxInt32
+	}
+	p := &Pyramid{}
+	for i := 0; i < maxLevels; i++ {
+		s := math.Pow(step, float64(i))
+		outBX := int(math.Round(float64(base.BlocksX) / s))
+		outBY := int(math.Round(float64(base.BlocksY) / s))
+		if outBX < minBX || outBY < minBY {
+			break
+		}
+		var m *hog.FeatureMap
+		var err error
+		if i == 0 {
+			m = base.Clone()
+		} else {
+			m, err = ScaleMap(base, outBX, outBY, cfg)
+			if err != nil {
+				return nil, err
+			}
+		}
+		p.Levels = append(p.Levels, Level{Scale: s, Map: m})
+	}
+	if len(p.Levels) == 0 {
+		return nil, fmt.Errorf("featpyr: base map %dx%d smaller than window %dx%d",
+			base.BlocksX, base.BlocksY, minBX, minBY)
+	}
+	return p, nil
+}
+
+// BuildChained constructs the pyramid the way the hardware does (Figure 6):
+// each level is resampled from the *previous* level rather than from the
+// base, so interpolation error compounds down the chain but each scaler
+// only ever handles the fixed step ratio — which is what makes the
+// shift-and-add implementation cheap.
+func BuildChained(base *hog.FeatureMap, step float64, minBX, minBY, maxLevels int, cfg ScaleConfig) (*Pyramid, error) {
+	if step <= 1 {
+		return nil, fmt.Errorf("featpyr: pyramid step %g must exceed 1", step)
+	}
+	if maxLevels <= 0 {
+		maxLevels = math.MaxInt32
+	}
+	p := &Pyramid{Levels: []Level{{Scale: 1, Map: base.Clone()}}}
+	prev := base
+	for i := 1; i < maxLevels; i++ {
+		outBX := int(math.Round(float64(prev.BlocksX) / step))
+		outBY := int(math.Round(float64(prev.BlocksY) / step))
+		if outBX < minBX || outBY < minBY {
+			break
+		}
+		m, err := ScaleMap(prev, outBX, outBY, cfg)
+		if err != nil {
+			return nil, err
+		}
+		p.Levels = append(p.Levels, Level{Scale: math.Pow(step, float64(i)), Map: m})
+		prev = m
+	}
+	if base.BlocksX < minBX || base.BlocksY < minBY {
+		return nil, fmt.Errorf("featpyr: base map %dx%d smaller than window %dx%d",
+			base.BlocksX, base.BlocksY, minBX, minBY)
+	}
+	return p, nil
+}

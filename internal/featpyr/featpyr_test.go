@@ -1,0 +1,431 @@
+package featpyr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+	"repro/internal/hog"
+	"repro/internal/imgproc"
+)
+
+func randomMap(t *testing.T, w, h int, seed int64) *hog.FeatureMap {
+	t.Helper()
+	img := imgproc.NewGray(w, h)
+	rng := rand.New(rand.NewSource(seed))
+	for i := range img.Pix {
+		img.Pix[i] = uint8(rng.Intn(256))
+	}
+	fm, err := hog.Compute(img, hog.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fm
+}
+
+func TestScaleMapIdentity(t *testing.T) {
+	fm := randomMap(t, 128, 128, 1)
+	out, err := ScaleMap(fm, fm.BlocksX, fm.BlocksY, ScaleConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fm.Feat {
+		if math.Abs(out.Feat[i]-fm.Feat[i]) > 1e-12 {
+			t.Fatalf("identity scale changed feature %d", i)
+		}
+	}
+}
+
+func TestScaleMapDims(t *testing.T) {
+	fm := randomMap(t, 160, 320, 2) // 20x40 blocks
+	out, err := ScaleMapBy(fm, 2, ScaleConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.BlocksX != 10 || out.BlocksY != 20 {
+		t.Errorf("2x down: %dx%d, want 10x20", out.BlocksX, out.BlocksY)
+	}
+	if out.BlockLen != fm.BlockLen {
+		t.Error("block length changed")
+	}
+	// 1.1 factor like the paper.
+	out11, err := ScaleMapBy(fm, 1.1, ScaleConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out11.BlocksX != 18 || out11.BlocksY != 36 {
+		t.Errorf("1.1x down: %dx%d, want 18x36", out11.BlocksX, out11.BlocksY)
+	}
+}
+
+func TestScaleMapErrors(t *testing.T) {
+	fm := randomMap(t, 64, 128, 3)
+	if _, err := ScaleMap(fm, 0, 5, ScaleConfig{}); err == nil {
+		t.Error("zero target should error")
+	}
+	if _, err := ScaleMapBy(fm, -1, ScaleConfig{}); err == nil {
+		t.Error("negative factor should error")
+	}
+	if _, err := ScaleMapBy(fm, 1000, ScaleConfig{}); err == nil {
+		t.Error("factor that eliminates the map should error")
+	}
+}
+
+func TestScaleMapValuesConvex(t *testing.T) {
+	// Bilinear interpolation is a convex combination: outputs stay within
+	// the input value range per channel.
+	fm := randomMap(t, 128, 256, 4)
+	out, err := ScaleMapBy(fm, 1.3, ScaleConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lo, hi float64 = math.Inf(1), math.Inf(-1)
+	for _, v := range fm.Feat {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	for i, v := range out.Feat {
+		if v < lo-1e-12 || v > hi+1e-12 {
+			t.Fatalf("output %d = %v outside input range [%v,%v]", i, v, lo, hi)
+		}
+	}
+}
+
+func TestNearestMatchesSourceBlocks(t *testing.T) {
+	fm := randomMap(t, 128, 128, 5)
+	out, err := ScaleMapBy(fm, 2, ScaleConfig{Nearest: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every output block must be an exact copy of some input block.
+	for oy := 0; oy < out.BlocksY; oy++ {
+		for ox := 0; ox < out.BlocksX; ox++ {
+			b := out.Block(ox, oy)
+			found := false
+		search:
+			for iy := 0; iy < fm.BlocksY; iy++ {
+				for ix := 0; ix < fm.BlocksX; ix++ {
+					src := fm.Block(ix, iy)
+					same := true
+					for k := range b {
+						if b[k] != src[k] {
+							same = false
+							break
+						}
+					}
+					if same {
+						found = true
+						break search
+					}
+				}
+			}
+			if !found {
+				t.Fatalf("output block (%d,%d) is not a copy of any input block", ox, oy)
+			}
+		}
+	}
+}
+
+func TestRenormalizeRestoresUnitNorm(t *testing.T) {
+	fm := randomMap(t, 128, 256, 6)
+	out, err := ScaleMapBy(fm, 1.4, ScaleConfig{Renormalize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for by := 0; by < out.BlocksY; by++ {
+		for bx := 0; bx < out.BlocksX; bx++ {
+			var ss float64
+			for _, v := range out.Block(bx, by) {
+				ss += v * v
+			}
+			n := math.Sqrt(ss)
+			if n > 1.0+1e-9 {
+				t.Fatalf("renormalized block (%d,%d) norm %v > 1", bx, by, n)
+			}
+		}
+	}
+}
+
+func TestLambdaGain(t *testing.T) {
+	fm := randomMap(t, 128, 256, 7)
+	plain, err := ScaleMapBy(fm, 2, ScaleConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boosted, err := ScaleMapBy(fm, 2, ScaleConfig{Lambda: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Down-sampling by 2 with lambda 1 multiplies features by 2^-(-1)?
+	// gain = s^-lambda where s = in/out = 2 -> gain = 0.5.
+	for i := range plain.Feat {
+		if plain.Feat[i] == 0 {
+			continue
+		}
+		ratio := boosted.Feat[i] / plain.Feat[i]
+		if math.Abs(ratio-0.5) > 1e-9 {
+			t.Fatalf("lambda gain = %v, want 0.5", ratio)
+		}
+	}
+}
+
+// TestFeatureScalingApproximatesImageScaling is the core premise of the
+// paper: HOG(downscale(image)) ~= downscale(HOG(image)). The two are not
+// identical (that is the approximation being traded), but for modest
+// factors the cosine similarity of window descriptors must be high.
+func TestFeatureScalingApproximatesImageScaling(t *testing.T) {
+	cfg := hog.DefaultConfig()
+	// A structured image (not noise): blurred random blobs.
+	img := imgproc.NewGray(128, 256)
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 40; i++ {
+		x, y := rng.Intn(128), rng.Intn(256)
+		w, h := rng.Intn(30)+10, rng.Intn(60)+10
+		imgproc.FillEllipse(img, geom.XYWH(x, y, w, h), uint8(rng.Intn(200)+55))
+	}
+	img = imgproc.GaussianBlur(img, 1.5)
+
+	// Thresholds taper with scale: the approximation degrades as the factor
+	// grows, which is exactly the paper's observation that feature scaling
+	// stops winning beyond ~1.5.
+	thresholds := map[float64]float64{1.1: 0.83, 1.2: 0.81, 1.3: 0.78, 1.5: 0.70}
+	for _, factor := range []float64{1.1, 1.2, 1.3, 1.5} {
+		// Path A: downscale the image, then extract features.
+		small := imgproc.Resize(img, int(math.Round(128/factor)), int(math.Round(256/factor)), imgproc.Bilinear)
+		fmA, err := hog.Compute(small, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Path B: extract features, then downscale the feature map to the
+		// same block grid.
+		fmFull, err := hog.Compute(img, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmB, err := ScaleMap(fmFull, fmA.BlocksX, fmA.BlocksY, ScaleConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cos := cosine(fmA.Feat, fmB.Feat)
+		if cos < thresholds[factor] {
+			t.Errorf("factor %v: cosine(HOG(img down), HOG down) = %.4f, want >= %.2f",
+				factor, cos, thresholds[factor])
+		}
+	}
+}
+
+func cosine(a, b []float64) float64 {
+	var dot, na, nb float64
+	for i := range a {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(na*nb)
+}
+
+func TestBuildPyramidLevels(t *testing.T) {
+	fm := randomMap(t, 512, 512, 9) // 64x64 blocks
+	p, err := Build(fm, 1.1, 8, 16, 0, ScaleConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Levels) < 10 {
+		t.Fatalf("only %d levels from 64x64 down to 8x16", len(p.Levels))
+	}
+	if p.Levels[0].Scale != 1 {
+		t.Error("level 0 must be native scale")
+	}
+	for i := 1; i < len(p.Levels); i++ {
+		l, prev := p.Levels[i], p.Levels[i-1]
+		if l.Scale <= prev.Scale {
+			t.Fatal("scales must increase")
+		}
+		if l.Map.BlocksX > prev.Map.BlocksX || l.Map.BlocksY > prev.Map.BlocksY {
+			t.Fatal("maps must shrink")
+		}
+		if l.Map.BlocksX < 8 || l.Map.BlocksY < 16 {
+			t.Fatal("level smaller than the window was kept")
+		}
+	}
+	// maxLevels cap works.
+	p2, err := Build(fm, 1.1, 8, 16, 2, ScaleConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p2.Levels) != 2 {
+		t.Errorf("maxLevels=2 gave %d levels", len(p2.Levels))
+	}
+	// Base smaller than window errors.
+	small := randomMap(t, 64, 64, 10) // 8x8 blocks < 8x16 window
+	if _, err := Build(small, 1.1, 8, 16, 0, ScaleConfig{}); err == nil {
+		t.Error("under-window base should error")
+	}
+	if _, err := Build(fm, 1.0, 8, 16, 0, ScaleConfig{}); err == nil {
+		t.Error("step 1.0 should error")
+	}
+}
+
+func TestBuildChainedMatchesDirectApproximately(t *testing.T) {
+	fm := randomMap(t, 256, 512, 11)
+	direct, err := Build(fm, 1.2, 8, 16, 4, ScaleConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chained, err := BuildChained(fm, 1.2, 8, 16, 4, ScaleConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(direct.Levels) != len(chained.Levels) {
+		t.Fatalf("level count differs: %d vs %d", len(direct.Levels), len(chained.Levels))
+	}
+	// Level 1 should agree closely (one interpolation in both cases);
+	// later levels drift but remain correlated.
+	for i := 1; i < len(direct.Levels); i++ {
+		d, c := direct.Levels[i].Map, chained.Levels[i].Map
+		if d.BlocksX != c.BlocksX || d.BlocksY != c.BlocksY {
+			// Chained rounding can differ by one block; tolerate but note.
+			t.Logf("level %d size: direct %dx%d vs chained %dx%d",
+				i, d.BlocksX, d.BlocksY, c.BlocksX, c.BlocksY)
+			continue
+		}
+		cos := cosine(d.Feat, c.Feat)
+		if cos < 0.95 {
+			t.Errorf("level %d chained/direct cosine %.4f < 0.95", i, cos)
+		}
+	}
+}
+
+func TestFixedScalerMatchesFloat(t *testing.T) {
+	fm := randomMap(t, 128, 256, 12)
+	fs := NewFixedScaler()
+	for _, factor := range []float64{1.1, 1.5, 2.0} {
+		qout, stats, err := fs.ScaleMapBy(fm, factor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fout, err := ScaleMapBy(fm, factor, ScaleConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if qout.BlocksX != fout.BlocksX || qout.BlocksY != fout.BlocksY {
+			t.Fatalf("factor %v: dims differ", factor)
+		}
+		var maxErr float64
+		for i := range qout.Feat {
+			if e := math.Abs(qout.Feat[i] - fout.Feat[i]); e > maxErr {
+				maxErr = e
+			}
+		}
+		// 8-bit weights + 16-bit features: error bounded by a few weight LSBs
+		// times the feature magnitude (features <= ~0.4).
+		if maxErr > 0.02 {
+			t.Errorf("factor %v: max fixed/float error %v > 0.02", factor, maxErr)
+		}
+		if stats.OutputBlocks != qout.BlocksX*qout.BlocksY {
+			t.Error("stats block count wrong")
+		}
+		if stats.MaxAdders <= 0 || stats.Phases <= 0 {
+			t.Errorf("implausible stats %+v", stats)
+		}
+	}
+}
+
+func TestFixedScalerErrors(t *testing.T) {
+	fm := randomMap(t, 64, 128, 13)
+	fs := NewFixedScaler()
+	if _, _, err := fs.ScaleMap(fm, 0, 1); err == nil {
+		t.Error("zero target should error")
+	}
+	if _, _, err := fs.ScaleMapBy(fm, 0); err == nil {
+		t.Error("zero factor should error")
+	}
+	bad := &FixedScaler{FeatFmt: NewFixedScaler().FeatFmt, WeightFrac: 0}
+	if _, _, err := bad.ScaleMap(fm, 4, 8); err == nil {
+		t.Error("invalid weight frac should error")
+	}
+}
+
+func TestFixedScalerIdentityIsLossless(t *testing.T) {
+	// At identity scale every phase weight is exactly 1: the only error is
+	// the initial feature quantization.
+	fm := randomMap(t, 64, 128, 14)
+	fs := NewFixedScaler()
+	out, _, err := fs.ScaleMap(fm, fm.BlocksX, fm.BlocksY)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps := fs.FeatFmt.Eps()
+	for i := range fm.Feat {
+		if math.Abs(out.Feat[i]-fm.Feat[i]) > eps {
+			t.Fatalf("identity fixed scale error %v > one LSB %v", math.Abs(out.Feat[i]-fm.Feat[i]), eps)
+		}
+	}
+}
+
+// Property: bilinear feature scaling is linear — scaling a feature map
+// multiplied by a constant equals the scaled map multiplied by the same
+// constant.
+func TestScaleMapLinearityProperty(t *testing.T) {
+	fm := randomMap(t, 128, 128, 40)
+	f := func(gain8 uint8) bool {
+		gain := 0.1 + float64(gain8%40)/10
+		scaled := fm.Clone()
+		for i := range scaled.Feat {
+			scaled.Feat[i] *= gain
+		}
+		a, err := ScaleMapBy(scaled, 1.3, ScaleConfig{})
+		if err != nil {
+			return false
+		}
+		b, err := ScaleMapBy(fm, 1.3, ScaleConfig{})
+		if err != nil {
+			return false
+		}
+		for i := range a.Feat {
+			if math.Abs(a.Feat[i]-gain*b.Feat[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: resampling preserves the mean feature value approximately (the
+// kernel is a partition of unity away from borders).
+func TestScaleMapMeanPreserved(t *testing.T) {
+	fm := randomMap(t, 256, 256, 41)
+	out, err := ScaleMapBy(fm, 1.25, ScaleConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := func(xs []float64) float64 {
+		var s float64
+		for _, v := range xs {
+			s += v
+		}
+		return s / float64(len(xs))
+	}
+	mi, mo := mean(fm.Feat), mean(out.Feat)
+	if math.Abs(mi-mo) > 0.05*mi {
+		t.Errorf("mean drifted: %v -> %v", mi, mo)
+	}
+}
+
+func TestScaleMapRatioRejectsBadRatios(t *testing.T) {
+	fm := randomMap(t, 64, 128, 42)
+	if _, err := ScaleMapRatio(fm, 8, 16, 0, 1, ScaleConfig{}); err == nil {
+		t.Error("zero ratio should error")
+	}
+	if _, _, err := NewFixedScaler().ScaleMapRatio(fm, 8, 16, -1, 1); err == nil {
+		t.Error("negative ratio should error in the fixed scaler too")
+	}
+}

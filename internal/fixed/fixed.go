@@ -1,0 +1,249 @@
+// Package fixed implements the signed fixed-point arithmetic used by the
+// hardware model of the pedestrian-detection accelerator.
+//
+// The FPGA datapath of the paper stores normalized HOG features and SVM
+// model weights as narrow signed fixed-point words and implements the
+// feature down-scaling stage with shift-and-add networks instead of
+// multipliers. This package provides:
+//
+//   - a Format describing a signed Qm.n word (total width, fractional bits),
+//   - saturating conversion, addition and multiplication in that format,
+//   - canonical-signed-digit (CSD) decomposition of constants, which is the
+//     textbook way to turn a multiplication by a fixed coefficient into a
+//     minimal shift-and-add network, and
+//   - a ShiftAdd evaluator that multiplies by a decomposed constant using
+//     only shifts and additions, exactly as the scaler hardware does.
+package fixed
+
+import (
+	"fmt"
+	"math"
+)
+
+// Format describes a signed two's-complement fixed-point word with Width
+// total bits (including sign) and Frac fractional bits. A Format word w
+// represents the real value w / 2^Frac.
+type Format struct {
+	Width int // total bits including the sign bit, 2..63
+	Frac  int // fractional bits, 0..Width-1
+}
+
+// Q returns the Format with the given integer and fractional bit counts
+// (plus one sign bit), i.e. a signed Q(ip).(fp) format.
+func Q(ip, fp int) Format { return Format{Width: 1 + ip + fp, Frac: fp} }
+
+// Validate reports whether f is a representable format.
+func (f Format) Validate() error {
+	if f.Width < 2 || f.Width > 63 {
+		return fmt.Errorf("fixed: width %d out of range [2,63]", f.Width)
+	}
+	if f.Frac < 0 || f.Frac >= f.Width {
+		return fmt.Errorf("fixed: frac %d out of range [0,%d]", f.Frac, f.Width-1)
+	}
+	return nil
+}
+
+// Max returns the largest raw word representable in f.
+func (f Format) Max() int64 { return (int64(1) << (f.Width - 1)) - 1 }
+
+// Min returns the smallest (most negative) raw word representable in f.
+func (f Format) Min() int64 { return -(int64(1) << (f.Width - 1)) }
+
+// Eps returns the real value of one least-significant bit in f.
+func (f Format) Eps() float64 { return 1 / float64(int64(1)<<f.Frac) }
+
+// String implements fmt.Stringer, e.g. "Q7.8" for Width 16, Frac 8.
+func (f Format) String() string {
+	return fmt.Sprintf("Q%d.%d", f.Width-1-f.Frac, f.Frac)
+}
+
+// Sat clamps the raw word v into the representable range of f.
+func (f Format) Sat(v int64) int64 {
+	if v > f.Max() {
+		return f.Max()
+	}
+	if v < f.Min() {
+		return f.Min()
+	}
+	return v
+}
+
+// FromFloat converts a real value into the nearest representable raw word,
+// rounding half away from zero and saturating at the format limits.
+func (f Format) FromFloat(x float64) int64 {
+	scaled := x * float64(int64(1)<<f.Frac)
+	var r float64
+	if scaled >= 0 {
+		r = math.Floor(scaled + 0.5)
+	} else {
+		r = math.Ceil(scaled - 0.5)
+	}
+	if r > float64(f.Max()) {
+		return f.Max()
+	}
+	if r < float64(f.Min()) {
+		return f.Min()
+	}
+	return int64(r)
+}
+
+// ToFloat converts a raw word back to its real value.
+func (f Format) ToFloat(v int64) float64 {
+	return float64(v) / float64(int64(1)<<f.Frac)
+}
+
+// Add returns the saturating sum of two raw words in f.
+func (f Format) Add(a, b int64) int64 { return f.Sat(a + b) }
+
+// Sub returns the saturating difference of two raw words in f.
+func (f Format) Sub(a, b int64) int64 { return f.Sat(a - b) }
+
+// Mul returns the saturating product of two raw words in f, rounding the
+// discarded fractional bits to nearest (ties away from zero).
+func (f Format) Mul(a, b int64) int64 {
+	p := a * b // fits: both operands are < 2^62 in magnitude by Validate
+	return f.Sat(roundShift(p, f.Frac))
+}
+
+// MulTo multiplies a raw word in f by a raw word in g and returns the result
+// expressed in format out, rounding to nearest.
+func MulTo(f, g, out Format, a, b int64) int64 {
+	p := a * b
+	// p has f.Frac+g.Frac fractional bits; bring it to out.Frac.
+	shift := f.Frac + g.Frac - out.Frac
+	return out.Sat(roundShift(p, shift))
+}
+
+// roundShift arithmetic-shifts v right by s bits with round-to-nearest
+// (ties away from zero). Negative s shifts left.
+func roundShift(v int64, s int) int64 {
+	if s <= 0 {
+		return v << uint(-s)
+	}
+	half := int64(1) << uint(s-1)
+	if v >= 0 {
+		return (v + half) >> uint(s)
+	}
+	return -((-v + half) >> uint(s))
+}
+
+// Quantize rounds the real value x through format f and back, returning the
+// nearest representable real value. Useful for modelling datapath precision
+// loss in otherwise floating-point code.
+func (f Format) Quantize(x float64) float64 { return f.ToFloat(f.FromFloat(x)) }
+
+// CSDTerm is one signed power-of-two term of a canonical-signed-digit
+// decomposition: the value Sign * 2^Shift (Sign is +1 or -1).
+type CSDTerm struct {
+	Shift int // power of two
+	Sign  int // +1 or -1
+}
+
+// CSD decomposes the non-negative integer c into canonical signed digit
+// form: a minimal-length sum of terms ±2^k with no two adjacent non-zero
+// digits. The returned terms are ordered from least to most significant.
+// CSD(0) returns an empty slice.
+func CSD(c int64) []CSDTerm {
+	if c < 0 {
+		panic("fixed: CSD of negative constant")
+	}
+	var terms []CSDTerm
+	shift := 0
+	for c != 0 {
+		if c&1 == 1 {
+			// Look at the two low bits to decide between +1 and -1 digits.
+			if c&3 == 3 { // ...11 -> digit -1, carry
+				terms = append(terms, CSDTerm{Shift: shift, Sign: -1})
+				c++
+			} else { // ...01 -> digit +1
+				terms = append(terms, CSDTerm{Shift: shift, Sign: +1})
+				c--
+			}
+		}
+		c >>= 1
+		shift++
+	}
+	return terms
+}
+
+// CSDValue recombines a CSD decomposition into the integer it represents.
+func CSDValue(terms []CSDTerm) int64 {
+	var v int64
+	for _, t := range terms {
+		v += int64(t.Sign) << uint(t.Shift)
+	}
+	return v
+}
+
+// ShiftAdd is a shift-and-add constant multiplier: it represents
+// multiplication by a real coefficient as y = sum(±(x << k)) >> frac, the
+// structure the paper's scaling modules use instead of DSP multipliers.
+type ShiftAdd struct {
+	terms []CSDTerm
+	frac  int   // fractional bits of the encoded coefficient
+	coeff int64 // quantized coefficient (raw, frac fractional bits)
+	neg   bool  // true if the coefficient is negative
+}
+
+// NewShiftAdd encodes the real coefficient with the given number of
+// fractional bits into a shift-and-add network. Coefficients are quantized
+// to frac fractional bits first; the quantized value is available via
+// Coefficient.
+func NewShiftAdd(coefficient float64, frac int) *ShiftAdd {
+	if frac < 0 || frac > 30 {
+		panic("fixed: shift-add frac out of range [0,30]")
+	}
+	neg := coefficient < 0
+	if neg {
+		coefficient = -coefficient
+	}
+	q := int64(math.Floor(coefficient*float64(int64(1)<<frac) + 0.5))
+	return &ShiftAdd{terms: CSD(q), frac: frac, coeff: q, neg: neg}
+}
+
+// Coefficient returns the real value actually implemented by the network
+// (the requested coefficient quantized to the configured precision).
+func (s *ShiftAdd) Coefficient() float64 {
+	c := float64(s.coeff) / float64(int64(1)<<s.frac)
+	if s.neg {
+		return -c
+	}
+	return c
+}
+
+// Adders returns the number of adders the network needs in hardware
+// (one fewer than the number of non-zero CSD digits, minimum zero).
+func (s *ShiftAdd) Adders() int {
+	if len(s.terms) <= 1 {
+		return 0
+	}
+	return len(s.terms) - 1
+}
+
+// Terms returns a copy of the CSD terms of the encoded coefficient.
+func (s *ShiftAdd) Terms() []CSDTerm {
+	out := make([]CSDTerm, len(s.terms))
+	copy(out, s.terms)
+	return out
+}
+
+// Apply multiplies the raw fixed-point word x by the encoded coefficient
+// using only shifts and adds, then renormalizes by the coefficient's
+// fractional bits with round-to-nearest. The result is in the same format
+// as x (caller saturates if needed).
+func (s *ShiftAdd) Apply(x int64) int64 {
+	var acc int64
+	for _, t := range s.terms {
+		term := x << uint(t.Shift)
+		if t.Sign > 0 {
+			acc += term
+		} else {
+			acc -= term
+		}
+	}
+	acc = roundShift(acc, s.frac)
+	if s.neg {
+		acc = -acc
+	}
+	return acc
+}

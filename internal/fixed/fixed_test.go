@@ -1,0 +1,270 @@
+package fixed
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFormatBasics(t *testing.T) {
+	f := Q(7, 8) // Q7.8: 16-bit word
+	if f.Width != 16 || f.Frac != 8 {
+		t.Fatalf("Q(7,8) = %+v", f)
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if f.Max() != 32767 || f.Min() != -32768 {
+		t.Errorf("range = [%d,%d], want [-32768,32767]", f.Min(), f.Max())
+	}
+	if f.Eps() != 1.0/256 {
+		t.Errorf("Eps = %v, want 1/256", f.Eps())
+	}
+	if f.String() != "Q7.8" {
+		t.Errorf("String = %q", f.String())
+	}
+}
+
+func TestFormatValidate(t *testing.T) {
+	bad := []Format{
+		{Width: 1, Frac: 0},
+		{Width: 64, Frac: 8},
+		{Width: 8, Frac: 8},
+		{Width: 8, Frac: -1},
+	}
+	for _, f := range bad {
+		if err := f.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", f)
+		}
+	}
+}
+
+func TestFromFloatRounding(t *testing.T) {
+	f := Q(3, 4) // eps = 1/16
+	cases := []struct {
+		in   float64
+		want int64
+	}{
+		{0, 0},
+		{1, 16},
+		{-1, -16},
+		{0.03125, 1}, // 0.5 LSB rounds away from zero
+		{-0.03125, -1},
+		{0.03, 0},       // just under half LSB
+		{100, f.Max()},  // saturate high
+		{-100, f.Min()}, // saturate low
+	}
+	for _, c := range cases {
+		if got := f.FromFloat(c.in); got != c.want {
+			t.Errorf("FromFloat(%v) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestRoundTripError(t *testing.T) {
+	f := Q(7, 8)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 1000; i++ {
+		x := rng.Float64()*200 - 100
+		y := f.ToFloat(f.FromFloat(x))
+		if math.Abs(y-x) > f.Eps()/2+1e-12 {
+			t.Fatalf("round-trip error for %v: got %v (err %v > eps/2)", x, y, math.Abs(y-x))
+		}
+	}
+}
+
+func TestSaturatingAdd(t *testing.T) {
+	f := Q(3, 4)
+	if got := f.Add(f.Max(), 1); got != f.Max() {
+		t.Errorf("Add saturates high: got %d", got)
+	}
+	if got := f.Sub(f.Min(), 1); got != f.Min() {
+		t.Errorf("Sub saturates low: got %d", got)
+	}
+	if got := f.Add(16, 16); got != 32 {
+		t.Errorf("Add(1.0,1.0) = %d, want 32", got)
+	}
+}
+
+func TestMul(t *testing.T) {
+	f := Q(7, 8)
+	a := f.FromFloat(1.5)
+	b := f.FromFloat(2.0)
+	if got := f.ToFloat(f.Mul(a, b)); got != 3.0 {
+		t.Errorf("1.5*2.0 = %v, want 3", got)
+	}
+	// Saturation on overflow.
+	big := f.FromFloat(100)
+	if got := f.Mul(big, big); got != f.Max() {
+		t.Errorf("overflow mul = %d, want max %d", got, f.Max())
+	}
+	// Negative rounding symmetry: (-x)*y == -(x*y).
+	for _, xy := range [][2]float64{{1.3, 0.7}, {0.123, 5.5}, {3.14, 1.0 / 3}} {
+		x, y := f.FromFloat(xy[0]), f.FromFloat(xy[1])
+		if f.Mul(-x, y) != -f.Mul(x, y) {
+			t.Errorf("Mul not odd-symmetric for %v", xy)
+		}
+	}
+}
+
+func TestMulTo(t *testing.T) {
+	feat := Q(0, 15) // feature format, 16-bit
+	model := Q(3, 12)
+	acc := Q(15, 16) // accumulator format
+	a := feat.FromFloat(0.25)
+	b := model.FromFloat(-2.0)
+	got := acc.ToFloat(MulTo(feat, model, acc, a, b))
+	if math.Abs(got - -0.5) > 1e-4 {
+		t.Errorf("MulTo = %v, want -0.5", got)
+	}
+}
+
+func TestCSDKnownValues(t *testing.T) {
+	// 7 = 8 - 1 in CSD (two digits rather than three).
+	terms := CSD(7)
+	if len(terms) != 2 {
+		t.Fatalf("CSD(7) has %d terms, want 2: %v", len(terms), terms)
+	}
+	if CSDValue(terms) != 7 {
+		t.Errorf("CSD(7) recombines to %d", CSDValue(terms))
+	}
+	// 0 decomposes to nothing.
+	if len(CSD(0)) != 0 {
+		t.Errorf("CSD(0) = %v, want empty", CSD(0))
+	}
+	// Powers of two are single digits.
+	if terms := CSD(64); len(terms) != 1 || terms[0] != (CSDTerm{Shift: 6, Sign: 1}) {
+		t.Errorf("CSD(64) = %v", terms)
+	}
+}
+
+// Property: CSD recombines to the original value and has no two adjacent
+// non-zero digits (the canonical property).
+func TestCSDProperty(t *testing.T) {
+	f := func(v uint32) bool {
+		c := int64(v % (1 << 24))
+		terms := CSD(c)
+		if CSDValue(terms) != c {
+			return false
+		}
+		for i := 1; i < len(terms); i++ {
+			if terms[i].Shift-terms[i-1].Shift < 2 {
+				return false // adjacent non-zero digits
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: CSD uses at most ceil(bits/2)+1 non-zero digits, never more than
+// the plain binary representation.
+func TestCSDDigitCount(t *testing.T) {
+	for c := int64(1); c < 4096; c++ {
+		csd := len(CSD(c))
+		bin := 0
+		for v := c; v != 0; v >>= 1 {
+			if v&1 == 1 {
+				bin++
+			}
+		}
+		if csd > bin+1 {
+			t.Fatalf("CSD(%d) uses %d digits, binary uses %d", c, csd, bin)
+		}
+	}
+}
+
+func TestShiftAddExactness(t *testing.T) {
+	// Scaling by 1/1.1 with 12 fractional bits, as the scaler would.
+	sa := NewShiftAdd(1/1.1, 12)
+	f := Q(7, 8)
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 500; i++ {
+		x := int64(rng.Intn(1<<15) - 1<<14)
+		got := sa.Apply(x)
+		// Reference: multiply by the quantized coefficient with the same rounding.
+		want := f.Sat(mulRef(x, sa))
+		if f.Sat(got) != want {
+			t.Fatalf("Apply(%d) = %d, want %d", x, got, want)
+		}
+	}
+}
+
+func mulRef(x int64, sa *ShiftAdd) int64 {
+	c := int64(math.Floor(math.Abs(sa.Coefficient())*float64(int64(1)<<sa.frac) + 0.5))
+	p := x * c
+	half := int64(1) << uint(sa.frac-1)
+	var r int64
+	if p >= 0 {
+		r = (p + half) >> uint(sa.frac)
+	} else {
+		r = -((-p + half) >> uint(sa.frac))
+	}
+	if sa.Coefficient() < 0 {
+		r = -r
+	}
+	return r
+}
+
+func TestShiftAddNegativeCoefficient(t *testing.T) {
+	sa := NewShiftAdd(-0.5, 8)
+	if got := sa.Apply(100); got != -50 {
+		t.Errorf("Apply(100) with coeff -0.5 = %d, want -50", got)
+	}
+	if sa.Coefficient() != -0.5 {
+		t.Errorf("Coefficient = %v, want -0.5", sa.Coefficient())
+	}
+}
+
+func TestShiftAddAdders(t *testing.T) {
+	// Coefficient 1.0 with 0 frac bits is a single wire: zero adders.
+	if a := NewShiftAdd(1, 0).Adders(); a != 0 {
+		t.Errorf("adders for 1.0 = %d, want 0", a)
+	}
+	// 0.875 = 1 - 1/8: two CSD digits -> one adder.
+	if a := NewShiftAdd(0.875, 3).Adders(); a != 1 {
+		t.Errorf("adders for 0.875 = %d, want 1", a)
+	}
+}
+
+// Property: shift-add multiplication approximates real multiplication within
+// quantization error bounds.
+func TestShiftAddApproximation(t *testing.T) {
+	coeffs := []float64{1 / 1.1, 1 / 1.2, 1 / 1.3, 1 / 1.4, 1 / 1.5, 0.5, 0.9091}
+	for _, c := range coeffs {
+		sa := NewShiftAdd(c, 14)
+		for x := int64(-1000); x <= 1000; x += 37 {
+			got := float64(sa.Apply(x))
+			want := float64(x) * c
+			if math.Abs(got-want) > math.Abs(float64(x))*sa.Coefficient()*1e-3+1.0 {
+				t.Fatalf("coeff %v: Apply(%d) = %v, want ~%v", c, x, got, want)
+			}
+		}
+	}
+}
+
+func TestQuantize(t *testing.T) {
+	f := Q(3, 2) // eps = 0.25
+	if got := f.Quantize(1.3); got != 1.25 {
+		t.Errorf("Quantize(1.3) = %v, want 1.25", got)
+	}
+	if got := f.Quantize(-1.3); got != -1.25 {
+		t.Errorf("Quantize(-1.3) = %v, want -1.25", got)
+	}
+}
+
+func TestMulToNegativeShift(t *testing.T) {
+	// Output format with more fractional bits than the operands combined:
+	// the product shifts left instead of right.
+	a := Q(7, 2)
+	b := Q(7, 2)
+	out := Q(7, 8)
+	// 1.5 * 2.0 = 3.0 -> 3.0 * 2^8 = 768.
+	got := MulTo(a, b, out, a.FromFloat(1.5), b.FromFloat(2.0))
+	if out.ToFloat(got) != 3.0 {
+		t.Errorf("MulTo with left shift = %v, want 3.0", out.ToFloat(got))
+	}
+}

@@ -1,0 +1,193 @@
+// Package geom provides the small geometric primitives used throughout the
+// detector: integer points and rectangles, intersection-over-union, and
+// sliding-window grids.
+//
+// Rectangles follow the image convention: the origin is the top-left corner,
+// X grows rightwards, Y grows downwards, and the Max edge is exclusive.
+package geom
+
+import "fmt"
+
+// Pt is an integer point in image coordinates.
+type Pt struct {
+	X, Y int
+}
+
+// Add returns the vector sum p+q.
+func (p Pt) Add(q Pt) Pt { return Pt{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns the vector difference p-q.
+func (p Pt) Sub(q Pt) Pt { return Pt{p.X - q.X, p.Y - q.Y} }
+
+// String implements fmt.Stringer.
+func (p Pt) String() string { return fmt.Sprintf("(%d,%d)", p.X, p.Y) }
+
+// Rect is a half-open axis-aligned rectangle: it contains points (x, y) with
+// Min.X <= x < Max.X and Min.Y <= y < Max.Y.
+type Rect struct {
+	Min, Max Pt
+}
+
+// R is shorthand for constructing a Rect from edge coordinates.
+func R(x0, y0, x1, y1 int) Rect {
+	if x1 < x0 {
+		x0, x1 = x1, x0
+	}
+	if y1 < y0 {
+		y0, y1 = y1, y0
+	}
+	return Rect{Pt{x0, y0}, Pt{x1, y1}}
+}
+
+// XYWH constructs a Rect from a top-left corner and a size.
+func XYWH(x, y, w, h int) Rect { return R(x, y, x+w, y+h) }
+
+// W returns the width of r.
+func (r Rect) W() int { return r.Max.X - r.Min.X }
+
+// H returns the height of r.
+func (r Rect) H() int { return r.Max.Y - r.Min.Y }
+
+// Area returns the number of integer points contained in r.
+func (r Rect) Area() int {
+	if r.Empty() {
+		return 0
+	}
+	return r.W() * r.H()
+}
+
+// Empty reports whether r contains no points.
+func (r Rect) Empty() bool { return r.Min.X >= r.Max.X || r.Min.Y >= r.Max.Y }
+
+// Contains reports whether p lies inside r.
+func (r Rect) Contains(p Pt) bool {
+	return p.X >= r.Min.X && p.X < r.Max.X && p.Y >= r.Min.Y && p.Y < r.Max.Y
+}
+
+// ContainsRect reports whether s lies entirely inside r. The empty rectangle
+// is contained in every rectangle.
+func (r Rect) ContainsRect(s Rect) bool {
+	if s.Empty() {
+		return true
+	}
+	return s.Min.X >= r.Min.X && s.Max.X <= r.Max.X &&
+		s.Min.Y >= r.Min.Y && s.Max.Y <= r.Max.Y
+}
+
+// Intersect returns the largest rectangle contained in both r and s. If the
+// two do not overlap, the result is empty.
+func (r Rect) Intersect(s Rect) Rect {
+	if r.Min.X < s.Min.X {
+		r.Min.X = s.Min.X
+	}
+	if r.Min.Y < s.Min.Y {
+		r.Min.Y = s.Min.Y
+	}
+	if r.Max.X > s.Max.X {
+		r.Max.X = s.Max.X
+	}
+	if r.Max.Y > s.Max.Y {
+		r.Max.Y = s.Max.Y
+	}
+	if r.Empty() {
+		return Rect{}
+	}
+	return r
+}
+
+// Union returns the smallest rectangle containing both r and s.
+func (r Rect) Union(s Rect) Rect {
+	if r.Empty() {
+		return s
+	}
+	if s.Empty() {
+		return r
+	}
+	if r.Min.X > s.Min.X {
+		r.Min.X = s.Min.X
+	}
+	if r.Min.Y > s.Min.Y {
+		r.Min.Y = s.Min.Y
+	}
+	if r.Max.X < s.Max.X {
+		r.Max.X = s.Max.X
+	}
+	if r.Max.Y < s.Max.Y {
+		r.Max.Y = s.Max.Y
+	}
+	return r
+}
+
+// Translate returns r shifted by p.
+func (r Rect) Translate(p Pt) Rect {
+	return Rect{r.Min.Add(p), r.Max.Add(p)}
+}
+
+// Scale returns r with both corners multiplied by the scale factor s and
+// rounded to the nearest integer. Scaling by 1 is the identity.
+func (r Rect) Scale(s float64) Rect {
+	round := func(v float64) int {
+		if v >= 0 {
+			return int(v + 0.5)
+		}
+		return -int(-v + 0.5)
+	}
+	return R(round(float64(r.Min.X)*s), round(float64(r.Min.Y)*s),
+		round(float64(r.Max.X)*s), round(float64(r.Max.Y)*s))
+}
+
+// Center returns the integer center of r (rounded towards Min).
+func (r Rect) Center() Pt {
+	return Pt{(r.Min.X + r.Max.X) / 2, (r.Min.Y + r.Max.Y) / 2}
+}
+
+// String implements fmt.Stringer.
+func (r Rect) String() string {
+	return fmt.Sprintf("[%d,%d;%dx%d]", r.Min.X, r.Min.Y, r.W(), r.H())
+}
+
+// IoU returns the intersection-over-union of the two rectangles, in [0, 1].
+// Two empty rectangles have IoU 0.
+func IoU(a, b Rect) float64 {
+	inter := a.Intersect(b).Area()
+	if inter == 0 {
+		return 0
+	}
+	union := a.Area() + b.Area() - inter
+	return float64(inter) / float64(union)
+}
+
+// Windows enumerates the top-left corners of every wxh window that fits
+// inside bounds when sliding with the given stride in both directions.
+// The stride must be positive. Corners are produced row-major.
+func Windows(bounds Rect, w, h, stride int) []Pt {
+	if stride <= 0 || w <= 0 || h <= 0 || bounds.W() < w || bounds.H() < h {
+		return nil
+	}
+	var pts []Pt
+	for y := bounds.Min.Y; y+h <= bounds.Max.Y; y += stride {
+		for x := bounds.Min.X; x+w <= bounds.Max.X; x += stride {
+			pts = append(pts, Pt{x, y})
+		}
+	}
+	return pts
+}
+
+// WindowGrid returns the number of window positions horizontally and
+// vertically for a wxh window sliding with the given stride inside a
+// boundsW x boundsH area. Either count may be zero if the window does not fit.
+func WindowGrid(boundsW, boundsH, w, h, stride int) (nx, ny int) {
+	if stride <= 0 || w <= 0 || h <= 0 {
+		return 0, 0
+	}
+	if boundsW >= w {
+		nx = (boundsW-w)/stride + 1
+	}
+	if boundsH >= h {
+		ny = (boundsH-h)/stride + 1
+	}
+	if nx == 0 || ny == 0 {
+		return 0, 0
+	}
+	return nx, ny
+}

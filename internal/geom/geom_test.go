@@ -1,0 +1,214 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRectConstructors(t *testing.T) {
+	r := R(3, 4, 7, 10)
+	if r.W() != 4 || r.H() != 6 {
+		t.Fatalf("R: got %dx%d, want 4x6", r.W(), r.H())
+	}
+	if got := XYWH(3, 4, 4, 6); got != r {
+		t.Fatalf("XYWH: got %v, want %v", got, r)
+	}
+	// Swapped corners are normalized.
+	if got := R(7, 10, 3, 4); got != r {
+		t.Fatalf("R with swapped corners: got %v, want %v", got, r)
+	}
+}
+
+func TestRectEmptyAndArea(t *testing.T) {
+	cases := []struct {
+		r     Rect
+		empty bool
+		area  int
+	}{
+		{R(0, 0, 0, 0), true, 0},
+		{R(0, 0, 1, 1), false, 1},
+		{R(5, 5, 5, 9), true, 0},
+		{R(-2, -2, 2, 2), false, 16},
+	}
+	for _, c := range cases {
+		if c.r.Empty() != c.empty {
+			t.Errorf("%v.Empty() = %v, want %v", c.r, c.r.Empty(), c.empty)
+		}
+		if c.r.Area() != c.area {
+			t.Errorf("%v.Area() = %d, want %d", c.r, c.r.Area(), c.area)
+		}
+	}
+}
+
+func TestIntersectUnion(t *testing.T) {
+	a := R(0, 0, 10, 10)
+	b := R(5, 5, 15, 15)
+	if got, want := a.Intersect(b), R(5, 5, 10, 10); got != want {
+		t.Errorf("Intersect: got %v, want %v", got, want)
+	}
+	if got, want := a.Union(b), R(0, 0, 15, 15); got != want {
+		t.Errorf("Union: got %v, want %v", got, want)
+	}
+	// Disjoint intersection is empty.
+	c := R(20, 20, 30, 30)
+	if got := a.Intersect(c); !got.Empty() {
+		t.Errorf("disjoint Intersect: got %v, want empty", got)
+	}
+	// Union with empty is identity.
+	if got := a.Union(Rect{}); got != a {
+		t.Errorf("Union with empty: got %v, want %v", got, a)
+	}
+	if got := (Rect{}).Union(a); got != a {
+		t.Errorf("empty Union: got %v, want %v", got, a)
+	}
+}
+
+func TestContains(t *testing.T) {
+	r := R(0, 0, 4, 4)
+	if !r.Contains(Pt{0, 0}) {
+		t.Error("Min corner should be contained")
+	}
+	if r.Contains(Pt{4, 4}) {
+		t.Error("Max corner should be excluded (half-open)")
+	}
+	if !r.ContainsRect(R(1, 1, 3, 3)) {
+		t.Error("inner rect should be contained")
+	}
+	if r.ContainsRect(R(1, 1, 5, 3)) {
+		t.Error("overhanging rect should not be contained")
+	}
+	if !r.ContainsRect(Rect{}) {
+		t.Error("empty rect is contained in everything")
+	}
+}
+
+func TestIoU(t *testing.T) {
+	a := R(0, 0, 10, 10)
+	if got := IoU(a, a); got != 1 {
+		t.Errorf("IoU(a,a) = %v, want 1", got)
+	}
+	if got := IoU(a, R(10, 10, 20, 20)); got != 0 {
+		t.Errorf("disjoint IoU = %v, want 0", got)
+	}
+	// Half overlap: inter 50, union 150 -> 1/3.
+	b := R(5, 0, 15, 10)
+	if got, want := IoU(a, b), 50.0/150.0; got != want {
+		t.Errorf("IoU = %v, want %v", got, want)
+	}
+}
+
+func TestScaleIdentityAndRounding(t *testing.T) {
+	r := R(3, 4, 67, 132)
+	if got := r.Scale(1); got != r {
+		t.Errorf("Scale(1) = %v, want %v", got, r)
+	}
+	got := R(0, 0, 3, 3).Scale(0.5)
+	// 3*0.5 = 1.5 rounds to 2.
+	if want := R(0, 0, 2, 2); got != want {
+		t.Errorf("Scale(0.5) = %v, want %v", got, want)
+	}
+	neg := R(-4, -4, 4, 4).Scale(0.5)
+	if want := R(-2, -2, 2, 2); neg != want {
+		t.Errorf("negative Scale = %v, want %v", neg, want)
+	}
+}
+
+func TestWindows(t *testing.T) {
+	pts := Windows(R(0, 0, 10, 10), 4, 4, 2)
+	// x in {0,2,4,6}, y in {0,2,4,6} -> 16 windows.
+	if len(pts) != 16 {
+		t.Fatalf("got %d windows, want 16", len(pts))
+	}
+	if pts[0] != (Pt{0, 0}) || pts[len(pts)-1] != (Pt{6, 6}) {
+		t.Errorf("unexpected corner windows: %v .. %v", pts[0], pts[len(pts)-1])
+	}
+	if got := Windows(R(0, 0, 3, 3), 4, 4, 1); got != nil {
+		t.Errorf("window larger than bounds: got %v, want nil", got)
+	}
+	if got := Windows(R(0, 0, 10, 10), 4, 4, 0); got != nil {
+		t.Errorf("zero stride: got %v, want nil", got)
+	}
+}
+
+func TestWindowGrid(t *testing.T) {
+	nx, ny := WindowGrid(240, 135, 8, 16, 1)
+	if nx != 233 || ny != 120 {
+		t.Errorf("HDTV cell grid: got %dx%d, want 233x120", nx, ny)
+	}
+	nx, ny = WindowGrid(7, 10, 8, 16, 1)
+	if nx != 0 || ny != 0 {
+		t.Errorf("non-fitting window: got %dx%d, want 0x0", nx, ny)
+	}
+}
+
+func TestWindowGridMatchesWindows(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		bw, bh := rng.Intn(50)+1, rng.Intn(50)+1
+		w, h := rng.Intn(20)+1, rng.Intn(20)+1
+		stride := rng.Intn(5) + 1
+		nx, ny := WindowGrid(bw, bh, w, h, stride)
+		pts := Windows(R(0, 0, bw, bh), w, h, stride)
+		if nx*ny != len(pts) {
+			t.Fatalf("grid %dx%d=%d but %d windows (b=%dx%d w=%dx%d s=%d)",
+				nx, ny, nx*ny, len(pts), bw, bh, w, h, stride)
+		}
+	}
+}
+
+// Property: IoU is symmetric and bounded in [0,1].
+func TestIoUPropertySymmetricBounded(t *testing.T) {
+	f := func(ax0, ay0, aw, ah, bx0, by0, bw, bh int16) bool {
+		a := XYWH(int(ax0)%100, int(ay0)%100, abs(int(aw))%50, abs(int(ah))%50)
+		b := XYWH(int(bx0)%100, int(by0)%100, abs(int(bw))%50, abs(int(bh))%50)
+		u, v := IoU(a, b), IoU(b, a)
+		return u == v && u >= 0 && u <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: intersection is contained in both operands; both operands are
+// contained in the union.
+func TestIntersectUnionProperty(t *testing.T) {
+	f := func(ax0, ay0, aw, ah, bx0, by0, bw, bh int16) bool {
+		a := XYWH(int(ax0)%100, int(ay0)%100, abs(int(aw))%50, abs(int(ah))%50)
+		b := XYWH(int(bx0)%100, int(by0)%100, abs(int(bw))%50, abs(int(bh))%50)
+		i := a.Intersect(b)
+		u := a.Union(b)
+		return a.ContainsRect(i) && b.ContainsRect(i) &&
+			u.ContainsRect(a) && u.ContainsRect(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func TestTranslateAndCenter(t *testing.T) {
+	r := R(0, 0, 10, 20)
+	moved := r.Translate(Pt{5, -3})
+	if moved != R(5, -3, 15, 17) {
+		t.Errorf("Translate = %v", moved)
+	}
+	if c := r.Center(); c != (Pt{5, 10}) {
+		t.Errorf("Center = %v", c)
+	}
+	if got := (Pt{1, 2}).Add(Pt{3, 4}); got != (Pt{4, 6}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := (Pt{1, 2}).Sub(Pt{3, 4}); got != (Pt{-2, -2}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if r.String() == "" || (Pt{}).String() == "" {
+		t.Error("empty stringers")
+	}
+}

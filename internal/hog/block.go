@@ -1,0 +1,190 @@
+package hog
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/imgproc"
+)
+
+// FeatureMap holds the dense normalized HOG features of a frame: one
+// BlockLen-dimensional normalized block vector per block position, laid out
+// row-major. This is the representation the paper's feature-scaling stage
+// (package featpyr) and the NHOGMem hardware operate on.
+type FeatureMap struct {
+	BlocksX, BlocksY int
+	BlockLen         int
+	Feat             []float64
+	Cfg              Config
+}
+
+// Block returns the normalized feature vector of block (bx, by). The
+// returned slice aliases the map.
+func (fm *FeatureMap) Block(bx, by int) []float64 {
+	i := (by*fm.BlocksX + bx) * fm.BlockLen
+	return fm.Feat[i : i+fm.BlockLen]
+}
+
+// Clone returns a deep copy of fm.
+func (fm *FeatureMap) Clone() *FeatureMap {
+	c := *fm
+	c.Feat = make([]float64, len(fm.Feat))
+	copy(c.Feat, fm.Feat)
+	return &c
+}
+
+// Normalize assembles and normalizes the block feature map from raw cell
+// histograms under the configured layout and normalization scheme.
+func Normalize(grid *CellGrid, cfg Config) (*FeatureMap, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if grid.Bins != cfg.Bins {
+		return nil, fmt.Errorf("hog: grid has %d bins, config %d", grid.Bins, cfg.Bins)
+	}
+	var bx, by int
+	switch cfg.Layout {
+	case LayoutOverlap:
+		bx = grid.CellsX - cfg.BlockCells + 1
+		by = grid.CellsY - cfg.BlockCells + 1
+		if bx < 1 || by < 1 {
+			return nil, fmt.Errorf("hog: cell grid %dx%d smaller than one block", grid.CellsX, grid.CellsY)
+		}
+	case LayoutPerCell:
+		bx, by = grid.CellsX, grid.CellsY
+	default:
+		return nil, fmt.Errorf("hog: unknown layout %v", cfg.Layout)
+	}
+	fm := &FeatureMap{
+		BlocksX:  bx,
+		BlocksY:  by,
+		BlockLen: cfg.BlockLen(),
+		Feat:     make([]float64, bx*by*cfg.BlockLen()),
+		Cfg:      cfg,
+	}
+	clampCell := func(c, n int) int {
+		if c >= n {
+			return n - 1
+		}
+		return c
+	}
+	for y := 0; y < by; y++ {
+		for x := 0; x < bx; x++ {
+			dst := fm.Block(x, y)
+			// Gather the BlockCells x BlockCells cell histograms.
+			k := 0
+			for cy := 0; cy < cfg.BlockCells; cy++ {
+				for cx := 0; cx < cfg.BlockCells; cx++ {
+					gx, gy := x+cx, y+cy
+					if cfg.Layout == LayoutPerCell {
+						gx = clampCell(gx, grid.CellsX)
+						gy = clampCell(gy, grid.CellsY)
+					}
+					copy(dst[k:k+cfg.Bins], grid.At(gx, gy))
+					k += cfg.Bins
+				}
+			}
+			normalizeBlock(dst, cfg)
+		}
+	}
+	return fm, nil
+}
+
+// normalizeBlock applies the configured normalization to one block vector
+// in place.
+func normalizeBlock(v []float64, cfg Config) {
+	switch cfg.Norm {
+	case L2, L2Hys:
+		var ss float64
+		for _, x := range v {
+			ss += x * x
+		}
+		inv := 1 / math.Sqrt(ss+cfg.Epsilon*cfg.Epsilon)
+		for i := range v {
+			v[i] *= inv
+		}
+		if cfg.Norm == L2Hys {
+			ss = 0
+			for i := range v {
+				if v[i] > cfg.HysClip {
+					v[i] = cfg.HysClip
+				}
+				ss += v[i] * v[i]
+			}
+			inv = 1 / math.Sqrt(ss+cfg.Epsilon*cfg.Epsilon)
+			for i := range v {
+				v[i] *= inv
+			}
+		}
+	case L1Sqrt:
+		var s float64
+		for _, x := range v {
+			s += math.Abs(x)
+		}
+		inv := 1 / (s + cfg.Epsilon)
+		for i := range v {
+			v[i] = math.Sqrt(v[i] * inv)
+		}
+	}
+}
+
+// Compute runs the full dense HOG pipeline (cells + normalization) on img.
+func Compute(img *imgproc.Gray, cfg Config) (*FeatureMap, error) {
+	grid, err := ComputeCells(img, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return Normalize(grid, cfg)
+}
+
+// Window copies the descriptor of the window whose top-left block is
+// (bx, by) and which spans wBlocksX x wBlocksY blocks, concatenated
+// row-major (the classifier's feature-vector order). It returns nil if the
+// window exceeds the map.
+func (fm *FeatureMap) Window(bx, by, wBlocksX, wBlocksY int) []float64 {
+	if bx < 0 || by < 0 || bx+wBlocksX > fm.BlocksX || by+wBlocksY > fm.BlocksY {
+		return nil
+	}
+	out := make([]float64, 0, wBlocksX*wBlocksY*fm.BlockLen)
+	for y := by; y < by+wBlocksY; y++ {
+		row := fm.Feat[(y*fm.BlocksX+bx)*fm.BlockLen : (y*fm.BlocksX+bx+wBlocksX)*fm.BlockLen]
+		out = append(out, row...)
+	}
+	return out
+}
+
+// WindowInto is the allocation-free variant of Window: it copies the
+// descriptor into dst (which must have length wBlocksX*wBlocksY*BlockLen)
+// and reports whether the window fits.
+func (fm *FeatureMap) WindowInto(dst []float64, bx, by, wBlocksX, wBlocksY int) bool {
+	if bx < 0 || by < 0 || bx+wBlocksX > fm.BlocksX || by+wBlocksY > fm.BlocksY {
+		return false
+	}
+	if len(dst) != wBlocksX*wBlocksY*fm.BlockLen {
+		return false
+	}
+	k := 0
+	for y := by; y < by+wBlocksY; y++ {
+		row := fm.Feat[(y*fm.BlocksX+bx)*fm.BlockLen : (y*fm.BlocksX+bx+wBlocksX)*fm.BlockLen]
+		copy(dst[k:], row)
+		k += len(row)
+	}
+	return true
+}
+
+// Descriptor computes the HOG descriptor of a single detection window
+// image (e.g. a 64x128 training crop): the full pipeline followed by
+// extraction of the window-sized block grid anchored at the origin.
+func Descriptor(img *imgproc.Gray, cfg Config) ([]float64, error) {
+	fm, err := Compute(img, cfg)
+	if err != nil {
+		return nil, err
+	}
+	cx, cy := cfg.WindowCells(img.W, img.H)
+	wbx, wby := cfg.WindowBlocks(cx, cy)
+	d := fm.Window(0, 0, wbx, wby)
+	if d == nil {
+		return nil, fmt.Errorf("hog: window %dx%d blocks exceeds map %dx%d", wbx, wby, fm.BlocksX, fm.BlocksY)
+	}
+	return d, nil
+}

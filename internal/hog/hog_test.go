@@ -1,0 +1,499 @@
+package hog
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+	"repro/internal/imgproc"
+)
+
+func mustCells(t *testing.T, img *imgproc.Gray, cfg Config) *CellGrid {
+	t.Helper()
+	g, err := ComputeCells(img, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func mustCompute(t *testing.T, img *imgproc.Gray, cfg Config) *FeatureMap {
+	t.Helper()
+	fm, err := Compute(img, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fm
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{CellSize: 1, BlockCells: 2, Bins: 9, HysClip: 0.2, Epsilon: 1e-3},
+		{CellSize: 8, BlockCells: 0, Bins: 9, HysClip: 0.2, Epsilon: 1e-3},
+		{CellSize: 8, BlockCells: 2, Bins: 1, HysClip: 0.2, Epsilon: 1e-3},
+		{CellSize: 8, BlockCells: 2, Bins: 9, HysClip: 0, Epsilon: 1e-3},
+		{CellSize: 8, BlockCells: 2, Bins: 9, HysClip: 0.2, Epsilon: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d validated", i)
+		}
+	}
+}
+
+func TestDescriptorLengths(t *testing.T) {
+	cfg := DefaultConfig()
+	if got := cfg.BlockLen(); got != 36 {
+		t.Errorf("BlockLen = %d, want 36 (paper: 36 elements per block)", got)
+	}
+	// Hardware layout: 8x16 blocks x 36 = 4608 (paper: 16x8 blocks).
+	if got := cfg.DescriptorLen(64, 128); got != 4608 {
+		t.Errorf("per-cell descriptor = %d, want 4608", got)
+	}
+	cfg.Layout = LayoutOverlap
+	// Dalal-Triggs: 7x15 blocks x 36 = 3780.
+	if got := cfg.DescriptorLen(64, 128); got != 3780 {
+		t.Errorf("overlap descriptor = %d, want 3780", got)
+	}
+}
+
+func TestComputeCellsConstantImageIsZero(t *testing.T) {
+	img := imgproc.NewGray(64, 64)
+	img.Fill(123)
+	grid := mustCells(t, img, DefaultConfig())
+	for _, v := range grid.Hist {
+		if v != 0 {
+			t.Fatal("constant image should produce zero histograms")
+		}
+	}
+}
+
+func TestComputeCellsGridDimensions(t *testing.T) {
+	cfg := DefaultConfig()
+	img := imgproc.NewGray(65, 71) // partial cells at the edges are dropped
+	grid := mustCells(t, img, cfg)
+	if grid.CellsX != 8 || grid.CellsY != 8 {
+		t.Errorf("grid %dx%d, want 8x8", grid.CellsX, grid.CellsY)
+	}
+	// Too-small image errors.
+	if _, err := ComputeCells(imgproc.NewGray(4, 4), cfg); err == nil {
+		t.Error("sub-cell image should error")
+	}
+}
+
+// TestVerticalEdgeBinsHorizontalGradient: a vertical edge produces a purely
+// horizontal gradient, i.e. orientation 0 which lands in the bins nearest
+// theta=0 (bin 0, and by the centered-bin convention partially the last bin).
+func TestVerticalEdgeBinsHorizontalGradient(t *testing.T) {
+	cfg := DefaultConfig()
+	img := imgproc.NewGray(32, 32)
+	for y := 0; y < 32; y++ {
+		for x := 16; x < 32; x++ {
+			img.Set(x, y, 255)
+		}
+	}
+	grid := mustCells(t, img, cfg)
+	// The edge runs through cells (1,*) and (2,*). Sum all cells.
+	sums := make([]float64, cfg.Bins)
+	for i, v := range grid.Hist {
+		sums[i%cfg.Bins] += v
+	}
+	// theta=0 is half way between bin 8 and bin 0 centers (centered bins),
+	// so those two bins share the mass; every other bin stays empty.
+	var other float64
+	for b := 1; b < 8; b++ {
+		other += sums[b]
+	}
+	if sums[0] == 0 || sums[8] == 0 {
+		t.Errorf("horizontal gradient mass: bin0=%v bin8=%v", sums[0], sums[8])
+	}
+	if other > 1e-9 {
+		t.Errorf("unexpected mass %v in middle bins: %v", other, sums)
+	}
+	if math.Abs(sums[0]-sums[8]) > 1e-9 {
+		t.Errorf("theta=0 should split evenly: bin0=%v bin8=%v", sums[0], sums[8])
+	}
+}
+
+// TestHorizontalEdge: a horizontal edge gives a vertical gradient
+// (theta = pi/2), the center of bin 4 for 9 bins.
+func TestHorizontalEdge(t *testing.T) {
+	cfg := DefaultConfig()
+	img := imgproc.NewGray(32, 32)
+	for y := 16; y < 32; y++ {
+		for x := 0; x < 32; x++ {
+			img.Set(x, y, 255)
+		}
+	}
+	grid := mustCells(t, img, cfg)
+	sums := make([]float64, cfg.Bins)
+	for i, v := range grid.Hist {
+		sums[i%cfg.Bins] += v
+	}
+	for b := range sums {
+		if b == 4 {
+			if sums[b] == 0 {
+				t.Error("bin 4 (vertical gradient) empty")
+			}
+			continue
+		}
+		if sums[b] > 1e-9 {
+			t.Errorf("bin %d has unexpected mass %v", b, sums[b])
+		}
+	}
+}
+
+// TestDiagonalEdgeSplitsBins: a 45-degree gradient falls between bins and
+// must be split across the two nearest.
+func TestDiagonalEdgeSplitsBins(t *testing.T) {
+	cfg := DefaultConfig()
+	img := imgproc.NewGray(64, 64)
+	for y := 0; y < 64; y++ {
+		for x := 0; x < 64; x++ {
+			if x+y > 64 {
+				img.Set(x, y, 255)
+			}
+		}
+	}
+	grid := mustCells(t, img, cfg)
+	sums := make([]float64, cfg.Bins)
+	var total float64
+	for i, v := range grid.Hist {
+		sums[i%cfg.Bins] += v
+		total += v
+	}
+	// The edge x+y=64 has gradient direction (1,1): theta = pi/4 = 45 deg
+	// -> fb = 45/20 - 0.5 = 1.75: bins 1 and 2, bin 2 taking alpha = 0.75.
+	if (sums[1]+sums[2])/total < 0.95 {
+		t.Errorf("diagonal mass not in bins 1/2: %v", sums)
+	}
+	if sums[2] < sums[1] {
+		t.Errorf("bin 2 should dominate (alpha=0.75): %v vs %v", sums[1], sums[2])
+	}
+}
+
+// TestVoteConservation: total histogram mass equals the sum of gradient
+// magnitudes over counted pixels (votes are split, never lost), without
+// spatial interpolation.
+func TestVoteConservation(t *testing.T) {
+	cfg := DefaultConfig()
+	img := randomImage(64, 64, 5)
+	grid := mustCells(t, img, cfg)
+	var got float64
+	for _, v := range grid.Hist {
+		got += v
+	}
+	var want float64
+	at := func(x, y int) float64 {
+		if x < 0 {
+			x = 0
+		}
+		if x > 63 {
+			x = 63
+		}
+		if y < 0 {
+			y = 0
+		}
+		if y > 63 {
+			y = 63
+		}
+		return float64(img.Pix[y*64+x]) / 255
+	}
+	for y := 0; y < 64; y++ {
+		for x := 0; x < 64; x++ {
+			gx := at(x+1, y) - at(x-1, y)
+			gy := at(x, y+1) - at(x, y-1)
+			want += math.Hypot(gx, gy)
+		}
+	}
+	if math.Abs(got-want) > 1e-9*want {
+		t.Errorf("vote mass %v, gradient mass %v", got, want)
+	}
+}
+
+func randomImage(w, h int, seed int64) *imgproc.Gray {
+	img := imgproc.NewGray(w, h)
+	rng := rand.New(rand.NewSource(seed))
+	for i := range img.Pix {
+		img.Pix[i] = uint8(rng.Intn(256))
+	}
+	return img
+}
+
+func TestNormalizeBlockNormBounds(t *testing.T) {
+	cfg := DefaultConfig()
+	img := randomImage(64, 128, 6)
+	fm := mustCompute(t, img, cfg)
+	for by := 0; by < fm.BlocksY; by++ {
+		for bx := 0; bx < fm.BlocksX; bx++ {
+			var ss float64
+			for _, v := range fm.Block(bx, by) {
+				if v < 0 {
+					t.Fatalf("negative feature at block (%d,%d)", bx, by)
+				}
+				// Renormalization after clipping can lift values a
+				// little above HysClip; they stay well below 2x.
+				if v > 2*cfg.HysClip {
+					t.Fatalf("feature %v far exceeds hys clip at block (%d,%d)", v, bx, by)
+				}
+				ss += v * v
+			}
+			if n := math.Sqrt(ss); n > 1+1e-9 {
+				t.Fatalf("block (%d,%d) norm %v > 1", bx, by, n)
+			}
+		}
+	}
+}
+
+// TestNormalizationContrastInvariance: scaling image contrast leaves the
+// normalized descriptor (nearly) unchanged — the purpose of block
+// normalization.
+func TestNormalizationContrastInvariance(t *testing.T) {
+	cfg := DefaultConfig()
+	img := randomImage(64, 128, 7)
+	bright := imgproc.AdjustContrast(imgproc.BoxBlur(img, 1), 0.5, 0)
+	base := imgproc.BoxBlur(img, 1)
+	d1, err := Descriptor(base, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Descriptor(bright, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dot, n1, n2 float64
+	for i := range d1 {
+		dot += d1[i] * d2[i]
+		n1 += d1[i] * d1[i]
+		n2 += d2[i] * d2[i]
+	}
+	cos := dot / math.Sqrt(n1*n2)
+	if cos < 0.98 {
+		t.Errorf("cosine similarity under contrast halving = %.4f, want > 0.98", cos)
+	}
+}
+
+func TestLayoutDimensions(t *testing.T) {
+	img := randomImage(128, 96, 8) // 16x12 cells
+	perCell := DefaultConfig()
+	fm1 := mustCompute(t, img, perCell)
+	if fm1.BlocksX != 16 || fm1.BlocksY != 12 {
+		t.Errorf("per-cell blocks %dx%d, want 16x12", fm1.BlocksX, fm1.BlocksY)
+	}
+	overlap := DefaultConfig()
+	overlap.Layout = LayoutOverlap
+	fm2 := mustCompute(t, img, overlap)
+	if fm2.BlocksX != 15 || fm2.BlocksY != 11 {
+		t.Errorf("overlap blocks %dx%d, want 15x11", fm2.BlocksX, fm2.BlocksY)
+	}
+	// Interior blocks agree between layouts (clamping only affects edges).
+	for by := 0; by < 11; by++ {
+		for bx := 0; bx < 15; bx++ {
+			b1, b2 := fm1.Block(bx, by), fm2.Block(bx, by)
+			for i := range b1 {
+				if math.Abs(b1[i]-b2[i]) > 1e-12 {
+					t.Fatalf("interior block (%d,%d) differs between layouts", bx, by)
+				}
+			}
+		}
+	}
+}
+
+func TestWindowExtraction(t *testing.T) {
+	img := randomImage(128, 192, 9)
+	cfg := DefaultConfig()
+	fm := mustCompute(t, img, cfg)
+	d := fm.Window(2, 3, 8, 16)
+	if len(d) != 4608 {
+		t.Fatalf("window length %d, want 4608", len(d))
+	}
+	// First block of the window equals block (2,3) of the map.
+	b := fm.Block(2, 3)
+	for i := range b {
+		if d[i] != b[i] {
+			t.Fatal("window does not start with its anchor block")
+		}
+	}
+	// Out-of-range windows return nil.
+	if fm.Window(10, 10, 8, 16) != nil {
+		t.Error("overflowing window should be nil")
+	}
+	// WindowInto matches Window.
+	dst := make([]float64, 4608)
+	if !fm.WindowInto(dst, 2, 3, 8, 16) {
+		t.Fatal("WindowInto failed")
+	}
+	for i := range d {
+		if dst[i] != d[i] {
+			t.Fatal("WindowInto differs from Window")
+		}
+	}
+	if fm.WindowInto(dst[:10], 2, 3, 8, 16) {
+		t.Error("WindowInto with wrong-size dst should fail")
+	}
+}
+
+// TestDescriptorMatchesWindowedFrame: the descriptor of a crop equals the
+// corresponding window of the full-frame feature map away from clamped
+// borders (cell alignment, per-cell layout).
+func TestDescriptorMatchesWindowedFrame(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Layout = LayoutOverlap // interior blocks only, avoids edge clamping
+	frame := randomImage(256, 256, 10)
+	fm := mustCompute(t, frame, cfg)
+	// A 64x128 window at cell offset (8, 8), i.e. pixel (64, 64).
+	crop := frame.SubImage(geom.XYWH(64, 64, 64, 128))
+	cd, err := Descriptor(crop, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wd := fm.Window(8, 8, 7, 15)
+	if len(cd) != len(wd) {
+		t.Fatalf("length mismatch %d vs %d", len(cd), len(wd))
+	}
+	var maxDiff float64
+	for i := range cd {
+		d := math.Abs(cd[i] - wd[i])
+		if d > maxDiff {
+			maxDiff = d
+		}
+	}
+	// The crop's border gradients use replicated borders while the frame
+	// sees real neighbours, so edge blocks differ slightly; interior mass
+	// dominates. Require close agreement on average.
+	var mse float64
+	for i := range cd {
+		d := cd[i] - wd[i]
+		mse += d * d
+	}
+	mse /= float64(len(cd))
+	if mse > 1e-3 {
+		t.Errorf("crop/window MSE = %v, want < 1e-3", mse)
+	}
+}
+
+func TestNormSchemes(t *testing.T) {
+	img := randomImage(64, 128, 11)
+	for _, n := range []Norm{L2Hys, L2, L1Sqrt} {
+		cfg := DefaultConfig()
+		cfg.Norm = n
+		fm := mustCompute(t, img, cfg)
+		for _, v := range fm.Feat {
+			if math.IsNaN(v) || v < 0 {
+				t.Fatalf("%v produced invalid feature %v", n, v)
+			}
+		}
+	}
+}
+
+func TestSqrtGammaChangesFeatures(t *testing.T) {
+	img := randomImage(64, 128, 12)
+	cfg := DefaultConfig()
+	d1, _ := Descriptor(img, cfg)
+	cfg.SqrtGamma = true
+	d2, _ := Descriptor(img, cfg)
+	same := true
+	for i := range d1 {
+		if d1[i] != d2[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("sqrt gamma had no effect")
+	}
+}
+
+func TestInterpolateCellsConservesMass(t *testing.T) {
+	img := randomImage(64, 64, 13)
+	cfg := DefaultConfig()
+	cfg.InterpolateCells = true
+	grid := mustCells(t, img, cfg)
+	var withInterp float64
+	for _, v := range grid.Hist {
+		withInterp += v
+	}
+	cfg.InterpolateCells = false
+	grid2 := mustCells(t, img, cfg)
+	var without float64
+	for _, v := range grid2.Hist {
+		without += v
+	}
+	// Spatial interpolation loses the mass that falls off the cell grid at
+	// image borders but must never create mass.
+	if withInterp > without+1e-9 {
+		t.Errorf("interpolation created mass: %v > %v", withInterp, without)
+	}
+	if withInterp < 0.8*without {
+		t.Errorf("interpolation lost too much mass: %v vs %v", withInterp, without)
+	}
+}
+
+// Property: descriptors are invariant to adding a constant to every pixel
+// (gradients see only differences).
+func TestBrightnessInvarianceProperty(t *testing.T) {
+	cfg := DefaultConfig()
+	f := func(seed int64, offs uint8) bool {
+		img := randomImage(32, 32, seed)
+		// Keep pixel values in a range where +offset does not clip.
+		for i := range img.Pix {
+			img.Pix[i] = img.Pix[i]/2 + 30
+		}
+		shifted := img.Clone()
+		o := offs % 60
+		for i := range shifted.Pix {
+			shifted.Pix[i] += o
+		}
+		d1, err1 := Descriptor(img, cfg)
+		d2, err2 := Descriptor(shifted, cfg)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for i := range d1 {
+			if math.Abs(d1[i]-d2[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFlipSymmetry(t *testing.T) {
+	// Mirroring the image permutes the descriptor but must preserve its
+	// total energy (same gradient magnitudes, mirrored orientations).
+	cfg := DefaultConfig()
+	img := randomImage(64, 128, 14)
+	d1, _ := Descriptor(img, cfg)
+	d2, _ := Descriptor(imgproc.FlipH(img), cfg)
+	e := func(d []float64) float64 {
+		var s float64
+		for _, v := range d {
+			s += v * v
+		}
+		return s
+	}
+	e1, e2 := e(d1), e(d2)
+	if math.Abs(e1-e2)/e1 > 0.02 {
+		t.Errorf("flip changed descriptor energy: %v vs %v", e1, e2)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if LayoutOverlap.String() != "overlap" || LayoutPerCell.String() != "percell" {
+		t.Error("Layout strings wrong")
+	}
+	if L2Hys.String() != "l2hys" || L2.String() != "l2" || L1Sqrt.String() != "l1sqrt" {
+		t.Error("Norm strings wrong")
+	}
+	if Layout(9).String() == "" || Norm(9).String() == "" {
+		t.Error("unknown values should still stringify")
+	}
+}

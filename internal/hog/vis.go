@@ -1,0 +1,100 @@
+package hog
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/imgproc"
+)
+
+// Visualization: render a feature map as the standard "HOG glyph" image —
+// one star of oriented strokes per cell, stroke brightness proportional to
+// bin energy, stroke direction perpendicular to the gradient direction
+// (i.e. along the edge the bin responds to). Indispensable when debugging
+// why a detector fires (or does not).
+
+// VisualizeCells renders raw per-cell histograms at the given pixels-per-
+// cell glyph size (e.g. 16). The output is glyph*CellsX x glyph*CellsY.
+func VisualizeCells(grid *CellGrid, glyph int) (*imgproc.Gray, error) {
+	if glyph < 4 {
+		return nil, fmt.Errorf("hog: glyph size %d too small", glyph)
+	}
+	img := imgproc.NewGray(glyph*grid.CellsX, glyph*grid.CellsY)
+	// Normalize strokes by the global max bin for a stable dynamic range.
+	var maxV float64
+	for _, v := range grid.Hist {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	if maxV == 0 {
+		return img, nil
+	}
+	for cy := 0; cy < grid.CellsY; cy++ {
+		for cx := 0; cx < grid.CellsX; cx++ {
+			drawGlyph(img, cx, cy, glyph, grid.At(cx, cy), maxV, grid.Bins)
+		}
+	}
+	return img, nil
+}
+
+// VisualizeMap renders a normalized feature map: each cell glyph shows the
+// first Bins channels of its block (the cell's own histogram after
+// normalization).
+func VisualizeMap(fm *FeatureMap, glyph int) (*imgproc.Gray, error) {
+	if glyph < 4 {
+		return nil, fmt.Errorf("hog: glyph size %d too small", glyph)
+	}
+	bins := fm.Cfg.Bins
+	if bins == 0 {
+		bins = 9
+	}
+	if bins > fm.BlockLen {
+		return nil, fmt.Errorf("hog: block length %d shorter than %d bins", fm.BlockLen, bins)
+	}
+	img := imgproc.NewGray(glyph*fm.BlocksX, glyph*fm.BlocksY)
+	var maxV float64
+	for by := 0; by < fm.BlocksY; by++ {
+		for bx := 0; bx < fm.BlocksX; bx++ {
+			for _, v := range fm.Block(bx, by)[:bins] {
+				if v > maxV {
+					maxV = v
+				}
+			}
+		}
+	}
+	if maxV == 0 {
+		return img, nil
+	}
+	for by := 0; by < fm.BlocksY; by++ {
+		for bx := 0; bx < fm.BlocksX; bx++ {
+			drawGlyph(img, bx, by, glyph, fm.Block(bx, by)[:bins], maxV, bins)
+		}
+	}
+	return img, nil
+}
+
+// drawGlyph paints one cell's oriented-stroke star.
+func drawGlyph(img *imgproc.Gray, cx, cy, glyph int, hist []float64, maxV float64, bins int) {
+	centerX := float64(cx*glyph) + float64(glyph)/2
+	centerY := float64(cy*glyph) + float64(glyph)/2
+	radius := float64(glyph)/2 - 1
+	for b := 0; b < bins; b++ {
+		v := hist[b] / maxV
+		if v <= 0.02 {
+			continue
+		}
+		// Bin center angle; the drawn stroke is the EDGE direction,
+		// perpendicular to the gradient.
+		theta := (float64(b) + 0.5) * math.Pi / float64(bins)
+		edge := theta + math.Pi/2
+		dx := math.Cos(edge) * radius
+		dy := math.Sin(edge) * radius
+		tone := uint8(40 + 215*v)
+		imgproc.ThickLine(img,
+			geom.Pt{X: int(centerX - dx), Y: int(centerY - dy)},
+			geom.Pt{X: int(centerX + dx), Y: int(centerY + dy)},
+			1, tone)
+	}
+}

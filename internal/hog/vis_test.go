@@ -1,0 +1,103 @@
+package hog
+
+import (
+	"testing"
+
+	"repro/internal/imgproc"
+)
+
+func TestVisualizeCellsDimsAndContent(t *testing.T) {
+	img := randomImage(64, 128, 30)
+	grid := mustCells(t, img, DefaultConfig())
+	vis, err := VisualizeCells(grid, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vis.W != 16*8 || vis.H != 16*16 {
+		t.Fatalf("glyph image %dx%d, want 128x256", vis.W, vis.H)
+	}
+	// A textured image must produce visible strokes.
+	if imgproc.Mean(vis) == 0 {
+		t.Error("visualization is all black for a textured image")
+	}
+}
+
+func TestVisualizeCellsConstantImageBlack(t *testing.T) {
+	img := imgproc.NewGray(64, 64)
+	img.Fill(99)
+	grid := mustCells(t, img, DefaultConfig())
+	vis, err := VisualizeCells(grid, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range vis.Pix {
+		if v != 0 {
+			t.Fatal("constant image should visualize as black")
+		}
+	}
+}
+
+func TestVisualizeMapDims(t *testing.T) {
+	img := randomImage(64, 128, 31)
+	fm := mustCompute(t, img, DefaultConfig())
+	vis, err := VisualizeMap(fm, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vis.W != 10*fm.BlocksX || vis.H != 10*fm.BlocksY {
+		t.Fatalf("glyph image %dx%d", vis.W, vis.H)
+	}
+	if imgproc.Mean(vis) == 0 {
+		t.Error("normalized map visualization is all black")
+	}
+}
+
+func TestVisualizeErrors(t *testing.T) {
+	img := randomImage(64, 64, 32)
+	grid := mustCells(t, img, DefaultConfig())
+	if _, err := VisualizeCells(grid, 2); err == nil {
+		t.Error("tiny glyph should error")
+	}
+	fm := mustCompute(t, img, DefaultConfig())
+	if _, err := VisualizeMap(fm, 1); err == nil {
+		t.Error("tiny glyph should error")
+	}
+}
+
+// TestVerticalEdgeGlyphIsVertical: a vertical edge (horizontal gradient)
+// must draw near-vertical strokes (edge direction), concentrated in the
+// cells containing the edge.
+func TestVerticalEdgeGlyphIsVertical(t *testing.T) {
+	img := imgproc.NewGray(64, 64)
+	for y := 0; y < 64; y++ {
+		for x := 32; x < 64; x++ {
+			img.Set(x, y, 255)
+		}
+	}
+	grid := mustCells(t, img, DefaultConfig())
+	const glyph = 17
+	vis, err := VisualizeCells(grid, glyph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cell (3,2) contains the edge at x=32: cx = 32/8 = 4, but the
+	// centered gradient spreads into cells 3 and 4. Look at cell (4,2)'s
+	// glyph: the bright column must be the center column.
+	gx0, gy0 := 4*glyph, 2*glyph
+	colSum := make([]int, glyph)
+	for dy := 0; dy < glyph; dy++ {
+		for dx := 0; dx < glyph; dx++ {
+			colSum[dx] += int(vis.At(gx0+dx, gy0+dy))
+		}
+	}
+	center := colSum[glyph/2]
+	for dx, s := range colSum {
+		if dx >= glyph/2-1 && dx <= glyph/2+1 {
+			continue
+		}
+		if s > center {
+			t.Fatalf("off-center column %d brighter than center (%d > %d): stroke not vertical",
+				dx, s, center)
+		}
+	}
+}

@@ -1,0 +1,315 @@
+// Package accel assembles the full pedestrian-detection accelerator of the
+// paper (Figure 5): the streaming HOG extractor, the NHOGMem-backed feature
+// storage, the shift-and-add scaler chain, and one SVM classifier instance
+// per detection scale, with cycle accounting that reproduces the paper's
+// throughput claims (Section 5):
+//
+//   - the extractor consumes one pixel per cycle: an HDTV frame takes
+//     ~2,073,600 cycles = 16.6 ms at 125 MHz = 60 fps;
+//   - each classifier scores one window every 36 cycles after a 288-cycle
+//     per-row fill, so a frame row of C block columns costs 36*C cycles and
+//     the whole HDTV frame ~1.2M classifier cycles over two scales
+//     (< 10 ms at 125 MHz);
+//   - the frame rate of the pipelined whole is set by its slowest stage,
+//     which is the extractor — hence 60 fps end to end.
+package accel
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/fixed"
+	"repro/internal/geom"
+	"repro/internal/hw/hogpipe"
+	"repro/internal/hw/hwsim"
+	"repro/internal/hw/resource"
+	"repro/internal/hw/scaler"
+	"repro/internal/hw/svmpipe"
+	"repro/internal/imgproc"
+	"repro/internal/svm"
+)
+
+// Config parameterizes the accelerator.
+type Config struct {
+	// ClockHz is the design clock (125 MHz in the paper).
+	ClockHz float64
+	// HOG configures the extractor datapath.
+	HOG hogpipe.Config
+	// SVM configures the classifier geometry.
+	SVM svmpipe.Config
+	// ScaleStep is the ratio between detection scales. The paper does not
+	// state its second scale; 2.25 reproduces the published cycle count
+	// (see AnalyticHDTV and EXPERIMENTS.md).
+	ScaleStep float64
+	// NumScales is the number of detection scales (2 in the paper).
+	NumScales int
+	// NumClasses is the number of object classes, each with its own SVM
+	// instance per scale sharing the feature stream (the paper's multiple
+	// object detection capability). 0 means 1. It scales the sequential
+	// classifier accounting and the resource estimate; ProcessFrame runs
+	// the primary class.
+	NumClasses int
+	// WeightFmt is the fixed-point format of SVM weights in model memory.
+	WeightFmt fixed.Format
+	// Threshold is the decision threshold in float score units.
+	Threshold float64
+	// NMSOverlap is applied to the pooled detections; <= 0 disables NMS.
+	NMSOverlap float64
+	// SequentialClassifiers makes one classifier handle all scales in
+	// sequence (time-multiplexed) instead of one instance per scale; this
+	// changes the classifier-stage latency from max to sum.
+	SequentialClassifiers bool
+}
+
+// DefaultConfig returns the paper's configuration: 125 MHz, two scales.
+func DefaultConfig() Config {
+	return Config{
+		ClockHz:    125e6,
+		HOG:        hogpipe.DefaultConfig(),
+		SVM:        svmpipe.DefaultConfig(),
+		ScaleStep:  2.25,
+		NumScales:  2,
+		WeightFmt:  fixed.Q(3, 12),
+		Threshold:  0,
+		NMSOverlap: 0.3,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.ClockHz <= 0 {
+		return fmt.Errorf("accel: non-positive clock %g", c.ClockHz)
+	}
+	if err := c.HOG.Validate(); err != nil {
+		return err
+	}
+	if err := c.SVM.Validate(); err != nil {
+		return err
+	}
+	if c.ScaleStep <= 1 {
+		return fmt.Errorf("accel: scale step %g must exceed 1", c.ScaleStep)
+	}
+	if c.NumScales < 1 {
+		return fmt.Errorf("accel: need at least one scale")
+	}
+	return c.WeightFmt.Validate()
+}
+
+// Accel is a configured accelerator instance.
+type Accel struct {
+	cfg    Config
+	model  *svm.QuantizedModel
+	fmodel *svm.Model
+}
+
+// New quantizes the model into the weight memory format and validates
+// dimensions.
+func New(model *svm.Model, cfg Config) (*Accel, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(model.W) != cfg.SVM.WeightLen() {
+		return nil, fmt.Errorf("accel: model has %d weights, classifier needs %d",
+			len(model.W), cfg.SVM.WeightLen())
+	}
+	q, err := svm.Quantize(model, cfg.WeightFmt)
+	if err != nil {
+		return nil, err
+	}
+	return &Accel{cfg: cfg, model: q, fmodel: model}, nil
+}
+
+// ScaleReport is the per-scale cycle accounting of one frame.
+type ScaleReport struct {
+	Scale            float64
+	BlocksX, BlocksY int
+	Windows          int
+	ClassifierCycles int64
+	ScalerCycles     int64 // 0 for the native scale
+}
+
+// FrameReport aggregates a frame's simulation results.
+type FrameReport struct {
+	ExtractorCycles int64
+	Scales          []ScaleReport
+	// ClassifierSum and ClassifierMax are the time-multiplexed and
+	// parallel-instance latencies of the classification stage.
+	ClassifierSum, ClassifierMax int64
+	// FrameCycles is the end-to-end steady-state frame interval: the
+	// slowest pipeline stage.
+	FrameCycles int64
+	Throughput  hwsim.Throughput
+	MACOps      int64
+}
+
+// pipelineBound returns the frame interval from stage latencies.
+func (c Config) pipelineBound(extractor, clsSum, clsMax int64) int64 {
+	cls := clsMax
+	if c.SequentialClassifiers {
+		cls = clsSum
+	}
+	if cls > extractor {
+		return cls
+	}
+	return extractor
+}
+
+// ProcessFrame runs the full cycle-level accelerator on a frame: extraction,
+// scaler chain, per-scale classification, thresholding and NMS. It returns
+// the detections in frame coordinates plus the cycle report.
+func (a *Accel) ProcessFrame(img *imgproc.Gray) ([]eval.Detection, *FrameReport, error) {
+	native, extRep, err := hogpipe.RunFrame(img, a.cfg.HOG, a.cfg.ClockHz)
+	if err != nil {
+		return nil, nil, err
+	}
+	wbx, wby := a.cfg.SVM.WindowCellsX, a.cfg.SVM.WindowCellsY
+	ch, err := scaler.Build(native, scaler.Config{
+		Step:       a.cfg.ScaleStep,
+		NumScales:  a.cfg.NumScales,
+		MinBlocksX: wbx,
+		MinBlocksY: wby,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	rep := &FrameReport{ExtractorCycles: extRep.Cycles}
+	var dets []eval.Detection
+	featFrac := native.FeatFrac
+	scoreScale := 1 / float64(int64(1)<<uint(featFrac+a.cfg.WeightFmt.Frac))
+	cell := a.cfg.HOG.CellSize
+
+	for _, level := range ch.Levels() {
+		src := &svmpipe.MapSource{
+			BlocksX:  level.Map.BlocksX,
+			BlocksY:  level.Map.BlocksY,
+			BlockLen: level.Map.BlockLen,
+			Feat:     level.Map.Feat,
+		}
+		out := hwsim.NewFIFO[svmpipe.Score]("scores", 1<<20)
+		eng, err := svmpipe.NewEngine(a.cfg.SVM, a.model.W, src, out)
+		if err != nil {
+			return nil, nil, err
+		}
+		sim := hwsim.NewSim()
+		sim.Add(eng)
+		budget := a.cfg.SVM.FrameCycles(level.Map.BlocksX, level.Map.BlocksY) + 1000
+		if budget < 1000 {
+			budget = 1000
+		}
+		if _, err := sim.RunUntil(eng.Done, budget); err != nil {
+			return nil, nil, err
+		}
+		// Effective pixel scale of this level.
+		ps := float64(native.BlocksX) / float64(level.Map.BlocksX)
+		wins := 0
+		for {
+			s, ok := out.Pop()
+			if !ok {
+				break
+			}
+			wins++
+			score := float64(s.Acc)*scoreScale + a.model.Fmt.ToFloat(a.model.B)
+			if score <= a.cfg.Threshold {
+				continue
+			}
+			box := geom.XYWH(s.Bx*cell, s.By*cell, wbx*cell, wby*cell).Scale(ps)
+			dets = append(dets, eval.Detection{Box: box, Score: score})
+		}
+		sr := ScaleReport{
+			Scale:            level.Scale,
+			BlocksX:          level.Map.BlocksX,
+			BlocksY:          level.Map.BlocksY,
+			Windows:          wins,
+			ClassifierCycles: eng.Cycles,
+		}
+		rep.MACOps += eng.MACOps
+		rep.Scales = append(rep.Scales, sr)
+	}
+	for i, st := range ch.Stages {
+		if i+1 < len(rep.Scales) {
+			rep.Scales[i+1].ScalerCycles = st.Cycles
+		}
+	}
+	for _, sr := range rep.Scales {
+		rep.ClassifierSum += sr.ClassifierCycles
+		if sr.ClassifierCycles > rep.ClassifierMax {
+			rep.ClassifierMax = sr.ClassifierCycles
+		}
+	}
+	rep.FrameCycles = a.cfg.pipelineBound(rep.ExtractorCycles, rep.ClassifierSum, rep.ClassifierMax)
+	rep.Throughput = hwsim.Throughput{CyclesPerFrame: rep.FrameCycles, ClockHz: a.cfg.ClockHz}
+
+	if a.cfg.NMSOverlap > 0 {
+		dets = core.NMS(dets, a.cfg.NMSOverlap)
+	}
+	return dets, rep, nil
+}
+
+// AnalyticReport computes the cycle accounting of a frame without
+// simulating it — the closed forms behind the paper's Section 5 numbers.
+func AnalyticReport(cfg Config, frameW, frameH int) (*FrameReport, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cellsX := frameW / cfg.HOG.CellSize
+	cellsY := frameH / cfg.HOG.CellSize
+	if cellsX < cfg.SVM.WindowCellsX || cellsY < cfg.SVM.WindowCellsY {
+		return nil, fmt.Errorf("accel: frame %dx%d smaller than the detection window", frameW, frameH)
+	}
+	rep := &FrameReport{
+		// 1 px/cycle plus the one-row bottom-border flush.
+		ExtractorCycles: int64(frameW)*int64(frameH) + int64(frameW),
+	}
+	bx, by := cellsX, cellsY
+	for s := 0; s < cfg.NumScales; s++ {
+		if bx < cfg.SVM.WindowCellsX || by < cfg.SVM.WindowCellsY {
+			break
+		}
+		cc := cfg.SVM.FrameCycles(bx, by)
+		sr := ScaleReport{
+			Scale:            math.Pow(cfg.ScaleStep, float64(s)),
+			BlocksX:          bx,
+			BlocksY:          by,
+			Windows:          (bx - cfg.SVM.WindowCellsX + 1) * (by - cfg.SVM.WindowCellsY + 1),
+			ClassifierCycles: cc,
+		}
+		if s > 0 {
+			sr.ScalerCycles = int64(bx) * int64(by)
+		}
+		rep.Scales = append(rep.Scales, sr)
+		bx = int(math.Round(float64(bx) / cfg.ScaleStep))
+		by = int(math.Round(float64(by) / cfg.ScaleStep))
+	}
+	classes := int64(cfg.NumClasses)
+	if classes < 1 {
+		classes = 1
+	}
+	for _, sr := range rep.Scales {
+		rep.ClassifierSum += sr.ClassifierCycles * classes
+		if sr.ClassifierCycles > rep.ClassifierMax {
+			// Parallel instances: extra classes add hardware, not cycles.
+			rep.ClassifierMax = sr.ClassifierCycles
+		}
+	}
+	rep.FrameCycles = cfg.pipelineBound(rep.ExtractorCycles, rep.ClassifierSum, rep.ClassifierMax)
+	rep.Throughput = hwsim.Throughput{CyclesPerFrame: rep.FrameCycles, ClockHz: cfg.ClockHz}
+	return rep, nil
+}
+
+// Resources returns the resource-model breakdown of this configuration for
+// a frame of the given width.
+func (a *Accel) Resources(frameW int) (*resource.Breakdown, error) {
+	p := resource.PaperParams()
+	p.CellsX = frameW / a.cfg.HOG.CellSize
+	p.Scales = a.cfg.NumScales
+	p.Classes = a.cfg.NumClasses
+	p.MACBARs = a.cfg.SVM.NumMACBARs()
+	p.MACsPerBar = a.cfg.SVM.MACsPerBar()
+	p.BlockLen = a.cfg.SVM.BlockLen
+	p.FeatureBits = 1 + a.cfg.HOG.FeatFrac
+	p.ScaleStep = a.cfg.ScaleStep
+	return resource.Estimate(p)
+}

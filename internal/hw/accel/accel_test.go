@@ -1,0 +1,362 @@
+package accel
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/fixed"
+	"repro/internal/geom"
+	"repro/internal/imgproc"
+	"repro/internal/svm"
+)
+
+var (
+	modelOnce sync.Once
+	modelDet  *core.Detector
+	modelErr  error
+	modelGen  *dataset.Generator
+)
+
+// testModel trains one small shared detector model.
+func testModel(t *testing.T) (*svm.Model, *dataset.Generator) {
+	t.Helper()
+	modelOnce.Do(func() {
+		modelGen = dataset.New(555)
+		set, err := modelGen.RenderAt(modelGen.NewSpecSet(120, 360), 1.0)
+		if err != nil {
+			modelErr = err
+			return
+		}
+		modelDet, modelErr = core.Train(set, core.DefaultConfig(), core.DefaultTrainOptions())
+	})
+	if modelErr != nil {
+		t.Fatal(modelErr)
+	}
+	return modelDet.Model(), modelGen
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultConfig()
+	bad.ClockHz = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero clock should fail")
+	}
+	bad = DefaultConfig()
+	bad.ScaleStep = 0.9
+	if err := bad.Validate(); err == nil {
+		t.Error("sub-unit step should fail")
+	}
+	bad = DefaultConfig()
+	bad.NumScales = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero scales should fail")
+	}
+	bad = DefaultConfig()
+	bad.WeightFmt = fixed.Format{Width: 1}
+	if err := bad.Validate(); err == nil {
+		t.Error("bad weight format should fail")
+	}
+}
+
+func TestNewChecksModelLength(t *testing.T) {
+	short := &svm.Model{W: make([]float64, 7)}
+	if _, err := New(short, DefaultConfig()); err == nil {
+		t.Error("short model should be rejected")
+	}
+}
+
+// TestAnalyticHDTVReproducesPaperNumbers is experiment E4: the closed-form
+// cycle accounting must land on the paper's Section 5 claims.
+func TestAnalyticHDTVReproducesPaperNumbers(t *testing.T) {
+	cfg := DefaultConfig()
+	rep, err := AnalyticReport(cfg, 1920, 1080)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Extractor: 1 px/cycle over 1920x1080 -> 16.6 ms at 125 MHz.
+	extMs := float64(rep.ExtractorCycles) / cfg.ClockHz * 1e3
+	if extMs < 16.5 || extMs > 16.8 {
+		t.Errorf("extractor %.3f ms, want ~16.6", extMs)
+	}
+	// Native-scale classifier: 120 window rows x 240 columns x 36 cycles.
+	if got, want := rep.Scales[0].ClassifierCycles, int64(120*240*36); got != want {
+		t.Errorf("native classifier cycles %d, want %d", got, want)
+	}
+	// Two-scale total within 1.5%% of the paper's 1,200,420 cycles.
+	paper := 1200420.0
+	relErr := math.Abs(float64(rep.ClassifierSum)-paper) / paper
+	if relErr > 0.015 {
+		t.Errorf("two-scale classifier cycles %d, want within 1.5%% of %d (err %.2f%%)",
+			rep.ClassifierSum, int64(paper), relErr*100)
+	}
+	// Classifier stage under 10 ms (paper: "each frame of image is
+	// processed within less than 10ms").
+	clsMs := float64(rep.ClassifierSum) / cfg.ClockHz * 1e3
+	if clsMs >= 10 {
+		t.Errorf("classifier %.2f ms, want < 10", clsMs)
+	}
+	// End-to-end: extractor-bound at 60 fps.
+	fps := rep.Throughput.FPS()
+	if fps < 59.5 || fps > 61 {
+		t.Errorf("frame rate %.2f fps, want ~60", fps)
+	}
+	t.Logf("HDTV: extractor %d cyc (%.2f ms), classifier sum %d cyc (%.2f ms), %s",
+		rep.ExtractorCycles, extMs, rep.ClassifierSum, clsMs, rep.Throughput)
+}
+
+func TestAnalyticClassifierFasterThanExtractor(t *testing.T) {
+	// The design premise: the classifier keeps up with the extractor so
+	// the 18-row buffer never overflows.
+	rep, err := AnalyticReport(DefaultConfig(), 1920, 1080)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ClassifierSum >= rep.ExtractorCycles {
+		t.Errorf("classifier (%d) must be faster than extractor (%d)",
+			rep.ClassifierSum, rep.ExtractorCycles)
+	}
+}
+
+func TestAnalyticSequentialVsParallel(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SequentialClassifiers = false
+	par, err := AnalyticReport(cfg, 1920, 1080)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.SequentialClassifiers = true
+	seq, err := AnalyticReport(cfg, 1920, 1080)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both remain extractor-bound on HDTV, but the classifier-stage bound
+	// differs: max vs sum.
+	if par.ClassifierMax >= par.ClassifierSum {
+		t.Error("max should be below sum with two scales")
+	}
+	if seq.FrameCycles < par.FrameCycles {
+		t.Error("sequential classification cannot be faster")
+	}
+}
+
+func TestAnalyticErrors(t *testing.T) {
+	if _, err := AnalyticReport(DefaultConfig(), 32, 32); err == nil {
+		t.Error("tiny frame should error")
+	}
+	bad := DefaultConfig()
+	bad.NumScales = 0
+	if _, err := AnalyticReport(bad, 1920, 1080); err == nil {
+		t.Error("invalid config should error")
+	}
+}
+
+// TestProcessFrameDetectsPedestrian: the full cycle-level accelerator must
+// find a native-scale pedestrian.
+func TestProcessFrameDetectsPedestrian(t *testing.T) {
+	model, g := testModel(t)
+	cfg := DefaultConfig()
+	cfg.ScaleStep = 1.3 // tighter ladder for a small test frame
+	a, err := New(model, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build a small frame with one pedestrian.
+	spec := g.NewSpec(false)
+	frame := g.Render(spec, 256, 256)
+	pspec := g.NewSpec(true)
+	pspec.Pose.CenterXFrac = 0.5
+	win := g.Render(pspec, 64, 128)
+	imgproc.Paste(frame, win, 96, 64, -1)
+	truth := geom.XYWH(96, 64, 64, 128)
+
+	dets, rep, err := a.ProcessFrame(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dets) == 0 {
+		t.Fatal("accelerator found nothing")
+	}
+	if geom.IoU(dets[0].Box, truth) < 0.4 {
+		t.Errorf("best hardware detection %v far from truth %v", dets[0].Box, truth)
+	}
+	// Cycle accounting sanity: extractor ~= pixels, classifier matches the
+	// analytic closed form.
+	if rep.ExtractorCycles < 256*256 || rep.ExtractorCycles > 256*256+1024 {
+		t.Errorf("extractor cycles %d", rep.ExtractorCycles)
+	}
+	wantNative := cfg.SVM.FrameCycles(32, 32)
+	if rep.Scales[0].ClassifierCycles != wantNative {
+		t.Errorf("native classifier cycles %d, want %d", rep.Scales[0].ClassifierCycles, wantNative)
+	}
+	if len(rep.Scales) < 2 {
+		t.Errorf("expected 2 scales, got %d", len(rep.Scales))
+	}
+	if rep.MACOps == 0 {
+		t.Error("MAC ops not tracked")
+	}
+}
+
+// TestProcessFrameAgreesWithSoftwareDetector: hardware and software
+// detectors must agree on the clear case (same top detection).
+func TestProcessFrameAgreesWithSoftwareDetector(t *testing.T) {
+	model, g := testModel(t)
+	cfg := DefaultConfig()
+	cfg.NumScales = 1
+	a, err := New(model, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := g.NewSpec(false)
+	frame := g.Render(spec, 192, 192)
+	pspec := g.NewSpec(true)
+	win := g.Render(pspec, 64, 128)
+	imgproc.Paste(frame, win, 64, 32, -1)
+
+	hwDets, _, err := a.ProcessFrame(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	swCfg := core.DefaultConfig()
+	swCfg.MaxScales = 1
+	sw, err := core.NewDetector(model, swCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	swDets, err := sw.Detect(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hwDets) == 0 || len(swDets) == 0 {
+		t.Fatalf("hw %d dets, sw %d dets", len(hwDets), len(swDets))
+	}
+	if geom.IoU(hwDets[0].Box, swDets[0].Box) < 0.6 {
+		t.Errorf("hw top %v and sw top %v disagree", hwDets[0].Box, swDets[0].Box)
+	}
+	if math.Abs(hwDets[0].Score-swDets[0].Score) > 0.3*math.Max(1, math.Abs(swDets[0].Score)) {
+		t.Errorf("scores diverge: hw %.3f sw %.3f", hwDets[0].Score, swDets[0].Score)
+	}
+}
+
+func TestResourcesBreakdown(t *testing.T) {
+	model, _ := testModel(t)
+	a, err := New(model, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := a.Resources(1920)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Total.LUT <= 0 || b.Total.BRAM <= 0 {
+		t.Error("empty resource breakdown")
+	}
+}
+
+// TestMultiClassAccounting: extra object classes add classifier instances
+// (hardware) but not frame time when instances run in parallel — the
+// paper's multiple-object claim in cycle/resource terms.
+func TestMultiClassAccounting(t *testing.T) {
+	one := DefaultConfig()
+	two := DefaultConfig()
+	two.NumClasses = 2
+	r1, err := AnalyticReport(one, 1920, 1080)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := AnalyticReport(two, 1920, 1080)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.ClassifierMax != r1.ClassifierMax {
+		t.Errorf("parallel classes changed the max-latency: %d vs %d",
+			r2.ClassifierMax, r1.ClassifierMax)
+	}
+	if r2.ClassifierSum != 2*r1.ClassifierSum {
+		t.Errorf("sequential accounting: %d, want %d", r2.ClassifierSum, 2*r1.ClassifierSum)
+	}
+	if r2.Throughput.FPS() < 59 {
+		t.Errorf("two parallel classes should stay extractor-bound: %.1f fps", r2.Throughput.FPS())
+	}
+	// Resources: two classes double the classifier fabric.
+	model, _ := testModel(t)
+	a1, err := New(model, one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := New(model, two)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := a1.Resources(1920)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := a2.Resources(1920)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2.Total.LUT <= b1.Total.LUT {
+		t.Error("second class should cost fabric")
+	}
+}
+
+// TestProcessSequenceSustainedThroughput: over a clip the sustained frame
+// interval equals the per-frame steady state, with only a one-frame
+// classifier fill on top.
+func TestProcessSequenceSustainedThroughput(t *testing.T) {
+	model, g := testModel(t)
+	cfg := DefaultConfig()
+	cfg.ScaleStep = 1.5
+	a, err := New(model, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := g.MakeSequence(dataset.SequenceConfig{
+		W: 192, H: 160, Frames: 3, Pedestrians: 1, FPS: 10,
+		ApproachRate: 0.05, WalkSpeedPx: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := a.ProcessSequence(seq.Frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Frames != 3 || len(rep.PerFrame) != 3 || len(rep.Detections) != 3 {
+		t.Fatalf("report shape wrong: %+v", rep)
+	}
+	var steady int64
+	for _, fr := range rep.PerFrame {
+		steady += fr.FrameCycles
+	}
+	if rep.TotalCycles <= steady {
+		t.Error("total must include the pipeline fill")
+	}
+	if rep.Sustained.CyclesPerFrame != steady/3 {
+		t.Errorf("sustained interval %d, want %d", rep.Sustained.CyclesPerFrame, steady/3)
+	}
+	// Errors.
+	if _, err := a.ProcessSequence(nil); err == nil {
+		t.Error("empty sequence should error")
+	}
+	bad := []*imgproc.Gray{seq.Frames[0], imgproc.NewGray(64, 128)}
+	if _, err := a.ProcessSequence(bad); err == nil {
+		t.Error("mixed geometry should error")
+	}
+}
+
+func TestSustainedFPSAnalyticHDTV(t *testing.T) {
+	fps, err := SustainedFPSAnalytic(DefaultConfig(), 1920, 1080)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fps < 59.5 || fps > 61 {
+		t.Errorf("sustained HDTV fps %.1f, want ~60", fps)
+	}
+}

@@ -1,0 +1,163 @@
+package accel
+
+import (
+	"testing"
+
+	"repro/internal/hw/hogpipe"
+	"repro/internal/hw/nhogmem"
+	"repro/internal/hw/svmpipe"
+	"repro/internal/imgproc"
+)
+
+// TestStreamingMemoryIntegration wires the real pieces together the way
+// Figure 5 does: the streaming extractor's block rows are written into an
+// actual 18-row NHOGMem ring while the classifier drains block columns via
+// the 72-cycle pair schedules, under the true producer/consumer timing:
+//
+//   - the extractor produces one cell row per CellSize*W cycles
+//     (1 px/cycle), and
+//   - the classifier consumes one window row per 36*cols cycles,
+//     which is faster, so it always waits on the producer and the 18-row
+//     ring never underruns or overruns.
+//
+// The test executes every read through the Mem's residency checks, so an
+// eviction-before-read or read-before-write fails loudly, and verifies the
+// fetched features are the extractor's own.
+func TestStreamingMemoryIntegration(t *testing.T) {
+	g := newTestImage(640, 480, 99)
+	cfg := hogpipe.DefaultConfig()
+	res, _, err := hogpipe.RunFrame(g, cfg, 125e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols, rows := res.BlocksX, res.BlocksY // 80 x 60
+	svmCfg := svmpipe.DefaultConfig()
+	windowRows := rows - svmCfg.WindowCellsY + 1
+
+	memCfg := nhogmem.Config{CellsX: cols, Rows: 18, BlockLen: res.BlockLen, WordBits: 16}
+	mem, err := nhogmem.New(memCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Timing model (cycles): cell row r is available once pixel row
+	// (r+1)*CellSize has streamed, i.e. cycle ~ ((r+1)*CellSize+1) * W.
+	writeTime := func(r int) int64 {
+		return int64((r+1)*cfg.CellSize+1) * int64(g.W)
+	}
+	// The classifier starts window row wy only when its last cell row
+	// (wy+15) is resident, then spends 36*cols cycles on the row.
+	rowCost := int64(svmCfg.BlockLen) * int64(cols)
+
+	writeRow := func(r int) {
+		blocks := make([][]int64, cols)
+		for cx := 0; cx < cols; cx++ {
+			b := make([]int64, res.BlockLen)
+			copy(b, res.Block(cx, r))
+			blocks[cx] = b
+		}
+		if err := mem.WriteRow(r, blocks); err != nil {
+			t.Fatalf("write row %d: %v", r, err)
+		}
+	}
+
+	written := 0
+	now := int64(0)
+	for wy := 0; wy < windowRows; wy++ {
+		need := wy + svmCfg.WindowCellsY // rows 0..need-1 must be written
+		for written < need {
+			// Advance time to the producer if the consumer got ahead.
+			if wt := writeTime(written); wt > now {
+				now = wt
+			}
+			writeRow(written)
+			written++
+		}
+		// While this window row classifies, the producer keeps writing
+		// every row whose time has come (the overrun hazard the 18-row
+		// ring must absorb).
+		rowEnd := now + rowCost
+		for written < rows && writeTime(written) <= rowEnd {
+			writeRow(written)
+			written++
+		}
+		// Drain the row's block columns through pair schedules, verifying
+		// contents against the extractor output.
+		for cx := 0; cx+1 < cols; cx += 2 {
+			sched, err := nhogmem.PairSchedule(cx, wy, svmCfg.WindowCellsY, res.BlockLen)
+			if err != nil {
+				t.Fatalf("window row %d col %d: %v", wy, cx, err)
+			}
+			blocks, err := mem.ExecuteSchedule(sched)
+			if err != nil {
+				t.Fatalf("window row %d col %d: %v (18-row ring violated)", wy, cx, err)
+			}
+			for key, vec := range blocks {
+				ref := res.Block(key[0], key[1])
+				for e := range vec {
+					if vec[e] != ref[e] {
+						t.Fatalf("block (%d,%d) word %d: mem %d != extractor %d",
+							key[0], key[1], e, vec[e], ref[e])
+					}
+				}
+			}
+		}
+		now = rowEnd
+	}
+	if mem.Reads == 0 {
+		t.Fatal("no reads executed")
+	}
+	t.Logf("integration: %d rows written, %d evictions, %d reads, final cycle %d",
+		written, mem.Evictions, mem.Reads, now)
+}
+
+// TestStreamingMemory16RowsFails shows the converse: with a 16-row ring the
+// same schedule hits an eviction-before-read, demonstrating why the paper
+// sizes NHOGMem at 18 rows.
+func TestStreamingMemory16RowsFails(t *testing.T) {
+	g := newTestImage(640, 480, 100)
+	cfg := hogpipe.DefaultConfig()
+	res, _, err := hogpipe.RunFrame(g, cfg, 125e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols, rows := res.BlocksX, res.BlocksY
+	svmCfg := svmpipe.DefaultConfig()
+	memCfg := nhogmem.Config{CellsX: cols, Rows: 16, BlockLen: res.BlockLen, WordBits: 16}
+	mem, err := nhogmem.New(memCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeRow := func(r int) {
+		blocks := make([][]int64, cols)
+		for cx := 0; cx < cols; cx++ {
+			blocks[cx] = append([]int64(nil), res.Block(cx, r)...)
+		}
+		if err := mem.WriteRow(r, blocks); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Write 17 rows (producer one row ahead of a full window) — already
+	// more than a 16-row ring holds.
+	for r := 0; r < 17 && r < rows; r++ {
+		writeRow(r)
+	}
+	sched, err := nhogmem.PairSchedule(0, 0, svmCfg.WindowCellsY, res.BlockLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mem.ExecuteSchedule(sched); err == nil {
+		t.Fatal("16-row ring should have evicted row 0 before the window read")
+	}
+}
+
+// newTestImage builds a deterministic pseudo-random test frame.
+func newTestImage(w, h int, seed int64) *imgproc.Gray {
+	img := imgproc.NewGray(w, h)
+	s := uint64(seed)
+	for i := range img.Pix {
+		s = s*6364136223846793005 + 1442695040888963407
+		img.Pix[i] = uint8(s >> 56)
+	}
+	return imgproc.BoxBlur(img, 1)
+}

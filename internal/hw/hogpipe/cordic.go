@@ -1,0 +1,113 @@
+// Package hogpipe models the streaming HOG feature extractor of Hemmati et
+// al. [DSD'14] that the paper reuses (Figure 5, left half): a pixel-per-cycle
+// pipeline of line buffers, a gradient unit, a CORDIC magnitude/angle stage,
+// per-cell histogram accumulation and a block normalizer, all in integer
+// arithmetic, emitting the normalized HOG feature stream consumed by
+// NHOGMem and the classifier.
+package hogpipe
+
+import "math"
+
+// AngleFrac is the fixed-point precision of CORDIC angles: angles are
+// integers in units of 2^-AngleFrac radians.
+const AngleFrac = 16
+
+// angleScale converts radians to the fixed-point angle unit.
+const angleScale = 1 << AngleFrac
+
+// cordicIters is the number of CORDIC micro-rotations. 16 iterations give
+// ~0.002 degrees of angular resolution, far below one histogram bin.
+const cordicIters = 16
+
+// atanTable[i] = round(atan(2^-i) * 2^AngleFrac), the micro-rotation angles.
+var atanTable = func() [cordicIters]int64 {
+	var t [cordicIters]int64
+	for i := range t {
+		t[i] = int64(math.Round(math.Atan(math.Pow(2, float64(-i))) * angleScale))
+	}
+	return t
+}()
+
+// cordicGainRecip is the reciprocal of the CORDIC gain K = prod sqrt(1+2^-2i)
+// in Q1.15 (K ~ 1.64676, 1/K ~ 0.60725), applied with a shift-add multiply.
+var cordicGainRecip = func() int64 {
+	k := 1.0
+	for i := 0; i < cordicIters; i++ {
+		k *= math.Sqrt(1 + math.Pow(2, float64(-2*i)))
+	}
+	return int64(math.Round((1 / k) * (1 << 15)))
+}()
+
+// PiFixed is pi in the fixed-point angle unit (rounded to nearest).
+var PiFixed = int64(math.Round(math.Pi * angleScale))
+
+// CORDICVector runs vectoring-mode CORDIC on the integer vector (x, y),
+// returning the magnitude sqrt(x^2+y^2) (gain-compensated, same unit as the
+// inputs) and the angle atan2(y, x) in fixed-point radians (range
+// (-pi, pi]). This is the standard multiplier-free FPGA idiom for the
+// magnitude/orientation stage of Equation 1-2.
+func CORDICVector(x, y int64) (mag, angle int64) {
+	if x == 0 && y == 0 {
+		return 0, 0
+	}
+	var acc int64
+	// Bring the vector into the right half-plane first.
+	switch {
+	case x < 0 && y >= 0: // second quadrant -> rotate by -pi/2
+		x, y = y, -x
+		acc = PiFixed / 2
+	case x < 0 && y < 0: // third quadrant -> rotate by +pi/2
+		x, y = -y, x
+		acc = -PiFixed / 2
+	}
+	// Pre-scale for precision: CORDIC shifts right, so small inputs lose
+	// bits. Inputs are <= ~512 in magnitude; shift left by 14 to use the
+	// headroom of int64.
+	const pre = 14
+	x <<= pre
+	y <<= pre
+	// All iterations always run so the rotation gain is exactly K (a
+	// data-dependent early exit would change the gain).
+	for i := 0; i < cordicIters; i++ {
+		xs, ys := x>>uint(i), y>>uint(i)
+		if y > 0 {
+			x, y = x+ys, y-xs
+			acc += atanTable[i]
+		} else {
+			x, y = x-ys, y+xs
+			acc -= atanTable[i]
+		}
+	}
+	// x now holds K*|v| << pre; compensate the gain and the pre-shift.
+	mag = (x * cordicGainRecip) >> (15 + pre)
+	// Second-quadrant corrections can push acc slightly past pi; wrap.
+	if acc > PiFixed {
+		acc -= 2 * PiFixed
+	}
+	if acc < -PiFixed {
+		acc += 2 * PiFixed
+	}
+	return mag, acc
+}
+
+// ISqrt returns the integer square root floor(sqrt(v)) for v >= 0 using the
+// classic bitwise (non-restoring) algorithm, the structure a hardware
+// square-root unit implements.
+func ISqrt(v uint64) uint64 {
+	var res uint64
+	// Highest power of four <= v.
+	bit := uint64(1) << 62
+	for bit > v {
+		bit >>= 2
+	}
+	for bit != 0 {
+		if v >= res+bit {
+			v -= res + bit
+			res = res>>1 + bit
+		} else {
+			res >>= 1
+		}
+		bit >>= 2
+	}
+	return res
+}

@@ -1,0 +1,570 @@
+package hogpipe
+
+import (
+	"fmt"
+
+	"repro/internal/hog"
+	"repro/internal/hw/hwsim"
+	"repro/internal/imgproc"
+)
+
+// Config parameterizes the extractor datapath.
+type Config struct {
+	CellSize int // cell side in pixels (8)
+	Bins     int // orientation bins (9)
+	// FeatFrac is the fractional precision of normalized features (Q0.15
+	// for the default 15).
+	FeatFrac int
+	// HysClipQ15 is the L2-Hys clipping threshold in Q0.15 (0.2 * 2^15 by
+	// default, matching the software pipeline).
+	HysClipQ15 int64
+	// AlphaFrac is the precision of the two-bin vote split (8).
+	AlphaFrac int
+}
+
+// DefaultConfig matches the software hog.DefaultConfig in fixed point.
+func DefaultConfig() Config {
+	return Config{
+		CellSize:   8,
+		Bins:       9,
+		FeatFrac:   15,
+		HysClipQ15: 6554, // round(0.2 * 2^15), the software's 0.2 clip
+		AlphaFrac:  8,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.CellSize < 2 || c.Bins < 2 || c.FeatFrac < 4 || c.FeatFrac > 30 ||
+		c.AlphaFrac < 2 || c.AlphaFrac > 16 || c.HysClipQ15 <= 0 {
+		return fmt.Errorf("hogpipe: invalid config %+v", c)
+	}
+	return nil
+}
+
+// CellRow is one row of raw per-cell orientation histograms (integer votes)
+// emitted by the extractor after each band of CellSize pixel rows.
+type CellRow struct {
+	Y    int       // cell row index
+	Hist [][]int64 // [cellsX][bins] integer votes
+}
+
+// BlockRow is one row of normalized per-cell blocks (the per-cell layout of
+// the paper: each cell owns the 2x2-cell block anchored at it).
+type BlockRow struct {
+	Y      int
+	Blocks [][]int64 // [cellsX][4*bins] features in Q0.FeatFrac
+}
+
+// Extractor is the pixel-per-cycle gradient + histogram stage. It consumes
+// one pixel per cycle from In (when available) and pushes a CellRow after
+// every completed band.
+type Extractor struct {
+	cfg  Config
+	w, h int
+
+	In  *hwsim.FIFO[uint8]
+	Out *hwsim.FIFO[CellRow]
+
+	// rows holds the last three pixel rows (rolling): the gradient of row
+	// y-1 is computed as row y streams in, exactly like the line-buffer
+	// structure of the hardware.
+	rows    [3][]uint8
+	nPixels int64 // pixels consumed
+	flushX  int   // columns flushed for the last row's gradients
+
+	cellsX, cellsY int
+	acc            [][]int64 // accumulators for the current cell band
+	pending        *CellRow  // finished band awaiting FIFO space
+	emittedRows    int
+
+	// Stats.
+	BusyCycles  int64
+	IdleCycles  int64
+	StallCycles int64 // output FIFO full
+	doneAt      int64
+}
+
+// NewExtractor builds the extractor for a w x h frame.
+func NewExtractor(cfg Config, w, h int, in *hwsim.FIFO[uint8], out *hwsim.FIFO[CellRow]) (*Extractor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if w < cfg.CellSize || h < cfg.CellSize {
+		return nil, fmt.Errorf("hogpipe: frame %dx%d smaller than a cell", w, h)
+	}
+	e := &Extractor{
+		cfg: cfg, w: w, h: h,
+		In: in, Out: out,
+		cellsX: w / cfg.CellSize,
+		cellsY: h / cfg.CellSize,
+		doneAt: -1,
+	}
+	for i := range e.rows {
+		e.rows[i] = make([]uint8, w)
+	}
+	e.resetAcc()
+	return e, nil
+}
+
+func (e *Extractor) resetAcc() {
+	e.acc = make([][]int64, e.cellsX)
+	for i := range e.acc {
+		e.acc[i] = make([]int64, e.cfg.Bins)
+	}
+}
+
+// Name implements hwsim.Component.
+func (e *Extractor) Name() string { return "hog-extractor" }
+
+// Done reports whether the whole frame (including the bottom-border flush)
+// has been processed and emitted.
+func (e *Extractor) Done() bool { return e.emittedRows >= e.cellsY }
+
+// DoneAt returns the cycle at which Done first became true, or -1.
+func (e *Extractor) DoneAt() int64 { return e.doneAt }
+
+// CellsX returns the width of the cell grid.
+func (e *Extractor) CellsX() int { return e.cellsX }
+
+// CellsY returns the height of the cell grid.
+func (e *Extractor) CellsY() int { return e.cellsY }
+
+// Tick implements hwsim.Component: consume at most one pixel, produce
+// gradients for the row above, and emit a CellRow at each band boundary.
+// While a finished band waits for FIFO space the pipeline stalls
+// (backpressure), exactly as the RTL would.
+func (e *Extractor) Tick(cycle int64) {
+	if e.Done() {
+		return
+	}
+	if e.pending != nil {
+		if !e.Out.Push(*e.pending) {
+			e.StallCycles++
+			return
+		}
+		e.pending = nil
+		e.emittedRows++
+		if e.emittedRows >= e.cellsY && e.doneAt < 0 {
+			e.doneAt = cycle
+		}
+		if e.Done() {
+			return
+		}
+	}
+	total := int64(e.w) * int64(e.h)
+	switch {
+	case e.nPixels < total:
+		px, ok := e.In.Pop()
+		if !ok {
+			e.IdleCycles++
+			return
+		}
+		e.BusyCycles++
+		x := int(e.nPixels % int64(e.w))
+		y := int(e.nPixels / int64(e.w))
+		if x == 0 {
+			// Rotate line buffers at the start of each row.
+			e.rows[0], e.rows[1], e.rows[2] = e.rows[1], e.rows[2], e.rows[0]
+		}
+		e.rows[2][x] = px
+		e.nPixels++
+		if y >= 1 {
+			e.gradient(x, y-1)
+			if x == e.w-1 {
+				e.maybeEmitBand(y-1, cycle)
+			}
+		}
+	default:
+		// Flush: compute the last row's gradients with a replicated
+		// bottom border, one column per cycle (the pipeline drain).
+		if e.flushX >= e.w {
+			// Fully drained; only a pending emission (handled above)
+			// remains.
+			e.IdleCycles++
+			return
+		}
+		e.BusyCycles++
+		x := e.flushX
+		e.gradient(x, e.h-1)
+		e.flushX++
+		if e.flushX == e.w {
+			// A partial bottom band (height not divisible by the cell
+			// size) was never accumulated past cellsY rows, so either
+			// this call stages/emits the final full band or every row is
+			// already out.
+			e.maybeEmitBand(e.h-1, cycle)
+		}
+	}
+}
+
+// gradient computes the centered gradient at (x, gy), runs CORDIC, splits
+// the vote across the two nearest bins and accumulates into the cell band.
+func (e *Extractor) gradient(x, gy int) {
+	// During streaming: rows[1] = row gy, rows[2] = row gy+1, rows[0] = gy-1.
+	// During flush (gy == h-1): rows[2] = last row, rows[1] = gy-1... the
+	// rotation stopped, so rows[2] is row gy and rows[1] is gy-1.
+	var rowUp, rowMid, rowDown []uint8
+	if gy == e.h-1 && e.nPixels == int64(e.w)*int64(e.h) {
+		rowMid = e.rows[2]
+		rowUp = e.rows[1]
+		rowDown = e.rows[2] // replicate bottom border
+		if e.h == 1 {
+			rowUp = e.rows[2]
+		}
+	} else {
+		rowUp = e.rows[0]
+		rowMid = e.rows[1]
+		rowDown = e.rows[2]
+		if gy == 0 {
+			rowUp = rowMid // replicate top border
+		}
+	}
+	xm, xp := x-1, x+1
+	if xm < 0 {
+		xm = 0
+	}
+	if xp > e.w-1 {
+		xp = e.w - 1
+	}
+	gx := int64(rowMid[xp]) - int64(rowMid[xm])
+	gyv := int64(rowDown[x]) - int64(rowUp[x])
+	if gx == 0 && gyv == 0 {
+		return
+	}
+	mag, angle := CORDICVector(gx, gyv)
+	if mag == 0 {
+		return
+	}
+	// Unsigned orientation in [0, pi).
+	if angle < 0 {
+		angle += PiFixed
+	}
+	if angle >= PiFixed {
+		angle -= PiFixed
+	}
+	// Two-nearest-bin split: bins centered at (b+0.5)*binWidth.
+	binWidth := PiFixed / int64(e.cfg.Bins)
+	num := angle - binWidth/2
+	var b0 int
+	var rem int64
+	if num < 0 {
+		b0 = e.cfg.Bins - 1
+		rem = num + binWidth
+	} else {
+		b0 = int(num / binWidth)
+		rem = num % binWidth
+		if b0 >= e.cfg.Bins {
+			b0 = e.cfg.Bins - 1
+		}
+	}
+	b1 := b0 + 1
+	if b1 >= e.cfg.Bins {
+		b1 = 0
+	}
+	one := int64(1) << uint(e.cfg.AlphaFrac)
+	alpha := (rem << uint(e.cfg.AlphaFrac)) / binWidth
+	if alpha > one {
+		alpha = one
+	}
+	cx := x / e.cfg.CellSize
+	if cx >= e.cellsX {
+		return // partial right cell dropped
+	}
+	// Accumulate the split votes in AlphaFrac sub-LSB precision; the
+	// normalizer divides the common scale out.
+	e.acc[cx][b0] += mag * (one - alpha)
+	e.acc[cx][b1] += mag * alpha
+}
+
+// maybeEmitBand stages the finished cell row for emission if gy closed a
+// band. Emission happens at the top of Tick, so a full output FIFO stalls
+// the pixel pipeline rather than dropping the row.
+func (e *Extractor) maybeEmitBand(gy int, cycle int64) {
+	if (gy+1)%e.cfg.CellSize != 0 {
+		return
+	}
+	cellY := gy / e.cfg.CellSize
+	if cellY >= e.cellsY {
+		return
+	}
+	row := CellRow{Y: cellY, Hist: e.acc}
+	e.resetAcc()
+	if e.Out.Push(row) {
+		e.emittedRows++
+		if e.emittedRows >= e.cellsY && e.doneAt < 0 {
+			e.doneAt = cycle
+		}
+		return
+	}
+	e.pending = &row
+}
+
+// PixelSource feeds a frame into a FIFO at one pixel per cycle.
+type PixelSource struct {
+	img  *imgproc.Gray
+	Out  *hwsim.FIFO[uint8]
+	next int64
+}
+
+// NewPixelSource wraps img as a streaming source.
+func NewPixelSource(img *imgproc.Gray, out *hwsim.FIFO[uint8]) *PixelSource {
+	return &PixelSource{img: img, Out: out}
+}
+
+// Name implements hwsim.Component.
+func (p *PixelSource) Name() string { return "pixel-source" }
+
+// Done reports whether every pixel has been pushed.
+func (p *PixelSource) Done() bool { return p.next >= int64(len(p.img.Pix)) }
+
+// Tick pushes one pixel per cycle while the FIFO accepts.
+func (p *PixelSource) Tick(cycle int64) {
+	if p.Done() {
+		return
+	}
+	if p.Out.Push(p.img.Pix[p.next]) {
+		p.next++
+	}
+}
+
+// blockLen returns the per-cell block vector length.
+func (c Config) blockLen() int { return 4 * c.Bins }
+
+// Normalizer is the block normalization stage: it consumes cell rows,
+// holds one row of history, and emits normalized per-cell block rows
+// (L2-Hys, matching the software pipeline bit-approximately).
+type Normalizer struct {
+	cfg    Config
+	cellsX int
+	cellsY int
+
+	In  *hwsim.FIFO[CellRow]
+	Out *hwsim.FIFO[BlockRow]
+
+	prev        *CellRow
+	pendingLast bool
+	emitted     int
+}
+
+// NewNormalizer builds the normalizer for a cellsX x cellsY grid.
+func NewNormalizer(cfg Config, cellsX, cellsY int, in *hwsim.FIFO[CellRow], out *hwsim.FIFO[BlockRow]) (*Normalizer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cellsX < 1 || cellsY < 1 {
+		return nil, fmt.Errorf("hogpipe: empty cell grid %dx%d", cellsX, cellsY)
+	}
+	return &Normalizer{cfg: cfg, cellsX: cellsX, cellsY: cellsY, In: in, Out: out}, nil
+}
+
+// Name implements hwsim.Component.
+func (n *Normalizer) Name() string { return "block-normalizer" }
+
+// Done reports whether all block rows have been emitted.
+func (n *Normalizer) Done() bool { return n.emitted >= n.cellsY }
+
+// Tick consumes at most one cell row per cycle and emits the block row it
+// completes. (The real unit pipelines at cell granularity; row granularity
+// is equivalent for throughput accounting because the extractor produces at
+// most one row per CellSize*W cycles.)
+func (n *Normalizer) Tick(cycle int64) {
+	if n.Done() {
+		return
+	}
+	if !n.Out.CanPush() {
+		return
+	}
+	if n.pendingLast {
+		// Final block row: the bottom neighbour clamps to the last row.
+		n.Out.Push(n.normalizeRow(n.prev, n.prev))
+		n.emitted++
+		n.pendingLast = false
+		return
+	}
+	row, ok := n.In.Pop()
+	if !ok {
+		return
+	}
+	if n.prev == nil {
+		// First row: buffer it.
+		r := row
+		n.prev = &r
+		if n.cellsY == 1 {
+			n.pendingLast = true
+		}
+		return
+	}
+	// Emit the block row anchored at prev using prev+row.
+	n.Out.Push(n.normalizeRow(n.prev, &row))
+	n.emitted++
+	r := row
+	n.prev = &r
+	if n.emitted == n.cellsY-1 {
+		n.pendingLast = true
+	}
+}
+
+// normalizeRow assembles and L2-Hys-normalizes every block of one cell row.
+func (n *Normalizer) normalizeRow(top, bottom *CellRow) BlockRow {
+	out := BlockRow{Y: top.Y, Blocks: make([][]int64, n.cellsX)}
+	bins := n.cfg.Bins
+	for cx := 0; cx < n.cellsX; cx++ {
+		cxr := cx + 1
+		if cxr >= n.cellsX {
+			cxr = n.cellsX - 1 // clamp right edge
+		}
+		raw := make([]int64, 0, n.cfg.blockLen())
+		raw = append(raw, top.Hist[cx][:bins]...)
+		raw = append(raw, top.Hist[cxr][:bins]...)
+		raw = append(raw, bottom.Hist[cx][:bins]...)
+		raw = append(raw, bottom.Hist[cxr][:bins]...)
+		out.Blocks[cx] = n.normalizeBlock(raw)
+	}
+	return out
+}
+
+// normalizeBlock runs the two-pass L2-Hys in integer arithmetic: divide by
+// the integer square root of the sum of squares, clip, renormalize.
+func (n *Normalizer) normalizeBlock(raw []int64) []int64 {
+	one := int64(1) << uint(n.cfg.FeatFrac)
+	var ss uint64
+	for _, v := range raw {
+		ss += uint64(v * v)
+	}
+	norm := int64(ISqrt(ss)) + 1 // +1 regularizes the all-zero block
+	q := make([]int64, len(raw))
+	for i, v := range raw {
+		f := v * one / norm
+		if f > n.cfg.HysClipQ15 {
+			f = n.cfg.HysClipQ15
+		}
+		q[i] = f
+	}
+	// Renormalize after clipping.
+	var ss2 uint64
+	for _, v := range q {
+		ss2 += uint64(v * v)
+	}
+	norm2 := int64(ISqrt(ss2)) + 1
+	for i, v := range q {
+		q[i] = v * one / norm2
+		if q[i] >= one {
+			q[i] = one - 1
+		}
+	}
+	return q
+}
+
+// Result is the collected fixed-point feature map of one frame.
+type Result struct {
+	BlocksX, BlocksY int
+	BlockLen         int
+	FeatFrac         int
+	Feat             []int64 // Q0.FeatFrac, row-major blocks
+}
+
+// Block returns the feature slice of block (bx, by), aliasing the result.
+func (r *Result) Block(bx, by int) []int64 {
+	i := (by*r.BlocksX + bx) * r.BlockLen
+	return r.Feat[i : i+r.BlockLen]
+}
+
+// ToFeatureMap dequantizes into the software FeatureMap type (per-cell
+// layout) for direct comparison with hog.Compute.
+func (r *Result) ToFeatureMap(cfg hog.Config) *hog.FeatureMap {
+	fm := &hog.FeatureMap{
+		BlocksX:  r.BlocksX,
+		BlocksY:  r.BlocksY,
+		BlockLen: r.BlockLen,
+		Feat:     make([]float64, len(r.Feat)),
+		Cfg:      cfg,
+	}
+	scale := 1 / float64(int64(1)<<uint(r.FeatFrac))
+	for i, v := range r.Feat {
+		fm.Feat[i] = float64(v) * scale
+	}
+	return fm
+}
+
+// Collector drains BlockRows into a Result.
+type Collector struct {
+	In     *hwsim.FIFO[BlockRow]
+	res    *Result
+	gotRow int
+}
+
+// NewCollector allocates the result for a cellsX x cellsY grid.
+func NewCollector(cfg Config, cellsX, cellsY int, in *hwsim.FIFO[BlockRow]) *Collector {
+	return &Collector{
+		In: in,
+		res: &Result{
+			BlocksX:  cellsX,
+			BlocksY:  cellsY,
+			BlockLen: cfg.blockLen(),
+			FeatFrac: cfg.FeatFrac,
+			Feat:     make([]int64, cellsX*cellsY*cfg.blockLen()),
+		},
+	}
+}
+
+// Name implements hwsim.Component.
+func (c *Collector) Name() string { return "collector" }
+
+// Done reports whether every block row has arrived.
+func (c *Collector) Done() bool { return c.gotRow >= c.res.BlocksY }
+
+// Result returns the collected map (valid once Done).
+func (c *Collector) Result() *Result { return c.res }
+
+// Tick drains at most one row per cycle.
+func (c *Collector) Tick(cycle int64) {
+	row, ok := c.In.Pop()
+	if !ok {
+		return
+	}
+	for cx, blk := range row.Blocks {
+		copy(c.res.Block(cx, row.Y), blk)
+	}
+	c.gotRow++
+}
+
+// Report summarizes one frame extraction run.
+type Report struct {
+	Cycles     int64
+	PixelRate  float64 // pixels per cycle (should be ~1)
+	Throughput hwsim.Throughput
+}
+
+// RunFrame streams img through the full extractor pipeline and returns the
+// fixed-point feature map plus cycle accounting at the given clock.
+func RunFrame(img *imgproc.Gray, cfg Config, clockHz float64) (*Result, Report, error) {
+	pxFIFO := hwsim.NewFIFO[uint8]("pixels", 4)
+	cellFIFO := hwsim.NewFIFO[CellRow]("cell-rows", 2)
+	blockFIFO := hwsim.NewFIFO[BlockRow]("block-rows", 2)
+
+	src := NewPixelSource(img, pxFIFO)
+	ext, err := NewExtractor(cfg, img.W, img.H, pxFIFO, cellFIFO)
+	if err != nil {
+		return nil, Report{}, err
+	}
+	norm, err := NewNormalizer(cfg, ext.CellsX(), ext.CellsY(), cellFIFO, blockFIFO)
+	if err != nil {
+		return nil, Report{}, err
+	}
+	col := NewCollector(cfg, ext.CellsX(), ext.CellsY(), blockFIFO)
+
+	sim := hwsim.NewSim()
+	sim.Add(src, ext, norm, col)
+	budget := int64(img.W)*int64(img.H)*2 + 10000
+	cycles, err := sim.RunUntil(col.Done, budget)
+	if err != nil {
+		return nil, Report{}, err
+	}
+	rep := Report{
+		Cycles:     cycles,
+		PixelRate:  float64(int64(img.W)*int64(img.H)) / float64(cycles),
+		Throughput: hwsim.Throughput{CyclesPerFrame: cycles, ClockHz: clockHz},
+	}
+	return col.Result(), rep, nil
+}

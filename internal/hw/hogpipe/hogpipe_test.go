@@ -1,0 +1,313 @@
+package hogpipe
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hog"
+	"repro/internal/imgproc"
+)
+
+func TestCORDICAgainstMath(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		x := int64(rng.Intn(511) - 255)
+		y := int64(rng.Intn(511) - 255)
+		if x == 0 && y == 0 {
+			continue
+		}
+		mag, angle := CORDICVector(x, y)
+		wantMag := math.Hypot(float64(x), float64(y))
+		wantAng := math.Atan2(float64(y), float64(x))
+		if math.Abs(float64(mag)-wantMag) > wantMag*0.01+1.5 {
+			t.Fatalf("CORDIC mag(%d,%d) = %d, want %.2f", x, y, mag, wantMag)
+		}
+		gotAng := float64(angle) / angleScale
+		diff := math.Abs(gotAng - wantAng)
+		if diff > math.Pi {
+			diff = 2*math.Pi - diff
+		}
+		if diff > 0.002 {
+			t.Fatalf("CORDIC angle(%d,%d) = %.5f, want %.5f", x, y, gotAng, wantAng)
+		}
+	}
+}
+
+func TestCORDICZeroVector(t *testing.T) {
+	mag, angle := CORDICVector(0, 0)
+	if mag != 0 || angle != 0 {
+		t.Errorf("CORDIC(0,0) = %d, %d", mag, angle)
+	}
+}
+
+func TestCORDICAxes(t *testing.T) {
+	cases := []struct {
+		x, y    int64
+		wantMag float64
+		wantAng float64
+	}{
+		{100, 0, 100, 0},
+		{0, 100, 100, math.Pi / 2},
+		{-100, 0, 100, math.Pi},
+		{0, -100, 100, -math.Pi / 2},
+		{100, 100, 141.42, math.Pi / 4},
+	}
+	for _, c := range cases {
+		mag, angle := CORDICVector(c.x, c.y)
+		if math.Abs(float64(mag)-c.wantMag) > 2 {
+			t.Errorf("mag(%d,%d) = %d, want %.1f", c.x, c.y, mag, c.wantMag)
+		}
+		gotAng := float64(angle) / angleScale
+		diff := math.Abs(gotAng - c.wantAng)
+		if diff > math.Pi {
+			diff = 2*math.Pi - diff
+		}
+		if diff > 0.01 {
+			t.Errorf("angle(%d,%d) = %.4f, want %.4f", c.x, c.y, gotAng, c.wantAng)
+		}
+	}
+}
+
+// Property: ISqrt is the exact floor square root.
+func TestISqrtProperty(t *testing.T) {
+	f := func(v uint64) bool {
+		v %= 1 << 52
+		r := ISqrt(v)
+		return r*r <= v && (r+1)*(r+1) > v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+	// Edge values.
+	for _, v := range []uint64{0, 1, 2, 3, 4, 15, 16, 1 << 40} {
+		r := ISqrt(v)
+		if r*r > v || (r+1)*(r+1) <= v {
+			t.Errorf("ISqrt(%d) = %d", v, r)
+		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultConfig()
+	bad.CellSize = 1
+	if err := bad.Validate(); err == nil {
+		t.Error("cell size 1 should fail")
+	}
+	bad = DefaultConfig()
+	bad.HysClipQ15 = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero clip should fail")
+	}
+}
+
+func randomImage(w, h int, seed int64) *imgproc.Gray {
+	img := imgproc.NewGray(w, h)
+	rng := rand.New(rand.NewSource(seed))
+	for i := range img.Pix {
+		img.Pix[i] = uint8(rng.Intn(256))
+	}
+	return imgproc.BoxBlur(img, 1)
+}
+
+func TestRunFramePixelRate(t *testing.T) {
+	img := randomImage(64, 64, 2)
+	_, rep, err := RunFrame(img, DefaultConfig(), 125e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One pixel per cycle plus the one-row flush and small pipeline skew.
+	minCycles := int64(64 * 64)
+	maxCycles := minCycles + 64 + 64 // flush row + scheduling slack
+	if rep.Cycles < minCycles || rep.Cycles > maxCycles {
+		t.Errorf("cycles = %d, want in [%d, %d]", rep.Cycles, minCycles, maxCycles)
+	}
+	if rep.PixelRate < 0.95 {
+		t.Errorf("pixel rate %.3f, want ~1", rep.PixelRate)
+	}
+}
+
+func TestRunFrameMatchesSoftwareHOG(t *testing.T) {
+	img := randomImage(64, 128, 3)
+	res, _, err := RunFrame(img, DefaultConfig(), 125e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	swCfg := hog.DefaultConfig()
+	sw, err := hog.Compute(img, swCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw := res.ToFeatureMap(swCfg)
+	if hw.BlocksX != sw.BlocksX || hw.BlocksY != sw.BlocksY || hw.BlockLen != sw.BlockLen {
+		t.Fatalf("dims: hw %dx%dx%d, sw %dx%dx%d",
+			hw.BlocksX, hw.BlocksY, hw.BlockLen, sw.BlocksX, sw.BlocksY, sw.BlockLen)
+	}
+	// Cosine similarity per block: the fixed-point pipeline must track the
+	// float pipeline closely.
+	var worst float64 = 1
+	for by := 0; by < sw.BlocksY; by++ {
+		for bx := 0; bx < sw.BlocksX; bx++ {
+			a, b := hw.Block(bx, by), sw.Block(bx, by)
+			var dot, na, nb float64
+			for i := range a {
+				dot += a[i] * b[i]
+				na += a[i] * a[i]
+				nb += b[i] * b[i]
+			}
+			if na == 0 || nb == 0 {
+				continue
+			}
+			cos := dot / math.Sqrt(na*nb)
+			if cos < worst {
+				worst = cos
+			}
+		}
+	}
+	if worst < 0.98 {
+		t.Errorf("worst per-block cosine similarity hw/sw = %.4f, want >= 0.98", worst)
+	}
+}
+
+func TestRunFrameFeatureRange(t *testing.T) {
+	img := randomImage(64, 64, 4)
+	cfg := DefaultConfig()
+	res, _, err := RunFrame(img, cfg, 125e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := int64(1) << uint(cfg.FeatFrac)
+	for i, v := range res.Feat {
+		if v < 0 || v >= one {
+			t.Fatalf("feature %d = %d outside [0, %d)", i, v, one)
+		}
+	}
+}
+
+func TestRunFrameDeterministic(t *testing.T) {
+	img := randomImage(64, 64, 5)
+	a, _, err := RunFrame(img, DefaultConfig(), 125e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := RunFrame(img, DefaultConfig(), 125e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Feat {
+		if a.Feat[i] != b.Feat[i] {
+			t.Fatal("extraction is not deterministic")
+		}
+	}
+}
+
+func TestRunFrameConstantImage(t *testing.T) {
+	img := imgproc.NewGray(64, 64)
+	img.Fill(128)
+	res, _, err := RunFrame(img, DefaultConfig(), 125e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range res.Feat {
+		if v != 0 {
+			t.Fatalf("constant image produced non-zero feature %d = %d", i, v)
+		}
+	}
+}
+
+func TestRunFrameRejectsTinyImage(t *testing.T) {
+	img := imgproc.NewGray(4, 4)
+	if _, _, err := RunFrame(img, DefaultConfig(), 125e6); err == nil {
+		t.Error("sub-cell image should error")
+	}
+}
+
+// TestHDTVExtractorThroughput checks the headline claim: at one pixel per
+// cycle and 125 MHz, an HDTV frame takes ~16.6 ms, i.e. 60 fps.
+func TestHDTVExtractorThroughput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full HDTV extraction is slow")
+	}
+	img := randomImage(1920, 1080, 6)
+	_, rep, err := RunFrame(img, DefaultConfig(), 125e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := rep.Throughput.FrameTime() * 1e3
+	if ms < 16.4 || ms > 16.8 {
+		t.Errorf("HDTV frame time %.3f ms, want ~16.6 (paper Section 5)", ms)
+	}
+	fps := rep.Throughput.FPS()
+	if fps < 59.5 || fps > 61 {
+		t.Errorf("fps %.2f, want ~60", fps)
+	}
+	t.Logf("HDTV extraction: %v", rep.Throughput)
+}
+
+func TestResultBlockIndexing(t *testing.T) {
+	img := randomImage(32, 32, 7)
+	res, _, err := RunFrame(img, DefaultConfig(), 125e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BlocksX != 4 || res.BlocksY != 4 || res.BlockLen != 36 {
+		t.Fatalf("result dims %dx%dx%d", res.BlocksX, res.BlocksY, res.BlockLen)
+	}
+	b := res.Block(1, 2)
+	if len(b) != 36 {
+		t.Fatal("block slice length wrong")
+	}
+	// Aliasing: writing through the slice is visible.
+	old := b[0]
+	b[0] = old + 1
+	if res.Block(1, 2)[0] != old+1 {
+		t.Error("Block does not alias the result")
+	}
+}
+
+// TestRunFrameSizesProperty: the streaming extractor matches the software
+// pipeline dimensionally and numerically across frame geometries, including
+// sizes that are not multiples of the cell size.
+func TestRunFrameSizesProperty(t *testing.T) {
+	for _, dims := range [][2]int{{64, 64}, {72, 56}, {65, 71}, {129, 130}, {96, 200}} {
+		w, h := dims[0], dims[1]
+		img := randomImage(w, h, int64(w*1000+h))
+		res, rep, err := RunFrame(img, DefaultConfig(), 125e6)
+		if err != nil {
+			t.Fatalf("%dx%d: %v", w, h, err)
+		}
+		sw, err := hog.Compute(img, hog.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.BlocksX != sw.BlocksX || res.BlocksY != sw.BlocksY {
+			t.Fatalf("%dx%d: hw grid %dx%d vs sw %dx%d", w, h,
+				res.BlocksX, res.BlocksY, sw.BlocksX, sw.BlocksY)
+		}
+		// Cycle accounting stays ~1 px/cycle. A partial bottom band (h not
+		// a multiple of the cell size) completes as soon as the last full
+		// band is emitted, so the lower bound is the consumed rows.
+		consumed := int64(sw.BlocksY*8) * int64(w)
+		if rep.Cycles < consumed || rep.Cycles > int64(w*h)+int64(w)+256 {
+			t.Fatalf("%dx%d: cycles %d outside [%d, %d]", w, h, rep.Cycles,
+				consumed, int64(w*h)+int64(w)+256)
+		}
+		// Spot-check feature agreement on the center block.
+		hw := res.ToFeatureMap(hog.DefaultConfig())
+		bx, by := sw.BlocksX/2, sw.BlocksY/2
+		a, b := hw.Block(bx, by), sw.Block(bx, by)
+		var dot, na, nb float64
+		for i := range a {
+			dot += a[i] * b[i]
+			na += a[i] * a[i]
+			nb += b[i] * b[i]
+		}
+		if na > 0 && nb > 0 && dot/math.Sqrt(na*nb) < 0.97 {
+			t.Fatalf("%dx%d: center block cosine %.4f", w, h, dot/math.Sqrt(na*nb))
+		}
+	}
+}

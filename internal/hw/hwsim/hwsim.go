@@ -1,0 +1,192 @@
+// Package hwsim is a small cycle-driven simulation kernel for modelling the
+// paper's FPGA accelerator. Components are ticked once per clock cycle and
+// exchange data through bounded FIFOs with backpressure, which is how the
+// real design's pipeline stages communicate through their temporary
+// storage elements (Section 5).
+//
+// The kernel is deliberately minimal: a deterministic single-clock
+// synchronous model, sufficient to reproduce the paper's cycle counts and
+// to check functional equivalence against the software pipeline.
+package hwsim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Component is a synchronous hardware block. Tick is called exactly once
+// per clock cycle, in registration order; a component reads its inputs and
+// writes its outputs within the tick (two-phase semantics are the
+// component's responsibility where ordering matters).
+type Component interface {
+	// Name identifies the component in reports.
+	Name() string
+	// Tick advances the component by one clock cycle.
+	Tick(cycle int64)
+}
+
+// Sim drives a set of components from a single clock.
+type Sim struct {
+	comps []Component
+	cycle int64
+}
+
+// NewSim returns an empty simulation at cycle 0.
+func NewSim() *Sim { return &Sim{} }
+
+// Add registers components in tick order.
+func (s *Sim) Add(cs ...Component) {
+	s.comps = append(s.comps, cs...)
+}
+
+// Cycle returns the number of cycles elapsed.
+func (s *Sim) Cycle() int64 { return s.cycle }
+
+// Step advances the simulation by n cycles.
+func (s *Sim) Step(n int64) {
+	for i := int64(0); i < n; i++ {
+		for _, c := range s.comps {
+			c.Tick(s.cycle)
+		}
+		s.cycle++
+	}
+}
+
+// ErrTimeout reports that RunUntil hit its cycle budget.
+var ErrTimeout = errors.New("hwsim: cycle budget exhausted")
+
+// RunUntil steps the clock until done() reports true (checked after each
+// cycle) or max cycles elapse. It returns the cycle count at completion.
+func (s *Sim) RunUntil(done func() bool, max int64) (int64, error) {
+	for i := int64(0); i < max; i++ {
+		s.Step(1)
+		if done() {
+			return s.cycle, nil
+		}
+	}
+	return s.cycle, fmt.Errorf("%w (after %d cycles)", ErrTimeout, max)
+}
+
+// FIFO is a bounded synchronous queue between pipeline stages. A zero
+// capacity is invalid. Push and Pop within the same cycle are permitted
+// (forwarding through the buffer).
+type FIFO[T any] struct {
+	name string
+	buf  []T
+	cap  int
+
+	// Stats.
+	pushes, pops int64
+	fullStalls   int64
+	emptyStalls  int64
+	maxOccupancy int
+}
+
+// NewFIFO returns a FIFO with the given capacity. It panics on non-positive
+// capacity.
+func NewFIFO[T any](name string, capacity int) *FIFO[T] {
+	if capacity <= 0 {
+		panic("hwsim: FIFO capacity must be positive")
+	}
+	return &FIFO[T]{name: name, cap: capacity}
+}
+
+// Name returns the FIFO's label.
+func (f *FIFO[T]) Name() string { return f.name }
+
+// Len returns the current occupancy.
+func (f *FIFO[T]) Len() int { return len(f.buf) }
+
+// Cap returns the capacity.
+func (f *FIFO[T]) Cap() int { return f.cap }
+
+// CanPush reports whether a push would succeed this cycle.
+func (f *FIFO[T]) CanPush() bool { return len(f.buf) < f.cap }
+
+// Push enqueues v, reporting success. A failed push is recorded as a
+// full-stall.
+func (f *FIFO[T]) Push(v T) bool {
+	if len(f.buf) >= f.cap {
+		f.fullStalls++
+		return false
+	}
+	f.buf = append(f.buf, v)
+	f.pushes++
+	if len(f.buf) > f.maxOccupancy {
+		f.maxOccupancy = len(f.buf)
+	}
+	return true
+}
+
+// Pop dequeues the oldest element. A failed pop is recorded as an
+// empty-stall.
+func (f *FIFO[T]) Pop() (T, bool) {
+	var zero T
+	if len(f.buf) == 0 {
+		f.emptyStalls++
+		return zero, false
+	}
+	v := f.buf[0]
+	f.buf = f.buf[1:]
+	f.pops++
+	return v, true
+}
+
+// Peek returns the oldest element without removing it.
+func (f *FIFO[T]) Peek() (T, bool) {
+	var zero T
+	if len(f.buf) == 0 {
+		return zero, false
+	}
+	return f.buf[0], true
+}
+
+// Stats summarizes FIFO traffic for throughput analysis.
+type Stats struct {
+	Name         string
+	Pushes, Pops int64
+	FullStalls   int64
+	EmptyStalls  int64
+	MaxOccupancy int
+}
+
+// Stats returns a snapshot of the FIFO counters.
+func (f *FIFO[T]) Stats() Stats {
+	return Stats{
+		Name:         f.name,
+		Pushes:       f.pushes,
+		Pops:         f.pops,
+		FullStalls:   f.fullStalls,
+		EmptyStalls:  f.emptyStalls,
+		MaxOccupancy: f.maxOccupancy,
+	}
+}
+
+// Throughput describes a block's processing rate at a given clock.
+type Throughput struct {
+	CyclesPerFrame int64
+	ClockHz        float64
+}
+
+// FrameTime returns the seconds needed per frame.
+func (t Throughput) FrameTime() float64 {
+	if t.ClockHz <= 0 {
+		return 0
+	}
+	return float64(t.CyclesPerFrame) / t.ClockHz
+}
+
+// FPS returns the frames per second the block sustains.
+func (t Throughput) FPS() float64 {
+	ft := t.FrameTime()
+	if ft <= 0 {
+		return 0
+	}
+	return 1 / ft
+}
+
+// String implements fmt.Stringer.
+func (t Throughput) String() string {
+	return fmt.Sprintf("%d cycles/frame = %.2f ms = %.1f fps @ %.0f MHz",
+		t.CyclesPerFrame, t.FrameTime()*1e3, t.FPS(), t.ClockHz/1e6)
+}

@@ -1,0 +1,156 @@
+package hwsim
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+// counter is a trivial component that increments once per tick.
+type counter struct {
+	n     int64
+	ticks []int64
+}
+
+func (c *counter) Name() string { return "counter" }
+func (c *counter) Tick(cycle int64) {
+	c.n++
+	c.ticks = append(c.ticks, cycle)
+}
+
+func TestSimStep(t *testing.T) {
+	s := NewSim()
+	c := &counter{}
+	s.Add(c)
+	s.Step(10)
+	if c.n != 10 || s.Cycle() != 10 {
+		t.Fatalf("ticks %d, cycle %d, want 10", c.n, s.Cycle())
+	}
+	// Cycles are passed in order starting at 0.
+	for i, cyc := range c.ticks {
+		if cyc != int64(i) {
+			t.Fatalf("tick %d saw cycle %d", i, cyc)
+		}
+	}
+}
+
+func TestSimTickOrder(t *testing.T) {
+	s := NewSim()
+	var order []string
+	mk := func(name string) Component { return tickFunc{name, func(int64) { order = append(order, name) }} }
+	s.Add(mk("a"), mk("b"), mk("c"))
+	s.Step(2)
+	want := []string{"a", "b", "c", "a", "b", "c"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("tick order %v, want %v", order, want)
+		}
+	}
+}
+
+type tickFunc struct {
+	name string
+	f    func(int64)
+}
+
+func (t tickFunc) Name() string     { return t.name }
+func (t tickFunc) Tick(cycle int64) { t.f(cycle) }
+
+func TestRunUntil(t *testing.T) {
+	s := NewSim()
+	c := &counter{}
+	s.Add(c)
+	cycles, err := s.RunUntil(func() bool { return c.n >= 5 }, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cycles != 5 {
+		t.Errorf("completed at cycle %d, want 5", cycles)
+	}
+	_, err = s.RunUntil(func() bool { return false }, 10)
+	if !errors.Is(err, ErrTimeout) {
+		t.Errorf("expected timeout, got %v", err)
+	}
+}
+
+func TestFIFOBasics(t *testing.T) {
+	f := NewFIFO[int]("x", 2)
+	if f.Name() != "x" || f.Cap() != 2 || f.Len() != 0 {
+		t.Fatal("constructor fields wrong")
+	}
+	if !f.Push(1) || !f.Push(2) {
+		t.Fatal("pushes into empty FIFO failed")
+	}
+	if f.Push(3) {
+		t.Fatal("push into full FIFO succeeded")
+	}
+	if v, ok := f.Peek(); !ok || v != 1 {
+		t.Fatal("peek wrong")
+	}
+	if v, ok := f.Pop(); !ok || v != 1 {
+		t.Fatal("pop order wrong")
+	}
+	if v, ok := f.Pop(); !ok || v != 2 {
+		t.Fatal("pop order wrong")
+	}
+	if _, ok := f.Pop(); ok {
+		t.Fatal("pop from empty FIFO succeeded")
+	}
+	st := f.Stats()
+	if st.Pushes != 2 || st.Pops != 2 || st.FullStalls != 1 || st.EmptyStalls != 1 || st.MaxOccupancy != 2 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestFIFOPanicsOnZeroCap(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero-capacity FIFO should panic")
+		}
+	}()
+	NewFIFO[int]("bad", 0)
+}
+
+// Property: a FIFO preserves order for any push/pop interleaving.
+func TestFIFOOrderProperty(t *testing.T) {
+	f := func(ops []bool) bool {
+		fifo := NewFIFO[int]("p", 8)
+		next := 0
+		expect := 0
+		for _, push := range ops {
+			if push {
+				if fifo.Push(next) {
+					next++
+				}
+			} else if v, ok := fifo.Pop(); ok {
+				if v != expect {
+					return false
+				}
+				expect++
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	// The paper's headline: 2,073,600 cycles (HDTV pixels at 1 px/cycle)
+	// at 125 MHz is 16.6 ms, i.e. 60 fps.
+	tp := Throughput{CyclesPerFrame: 1920 * 1080, ClockHz: 125e6}
+	if ft := tp.FrameTime() * 1e3; ft < 16.5 || ft > 16.7 {
+		t.Errorf("frame time %.3f ms, want ~16.6", ft)
+	}
+	if fps := tp.FPS(); fps < 60 || fps > 60.5 {
+		t.Errorf("fps %.2f, want ~60.3", fps)
+	}
+	if tp.String() == "" {
+		t.Error("empty throughput string")
+	}
+	var zero Throughput
+	if zero.FrameTime() != 0 || zero.FPS() != 0 {
+		t.Error("zero throughput should not divide by zero")
+	}
+}

@@ -1,0 +1,268 @@
+// Package nhogmem models the banked normalized-HOG feature memory of the
+// accelerator (NHOGMem). Hemmati et al. [DSD'14] store normalized block
+// features in 16 memory banks, with cells divided into four parity groups
+// (LU, RU, LB, RB); this paper reuses the structure but shrinks the buffer
+// from 135 cell rows to an 18-row ring, just deep enough to cover the
+// 16-cell-row detection window plus write-ahead slack (Section 5).
+//
+// The bank mapping implemented here — bank = group*4 + (cy/2) mod 4 with
+// group = (cx mod 2) + 2*(cy mod 2) — is a concrete instantiation
+// consistent with the published description, and it reproduces the paper's
+// headline schedule: the features of two adjacent block columns (32 blocks,
+// 1152 words) are read conflict-free in exactly 72 cycles by circling
+// through the four groups, saturating all 16 banks at one word per cycle.
+package nhogmem
+
+import (
+	"fmt"
+)
+
+// Group identifies the four cell parity groups of [DSD'14].
+type Group int
+
+// The four parity groups: left/right x upper/bottom.
+const (
+	LU Group = iota // even cx, even cy
+	RU              // odd cx, even cy
+	LB              // even cx, odd cy
+	RB              // odd cx, odd cy
+)
+
+// String implements fmt.Stringer.
+func (g Group) String() string {
+	switch g {
+	case LU:
+		return "LU"
+	case RU:
+		return "RU"
+	case LB:
+		return "LB"
+	case RB:
+		return "RB"
+	}
+	return fmt.Sprintf("Group(%d)", int(g))
+}
+
+// GroupOf returns the parity group of cell (cx, cy).
+func GroupOf(cx, cy int) Group {
+	return Group((cx & 1) | ((cy & 1) << 1))
+}
+
+// NumBanks is the number of physical memory banks (16, per the paper).
+const NumBanks = 16
+
+// BankOf returns the bank holding the block vector of cell (cx, cy): four
+// banks per parity group, striped by (cy/2) mod 4.
+func BankOf(cx, cy int) int {
+	return int(GroupOf(cx, cy))*4 + ((cy >> 1) & 3)
+}
+
+// Config sizes the memory.
+type Config struct {
+	CellsX   int // cells per frame row
+	Rows     int // cell rows buffered (18 in this paper, 135 in [DSD'14])
+	BlockLen int // words per block vector (36)
+	WordBits int // bits per feature word (16)
+}
+
+// DefaultConfig returns the paper's 18-row HDTV configuration.
+func DefaultConfig() Config {
+	return Config{CellsX: 240, Rows: 18, BlockLen: 36, WordBits: 16}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.CellsX < 2 || c.Rows < 2 || c.BlockLen < 1 || c.WordBits < 1 {
+		return fmt.Errorf("nhogmem: invalid config %+v", c)
+	}
+	return nil
+}
+
+// BitsPerBank returns the storage capacity one bank must provide.
+func (c Config) BitsPerBank() int {
+	words := (c.CellsX*c.Rows + NumBanks - 1) / NumBanks * c.BlockLen
+	return words * c.WordBits
+}
+
+// TotalBits returns the whole memory's capacity in bits.
+func (c Config) TotalBits() int { return c.BitsPerBank() * NumBanks }
+
+// Mem is the behavioural model: a ring buffer of cell rows, each cell
+// holding one BlockLen-word vector, with bank-accurate address mapping and
+// per-cycle port-conflict accounting.
+type Mem struct {
+	cfg Config
+	// rows[r mod Rows] holds cell row r while resident.
+	data    [][]int64 // [Rows][CellsX*BlockLen]
+	rowTag  []int     // which absolute row currently occupies each slot (-1 empty)
+	headRow int       // next absolute row to be written
+
+	// Stats.
+	Writes, Reads int64
+	Evictions     int64
+}
+
+// New allocates the memory model.
+func New(cfg Config) (*Mem, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Mem{cfg: cfg}
+	m.data = make([][]int64, cfg.Rows)
+	m.rowTag = make([]int, cfg.Rows)
+	for i := range m.data {
+		m.data[i] = make([]int64, cfg.CellsX*cfg.BlockLen)
+		m.rowTag[i] = -1
+	}
+	return m, nil
+}
+
+// Config returns the memory geometry.
+func (m *Mem) Config() Config { return m.cfg }
+
+// WriteRow stores a full cell row of block vectors (the unit the normalizer
+// emits), evicting the oldest resident row if the ring is full. Rows must
+// arrive in order.
+func (m *Mem) WriteRow(cy int, blocks [][]int64) error {
+	if cy != m.headRow {
+		return fmt.Errorf("nhogmem: row %d written out of order (want %d)", cy, m.headRow)
+	}
+	if len(blocks) != m.cfg.CellsX {
+		return fmt.Errorf("nhogmem: row has %d cells, want %d", len(blocks), m.cfg.CellsX)
+	}
+	slot := cy % m.cfg.Rows
+	if m.rowTag[slot] >= 0 {
+		m.Evictions++
+	}
+	for cx, b := range blocks {
+		if len(b) != m.cfg.BlockLen {
+			return fmt.Errorf("nhogmem: cell %d has %d words, want %d", cx, len(b), m.cfg.BlockLen)
+		}
+		copy(m.data[slot][cx*m.cfg.BlockLen:(cx+1)*m.cfg.BlockLen], b)
+	}
+	m.rowTag[slot] = cy
+	m.headRow++
+	m.Writes += int64(m.cfg.CellsX * m.cfg.BlockLen)
+	return nil
+}
+
+// Resident reports whether cell row cy is currently buffered.
+func (m *Mem) Resident(cy int) bool {
+	if cy < 0 {
+		return false
+	}
+	return m.rowTag[cy%m.cfg.Rows] == cy
+}
+
+// Read fetches word elem of the block vector of cell (cx, cy). It fails if
+// the row has been evicted (read too late) or not yet written (read too
+// early) — the timing errors the 18-row sizing must avoid.
+func (m *Mem) Read(cx, cy, elem int) (int64, error) {
+	if cx < 0 || cx >= m.cfg.CellsX {
+		return 0, fmt.Errorf("nhogmem: cx %d out of range", cx)
+	}
+	if elem < 0 || elem >= m.cfg.BlockLen {
+		return 0, fmt.Errorf("nhogmem: element %d out of range", elem)
+	}
+	if !m.Resident(cy) {
+		return 0, fmt.Errorf("nhogmem: cell row %d not resident (head %d, depth %d)",
+			cy, m.headRow, m.cfg.Rows)
+	}
+	m.Reads++
+	return m.data[cy%m.cfg.Rows][cx*m.cfg.BlockLen+elem], nil
+}
+
+// Access describes one bank read in a schedule.
+type Access struct {
+	Cycle int // cycle offset within the schedule
+	Bank  int
+	Cx    int // cell x of the block
+	Cy    int // cell y of the block
+	Elem  int // word index within the block vector
+}
+
+// PairSchedule builds the conflict-free 72-cycle read schedule for the two
+// adjacent block columns (cx0, cx0+1) of a window whose top cell row is
+// cyTop and whose height is windowCells rows (16). Each of the 32 blocks
+// belongs to exactly one bank; every bank serves exactly two blocks,
+// streaming one word per cycle for 36 cycles each.
+func PairSchedule(cx0, cyTop, windowCells, blockLen int) ([]Access, error) {
+	if windowCells%2 != 0 {
+		return nil, fmt.Errorf("nhogmem: window height %d cells must be even", windowCells)
+	}
+	type blockRef struct{ cx, cy int }
+	perBank := make(map[int][]blockRef)
+	for dx := 0; dx < 2; dx++ {
+		for dy := 0; dy < windowCells; dy++ {
+			cx, cy := cx0+dx, cyTop+dy
+			b := BankOf(cx, cy)
+			perBank[b] = append(perBank[b], blockRef{cx, cy})
+		}
+	}
+	// Feasibility: the mapping must give every bank the same load.
+	want := 2 * windowCells / NumBanks
+	for b := 0; b < NumBanks; b++ {
+		if len(perBank[b]) != want {
+			return nil, fmt.Errorf("nhogmem: bank %d serves %d blocks, want %d (mapping imbalance)",
+				b, len(perBank[b]), want)
+		}
+	}
+	var sched []Access
+	for b := 0; b < NumBanks; b++ {
+		for slot, ref := range perBank[b] {
+			for e := 0; e < blockLen; e++ {
+				sched = append(sched, Access{
+					Cycle: slot*blockLen + e,
+					Bank:  b,
+					Cx:    ref.cx,
+					Cy:    ref.cy,
+					Elem:  e,
+				})
+			}
+		}
+	}
+	return sched, nil
+}
+
+// CheckConflictFree verifies that no bank is read twice in the same cycle.
+func CheckConflictFree(sched []Access) error {
+	seen := make(map[[2]int]bool, len(sched))
+	for _, a := range sched {
+		key := [2]int{a.Cycle, a.Bank}
+		if seen[key] {
+			return fmt.Errorf("nhogmem: bank %d read twice in cycle %d", a.Bank, a.Cycle)
+		}
+		seen[key] = true
+	}
+	return nil
+}
+
+// ScheduleCycles returns the makespan of a schedule (last cycle + 1).
+func ScheduleCycles(sched []Access) int {
+	max := -1
+	for _, a := range sched {
+		if a.Cycle > max {
+			max = a.Cycle
+		}
+	}
+	return max + 1
+}
+
+// ExecuteSchedule runs a schedule against the memory, returning the words
+// grouped by block (keyed "cx,cy") in element order. It fails on any
+// non-resident access, making eviction bugs loud.
+func (m *Mem) ExecuteSchedule(sched []Access) (map[[2]int][]int64, error) {
+	out := make(map[[2]int][]int64)
+	for _, a := range sched {
+		v, err := m.Read(a.Cx, a.Cy, a.Elem)
+		if err != nil {
+			return nil, err
+		}
+		key := [2]int{a.Cx, a.Cy}
+		if out[key] == nil {
+			out[key] = make([]int64, m.cfg.BlockLen)
+		}
+		out[key][a.Elem] = v
+	}
+	return out, nil
+}

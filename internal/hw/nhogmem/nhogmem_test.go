@@ -1,0 +1,304 @@
+package nhogmem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGroupOf(t *testing.T) {
+	cases := []struct {
+		cx, cy int
+		want   Group
+	}{
+		{0, 0, LU}, {1, 0, RU}, {0, 1, LB}, {1, 1, RB},
+		{2, 2, LU}, {3, 5, RB},
+	}
+	for _, c := range cases {
+		if got := GroupOf(c.cx, c.cy); got != c.want {
+			t.Errorf("GroupOf(%d,%d) = %v, want %v", c.cx, c.cy, got, c.want)
+		}
+	}
+	for _, g := range []Group{LU, RU, LB, RB, Group(9)} {
+		if g.String() == "" {
+			t.Error("empty group name")
+		}
+	}
+}
+
+func TestBankOfRange(t *testing.T) {
+	seen := make(map[int]bool)
+	for cy := 0; cy < 8; cy++ {
+		for cx := 0; cx < 2; cx++ {
+			b := BankOf(cx, cy)
+			if b < 0 || b >= NumBanks {
+				t.Fatalf("bank %d out of range", b)
+			}
+			seen[b] = true
+		}
+	}
+	if len(seen) != 16 {
+		t.Errorf("a 2x8 cell tile hits %d banks, want all 16", len(seen))
+	}
+}
+
+// Property: any two adjacent columns over any 16 consecutive cell rows give
+// every bank exactly two blocks — the invariant behind the 72-cycle pair
+// schedule.
+func TestBankBalanceProperty(t *testing.T) {
+	f := func(cx0u, cyu uint8) bool {
+		cx0, cy := int(cx0u), int(cyu)
+		count := make(map[int]int)
+		for dx := 0; dx < 2; dx++ {
+			for dy := 0; dy < 16; dy++ {
+				count[BankOf(cx0+dx, cy+dy)]++
+			}
+		}
+		if len(count) != NumBanks {
+			return false
+		}
+		for _, c := range count {
+			if c != 2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConfigBits(t *testing.T) {
+	cfg := DefaultConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 240 cells x 18 rows / 16 banks = 270 blocks/bank x 36 words x 16 bits.
+	if got, want := cfg.BitsPerBank(), 270*36*16; got != want {
+		t.Errorf("BitsPerBank = %d, want %d", got, want)
+	}
+	if cfg.TotalBits() != cfg.BitsPerBank()*16 {
+		t.Error("TotalBits inconsistent")
+	}
+	bad := cfg
+	bad.Rows = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero rows should fail validation")
+	}
+}
+
+// Test18RowsVsDSD14: the paper's memory reduction claim. 18 rows cost
+// ~7.5x less than the 135 rows of [DSD'14].
+func Test18RowsVsDSD14(t *testing.T) {
+	this := DefaultConfig()
+	old := DefaultConfig()
+	old.Rows = 135
+	ratio := float64(old.TotalBits()) / float64(this.TotalBits())
+	if ratio < 7 || ratio > 8 {
+		t.Errorf("135/18 row memory ratio = %.2f, want 7.5", ratio)
+	}
+}
+
+func mkRow(cfg Config, cy int) [][]int64 {
+	row := make([][]int64, cfg.CellsX)
+	for cx := range row {
+		b := make([]int64, cfg.BlockLen)
+		for e := range b {
+			b[e] = int64(cy*1000000 + cx*100 + e)
+		}
+		row[cx] = b
+	}
+	return row
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	cfg := Config{CellsX: 8, Rows: 4, BlockLen: 36, WordBits: 16}
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cy := 0; cy < 3; cy++ {
+		if err := m.WriteRow(cy, mkRow(cfg, cy)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, err := m.Read(5, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 2000507 {
+		t.Errorf("read %d, want 2000507", v)
+	}
+}
+
+func TestWriteRowErrors(t *testing.T) {
+	cfg := Config{CellsX: 4, Rows: 4, BlockLen: 4, WordBits: 16}
+	m, _ := New(cfg)
+	if err := m.WriteRow(1, mkRow(cfg, 1)); err == nil {
+		t.Error("out-of-order write should fail")
+	}
+	if err := m.WriteRow(0, mkRow(cfg, 0)[:2]); err == nil {
+		t.Error("short row should fail")
+	}
+	bad := mkRow(cfg, 0)
+	bad[0] = bad[0][:1]
+	if err := m.WriteRow(0, bad); err == nil {
+		t.Error("short block should fail")
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	cfg := Config{CellsX: 4, Rows: 3, BlockLen: 4, WordBits: 16}
+	m, _ := New(cfg)
+	for cy := 0; cy < 5; cy++ {
+		if err := m.WriteRow(cy, mkRow(cfg, cy)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Rows 0 and 1 are evicted; 2..4 resident.
+	if m.Resident(0) || m.Resident(1) {
+		t.Error("old rows should be evicted")
+	}
+	for cy := 2; cy <= 4; cy++ {
+		if !m.Resident(cy) {
+			t.Errorf("row %d should be resident", cy)
+		}
+	}
+	if _, err := m.Read(0, 0, 0); err == nil {
+		t.Error("reading an evicted row should fail")
+	}
+	if m.Evictions != 2 {
+		t.Errorf("evictions = %d, want 2", m.Evictions)
+	}
+}
+
+func TestReadBoundsErrors(t *testing.T) {
+	cfg := Config{CellsX: 4, Rows: 3, BlockLen: 4, WordBits: 16}
+	m, _ := New(cfg)
+	m.WriteRow(0, mkRow(cfg, 0))
+	if _, err := m.Read(-1, 0, 0); err == nil {
+		t.Error("negative cx should fail")
+	}
+	if _, err := m.Read(0, 0, 99); err == nil {
+		t.Error("element out of range should fail")
+	}
+	if _, err := m.Read(0, 7, 0); err == nil {
+		t.Error("not-yet-written row should fail")
+	}
+}
+
+// TestPairSchedule72Cycles is experiment E8: the features of two adjacent
+// block columns are read in exactly 72 conflict-free cycles.
+func TestPairSchedule72Cycles(t *testing.T) {
+	sched, err := PairSchedule(3, 1, 16, 36)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ScheduleCycles(sched); got != 72 {
+		t.Errorf("pair schedule takes %d cycles, want 72 (paper Section 5)", got)
+	}
+	if err := CheckConflictFree(sched); err != nil {
+		t.Error(err)
+	}
+	// 32 blocks x 36 words.
+	if len(sched) != 1152 {
+		t.Errorf("schedule has %d accesses, want 1152", len(sched))
+	}
+}
+
+// Property: the pair schedule is conflict-free for every window position.
+func TestPairScheduleConflictFreeProperty(t *testing.T) {
+	f := func(cxu, cyu uint8) bool {
+		sched, err := PairSchedule(int(cxu), int(cyu), 16, 36)
+		if err != nil {
+			return false
+		}
+		return CheckConflictFree(sched) == nil && ScheduleCycles(sched) == 72
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPairScheduleOddWindowRejected(t *testing.T) {
+	if _, err := PairSchedule(0, 0, 15, 36); err == nil {
+		t.Error("odd window height should be rejected")
+	}
+}
+
+func TestExecuteScheduleMatchesContents(t *testing.T) {
+	cfg := Config{CellsX: 8, Rows: 18, BlockLen: 36, WordBits: 16}
+	m, _ := New(cfg)
+	for cy := 0; cy < 17; cy++ {
+		if err := m.WriteRow(cy, mkRow(cfg, cy)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sched, err := PairSchedule(2, 0, 16, 36)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks, err := m.ExecuteSchedule(sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 32 {
+		t.Fatalf("fetched %d blocks, want 32", len(blocks))
+	}
+	for key, vec := range blocks {
+		cx, cy := key[0], key[1]
+		for e, v := range vec {
+			want := int64(cy*1000000 + cx*100 + e)
+			if v != want {
+				t.Fatalf("block (%d,%d) elem %d = %d, want %d", cx, cy, e, v, want)
+			}
+		}
+	}
+}
+
+// Test18RowsSufficientForWindow: the paper's core memory claim — an 18-row
+// ring supports reading a full 16-row window while 2 rows of write-ahead
+// continue.
+func Test18RowsSufficientForWindow(t *testing.T) {
+	cfg := Config{CellsX: 8, Rows: 18, BlockLen: 36, WordBits: 16}
+	m, _ := New(cfg)
+	// Fill 18 rows (0..17).
+	for cy := 0; cy < 18; cy++ {
+		if err := m.WriteRow(cy, mkRow(cfg, cy)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A window over rows 2..17 must be fully readable...
+	sched, err := PairSchedule(0, 2, 16, 36)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ExecuteSchedule(sched); err != nil {
+		t.Fatalf("window over last 16 rows failed: %v", err)
+	}
+	// ...and writing 2 more rows evicts rows 0-1 but keeps 4..19 readable.
+	for cy := 18; cy < 20; cy++ {
+		if err := m.WriteRow(cy, mkRow(cfg, cy)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sched, err = PairSchedule(0, 4, 16, 36)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ExecuteSchedule(sched); err != nil {
+		t.Fatalf("window after write-ahead failed: %v", err)
+	}
+	// A 16-row ring would NOT support the same pattern.
+	small := Config{CellsX: 8, Rows: 16, BlockLen: 36, WordBits: 16}
+	ms, _ := New(small)
+	for cy := 0; cy < 18; cy++ {
+		if err := ms.WriteRow(cy, mkRow(small, cy)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sched, _ = PairSchedule(0, 1, 16, 36)
+	if _, err := ms.ExecuteSchedule(sched); err == nil {
+		t.Error("16-row ring should fail the overlapped read pattern")
+	}
+}

@@ -1,0 +1,311 @@
+// Package resource provides the FPGA resource model used to reproduce the
+// paper's Table 2 (utilization of the two-scale accelerator on a Zynq
+// ZC7020). Every module of the design contributes a parameterized cost in
+// LUTs, flip-flops, LUTRAM, block RAM, DSP slices and clock buffers; the
+// whole-design rollup is compared against the published numbers.
+//
+// Cost coefficients are calibrated once, from first principles where
+// possible (BRAM from bit capacity, DSPs from multiplier allocation) and
+// against Table 2 for the per-unit LUT/FF constants; the calibration is
+// documented next to each constant. The model's purpose is the same as any
+// architectural cost model: relative comparisons (ablation over MACBAR
+// count, memory depth, scale count) anchored to one published design point.
+package resource
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Usage is one module's (or the whole design's) resource footprint.
+type Usage struct {
+	LUT    float64
+	FF     float64
+	LUTRAM float64
+	BRAM   float64 // 36-kb block equivalents (halves allowed, as in Table 2)
+	DSP    float64 // DSP48 slices
+	BUFG   float64
+}
+
+// Add returns the element-wise sum.
+func (u Usage) Add(v Usage) Usage {
+	return Usage{
+		LUT:    u.LUT + v.LUT,
+		FF:     u.FF + v.FF,
+		LUTRAM: u.LUTRAM + v.LUTRAM,
+		BRAM:   u.BRAM + v.BRAM,
+		DSP:    u.DSP + v.DSP,
+		BUFG:   u.BUFG + v.BUFG,
+	}
+}
+
+// Scale returns the footprint multiplied by k.
+func (u Usage) Scale(k float64) Usage {
+	return Usage{
+		LUT:    u.LUT * k,
+		FF:     u.FF * k,
+		LUTRAM: u.LUTRAM * k,
+		BRAM:   u.BRAM * k,
+		DSP:    u.DSP * k,
+		BUFG:   u.BUFG * k,
+	}
+}
+
+// String implements fmt.Stringer.
+func (u Usage) String() string {
+	return fmt.Sprintf("LUT %.0f  FF %.0f  LUTRAM %.0f  BRAM %.1f  DSP48 %.0f  BUFG %.0f",
+		u.LUT, u.FF, u.LUTRAM, u.BRAM, u.DSP, u.BUFG)
+}
+
+// ZC7020 capacity, for utilization percentages (Zynq XC7Z020: 53,200 LUTs,
+// 106,400 FFs, 17,400 LUTRAM-capable LUTs, 140 BRAM36, 220 DSP48E1, 32 BUFG).
+var ZC7020 = Usage{LUT: 53200, FF: 106400, LUTRAM: 17400, BRAM: 140, DSP: 220, BUFG: 32}
+
+// Percent returns the utilization of u against a device capacity.
+func (u Usage) Percent(device Usage) Usage {
+	pct := func(a, b float64) float64 {
+		if b == 0 {
+			return 0
+		}
+		return 100 * a / b
+	}
+	return Usage{
+		LUT:    pct(u.LUT, device.LUT),
+		FF:     pct(u.FF, device.FF),
+		LUTRAM: pct(u.LUTRAM, device.LUTRAM),
+		BRAM:   pct(u.BRAM, device.BRAM),
+		DSP:    pct(u.DSP, device.DSP),
+		BUFG:   pct(u.BUFG, device.BUFG),
+	}
+}
+
+// Table2 is the paper's published utilization of the whole accelerator.
+var Table2 = Usage{LUT: 26051, FF: 40190, LUTRAM: 383, BRAM: 98.5, DSP: 18, BUFG: 1}
+
+// DesignParams describes an accelerator configuration to cost.
+type DesignParams struct {
+	// Frame geometry.
+	CellsX int // cells per frame row (240 for HDTV)
+	// NHOGMem depth in cell rows (18).
+	MemRows int
+	// FeatureBits is the feature word width (16).
+	FeatureBits int
+	// Scales is the number of detection scales (2 in the paper).
+	Scales int
+	// Classes is the number of object classes; each scale hosts one SVM
+	// classifier instance per class (the paper's "several instances of SVM
+	// classifiers ... multiple object detection"). 0 means 1.
+	Classes int
+	// MACBARs and MACsPerBar size each SVM classifier instance (8, 16).
+	MACBARs, MACsPerBar int
+	// BlockLen is the words per block (36).
+	BlockLen int
+	// ScalerPhases is the number of distinct interpolation phases per
+	// scaler stage (shift-add networks instantiated).
+	ScalerPhases int
+	// ScaleStep is the ratio between adjacent scales; it sizes each scaled
+	// level's temporary feature memory. The paper never states its second
+	// scale's ratio; 2.25 reproduces both the ~1.2M-cycle classifier count
+	// and the BRAM budget (see the accel package and EXPERIMENTS.md).
+	ScaleStep float64
+}
+
+// PaperParams returns the published design point.
+func PaperParams() DesignParams {
+	return DesignParams{
+		CellsX:       240,
+		MemRows:      18,
+		FeatureBits:  16,
+		Scales:       2,
+		MACBARs:      8,
+		MACsPerBar:   16,
+		BlockLen:     36,
+		ScalerPhases: 8,
+		ScaleStep:    2.25,
+	}
+}
+
+// Module is one named line of the utilization breakdown.
+type Module struct {
+	Name  string
+	Usage Usage
+}
+
+// Breakdown is the per-module cost report.
+type Breakdown struct {
+	Modules []Module
+	Total   Usage
+}
+
+// Calibrated per-unit constants. Derivations:
+//
+//   - A 16x16-bit LUT-based multiply-accumulate lane costs ~150 LUTs and
+//     ~120 FFs in 7-series fabric (the design implements its 128 MACs in
+//     fabric — Table 2 shows only 18 DSPs, far fewer than the MAC count, so
+//     the MACs cannot be DSP-mapped).
+//   - The 18 DSP48s are allocated to the HOG pipeline's wide arithmetic:
+//     CORDIC/gain stages, the two L2-norm square/accumulate paths, and the
+//     normalization dividers.
+//   - BRAM is computed exactly from bit capacity: one BRAM36 holds 36 kb.
+//   - Line buffers (2 rows x 1920 x 8 bit = 30.7 kb) and the SVM column
+//     buffers are sized from geometry.
+//   - Control/AXI overhead absorbs the remainder to the published totals;
+//     its constants are the calibration residue.
+const (
+	// A fabric-mapped 16-bit serial-booth MAC lane: Table 2 shows only 18
+	// DSP48s against 256 MAC lanes (two scales), so the MACs must live in
+	// LUTs; ~60 LUTs and ~95 FFs per lane closes the published totals.
+	lutPerMAC = 60.0
+	ffPerMAC  = 95.0
+
+	lutPerShiftAddPhase = 220.0 // 4 CSD networks + combine tree per phase
+	ffPerShiftAddPhase  = 180.0
+
+	lutHOGPipe = 3600.0 // gradient, CORDIC, binning, accumulation control
+	ffHOGPipe  = 6200.0
+	dspHOGPipe = 12.0 // CORDIC gain stage, norm square/accumulate
+
+	lutNormalizer = 1500.0 // isqrt + two divider pipelines
+	ffNormalizer  = 2400.0
+	dspNormalizer = 6.0
+
+	lutControlBase = 1400.0 // frame control, address generators, result collation
+	ffControlBase  = 2200.0
+	lutramControl  = 383.0 // small distributed FIFOs (from Table 2)
+
+	ffPerClassifierPipe = 1400.0 // column buffers + partial-sum pipeline regs
+	lutPerClassifierCtl = 900.0
+)
+
+// bitsToBRAM converts a bit capacity to BRAM36 blocks, allowing half
+// blocks (RAMB18) like Table 2's 98.5.
+func bitsToBRAM(bits float64) float64 {
+	return math.Ceil(bits/18432) / 2 // count RAMB18s, report as halves of BRAM36
+}
+
+// Estimate produces the per-module breakdown for a design point.
+func Estimate(p DesignParams) (*Breakdown, error) {
+	if p.CellsX < 8 || p.MemRows < 2 || p.Scales < 1 || p.MACBARs < 1 ||
+		p.MACsPerBar < 1 || p.BlockLen < 1 || p.FeatureBits < 4 {
+		return nil, fmt.Errorf("resource: implausible design params %+v", p)
+	}
+	b := &Breakdown{}
+	add := func(name string, u Usage) {
+		b.Modules = append(b.Modules, Module{Name: name, Usage: u})
+		b.Total = b.Total.Add(u)
+	}
+
+	// HOG extractor: two pixel-row line buffers (cellsX*8 px @ 8bpp) plus
+	// the gradient/CORDIC/binning pipeline.
+	lineBufBits := float64(2 * p.CellsX * 8 * 8)
+	add("hog-extractor", Usage{
+		LUT:  lutHOGPipe,
+		FF:   ffHOGPipe,
+		BRAM: bitsToBRAM(lineBufBits),
+		DSP:  dspHOGPipe,
+	})
+
+	// Block normalizer.
+	cellRowBits := float64(p.CellsX * 9 * 24) // one cell row of 9 24-bit bins
+	add("block-normalizer", Usage{
+		LUT:  lutNormalizer,
+		FF:   ffNormalizer,
+		BRAM: bitsToBRAM(cellRowBits),
+		DSP:  dspNormalizer,
+	})
+
+	// NHOGMem: CellsX x MemRows blocks of BlockLen x FeatureBits.
+	memBits := float64(p.CellsX*p.MemRows) * float64(p.BlockLen*p.FeatureBits)
+	add("nhogmem", Usage{
+		LUT:  600, // bank address decode and arbitration
+		FF:   900,
+		BRAM: bitsToBRAM(memBits),
+	})
+
+	// Scaler chain: one stage per extra scale. Each scaled level also has
+	// its temporary feature memory (Figure 6), sized by that level's
+	// cell-column count at the same 18-row depth.
+	step := p.ScaleStep
+	if step <= 1 {
+		step = 2.25
+	}
+	for s := 1; s < p.Scales; s++ {
+		scaledCells := float64(p.CellsX) / math.Pow(step, float64(s))
+		stageBits := scaledCells * float64(p.MemRows) * float64(p.BlockLen*p.FeatureBits)
+		add(fmt.Sprintf("scaler-stage-%d", s), Usage{
+			LUT:  lutPerShiftAddPhase * float64(p.ScalerPhases),
+			FF:   ffPerShiftAddPhase * float64(p.ScalerPhases),
+			BRAM: bitsToBRAM(stageBits),
+		})
+	}
+
+	// SVM classifier instances: one per scale per object class.
+	classes := p.Classes
+	if classes < 1 {
+		classes = 1
+	}
+	macs := float64(p.MACBARs * p.MACsPerBar)
+	for s := 0; s < p.Scales; s++ {
+		for c := 0; c < classes; c++ {
+			name := fmt.Sprintf("svm-classifier-%d", s)
+			if classes > 1 {
+				name = fmt.Sprintf("svm-classifier-%d-class%d", s, c)
+			}
+			add(name, Usage{
+				LUT: lutPerMAC*macs + lutPerClassifierCtl,
+				FF:  ffPerMAC*macs + ffPerClassifierPipe,
+				// Model memory: one weight vector + column buffers.
+				BRAM: bitsToBRAM(float64(p.MACBARs*p.MACsPerBar*p.BlockLen*p.FeatureBits) +
+					float64(2*p.MACsPerBar*p.BlockLen*p.FeatureBits)),
+			})
+		}
+	}
+
+	// Global control, result collation, clocking.
+	add("control", Usage{
+		LUT:    lutControlBase,
+		FF:     ffControlBase,
+		LUTRAM: lutramControl,
+		BUFG:   1,
+	})
+	return b, nil
+}
+
+// CompareTable2 reports the relative error of an estimate against the
+// published Table 2 totals, per resource class.
+func CompareTable2(total Usage) map[string]float64 {
+	rel := func(got, want float64) float64 {
+		if want == 0 {
+			return 0
+		}
+		return (got - want) / want
+	}
+	return map[string]float64{
+		"LUT":    rel(total.LUT, Table2.LUT),
+		"FF":     rel(total.FF, Table2.FF),
+		"LUTRAM": rel(total.LUTRAM, Table2.LUTRAM),
+		"BRAM":   rel(total.BRAM, Table2.BRAM),
+		"DSP":    rel(total.DSP, Table2.DSP),
+		"BUFG":   rel(total.BUFG, Table2.BUFG),
+	}
+}
+
+// Render formats the breakdown as a fixed-width table with a device
+// utilization footer, in the style of Table 2.
+func (b *Breakdown) Render(device Usage) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-20s %8s %8s %8s %7s %6s %5s\n",
+		"module", "LUT", "FF", "LUTRAM", "BRAM", "DSP48", "BUFG")
+	for _, m := range b.Modules {
+		u := m.Usage
+		fmt.Fprintf(&sb, "%-20s %8.0f %8.0f %8.0f %7.1f %6.0f %5.0f\n",
+			m.Name, u.LUT, u.FF, u.LUTRAM, u.BRAM, u.DSP, u.BUFG)
+	}
+	fmt.Fprintf(&sb, "%-20s %8.0f %8.0f %8.0f %7.1f %6.0f %5.0f\n",
+		"TOTAL", b.Total.LUT, b.Total.FF, b.Total.LUTRAM, b.Total.BRAM, b.Total.DSP, b.Total.BUFG)
+	p := b.Total.Percent(device)
+	fmt.Fprintf(&sb, "%-20s %7.1f%% %7.1f%% %7.1f%% %6.1f%% %5.1f%% %4.1f%%\n",
+		"utilization", p.LUT, p.FF, p.LUTRAM, p.BRAM, p.DSP, p.BUFG)
+	return sb.String()
+}

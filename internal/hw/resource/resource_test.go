@@ -1,0 +1,178 @@
+package resource
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestUsageArithmetic(t *testing.T) {
+	a := Usage{LUT: 10, FF: 20, LUTRAM: 1, BRAM: 2, DSP: 3, BUFG: 1}
+	b := Usage{LUT: 5, FF: 5, BRAM: 0.5}
+	sum := a.Add(b)
+	if sum.LUT != 15 || sum.FF != 25 || sum.BRAM != 2.5 || sum.DSP != 3 {
+		t.Errorf("Add = %+v", sum)
+	}
+	double := a.Scale(2)
+	if double.LUT != 20 || double.BUFG != 2 {
+		t.Errorf("Scale = %+v", double)
+	}
+	if a.String() == "" {
+		t.Error("empty usage string")
+	}
+}
+
+func TestPercent(t *testing.T) {
+	u := Usage{LUT: 26600, FF: 53200}
+	p := u.Percent(ZC7020)
+	if p.LUT != 50 {
+		t.Errorf("LUT%% = %v, want 50", p.LUT)
+	}
+	if p.FF != 50 {
+		t.Errorf("FF%% = %v, want 50", p.FF)
+	}
+	// Zero-capacity classes do not divide by zero.
+	z := u.Percent(Usage{})
+	if z.LUT != 0 {
+		t.Error("zero-device percent should be 0")
+	}
+}
+
+// TestEstimateReproducesTable2 is experiment E3: the per-module cost model
+// rolled up over the paper's design point must land on the published
+// utilization. LUT/FF/LUTRAM/DSP/BUFG are calibrated within 2%; BRAM is a
+// first-principles bit-capacity computation and lands within 10% (the
+// residual comes from the unknown second-scale ratio; see EXPERIMENTS.md).
+func TestEstimateReproducesTable2(t *testing.T) {
+	b, err := Estimate(PaperParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffs := CompareTable2(b.Total)
+	tolerance := map[string]float64{
+		"LUT": 0.02, "FF": 0.02, "LUTRAM": 0.01, "BRAM": 0.10, "DSP": 0.001, "BUFG": 0.001,
+	}
+	for class, diff := range diffs {
+		if math.Abs(diff) > tolerance[class] {
+			t.Errorf("%s off by %+.1f%% (tolerance %.0f%%)", class, diff*100, tolerance[class]*100)
+		}
+	}
+	t.Logf("\n%s", b.Render(ZC7020))
+}
+
+// TestEstimateFitsZC7020: the design must fit its published device.
+func TestEstimateFitsZC7020(t *testing.T) {
+	b, err := Estimate(PaperParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := b.Total.Percent(ZC7020)
+	for name, v := range map[string]float64{
+		"LUT": p.LUT, "FF": p.FF, "LUTRAM": p.LUTRAM, "BRAM": p.BRAM, "DSP": p.DSP, "BUFG": p.BUFG,
+	} {
+		if v > 100 {
+			t.Errorf("%s exceeds the ZC7020: %.1f%%", name, v)
+		}
+	}
+}
+
+// TestScalingTrends: the model must move in the right direction for the
+// design knobs the paper discusses.
+func TestScalingTrends(t *testing.T) {
+	base, err := Estimate(PaperParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// More scales -> strictly more of everything the classifier and scaler
+	// consume ("by employing a larger device ... extended to cover several
+	// scales").
+	p3 := PaperParams()
+	p3.Scales = 3
+	b3, err := Estimate(p3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b3.Total.LUT <= base.Total.LUT || b3.Total.BRAM <= base.Total.BRAM {
+		t.Error("third scale should cost LUTs and BRAM")
+	}
+	// The [DSD'14] 135-row memory must cost far more BRAM than 18 rows.
+	pOld := PaperParams()
+	pOld.MemRows = 135
+	bOld, err := Estimate(pOld)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bOld.Total.BRAM < 4*base.Total.BRAM {
+		t.Errorf("135-row memory BRAM %.1f should dwarf 18-row %.1f",
+			bOld.Total.BRAM, base.Total.BRAM)
+	}
+	// And it must NOT fit the ZC7020 together with two scales — the
+	// paper's motivation for shrinking NHOGMem.
+	if bOld.Total.Percent(ZC7020).BRAM <= 100 {
+		t.Errorf("135-row design unexpectedly fits: %.1f%% BRAM",
+			bOld.Total.Percent(ZC7020).BRAM)
+	}
+	// Halving MACBARs sheds LUTs.
+	pHalf := PaperParams()
+	pHalf.MACBARs = 4
+	bHalf, err := Estimate(pHalf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bHalf.Total.LUT >= base.Total.LUT {
+		t.Error("halving MACBARs should shed LUTs")
+	}
+}
+
+func TestEstimateRejectsBadParams(t *testing.T) {
+	bad := PaperParams()
+	bad.CellsX = 0
+	if _, err := Estimate(bad); err == nil {
+		t.Error("zero cells should error")
+	}
+	bad = PaperParams()
+	bad.Scales = 0
+	if _, err := Estimate(bad); err == nil {
+		t.Error("zero scales should error")
+	}
+}
+
+func TestBitsToBRAM(t *testing.T) {
+	// One RAMB18 (18,432 bits) is half a BRAM36.
+	if got := bitsToBRAM(18432); got != 0.5 {
+		t.Errorf("one RAMB18 = %v BRAM36, want 0.5", got)
+	}
+	if got := bitsToBRAM(18433); got != 1.0 {
+		t.Errorf("just over one RAMB18 = %v, want 1.0", got)
+	}
+	if got := bitsToBRAM(0); got != 0 {
+		t.Errorf("zero bits = %v", got)
+	}
+}
+
+func TestRenderContainsModules(t *testing.T) {
+	b, err := Estimate(PaperParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.Render(ZC7020)
+	for _, want := range []string{"hog-extractor", "nhogmem", "svm-classifier-0", "svm-classifier-1", "scaler-stage-1", "TOTAL", "utilization"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestSingleScaleHasNoScaler(t *testing.T) {
+	p := PaperParams()
+	p.Scales = 1
+	b, err := Estimate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range b.Modules {
+		if strings.HasPrefix(m.Name, "scaler-stage") {
+			t.Error("single-scale design should have no scaler stage")
+		}
+	}
+}

@@ -1,0 +1,186 @@
+// Package scaler models the pipelined HOG-feature down-scaling modules of
+// the accelerator (Section 5, Figure 6): a chain in which each stage
+// resizes the normalized feature stream of the previous scale with
+// shift-and-add arithmetic (no multipliers) and stores it in a temporary
+// feature memory that feeds both that scale's SVM classifier and the next
+// stage of the chain.
+package scaler
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/featpyr"
+	"repro/internal/hog"
+	"repro/internal/hw/hogpipe"
+)
+
+// Stage is one down-scaling module of the chain.
+type Stage struct {
+	// Index is the position in the chain (1 = first scaled level).
+	Index int
+	// Scale is the cumulative scale of the stage's output relative to the
+	// native feature map.
+	Scale float64
+	// Out is the stage's output feature map (fixed point).
+	Out *hogpipe.Result
+	// Stats holds the shift-add cost bookkeeping of this stage.
+	Stats featpyr.ScaleStats
+	// Cycles models the stage's processing time for the frame: one output
+	// block per cycle (36 shift-add lanes work on a block's words in
+	// parallel, mirroring the paper's "temporary data storage and
+	// pipelined structure").
+	Cycles int64
+}
+
+// Chain is the multi-scale scaler chain plus its per-stage outputs.
+type Chain struct {
+	// Step is the scale ratio between adjacent stages.
+	Step float64
+	// Levels holds the native map (index 0) and each scaled stage.
+	Native *hogpipe.Result
+	Stages []*Stage
+}
+
+// Config parameterizes the chain.
+type Config struct {
+	// Step is the per-stage scale ratio (the paper's hardware uses one
+	// fixed ratio per stage so the shift-add networks are constants).
+	Step float64
+	// NumScales is the total number of scales including the native one
+	// (the paper's implementation: 2).
+	NumScales int
+	// MinBlocksX/Y stop the chain when a stage would drop below the
+	// window size.
+	MinBlocksX, MinBlocksY int
+	// Scaler is the shift-and-add implementation; nil uses defaults.
+	Scaler *featpyr.FixedScaler
+}
+
+// DefaultConfig returns the paper's two-scale configuration with a 1.1-like
+// step... The paper never states its second-scale ratio; Build accepts any.
+func DefaultConfig() Config {
+	return Config{Step: 1.1, NumScales: 2, MinBlocksX: 8, MinBlocksY: 16}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.Step <= 1 {
+		return fmt.Errorf("scaler: step %g must exceed 1", c.Step)
+	}
+	if c.NumScales < 1 {
+		return fmt.Errorf("scaler: need at least one scale")
+	}
+	if c.MinBlocksX < 1 || c.MinBlocksY < 1 {
+		return fmt.Errorf("scaler: invalid minimum grid %dx%d", c.MinBlocksX, c.MinBlocksY)
+	}
+	return nil
+}
+
+// Build runs the chain over a native fixed-point feature map, producing
+// every scaled level. Each stage consumes the previous stage's output,
+// exactly like the cascaded modules of Figure 6 (so interpolation error
+// compounds down the chain — the trade the hardware makes for constant
+// per-stage coefficients).
+func Build(native *hogpipe.Result, cfg Config) (*Chain, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	fs := cfg.Scaler
+	if fs == nil {
+		fs = featpyr.NewFixedScaler()
+	}
+	ch := &Chain{Step: cfg.Step, Native: native}
+	prev := native
+	for i := 1; i < cfg.NumScales; i++ {
+		outBX := int(math.Round(float64(prev.BlocksX) / cfg.Step))
+		outBY := int(math.Round(float64(prev.BlocksY) / cfg.Step))
+		if outBX < cfg.MinBlocksX || outBY < cfg.MinBlocksY {
+			break
+		}
+		fm := toFloatMap(prev)
+		scaled, stats, err := fs.ScaleMap(fm, outBX, outBY)
+		if err != nil {
+			return nil, fmt.Errorf("scaler: stage %d: %w", i, err)
+		}
+		res := fromFloatMap(scaled, prev.FeatFrac)
+		ch.Stages = append(ch.Stages, &Stage{
+			Index:  i,
+			Scale:  math.Pow(cfg.Step, float64(i)),
+			Out:    res,
+			Stats:  *stats,
+			Cycles: int64(outBX) * int64(outBY),
+		})
+		prev = res
+	}
+	return ch, nil
+}
+
+// Levels returns all feature maps of the chain, native first, with their
+// cumulative scales.
+func (c *Chain) Levels() []struct {
+	Scale float64
+	Map   *hogpipe.Result
+} {
+	out := []struct {
+		Scale float64
+		Map   *hogpipe.Result
+	}{{1, c.Native}}
+	for _, s := range c.Stages {
+		out = append(out, struct {
+			Scale float64
+			Map   *hogpipe.Result
+		}{s.Scale, s.Out})
+	}
+	return out
+}
+
+// TotalCycles returns the summed stage cycles (the chain is pipelined with
+// the extractor in hardware, so this is bookkeeping, not added latency —
+// see the accel package for how frame time is assembled).
+func (c *Chain) TotalCycles() int64 {
+	var t int64
+	for _, s := range c.Stages {
+		t += s.Cycles
+	}
+	return t
+}
+
+// toFloatMap wraps a fixed Result as a float FeatureMap for the scaler.
+func toFloatMap(r *hogpipe.Result) *hog.FeatureMap {
+	fm := &hog.FeatureMap{
+		BlocksX:  r.BlocksX,
+		BlocksY:  r.BlocksY,
+		BlockLen: r.BlockLen,
+		Feat:     make([]float64, len(r.Feat)),
+	}
+	scale := 1 / float64(int64(1)<<uint(r.FeatFrac))
+	for i, v := range r.Feat {
+		fm.Feat[i] = float64(v) * scale
+	}
+	return fm
+}
+
+// fromFloatMap requantizes a float map into a fixed Result.
+func fromFloatMap(fm *hog.FeatureMap, featFrac int) *hogpipe.Result {
+	r := &hogpipe.Result{
+		BlocksX:  fm.BlocksX,
+		BlocksY:  fm.BlocksY,
+		BlockLen: fm.BlockLen,
+		FeatFrac: featFrac,
+		Feat:     make([]int64, len(fm.Feat)),
+	}
+	one := float64(int64(1) << uint(featFrac))
+	max := int64(1)<<uint(featFrac) - 1
+	for i, v := range fm.Feat {
+		q := int64(math.Floor(v*one + 0.5))
+		if q < 0 {
+			q = 0
+		}
+		if q > max {
+			q = max
+		}
+		r.Feat[i] = q
+	}
+	return r
+}

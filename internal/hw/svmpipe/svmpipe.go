@@ -1,0 +1,242 @@
+// Package svmpipe models the parallel, deeply pipelined SVM classification
+// engine of the accelerator (Section 5, Figures 7-8): 8 MACBAR units, each
+// holding 16 multiply-accumulate lanes, evaluate the dot product of
+// Equation 4 for every 64x128 sliding window.
+//
+// Data flow, exactly as the paper describes it:
+//
+//   - one block column (16 blocks x 36 words) streams from NHOGMem over 36
+//     cycles, one word per block per cycle;
+//   - all 8 MACBARs consume the same column simultaneously, each against a
+//     different column of the weight vector (the column's role in the 8
+//     windows it belongs to);
+//   - a window's score is the chained sum of 8 MACBAR partials, so after
+//     the initial 288-cycle fill of a window row, one window verdict
+//     emerges every 36 cycles;
+//   - a frame row of C block columns therefore takes exactly 36*C cycles,
+//     and a frame with R window rows takes R*36*C classifier cycles.
+package svmpipe
+
+import (
+	"fmt"
+
+	"repro/internal/hw/hwsim"
+)
+
+// Config fixes the engine geometry. The paper's values are the defaults:
+// 8x16-cell windows, 36-word blocks, 8 MACBARs of 16 MACs.
+type Config struct {
+	WindowCellsX int // window width in cells/blocks (8)
+	WindowCellsY int // window height in cells/blocks (16)
+	BlockLen     int // words per block vector (36)
+}
+
+// DefaultConfig returns the paper's geometry.
+func DefaultConfig() Config {
+	return Config{WindowCellsX: 8, WindowCellsY: 16, BlockLen: 36}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.WindowCellsX < 1 || c.WindowCellsY < 1 || c.BlockLen < 1 {
+		return fmt.Errorf("svmpipe: invalid config %+v", c)
+	}
+	return nil
+}
+
+// NumMACBARs returns the pipeline depth (one MACBAR per window column).
+func (c Config) NumMACBARs() int { return c.WindowCellsX }
+
+// MACsPerBar returns the lanes per MACBAR (one per block row).
+func (c Config) MACsPerBar() int { return c.WindowCellsY }
+
+// TotalMACs returns the multiplier count of the engine (128 for the paper).
+func (c Config) TotalMACs() int { return c.NumMACBARs() * c.MACsPerBar() }
+
+// WeightLen returns the required model length.
+func (c Config) WeightLen() int { return c.WindowCellsX * c.WindowCellsY * c.BlockLen }
+
+// FillCycles returns the initial pipeline fill per window row
+// (288 = 8 columns x 36 cycles for the paper's geometry).
+func (c Config) FillCycles() int { return c.NumMACBARs() * c.BlockLen }
+
+// CyclesPerWindow returns the steady-state cycles per window verdict (36).
+func (c Config) CyclesPerWindow() int { return c.BlockLen }
+
+// RowCycles returns the cycles to classify one window row over a frame that
+// is `cols` block columns wide: fill + one window per BlockLen cycles,
+// which telescopes to cols*BlockLen.
+func (c Config) RowCycles(cols int) int64 {
+	if cols < c.WindowCellsX {
+		return 0
+	}
+	return int64(cols) * int64(c.BlockLen)
+}
+
+// FrameCycles returns the classifier cycles for a frame of cols x rows
+// block columns/rows at one scale.
+func (c Config) FrameCycles(cols, rows int) int64 {
+	windowRows := rows - c.WindowCellsY + 1
+	if windowRows < 1 || cols < c.WindowCellsX {
+		return 0
+	}
+	return int64(windowRows) * c.RowCycles(cols)
+}
+
+// FeatureSource supplies fixed-point block vectors, decoupling the engine
+// from whether features come from the extractor model, the scaler chain or
+// a test fixture.
+type FeatureSource interface {
+	// Block returns the feature words of block (bx, by).
+	Block(bx, by int) []int64
+	// Dims returns the block grid size.
+	Dims() (bx, by int)
+}
+
+// Score is one window verdict.
+type Score struct {
+	Bx, By int   // window anchor in blocks
+	Acc    int64 // raw accumulated dot product (feature x weight scale)
+}
+
+// Engine is the cycle-level classifier model. It scans every window row of
+// the feature source, streaming block columns through the MACBAR pipeline
+// one word per lane per cycle, and collects raw scores.
+type Engine struct {
+	cfg     Config
+	weights []int64 // model, software Window order: ((row*X)+col)*BlockLen+e
+	feat    FeatureSource
+	out     *hwsim.FIFO[Score]
+
+	cols, rows int
+
+	// Scan state.
+	wy      int     // current window row
+	col     int     // current frame block column within the row
+	elem    int     // current word within the column
+	partial []int64 // per-MACBAR accumulator for the current column
+	pending []int64 // per-window-in-flight partial sums, indexed by window start column
+	done    bool
+
+	// Stats.
+	Cycles  int64
+	MACOps  int64
+	Idle    int64 // MAC lanes idled by pipeline bubbles (row edges)
+	Emitted int64
+}
+
+// NewEngine builds the classifier over a feature source. weights must have
+// the model length of cfg (the fixed-point weight vector; bias is applied
+// by the caller when interpreting scores).
+func NewEngine(cfg Config, weights []int64, feat FeatureSource, out *hwsim.FIFO[Score]) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(weights) != cfg.WeightLen() {
+		return nil, fmt.Errorf("svmpipe: %d weights, want %d", len(weights), cfg.WeightLen())
+	}
+	bx, by := feat.Dims()
+	e := &Engine{
+		cfg:     cfg,
+		weights: weights,
+		feat:    feat,
+		out:     out,
+		cols:    bx,
+		rows:    by,
+		partial: make([]int64, cfg.NumMACBARs()),
+		pending: make([]int64, bx),
+	}
+	if bx < cfg.WindowCellsX || by < cfg.WindowCellsY {
+		e.done = true // nothing fits; a no-op engine
+	}
+	return e, nil
+}
+
+// Name implements hwsim.Component.
+func (e *Engine) Name() string { return "svm-classifier" }
+
+// Done reports whether every window of the frame has been scored.
+func (e *Engine) Done() bool { return e.done }
+
+// WindowsPerRow returns the number of window positions per row.
+func (e *Engine) WindowsPerRow() int { return e.cols - e.cfg.WindowCellsX + 1 }
+
+// WindowRows returns the number of window rows.
+func (e *Engine) WindowRows() int { return e.rows - e.cfg.WindowCellsY + 1 }
+
+// Tick advances one clock cycle: every MACBAR lane consumes one word of the
+// current block column.
+func (e *Engine) Tick(cycle int64) {
+	if e.done {
+		return
+	}
+	if !e.out.CanPush() {
+		// Downstream full: the engine stalls wholesale (the hardware's
+		// result FIFO never fills; in the model we simply wait).
+		return
+	}
+	e.Cycles++
+	nBars := e.cfg.NumMACBARs()
+	lanes := e.cfg.MACsPerBar()
+	// One word per lane per MACBAR this cycle.
+	for k := 0; k < nBars; k++ {
+		p := e.col - k // window this MACBAR serves for this column
+		if p < 0 || p > e.cols-nBars {
+			e.Idle += int64(lanes)
+			continue
+		}
+		for r := 0; r < lanes; r++ {
+			f := e.feat.Block(e.col, e.wy+r)[e.elem]
+			w := e.weights[(r*nBars+k)*e.cfg.BlockLen+e.elem]
+			e.partial[k] += f * w
+			e.MACOps++
+		}
+	}
+	e.elem++
+	if e.elem < e.cfg.BlockLen {
+		return
+	}
+	// Column complete: commit partials into their windows and emit any
+	// finished window.
+	e.elem = 0
+	for k := 0; k < nBars; k++ {
+		p := e.col - k
+		if p >= 0 && p <= e.cols-nBars {
+			e.pending[p] += e.partial[k]
+		}
+		e.partial[k] = 0
+	}
+	if fin := e.col - nBars + 1; fin >= 0 {
+		e.out.Push(Score{Bx: fin, By: e.wy, Acc: e.pending[fin]})
+		e.pending[fin] = 0
+		e.Emitted++
+	}
+	e.col++
+	if e.col < e.cols {
+		return
+	}
+	// Row complete: next window row, pipeline refills from scratch
+	// (the paper's per-row 288-cycle fill).
+	e.col = 0
+	e.wy++
+	if e.wy > e.rows-e.cfg.WindowCellsY {
+		e.done = true
+	}
+}
+
+// MapSource adapts a fixed-point feature map (BlocksX x BlocksY x BlockLen
+// int64 words, row-major) as a FeatureSource.
+type MapSource struct {
+	BlocksX, BlocksY int
+	BlockLen         int
+	Feat             []int64
+}
+
+// Block implements FeatureSource.
+func (m *MapSource) Block(bx, by int) []int64 {
+	i := (by*m.BlocksX + bx) * m.BlockLen
+	return m.Feat[i : i+m.BlockLen]
+}
+
+// Dims implements FeatureSource.
+func (m *MapSource) Dims() (int, int) { return m.BlocksX, m.BlocksY }

@@ -1,0 +1,287 @@
+package svmpipe
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/hw/hwsim"
+)
+
+func TestConfigNumbersMatchPaper(t *testing.T) {
+	cfg := DefaultConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.NumMACBARs() != 8 {
+		t.Errorf("MACBARs = %d, want 8 (Figure 8)", cfg.NumMACBARs())
+	}
+	if cfg.MACsPerBar() != 16 {
+		t.Errorf("MACs per bar = %d, want 16 (Figure 7)", cfg.MACsPerBar())
+	}
+	if cfg.TotalMACs() != 128 {
+		t.Errorf("total MACs = %d, want 128", cfg.TotalMACs())
+	}
+	if cfg.WeightLen() != 4608 {
+		t.Errorf("weight length = %d, want 4608 (16x8 blocks x 36)", cfg.WeightLen())
+	}
+	if cfg.FillCycles() != 288 {
+		t.Errorf("fill = %d cycles, want 288 (paper Section 5)", cfg.FillCycles())
+	}
+	if cfg.CyclesPerWindow() != 36 {
+		t.Errorf("steady-state window = %d cycles, want 36", cfg.CyclesPerWindow())
+	}
+}
+
+func TestFrameCyclesHDTV(t *testing.T) {
+	cfg := DefaultConfig()
+	// HDTV: 240x135 cells -> 120 window rows x 240 columns x 36 cycles.
+	got := cfg.FrameCycles(240, 135)
+	if want := int64(120 * 240 * 36); got != want {
+		t.Errorf("HDTV frame cycles = %d, want %d", got, want)
+	}
+	// Too-small frames yield zero.
+	if cfg.FrameCycles(7, 135) != 0 || cfg.FrameCycles(240, 15) != 0 {
+		t.Error("non-fitting frames should cost 0 cycles")
+	}
+}
+
+// randomSource builds a small random fixed-point feature map.
+func randomSource(cols, rows, blockLen int, seed int64) *MapSource {
+	rng := rand.New(rand.NewSource(seed))
+	m := &MapSource{BlocksX: cols, BlocksY: rows, BlockLen: blockLen,
+		Feat: make([]int64, cols*rows*blockLen)}
+	for i := range m.Feat {
+		m.Feat[i] = int64(rng.Intn(1 << 12)) // Q0.15-ish positive features
+	}
+	return m
+}
+
+func randomWeights(n int, seed int64) []int64 {
+	rng := rand.New(rand.NewSource(seed))
+	w := make([]int64, n)
+	for i := range w {
+		w[i] = int64(rng.Intn(1<<13) - 1<<12)
+	}
+	return w
+}
+
+// swScore computes the reference dot product in software with the same
+// window layout as hog.FeatureMap.Window.
+func swScore(src *MapSource, w []int64, cfg Config, bx, by int) int64 {
+	var acc int64
+	for r := 0; r < cfg.WindowCellsY; r++ {
+		for c := 0; c < cfg.WindowCellsX; c++ {
+			blk := src.Block(bx+c, by+r)
+			base := (r*cfg.WindowCellsX + c) * cfg.BlockLen
+			for e := 0; e < cfg.BlockLen; e++ {
+				acc += blk[e] * w[base+e]
+			}
+		}
+	}
+	return acc
+}
+
+func runEngine(t *testing.T, cfg Config, src *MapSource, w []int64) ([]Score, *Engine) {
+	t.Helper()
+	out := hwsim.NewFIFO[Score]("scores", 4096)
+	eng, err := NewEngine(cfg, w, src, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := hwsim.NewSim()
+	sim.Add(eng)
+	if _, err := sim.RunUntil(eng.Done, 10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	var scores []Score
+	for {
+		s, ok := out.Pop()
+		if !ok {
+			break
+		}
+		scores = append(scores, s)
+	}
+	return scores, eng
+}
+
+// TestEngineMatchesSoftwareExactly: every window verdict from the MACBAR
+// pipeline must equal the software dot product bit for bit.
+func TestEngineMatchesSoftwareExactly(t *testing.T) {
+	cfg := DefaultConfig()
+	src := randomSource(12, 20, cfg.BlockLen, 1)
+	w := randomWeights(cfg.WeightLen(), 2)
+	scores, eng := runEngine(t, cfg, src, w)
+
+	wantCount := eng.WindowsPerRow() * eng.WindowRows() // 5 x 5
+	if len(scores) != wantCount {
+		t.Fatalf("emitted %d scores, want %d", len(scores), wantCount)
+	}
+	for _, s := range scores {
+		want := swScore(src, w, cfg, s.Bx, s.By)
+		if s.Acc != want {
+			t.Fatalf("window (%d,%d): hw %d, sw %d", s.Bx, s.By, s.Acc, want)
+		}
+	}
+}
+
+// TestEngineCycleCount: a frame of C columns and R rows takes exactly
+// WindowRows * C * 36 cycles.
+func TestEngineCycleCount(t *testing.T) {
+	cfg := DefaultConfig()
+	src := randomSource(12, 18, cfg.BlockLen, 3)
+	w := randomWeights(cfg.WeightLen(), 4)
+	_, eng := runEngine(t, cfg, src, w)
+	want := cfg.FrameCycles(12, 18) // 3 rows x 12 cols x 36
+	if eng.Cycles != want {
+		t.Errorf("cycles = %d, want %d", eng.Cycles, want)
+	}
+	// First score of each row appears after the 288-cycle fill: with 12
+	// columns, 5 scores per row over (12*36 - 288) remaining cycles.
+	if eng.Emitted != int64(eng.WindowsPerRow()*eng.WindowRows()) {
+		t.Errorf("emitted = %d", eng.Emitted)
+	}
+}
+
+// TestEngineFirstScoreAfterFill confirms the 288-cycle pipeline fill: no
+// score can exist before FillCycles cycles have elapsed.
+func TestEngineFirstScoreAfterFill(t *testing.T) {
+	cfg := DefaultConfig()
+	src := randomSource(10, 16, cfg.BlockLen, 5)
+	w := randomWeights(cfg.WeightLen(), 6)
+	out := hwsim.NewFIFO[Score]("scores", 1024)
+	eng, err := NewEngine(cfg, w, src, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := hwsim.NewSim()
+	sim.Add(eng)
+	sim.Step(int64(cfg.FillCycles()) - 1)
+	if out.Len() != 0 {
+		t.Errorf("score emitted before the %d-cycle fill", cfg.FillCycles())
+	}
+	sim.Step(1)
+	if out.Len() != 1 {
+		t.Errorf("first score not emitted exactly at fill time (got %d)", out.Len())
+	}
+}
+
+func TestEngineUtilization(t *testing.T) {
+	cfg := DefaultConfig()
+	src := randomSource(24, 16, cfg.BlockLen, 7)
+	w := randomWeights(cfg.WeightLen(), 8)
+	_, eng := runEngine(t, cfg, src, w)
+	// Total MAC slots = cycles * 128; ops + idle must account for all.
+	slots := eng.Cycles * int64(cfg.TotalMACs())
+	if eng.MACOps+eng.Idle != slots {
+		t.Errorf("ops %d + idle %d != slots %d", eng.MACOps, eng.Idle, slots)
+	}
+	// With 24 columns, utilization = windows-contributions / slots. Each
+	// of the 17 windows uses 8 columns x 16 lanes x 36 = full slots; check
+	// utilization is high (> 60%) since edges idle 7 columns' worth.
+	util := float64(eng.MACOps) / float64(slots)
+	if util < 0.6 || util > 1 {
+		t.Errorf("MAC utilization %.2f implausible", util)
+	}
+}
+
+func TestEngineErrors(t *testing.T) {
+	cfg := DefaultConfig()
+	src := randomSource(10, 16, cfg.BlockLen, 9)
+	if _, err := NewEngine(cfg, make([]int64, 7), src, hwsim.NewFIFO[Score]("s", 4)); err == nil {
+		t.Error("short weight vector should error")
+	}
+	bad := Config{}
+	if _, err := NewEngine(bad, nil, src, hwsim.NewFIFO[Score]("s", 4)); err == nil {
+		t.Error("invalid config should error")
+	}
+}
+
+func TestEngineTooSmallFrameIsNoop(t *testing.T) {
+	cfg := DefaultConfig()
+	src := randomSource(4, 4, cfg.BlockLen, 10)
+	out := hwsim.NewFIFO[Score]("s", 4)
+	eng, err := NewEngine(cfg, randomWeights(cfg.WeightLen(), 11), src, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eng.Done() {
+		t.Error("engine over a too-small frame should be immediately done")
+	}
+}
+
+func TestEngineBackpressure(t *testing.T) {
+	cfg := DefaultConfig()
+	src := randomSource(10, 16, cfg.BlockLen, 12)
+	w := randomWeights(cfg.WeightLen(), 13)
+	out := hwsim.NewFIFO[Score]("tiny", 1)
+	eng, err := NewEngine(cfg, w, src, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := hwsim.NewSim()
+	sim.Add(eng)
+	// Run long enough that without backpressure more than 1 score would
+	// have been emitted and lost.
+	sim.Step(int64(cfg.FillCycles()) + 36*4)
+	if out.Len() != 1 {
+		t.Fatalf("FIFO holds %d, want 1", out.Len())
+	}
+	// Drain and continue: all scores must still arrive, none lost.
+	var got []Score
+	for !eng.Done() {
+		if s, ok := out.Pop(); ok {
+			got = append(got, s)
+		}
+		sim.Step(1)
+	}
+	for {
+		s, ok := out.Pop()
+		if !ok {
+			break
+		}
+		got = append(got, s)
+	}
+	want := eng.WindowsPerRow() * eng.WindowRows()
+	if len(got) != want {
+		t.Fatalf("recovered %d scores, want %d", len(got), want)
+	}
+	for _, s := range got {
+		if s.Acc != swScore(src, w, cfg, s.Bx, s.By) {
+			t.Fatalf("stalled engine corrupted window (%d,%d)", s.Bx, s.By)
+		}
+	}
+}
+
+func TestMapSourceDims(t *testing.T) {
+	src := randomSource(5, 6, 36, 14)
+	bx, by := src.Dims()
+	if bx != 5 || by != 6 {
+		t.Errorf("dims %dx%d", bx, by)
+	}
+}
+
+// Property: for random frame geometries the engine emits exactly
+// WindowsPerRow*WindowRows scores, all bit-equal to the software dot
+// product, in FrameCycles cycles.
+func TestEngineGeometryProperty(t *testing.T) {
+	cfg := DefaultConfig()
+	geoms := [][2]int{{8, 16}, {9, 17}, {16, 16}, {11, 20}, {20, 18}}
+	for gi, g := range geoms {
+		cols, rows := g[0], g[1]
+		src := randomSource(cols, rows, cfg.BlockLen, int64(100+gi))
+		w := randomWeights(cfg.WeightLen(), int64(200+gi))
+		scores, eng := runEngine(t, cfg, src, w)
+		wantN := eng.WindowsPerRow() * eng.WindowRows()
+		if len(scores) != wantN {
+			t.Fatalf("%dx%d: %d scores, want %d", cols, rows, len(scores), wantN)
+		}
+		if eng.Cycles != cfg.FrameCycles(cols, rows) {
+			t.Fatalf("%dx%d: %d cycles, want %d", cols, rows, eng.Cycles, cfg.FrameCycles(cols, rows))
+		}
+		for _, s := range scores {
+			if s.Acc != swScore(src, w, cfg, s.Bx, s.By) {
+				t.Fatalf("%dx%d: window (%d,%d) mismatch", cols, rows, s.Bx, s.By)
+			}
+		}
+	}
+}

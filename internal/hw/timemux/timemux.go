@@ -1,0 +1,223 @@
+// Package timemux models the main prior hardware architecture the paper
+// compares against: Hahnle et al., "FPGA-Based Real-Time Pedestrian
+// Detection on High-Resolution Images" (CVPRW 2013, the paper's reference
+// [9]). That design covers eighteen pedestrian scales with an image
+// pyramid, time-multiplexing six parallel HOG+SVM instances whose scaling
+// modules are reconfigured between passes — i.e. it re-runs the expensive
+// gradient/histogram extraction for every scale, which is precisely the
+// cost the DAC'17 paper's feature-pyramid removes.
+//
+// The model mirrors the accel package's cycle accounting so the two
+// architectures can be compared per frame on equal terms: extraction at
+// one pixel per cycle per instance, classification at the MACBAR schedule,
+// and a resource estimate per replicated instance.
+package timemux
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/hw/hwsim"
+	"repro/internal/hw/resource"
+	"repro/internal/hw/svmpipe"
+)
+
+// Config describes a time-multiplexed image-pyramid detector.
+type Config struct {
+	// ClockHz is the design clock.
+	ClockHz float64
+	// FrameW, FrameH are the input dimensions.
+	FrameW, FrameH int
+	// Scales is the number of pyramid scales to cover ([9] uses 18).
+	Scales int
+	// ScaleStep is the pyramid ratio between scales ([9] uses ~1.09-1.2;
+	// 1.2 covers 18 scales down to ~1/26 area).
+	ScaleStep float64
+	// Instances is the number of parallel HOG+SVM engines the scales are
+	// multiplexed over ([9] uses 6).
+	Instances int
+	// CellSize and window geometry, matching the DAC'17 design for
+	// comparability.
+	CellSize int
+	SVM      svmpipe.Config
+}
+
+// Hahnle2013 returns the configuration of the paper's reference [9] on
+// HDTV input: 18 scales over 6 instances.
+func Hahnle2013() Config {
+	return Config{
+		ClockHz:   125e6,
+		FrameW:    1920,
+		FrameH:    1080,
+		Scales:    18,
+		ScaleStep: 1.2,
+		Instances: 6,
+		CellSize:  8,
+		SVM:       svmpipe.DefaultConfig(),
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.ClockHz <= 0 || c.FrameW < 64 || c.FrameH < 128 {
+		return fmt.Errorf("timemux: invalid frame/clock %+v", c)
+	}
+	if c.Scales < 1 || c.Instances < 1 {
+		return fmt.Errorf("timemux: need at least one scale and instance")
+	}
+	if c.ScaleStep <= 1 {
+		return fmt.Errorf("timemux: scale step %g must exceed 1", c.ScaleStep)
+	}
+	if c.CellSize < 2 {
+		return fmt.Errorf("timemux: cell size %d too small", c.CellSize)
+	}
+	return c.SVM.Validate()
+}
+
+// ScalePass is the cycle accounting of one pyramid scale.
+type ScalePass struct {
+	Scale            float64
+	W, H             int // scaled image dimensions
+	ExtractCycles    int64
+	ClassifierCycles int64
+}
+
+// Report is the frame-level accounting of the time-multiplexed design.
+type Report struct {
+	Passes []ScalePass
+	// TotalExtract sums extraction cycles over every scale — the cost the
+	// feature-pyramid approach eliminates for all but the native scale.
+	TotalExtract int64
+	// TotalClassify sums classifier cycles over every scale.
+	TotalClassify int64
+	// FrameCycles is the frame interval: the per-instance workload after
+	// multiplexing the scales over Instances engines (ceil partitioning of
+	// the heaviest-first assignment).
+	FrameCycles int64
+	Throughput  hwsim.Throughput
+}
+
+// Analyze computes the per-frame cycle accounting.
+func Analyze(c Config) (*Report, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	rep := &Report{}
+	for s := 0; s < c.Scales; s++ {
+		f := math.Pow(c.ScaleStep, float64(s))
+		w := int(math.Round(float64(c.FrameW) / f))
+		h := int(math.Round(float64(c.FrameH) / f))
+		if w < c.CellSize*c.SVM.WindowCellsX || h < c.CellSize*c.SVM.WindowCellsY {
+			break
+		}
+		bx, by := w/c.CellSize, h/c.CellSize
+		pass := ScalePass{
+			Scale: f,
+			W:     w,
+			H:     h,
+			// Each scale streams its resized image through an extractor
+			// at 1 px/cycle (the resizer runs in line with the stream).
+			ExtractCycles:    int64(w) * int64(h),
+			ClassifierCycles: c.SVM.FrameCycles(bx, by),
+		}
+		rep.Passes = append(rep.Passes, pass)
+		rep.TotalExtract += pass.ExtractCycles
+		rep.TotalClassify += pass.ClassifierCycles
+	}
+	if len(rep.Passes) == 0 {
+		return nil, fmt.Errorf("timemux: no scale fits the %dx%d frame", c.FrameW, c.FrameH)
+	}
+	// Multiplex: assign passes to instances greedily, heaviest first
+	// (LPT); the frame interval is the most loaded instance. Extraction
+	// and classification pipeline within a pass, so a pass costs
+	// max(extract, classify) ~ extract.
+	loads := make([]int64, c.Instances)
+	// Passes are already in decreasing cost order (scale shrinks).
+	for _, p := range rep.Passes {
+		cost := p.ExtractCycles
+		if p.ClassifierCycles > cost {
+			cost = p.ClassifierCycles
+		}
+		// Least-loaded instance.
+		min := 0
+		for i := range loads {
+			if loads[i] < loads[min] {
+				min = i
+			}
+		}
+		loads[min] += cost
+	}
+	for _, l := range loads {
+		if l > rep.FrameCycles {
+			rep.FrameCycles = l
+		}
+	}
+	rep.Throughput = hwsim.Throughput{CyclesPerFrame: rep.FrameCycles, ClockHz: c.ClockHz}
+	return rep, nil
+}
+
+// Resources estimates the fabric cost: each instance replicates the HOG
+// pipeline, normalizer and classifier of the DAC'17 design, plus an image
+// scaling module; NHOGMem is per-instance but shallow (one window of rows).
+func Resources(c Config) (*resource.Breakdown, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	p := resource.PaperParams()
+	p.CellsX = c.FrameW / c.CellSize
+	p.MemRows = c.SVM.WindowCellsY + 2
+	p.Scales = 1 // no feature scaler chain in this architecture
+	p.MACBARs = c.SVM.NumMACBARs()
+	p.MACsPerBar = c.SVM.MACsPerBar()
+	single, err := resource.Estimate(p)
+	if err != nil {
+		return nil, err
+	}
+	b := &resource.Breakdown{}
+	for i := 0; i < c.Instances; i++ {
+		u := single.Total
+		b.Modules = append(b.Modules, resource.Module{
+			Name:  fmt.Sprintf("hog-svm-instance-%d", i),
+			Usage: u,
+		})
+		b.Total = b.Total.Add(u)
+	}
+	// One shared image resizer pipeline (bilinear, reconfigurable ratio).
+	resizer := resource.Usage{LUT: 1800, FF: 2100, BRAM: 2, DSP: 4}
+	b.Modules = append(b.Modules, resource.Module{Name: "image-resizer", Usage: resizer})
+	b.Total = b.Total.Add(resizer)
+	return b, nil
+}
+
+// Compare summarizes this architecture against a feature-pyramid report on
+// the throughput-per-resource axis the paper argues on.
+type Compare struct {
+	TimeMuxFPS      float64
+	FeaturePyrFPS   float64
+	TimeMuxLUT      float64
+	FeaturePyrLUT   float64
+	ExtractionRatio float64 // time-mux total extraction / feature-pyr extraction
+}
+
+// CompareWith builds the comparison given the feature-pyramid design's
+// frame report values.
+func CompareWith(c Config, featFPS float64, featExtractCycles int64, featLUT float64) (*Compare, error) {
+	rep, err := Analyze(c)
+	if err != nil {
+		return nil, err
+	}
+	res, err := Resources(c)
+	if err != nil {
+		return nil, err
+	}
+	cmp := &Compare{
+		TimeMuxFPS:    rep.Throughput.FPS(),
+		FeaturePyrFPS: featFPS,
+		TimeMuxLUT:    res.Total.LUT,
+		FeaturePyrLUT: featLUT,
+	}
+	if featExtractCycles > 0 {
+		cmp.ExtractionRatio = float64(rep.TotalExtract) / float64(featExtractCycles)
+	}
+	return cmp, nil
+}

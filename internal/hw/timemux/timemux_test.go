@@ -1,0 +1,169 @@
+package timemux
+
+import (
+	"testing"
+
+	"repro/internal/hw/accel"
+	"repro/internal/hw/resource"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := Hahnle2013().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := Hahnle2013()
+	bad.Scales = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero scales should fail")
+	}
+	bad = Hahnle2013()
+	bad.ScaleStep = 1
+	if err := bad.Validate(); err == nil {
+		t.Error("unit step should fail")
+	}
+	bad = Hahnle2013()
+	bad.FrameW = 8
+	if err := bad.Validate(); err == nil {
+		t.Error("tiny frame should fail")
+	}
+}
+
+func TestAnalyzePassGeometry(t *testing.T) {
+	rep, err := Analyze(Hahnle2013())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Passes) == 0 {
+		t.Fatal("no passes")
+	}
+	// Native scale first, full HDTV extraction cost.
+	if rep.Passes[0].ExtractCycles != 1920*1080 {
+		t.Errorf("native extraction = %d", rep.Passes[0].ExtractCycles)
+	}
+	// Passes shrink monotonically until the window no longer fits.
+	for i := 1; i < len(rep.Passes); i++ {
+		if rep.Passes[i].W >= rep.Passes[i-1].W {
+			t.Fatal("passes must shrink")
+		}
+		if rep.Passes[i].W < 64 || rep.Passes[i].H < 128 {
+			t.Fatal("pass smaller than the window was kept")
+		}
+	}
+	// Geometric series: total extraction well below Scales * native but
+	// far above a single native pass.
+	if rep.TotalExtract <= rep.Passes[0].ExtractCycles {
+		t.Error("multi-scale extraction should exceed one native pass")
+	}
+	if rep.TotalExtract >= int64(len(rep.Passes))*rep.Passes[0].ExtractCycles {
+		t.Error("extraction total exceeds the trivial bound")
+	}
+}
+
+// TestExtractionCostDominatesFeaturePyramid quantifies the paper's core
+// argument: the image-pyramid architecture re-extracts features per scale,
+// paying ~3x the extraction cycles of the feature-pyramid design.
+func TestExtractionCostDominatesFeaturePyramid(t *testing.T) {
+	rep, err := Analyze(Hahnle2013())
+	if err != nil {
+		t.Fatal(err)
+	}
+	featRep, err := accel.AnalyticReport(accel.DefaultConfig(), 1920, 1080)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(rep.TotalExtract) / float64(featRep.ExtractorCycles)
+	// 1.2-step geometric series over 18 scales: sum ~ 1/(1-1/1.44) ~ 3.3x.
+	if ratio < 2 || ratio > 4 {
+		t.Errorf("extraction ratio = %.2f, want ~3x", ratio)
+	}
+	t.Logf("extraction cycles: time-mux %d vs feature-pyramid %d (%.2fx)",
+		rep.TotalExtract, featRep.ExtractorCycles, ratio)
+}
+
+// TestSixInstancesReachRealTime reproduces [9]'s design point: with six
+// instances the multiplexed design sustains >= 30 fps on HDTV (Hahnle et
+// al. report 64 fps at their clock; the exact figure depends on scaling
+// details — the reproduction target is that 6 instances are enough for
+// real time while 1 instance is not).
+func TestSixInstancesReachRealTime(t *testing.T) {
+	six := Hahnle2013()
+	repSix, err := Analyze(six)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fps := repSix.Throughput.FPS(); fps < 30 {
+		t.Errorf("6 instances: %.1f fps, want >= 30", fps)
+	}
+	one := Hahnle2013()
+	one.Instances = 1
+	repOne, err := Analyze(one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fps := repOne.Throughput.FPS(); fps >= 30 {
+		t.Errorf("1 instance: %.1f fps should NOT reach real time", fps)
+	}
+	if repOne.FrameCycles <= repSix.FrameCycles {
+		t.Error("multiplexing must shorten the frame interval")
+	}
+}
+
+// TestResourceCostOfReplication: six replicated HOG+SVM instances cost far
+// more fabric than the DAC'17 two-scale feature-pyramid design — the
+// paper's resource argument.
+func TestResourceCostOfReplication(t *testing.T) {
+	res, err := Resources(Hahnle2013())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dac, err := resource.Estimate(resource.PaperParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total.LUT <= 2*dac.Total.LUT {
+		t.Errorf("6-instance LUT %f should dwarf the feature-pyramid design's %f",
+			res.Total.LUT, dac.Total.LUT)
+	}
+	// And it does not fit the ZC7020.
+	if res.Total.Percent(resource.ZC7020).LUT <= 100 {
+		t.Errorf("replicated design unexpectedly fits a ZC7020: %.0f%% LUT",
+			res.Total.Percent(resource.ZC7020).LUT)
+	}
+}
+
+func TestCompareWith(t *testing.T) {
+	featRep, err := accel.AnalyticReport(accel.DefaultConfig(), 1920, 1080)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dac, err := resource.Estimate(resource.PaperParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, err := CompareWith(Hahnle2013(), featRep.Throughput.FPS(),
+		featRep.ExtractorCycles, dac.Total.LUT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.ExtractionRatio <= 1 {
+		t.Errorf("extraction ratio %.2f should exceed 1", cmp.ExtractionRatio)
+	}
+	if cmp.TimeMuxLUT <= cmp.FeaturePyrLUT {
+		t.Error("time-mux should cost more fabric")
+	}
+	// Both reach real time; the win is fabric, not speed.
+	if cmp.TimeMuxFPS < 30 || cmp.FeaturePyrFPS < 30 {
+		t.Errorf("fps: timemux %.1f, featpyr %.1f", cmp.TimeMuxFPS, cmp.FeaturePyrFPS)
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	bad := Hahnle2013()
+	bad.Instances = 0
+	if _, err := Analyze(bad); err == nil {
+		t.Error("invalid config should error")
+	}
+	if _, err := Resources(bad); err == nil {
+		t.Error("invalid config should error in Resources too")
+	}
+}

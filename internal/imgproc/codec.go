@@ -1,0 +1,209 @@
+package imgproc
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+)
+
+// This file implements the netpbm codecs (PGM for grayscale frames, PPM for
+// annotated color output). Binary (P5/P6) and ASCII (P2/P3) variants are
+// both readable; writers emit the binary forms.
+
+// WritePGM writes g to w in binary PGM (P5) format.
+func WritePGM(w io.Writer, g *Gray) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "P5\n%d %d\n255\n", g.W, g.H); err != nil {
+		return err
+	}
+	if _, err := bw.Write(g.Pix); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WritePGMFile writes g to the named file in binary PGM format.
+func WritePGMFile(path string, g *Gray) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WritePGM(f, g); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// WritePPM writes c to w in binary PPM (P6) format.
+func WritePPM(w io.Writer, c *RGB) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "P6\n%d %d\n255\n", c.W, c.H); err != nil {
+		return err
+	}
+	if _, err := bw.Write(c.Pix); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WritePPMFile writes c to the named file in binary PPM format.
+func WritePPMFile(path string, c *RGB) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WritePPM(f, c); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadPGM reads a PGM image (P2 or P5) from r. Images with maxval > 255 are
+// rejected.
+func ReadPGM(r io.Reader) (*Gray, error) {
+	br := bufio.NewReader(r)
+	magic, err := pnmToken(br)
+	if err != nil {
+		return nil, fmt.Errorf("imgproc: reading PGM magic: %w", err)
+	}
+	if magic != "P5" && magic != "P2" {
+		return nil, fmt.Errorf("imgproc: not a PGM file (magic %q)", magic)
+	}
+	w, h, maxv, err := pnmHeader(br)
+	if err != nil {
+		return nil, err
+	}
+	g := NewGray(w, h)
+	if magic == "P5" {
+		if _, err := io.ReadFull(br, g.Pix); err != nil {
+			return nil, fmt.Errorf("imgproc: short PGM pixel data: %w", err)
+		}
+	} else {
+		for i := range g.Pix {
+			v, err := pnmInt(br)
+			if err != nil {
+				return nil, fmt.Errorf("imgproc: PGM pixel %d: %w", i, err)
+			}
+			g.Pix[i] = uint8(v * 255 / maxv)
+		}
+	}
+	return g, nil
+}
+
+// ReadPGMFile reads the named PGM file.
+func ReadPGMFile(path string) (*Gray, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadPGM(f)
+}
+
+// ReadPPM reads a PPM image (P3 or P6) from r. Images with maxval > 255 are
+// rejected.
+func ReadPPM(r io.Reader) (*RGB, error) {
+	br := bufio.NewReader(r)
+	magic, err := pnmToken(br)
+	if err != nil {
+		return nil, fmt.Errorf("imgproc: reading PPM magic: %w", err)
+	}
+	if magic != "P6" && magic != "P3" {
+		return nil, fmt.Errorf("imgproc: not a PPM file (magic %q)", magic)
+	}
+	w, h, maxv, err := pnmHeader(br)
+	if err != nil {
+		return nil, err
+	}
+	c := NewRGB(w, h)
+	if magic == "P6" {
+		if _, err := io.ReadFull(br, c.Pix); err != nil {
+			return nil, fmt.Errorf("imgproc: short PPM pixel data: %w", err)
+		}
+	} else {
+		for i := range c.Pix {
+			v, err := pnmInt(br)
+			if err != nil {
+				return nil, fmt.Errorf("imgproc: PPM sample %d: %w", i, err)
+			}
+			c.Pix[i] = uint8(v * 255 / maxv)
+		}
+	}
+	return c, nil
+}
+
+// pnmHeader parses the width, height and maxval triple common to PGM/PPM.
+func pnmHeader(br *bufio.Reader) (w, h, maxv int, err error) {
+	if w, err = pnmInt(br); err != nil {
+		return 0, 0, 0, fmt.Errorf("imgproc: PNM width: %w", err)
+	}
+	if h, err = pnmInt(br); err != nil {
+		return 0, 0, 0, fmt.Errorf("imgproc: PNM height: %w", err)
+	}
+	if maxv, err = pnmInt(br); err != nil {
+		return 0, 0, 0, fmt.Errorf("imgproc: PNM maxval: %w", err)
+	}
+	if w <= 0 || h <= 0 {
+		return 0, 0, 0, fmt.Errorf("imgproc: invalid PNM size %dx%d", w, h)
+	}
+	if w > 1<<16 || h > 1<<16 {
+		return 0, 0, 0, fmt.Errorf("imgproc: PNM size %dx%d too large", w, h)
+	}
+	if maxv <= 0 || maxv > 255 {
+		return 0, 0, 0, fmt.Errorf("imgproc: unsupported PNM maxval %d", maxv)
+	}
+	return w, h, maxv, nil
+}
+
+// pnmToken reads the next whitespace-delimited token, skipping '#' comments.
+// It consumes exactly one byte of whitespace after the token, which is the
+// netpbm rule separating the header from binary pixel data.
+func pnmToken(br *bufio.Reader) (string, error) {
+	var tok []byte
+	for {
+		b, err := br.ReadByte()
+		if err != nil {
+			if err == io.EOF && len(tok) > 0 {
+				return string(tok), nil
+			}
+			return "", err
+		}
+		switch {
+		case b == '#' && len(tok) == 0:
+			if _, err := br.ReadString('\n'); err != nil && err != io.EOF {
+				return "", err
+			}
+		case b == ' ' || b == '\t' || b == '\n' || b == '\r':
+			if len(tok) > 0 {
+				return string(tok), nil
+			}
+		default:
+			tok = append(tok, b)
+		}
+	}
+}
+
+// pnmInt reads the next token and parses it as a non-negative integer.
+func pnmInt(br *bufio.Reader) (int, error) {
+	tok, err := pnmToken(br)
+	if err != nil {
+		return 0, err
+	}
+	v := 0
+	if len(tok) == 0 {
+		return 0, fmt.Errorf("empty token")
+	}
+	for _, c := range tok {
+		if c < '0' || c > '9' {
+			return 0, fmt.Errorf("invalid integer %q", tok)
+		}
+		v = v*10 + int(c-'0')
+		if v > 1<<30 {
+			return 0, fmt.Errorf("integer %q overflows", tok)
+		}
+	}
+	return v, nil
+}

@@ -1,0 +1,166 @@
+package imgproc
+
+import (
+	"math"
+
+	"repro/internal/geom"
+)
+
+// This file holds the raster drawing primitives used by the synthetic
+// street-scene generator: filled rectangles, ellipses, convex quads, lines
+// and vertical gradients, all on 8-bit grayscale images.
+
+// FillRect fills rectangle r (clipped to the image) with value v.
+func FillRect(g *Gray, r geom.Rect, v uint8) {
+	r = r.Intersect(g.Bounds())
+	for y := r.Min.Y; y < r.Max.Y; y++ {
+		row := g.Pix[y*g.W : (y+1)*g.W]
+		for x := r.Min.X; x < r.Max.X; x++ {
+			row[x] = v
+		}
+	}
+}
+
+// FillEllipse fills the axis-aligned ellipse inscribed in r with value v.
+func FillEllipse(g *Gray, r geom.Rect, v uint8) {
+	if r.Empty() {
+		return
+	}
+	cx := float64(r.Min.X+r.Max.X-1) / 2
+	cy := float64(r.Min.Y+r.Max.Y-1) / 2
+	rx := float64(r.W()) / 2
+	ry := float64(r.H()) / 2
+	if rx <= 0 || ry <= 0 {
+		return
+	}
+	clip := r.Intersect(g.Bounds())
+	for y := clip.Min.Y; y < clip.Max.Y; y++ {
+		dy := (float64(y) - cy) / ry
+		for x := clip.Min.X; x < clip.Max.X; x++ {
+			dx := (float64(x) - cx) / rx
+			if dx*dx+dy*dy <= 1 {
+				g.Pix[y*g.W+x] = v
+			}
+		}
+	}
+}
+
+// FillQuad fills the convex quadrilateral with corners p0..p3 (given in
+// order around the perimeter) with value v, using scanline edge crossings.
+// It also handles degenerate (triangle/line) quads gracefully.
+func FillQuad(g *Gray, p0, p1, p2, p3 geom.Pt, v uint8) {
+	pts := [4]geom.Pt{p0, p1, p2, p3}
+	minY, maxY := pts[0].Y, pts[0].Y
+	for _, p := range pts[1:] {
+		if p.Y < minY {
+			minY = p.Y
+		}
+		if p.Y > maxY {
+			maxY = p.Y
+		}
+	}
+	minY = clampInt(minY, 0, g.H-1)
+	maxY = clampInt(maxY, 0, g.H-1)
+	for y := minY; y <= maxY; y++ {
+		fy := float64(y) + 0.5
+		var xs []float64
+		for i := 0; i < 4; i++ {
+			a, b := pts[i], pts[(i+1)%4]
+			ay, by := float64(a.Y), float64(b.Y)
+			if ay == by {
+				continue
+			}
+			if (fy >= ay && fy < by) || (fy >= by && fy < ay) {
+				t := (fy - ay) / (by - ay)
+				xs = append(xs, float64(a.X)+t*float64(b.X-a.X))
+			}
+		}
+		if len(xs) < 2 {
+			continue
+		}
+		// Sort the few crossings (at most 4) by insertion.
+		for i := 1; i < len(xs); i++ {
+			for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+				xs[j], xs[j-1] = xs[j-1], xs[j]
+			}
+		}
+		for i := 0; i+1 < len(xs); i += 2 {
+			x0 := clampInt(int(math.Ceil(xs[i]-0.5)), 0, g.W-1)
+			x1 := clampInt(int(math.Floor(xs[i+1]-0.5)), 0, g.W-1)
+			for x := x0; x <= x1; x++ {
+				g.Pix[y*g.W+x] = v
+			}
+		}
+	}
+}
+
+// ThickLine draws a line of the given width from a to b by filling the
+// quadrilateral formed by offsetting the segment perpendicular to its
+// direction. Degenerate zero-length lines paint a small square.
+func ThickLine(g *Gray, a, b geom.Pt, width int, v uint8) {
+	if width < 1 {
+		width = 1
+	}
+	dx := float64(b.X - a.X)
+	dy := float64(b.Y - a.Y)
+	length := math.Hypot(dx, dy)
+	if length == 0 {
+		half := width / 2
+		FillRect(g, geom.R(a.X-half, a.Y-half, a.X+half+1, a.Y+half+1), v)
+		return
+	}
+	// Unit perpendicular scaled to half the width.
+	px := -dy / length * float64(width) / 2
+	py := dx / length * float64(width) / 2
+	rnd := func(f float64) int { return int(math.Round(f)) }
+	FillQuad(g,
+		geom.Pt{X: rnd(float64(a.X) + px), Y: rnd(float64(a.Y) + py)},
+		geom.Pt{X: rnd(float64(b.X) + px), Y: rnd(float64(b.Y) + py)},
+		geom.Pt{X: rnd(float64(b.X) - px), Y: rnd(float64(b.Y) - py)},
+		geom.Pt{X: rnd(float64(a.X) - px), Y: rnd(float64(a.Y) - py)},
+		v)
+}
+
+// VerticalGradient fills rectangle r with values interpolated linearly from
+// top at r.Min.Y to bottom at r.Max.Y-1.
+func VerticalGradient(g *Gray, r geom.Rect, top, bottom uint8) {
+	r = r.Intersect(g.Bounds())
+	if r.Empty() {
+		return
+	}
+	h := r.H()
+	for y := r.Min.Y; y < r.Max.Y; y++ {
+		t := 0.0
+		if h > 1 {
+			t = float64(y-r.Min.Y) / float64(h-1)
+		}
+		v := clamp8(float64(top) + t*(float64(bottom)-float64(top)))
+		row := g.Pix[y*g.W : (y+1)*g.W]
+		for x := r.Min.X; x < r.Max.X; x++ {
+			row[x] = v
+		}
+	}
+}
+
+// Paste copies src into dst with its top-left corner at (x, y), clipping to
+// dst. Pixels of src equal to the transparent value are skipped when
+// transparent is non-negative (use -1 to paste everything).
+func Paste(dst, src *Gray, x, y int, transparent int) {
+	for sy := 0; sy < src.H; sy++ {
+		dy := y + sy
+		if dy < 0 || dy >= dst.H {
+			continue
+		}
+		for sx := 0; sx < src.W; sx++ {
+			dx := x + sx
+			if dx < 0 || dx >= dst.W {
+				continue
+			}
+			v := src.Pix[sy*src.W+sx]
+			if transparent >= 0 && int(v) == transparent {
+				continue
+			}
+			dst.Pix[dy*dst.W+dx] = v
+		}
+	}
+}

@@ -1,0 +1,213 @@
+package imgproc
+
+import (
+	"math"
+	"math/rand"
+)
+
+// BoxBlur applies an iterated box filter of the given radius (r passes of a
+// (2r+1)-wide box would approximate a Gaussian; a single pass is a plain
+// moving average). radius 0 returns a copy.
+func BoxBlur(g *Gray, radius int) *Gray {
+	if radius <= 0 {
+		return g.Clone()
+	}
+	f := ToFloat(g)
+	return ToGray(boxBlurFloat(f, radius))
+}
+
+// boxBlurFloat runs one separable box-average pass of the given radius.
+func boxBlurFloat(f *Float, radius int) *Float {
+	w, h := f.W, f.H
+	tmp := NewFloat(w, h)
+	n := float64(2*radius + 1)
+	// Horizontal pass with a running sum.
+	for y := 0; y < h; y++ {
+		var sum float64
+		for x := -radius; x <= radius; x++ {
+			sum += f.At(x, y)
+		}
+		for x := 0; x < w; x++ {
+			tmp.Pix[y*w+x] = sum / n
+			sum += f.At(x+radius+1, y) - f.At(x-radius, y)
+		}
+	}
+	out := NewFloat(w, h)
+	// Vertical pass.
+	for x := 0; x < w; x++ {
+		var sum float64
+		for y := -radius; y <= radius; y++ {
+			sum += tmp.At(x, y)
+		}
+		for y := 0; y < h; y++ {
+			out.Pix[y*w+x] = sum / n
+			sum += tmp.At(x, y+radius+1) - tmp.At(x, y-radius)
+		}
+	}
+	return out
+}
+
+// GaussianBlur approximates a Gaussian blur of the given sigma with three
+// iterated box filters (Wells' method). sigma <= 0 returns a copy.
+func GaussianBlur(g *Gray, sigma float64) *Gray {
+	if sigma <= 0 {
+		return g.Clone()
+	}
+	// Ideal box width for 3 passes: w = sqrt(12 sigma^2 / 3 + 1).
+	wIdeal := math.Sqrt(4*sigma*sigma + 1)
+	radius := int((wIdeal - 1) / 2)
+	if radius < 1 {
+		radius = 1
+	}
+	f := ToFloat(g)
+	for i := 0; i < 3; i++ {
+		f = boxBlurFloat(f, radius)
+	}
+	return ToGray(f)
+}
+
+// AddGaussianNoise adds zero-mean Gaussian noise with the given standard
+// deviation (in 8-bit counts) to every pixel, clamping to [0, 255]. The rng
+// must not be nil.
+func AddGaussianNoise(g *Gray, stddev float64, rng *rand.Rand) *Gray {
+	out := g.Clone()
+	if stddev <= 0 {
+		return out
+	}
+	for i, v := range out.Pix {
+		out.Pix[i] = clamp8(float64(v) + rng.NormFloat64()*stddev)
+	}
+	return out
+}
+
+// AddSaltPepper flips each pixel to 0 or 255 with probability p/2 each,
+// modelling dead/hot sensor pixels. The rng must not be nil.
+func AddSaltPepper(g *Gray, p float64, rng *rand.Rand) *Gray {
+	out := g.Clone()
+	if p <= 0 {
+		return out
+	}
+	for i := range out.Pix {
+		r := rng.Float64()
+		switch {
+		case r < p/2:
+			out.Pix[i] = 0
+		case r < p:
+			out.Pix[i] = 255
+		}
+	}
+	return out
+}
+
+// AdjustContrast scales pixel values around 128 by the given gain and adds
+// the bias, clamping: out = (in-128)*gain + 128 + bias.
+func AdjustContrast(g *Gray, gain, bias float64) *Gray {
+	out := NewGray(g.W, g.H)
+	for i, v := range g.Pix {
+		out.Pix[i] = clamp8((float64(v)-128)*gain + 128 + bias)
+	}
+	return out
+}
+
+// Gamma applies the power-law mapping out = 255*(in/255)^gamma. It panics
+// for non-positive gamma.
+func Gamma(g *Gray, gamma float64) *Gray {
+	if gamma <= 0 {
+		panic("imgproc: gamma must be positive")
+	}
+	var lut [256]uint8
+	for i := range lut {
+		lut[i] = clamp8(255 * math.Pow(float64(i)/255, gamma))
+	}
+	out := NewGray(g.W, g.H)
+	for i, v := range g.Pix {
+		out.Pix[i] = lut[v]
+	}
+	return out
+}
+
+// LightingGradient multiplies the image by a linear illumination ramp that
+// varies from gainLeft at x=0 to gainRight at x=W-1 and from gainTop at y=0
+// to gainBottom at y=H-1 (the two ramps multiply). Gains of 1 leave the
+// image unchanged. This models the uneven street lighting the synthetic
+// scenes use to stress block normalization.
+func LightingGradient(g *Gray, gainLeft, gainRight, gainTop, gainBottom float64) *Gray {
+	out := NewGray(g.W, g.H)
+	for y := 0; y < g.H; y++ {
+		ty := 0.0
+		if g.H > 1 {
+			ty = float64(y) / float64(g.H-1)
+		}
+		gy := gainTop + ty*(gainBottom-gainTop)
+		for x := 0; x < g.W; x++ {
+			tx := 0.0
+			if g.W > 1 {
+				tx = float64(x) / float64(g.W-1)
+			}
+			gx := gainLeft + tx*(gainRight-gainLeft)
+			out.Pix[y*g.W+x] = clamp8(float64(g.Pix[y*g.W+x]) * gx * gy)
+		}
+	}
+	return out
+}
+
+// FlipH returns g mirrored left-to-right. Used for dataset augmentation
+// (pedestrians are approximately bilaterally symmetric).
+func FlipH(g *Gray) *Gray {
+	out := NewGray(g.W, g.H)
+	for y := 0; y < g.H; y++ {
+		row := g.Pix[y*g.W : (y+1)*g.W]
+		orow := out.Pix[y*g.W : (y+1)*g.W]
+		for x := 0; x < g.W; x++ {
+			orow[g.W-1-x] = row[x]
+		}
+	}
+	return out
+}
+
+// Integral computes the summed-area table of g: ii[y][x] is the sum of all
+// pixels strictly above and to the left of (x, y), so the returned table is
+// (W+1) x (H+1) and BoxSum can evaluate any rectangle sum in O(1).
+type Integral struct {
+	W, H int
+	sums []uint64
+}
+
+// NewIntegral builds the summed-area table for g.
+func NewIntegral(g *Gray) *Integral {
+	ii := &Integral{W: g.W, H: g.H, sums: make([]uint64, (g.W+1)*(g.H+1))}
+	stride := g.W + 1
+	for y := 1; y <= g.H; y++ {
+		var rowSum uint64
+		for x := 1; x <= g.W; x++ {
+			rowSum += uint64(g.Pix[(y-1)*g.W+(x-1)])
+			ii.sums[y*stride+x] = ii.sums[(y-1)*stride+x] + rowSum
+		}
+	}
+	return ii
+}
+
+// BoxSum returns the sum of pixels in the half-open rectangle
+// [x0,x1) x [y0,y1), clipped to the image.
+func (ii *Integral) BoxSum(x0, y0, x1, y1 int) uint64 {
+	x0, y0 = clampInt(x0, 0, ii.W), clampInt(y0, 0, ii.H)
+	x1, y1 = clampInt(x1, 0, ii.W), clampInt(y1, 0, ii.H)
+	if x1 <= x0 || y1 <= y0 {
+		return 0
+	}
+	stride := ii.W + 1
+	return ii.sums[y1*stride+x1] - ii.sums[y0*stride+x1] -
+		ii.sums[y1*stride+x0] + ii.sums[y0*stride+x0]
+}
+
+// Mean returns the mean pixel value of g (0 for an empty pixel slice).
+func Mean(g *Gray) float64 {
+	if len(g.Pix) == 0 {
+		return 0
+	}
+	var sum uint64
+	for _, v := range g.Pix {
+		sum += uint64(v)
+	}
+	return float64(sum) / float64(len(g.Pix))
+}

@@ -1,0 +1,217 @@
+package imgproc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestBoxBlurPreservesConstant(t *testing.T) {
+	g := NewGray(16, 16)
+	g.Fill(99)
+	out := BoxBlur(g, 2)
+	for i, v := range out.Pix {
+		if v != 99 {
+			t.Fatalf("pixel %d = %d after blurring constant image", i, v)
+		}
+	}
+}
+
+func TestBoxBlurZeroRadiusIsCopy(t *testing.T) {
+	g := randomGray(8, 8, 1)
+	out := BoxBlur(g, 0)
+	for i := range g.Pix {
+		if out.Pix[i] != g.Pix[i] {
+			t.Fatal("radius-0 blur changed pixels")
+		}
+	}
+	out.Set(0, 0, ^g.At(0, 0))
+	if g.At(0, 0) == out.At(0, 0) {
+		t.Fatal("radius-0 blur returned an alias")
+	}
+}
+
+func TestBoxBlurSmooths(t *testing.T) {
+	// An impulse spreads into a (2r+1)^2 plateau.
+	g := NewGray(11, 11)
+	g.Set(5, 5, 255)
+	out := BoxBlur(g, 1)
+	center := out.At(5, 5)
+	if center == 255 || center == 0 {
+		t.Errorf("impulse center = %d after blur", center)
+	}
+	if out.At(4, 4) != center {
+		t.Errorf("box blur of impulse not flat: %d vs %d", out.At(4, 4), center)
+	}
+	if out.At(8, 8) != 0 {
+		t.Error("blur leaked beyond its support")
+	}
+}
+
+func TestGaussianBlurReducesVariance(t *testing.T) {
+	g := randomGray(32, 32, 2)
+	out := GaussianBlur(g, 1.5)
+	varOf := func(img *Gray) float64 {
+		m := Mean(img)
+		var s float64
+		for _, v := range img.Pix {
+			d := float64(v) - m
+			s += d * d
+		}
+		return s / float64(len(img.Pix))
+	}
+	if varOf(out) >= varOf(g) {
+		t.Error("Gaussian blur did not reduce variance of noise")
+	}
+	// sigma <= 0 is a copy.
+	same := GaussianBlur(g, 0)
+	for i := range g.Pix {
+		if same.Pix[i] != g.Pix[i] {
+			t.Fatal("sigma-0 blur changed pixels")
+		}
+	}
+}
+
+func TestAddGaussianNoiseStats(t *testing.T) {
+	g := NewGray(64, 64)
+	g.Fill(128)
+	rng := rand.New(rand.NewSource(9))
+	out := AddGaussianNoise(g, 10, rng)
+	m := Mean(out)
+	if math.Abs(m-128) > 1.5 {
+		t.Errorf("noisy mean = %.2f, want ~128", m)
+	}
+	var s float64
+	for _, v := range out.Pix {
+		d := float64(v) - m
+		s += d * d
+	}
+	sd := math.Sqrt(s / float64(len(out.Pix)))
+	if sd < 8 || sd > 12 {
+		t.Errorf("noisy stddev = %.2f, want ~10", sd)
+	}
+}
+
+func TestAddSaltPepper(t *testing.T) {
+	g := NewGray(100, 100)
+	g.Fill(128)
+	rng := rand.New(rand.NewSource(10))
+	out := AddSaltPepper(g, 0.1, rng)
+	var flipped int
+	for _, v := range out.Pix {
+		if v == 0 || v == 255 {
+			flipped++
+		}
+	}
+	frac := float64(flipped) / float64(len(out.Pix))
+	if frac < 0.07 || frac > 0.13 {
+		t.Errorf("flipped fraction %.3f, want ~0.1", frac)
+	}
+}
+
+func TestAdjustContrast(t *testing.T) {
+	g := NewGray(2, 1)
+	g.Set(0, 0, 100)
+	g.Set(1, 0, 200)
+	out := AdjustContrast(g, 2, 0)
+	// (100-128)*2+128 = 72; (200-128)*2+128 = 255 (clamped from 272).
+	if out.At(0, 0) != 72 || out.At(1, 0) != 255 {
+		t.Errorf("contrast pixels = %d, %d", out.At(0, 0), out.At(1, 0))
+	}
+	// Bias only.
+	out2 := AdjustContrast(g, 1, 10)
+	if out2.At(0, 0) != 110 {
+		t.Errorf("bias pixel = %d", out2.At(0, 0))
+	}
+}
+
+func TestGamma(t *testing.T) {
+	g := NewGray(3, 1)
+	g.Set(0, 0, 0)
+	g.Set(1, 0, 128)
+	g.Set(2, 0, 255)
+	out := Gamma(g, 2.0)
+	if out.At(0, 0) != 0 || out.At(2, 0) != 255 {
+		t.Error("gamma must fix black and white points")
+	}
+	if out.At(1, 0) >= 128 {
+		t.Error("gamma > 1 must darken midtones")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Gamma(0) should panic")
+		}
+	}()
+	Gamma(g, 0)
+}
+
+func TestLightingGradient(t *testing.T) {
+	g := NewGray(11, 1)
+	g.Fill(100)
+	out := LightingGradient(g, 0.5, 1.5, 1, 1)
+	if out.At(0, 0) != 50 {
+		t.Errorf("left gain: %d, want 50", out.At(0, 0))
+	}
+	if out.At(10, 0) != 150 {
+		t.Errorf("right gain: %d, want 150", out.At(10, 0))
+	}
+	// Unity gains preserve the image.
+	same := LightingGradient(g, 1, 1, 1, 1)
+	for i := range g.Pix {
+		if same.Pix[i] != g.Pix[i] {
+			t.Fatal("unity lighting changed pixels")
+		}
+	}
+}
+
+func TestFlipH(t *testing.T) {
+	g := NewGray(3, 2)
+	g.Set(0, 0, 1)
+	g.Set(2, 0, 3)
+	out := FlipH(g)
+	if out.At(0, 0) != 3 || out.At(2, 0) != 1 {
+		t.Error("FlipH wrong")
+	}
+	// Involution.
+	back := FlipH(out)
+	for i := range g.Pix {
+		if back.Pix[i] != g.Pix[i] {
+			t.Fatal("FlipH twice is not the identity")
+		}
+	}
+}
+
+func TestIntegralBoxSum(t *testing.T) {
+	g := randomGray(17, 13, 11)
+	ii := NewIntegral(g)
+	// Compare a set of boxes against brute force.
+	rng := rand.New(rand.NewSource(12))
+	for i := 0; i < 100; i++ {
+		x0, y0 := rng.Intn(17), rng.Intn(13)
+		x1, y1 := x0+rng.Intn(17-x0)+1, y0+rng.Intn(13-y0)+1
+		var want uint64
+		for y := y0; y < y1; y++ {
+			for x := x0; x < x1; x++ {
+				want += uint64(g.At(x, y))
+			}
+		}
+		if got := ii.BoxSum(x0, y0, x1, y1); got != want {
+			t.Fatalf("BoxSum(%d,%d,%d,%d) = %d, want %d", x0, y0, x1, y1, got, want)
+		}
+	}
+	// Degenerate and clipped boxes.
+	if ii.BoxSum(5, 5, 5, 9) != 0 {
+		t.Error("empty box should sum to 0")
+	}
+	if ii.BoxSum(-5, -5, 100, 100) != ii.BoxSum(0, 0, 17, 13) {
+		t.Error("clipped full box mismatch")
+	}
+}
+
+func TestMean(t *testing.T) {
+	g := NewGray(2, 2)
+	g.Pix = []uint8{0, 100, 100, 200}
+	if got := Mean(g); got != 100 {
+		t.Errorf("Mean = %v, want 100", got)
+	}
+}

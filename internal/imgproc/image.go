@@ -1,0 +1,222 @@
+// Package imgproc provides the image substrate for the pedestrian detector:
+// 8-bit and floating-point grayscale images, PGM/PPM codecs, geometric
+// resampling (the image-pyramid baseline of the paper), filtering, noise
+// injection, and the drawing primitives used by the synthetic scene
+// generator.
+//
+// All images use the conventional raster layout: row-major, origin at the
+// top-left, X rightwards, Y downwards.
+package imgproc
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+// Gray is an 8-bit grayscale image. Pix holds W*H samples in row-major
+// order; pixel (x, y) is Pix[y*W+x].
+type Gray struct {
+	W, H int
+	Pix  []uint8
+}
+
+// NewGray allocates a zeroed (black) W x H image. It panics on non-positive
+// dimensions.
+func NewGray(w, h int) *Gray {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("imgproc: invalid image size %dx%d", w, h))
+	}
+	return &Gray{W: w, H: h, Pix: make([]uint8, w*h)}
+}
+
+// Bounds returns the image rectangle anchored at the origin.
+func (g *Gray) Bounds() geom.Rect { return geom.R(0, 0, g.W, g.H) }
+
+// At returns the pixel at (x, y). Out-of-range coordinates are clamped to
+// the nearest edge pixel (replicate border), which is the border mode used
+// throughout the detector.
+func (g *Gray) At(x, y int) uint8 {
+	x, y = clampInt(x, 0, g.W-1), clampInt(y, 0, g.H-1)
+	return g.Pix[y*g.W+x]
+}
+
+// Set writes the pixel at (x, y); writes outside the image are ignored.
+func (g *Gray) Set(x, y int, v uint8) {
+	if x < 0 || y < 0 || x >= g.W || y >= g.H {
+		return
+	}
+	g.Pix[y*g.W+x] = v
+}
+
+// Fill sets every pixel to v.
+func (g *Gray) Fill(v uint8) {
+	for i := range g.Pix {
+		g.Pix[i] = v
+	}
+}
+
+// Clone returns a deep copy of g.
+func (g *Gray) Clone() *Gray {
+	c := NewGray(g.W, g.H)
+	copy(c.Pix, g.Pix)
+	return c
+}
+
+// SubImage copies the pixels of r (clipped to the image) into a new image.
+// It returns nil if the clipped rectangle is empty.
+func (g *Gray) SubImage(r geom.Rect) *Gray {
+	r = r.Intersect(g.Bounds())
+	if r.Empty() {
+		return nil
+	}
+	out := NewGray(r.W(), r.H())
+	for y := 0; y < r.H(); y++ {
+		src := g.Pix[(r.Min.Y+y)*g.W+r.Min.X:]
+		copy(out.Pix[y*out.W:(y+1)*out.W], src[:r.W()])
+	}
+	return out
+}
+
+// Float is a floating-point grayscale image used for intermediate
+// processing. Values are nominally in [0, 1] but are not clamped.
+type Float struct {
+	W, H int
+	Pix  []float64
+}
+
+// NewFloat allocates a zeroed W x H floating-point image. It panics on
+// non-positive dimensions.
+func NewFloat(w, h int) *Float {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("imgproc: invalid image size %dx%d", w, h))
+	}
+	return &Float{W: w, H: h, Pix: make([]float64, w*h)}
+}
+
+// Bounds returns the image rectangle anchored at the origin.
+func (f *Float) Bounds() geom.Rect { return geom.R(0, 0, f.W, f.H) }
+
+// At returns the pixel at (x, y) with replicate-border clamping.
+func (f *Float) At(x, y int) float64 {
+	x, y = clampInt(x, 0, f.W-1), clampInt(y, 0, f.H-1)
+	return f.Pix[y*f.W+x]
+}
+
+// Set writes the pixel at (x, y); writes outside the image are ignored.
+func (f *Float) Set(x, y int, v float64) {
+	if x < 0 || y < 0 || x >= f.W || y >= f.H {
+		return
+	}
+	f.Pix[y*f.W+x] = v
+}
+
+// Clone returns a deep copy of f.
+func (f *Float) Clone() *Float {
+	c := NewFloat(f.W, f.H)
+	copy(c.Pix, f.Pix)
+	return c
+}
+
+// ToFloat converts an 8-bit image to floating point in [0, 1].
+func ToFloat(g *Gray) *Float {
+	f := NewFloat(g.W, g.H)
+	for i, v := range g.Pix {
+		f.Pix[i] = float64(v) / 255
+	}
+	return f
+}
+
+// ToGray converts a floating-point image to 8 bits, clamping to [0, 1] and
+// rounding to nearest.
+func ToGray(f *Float) *Gray {
+	g := NewGray(f.W, f.H)
+	for i, v := range f.Pix {
+		g.Pix[i] = clamp8(v * 255)
+	}
+	return g
+}
+
+// clamp8 rounds v to the nearest integer and clamps it to [0, 255].
+func clamp8(v float64) uint8 {
+	if v <= 0 {
+		return 0
+	}
+	if v >= 255 {
+		return 255
+	}
+	return uint8(v + 0.5)
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// RGB is a small 24-bit color image used only for annotated detector output
+// (drawing detection boxes over a grayscale frame).
+type RGB struct {
+	W, H int
+	Pix  []uint8 // 3 bytes per pixel, R G B interleaved
+}
+
+// NewRGB allocates a zeroed (black) color image. It panics on non-positive
+// dimensions.
+func NewRGB(w, h int) *RGB {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("imgproc: invalid image size %dx%d", w, h))
+	}
+	return &RGB{W: w, H: h, Pix: make([]uint8, 3*w*h)}
+}
+
+// FromGray returns a color copy of a grayscale image.
+func FromGray(g *Gray) *RGB {
+	c := NewRGB(g.W, g.H)
+	for i, v := range g.Pix {
+		c.Pix[3*i], c.Pix[3*i+1], c.Pix[3*i+2] = v, v, v
+	}
+	return c
+}
+
+// Set writes an RGB pixel; writes outside the image are ignored.
+func (c *RGB) Set(x, y int, r, g, b uint8) {
+	if x < 0 || y < 0 || x >= c.W || y >= c.H {
+		return
+	}
+	i := 3 * (y*c.W + x)
+	c.Pix[i], c.Pix[i+1], c.Pix[i+2] = r, g, b
+}
+
+// At returns the RGB pixel at (x, y) with replicate-border clamping.
+func (c *RGB) At(x, y int) (r, g, b uint8) {
+	x, y = clampInt(x, 0, c.W-1), clampInt(y, 0, c.H-1)
+	i := 3 * (y*c.W + x)
+	return c.Pix[i], c.Pix[i+1], c.Pix[i+2]
+}
+
+// DrawRect outlines rectangle r with the given color and stroke thickness.
+func (c *RGB) DrawRect(rect geom.Rect, r, g, b uint8, thickness int) {
+	if thickness < 1 {
+		thickness = 1
+	}
+	for t := 0; t < thickness; t++ {
+		x0, y0 := rect.Min.X+t, rect.Min.Y+t
+		x1, y1 := rect.Max.X-1-t, rect.Max.Y-1-t
+		if x0 > x1 || y0 > y1 {
+			return
+		}
+		for x := x0; x <= x1; x++ {
+			c.Set(x, y0, r, g, b)
+			c.Set(x, y1, r, g, b)
+		}
+		for y := y0; y <= y1; y++ {
+			c.Set(x0, y, r, g, b)
+			c.Set(x1, y, r, g, b)
+		}
+	}
+}

@@ -1,0 +1,240 @@
+package imgproc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func randomGray(w, h int, seed int64) *Gray {
+	g := NewGray(w, h)
+	rng := rand.New(rand.NewSource(seed))
+	for i := range g.Pix {
+		g.Pix[i] = uint8(rng.Intn(256))
+	}
+	return g
+}
+
+func TestResizeIdentity(t *testing.T) {
+	g := randomGray(17, 23, 1)
+	for _, ip := range []Interp{Nearest, Bilinear, Bicubic} {
+		got := Resize(g, g.W, g.H, ip)
+		for i := range got.Pix {
+			if got.Pix[i] != g.Pix[i] {
+				t.Fatalf("%v identity resize changed pixel %d", ip, i)
+			}
+		}
+	}
+}
+
+func TestResizeConstantImage(t *testing.T) {
+	g := NewGray(20, 20)
+	g.Fill(137)
+	for _, ip := range []Interp{Nearest, Bilinear, Bicubic} {
+		for _, dim := range [][2]int{{10, 10}, {37, 41}, {5, 31}} {
+			out := Resize(g, dim[0], dim[1], ip)
+			for i, v := range out.Pix {
+				// Bicubic can ring by a count near borders; allow 1.
+				if int(v) < 136 || int(v) > 138 {
+					t.Fatalf("%v resize of constant image: pixel %d = %d", ip, i, v)
+				}
+			}
+		}
+	}
+}
+
+func TestResizeDimensions(t *testing.T) {
+	g := randomGray(64, 128, 2)
+	out := Resize(g, 32, 64, Bilinear)
+	if out.W != 32 || out.H != 64 {
+		t.Fatalf("size %dx%d, want 32x64", out.W, out.H)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Resize to 0x0 should panic")
+		}
+	}()
+	Resize(g, 0, 0, Bilinear)
+}
+
+func TestScaleRounding(t *testing.T) {
+	g := randomGray(64, 128, 3)
+	up := Scale(g, 1.1, Bilinear)
+	if up.W != 70 || up.H != 141 {
+		t.Errorf("1.1x of 64x128 = %dx%d, want 70x141", up.W, up.H)
+	}
+	down := Scale(g, 0.5, Bilinear)
+	if down.W != 32 || down.H != 64 {
+		t.Errorf("0.5x of 64x128 = %dx%d, want 32x64", down.W, down.H)
+	}
+	tiny := Scale(NewGray(2, 2), 0.1, Nearest)
+	if tiny.W != 1 || tiny.H != 1 {
+		t.Errorf("minimum size not enforced: %dx%d", tiny.W, tiny.H)
+	}
+}
+
+func TestBilinearInterpolatesMidpoint(t *testing.T) {
+	// A 2x1 image upsampled to 3x1 must place the average in the middle.
+	g := NewGray(2, 1)
+	g.Set(0, 0, 0)
+	g.Set(1, 0, 200)
+	out := Resize(g, 3, 1, Bilinear)
+	mid := out.At(1, 0)
+	if mid < 95 || mid > 105 {
+		t.Errorf("midpoint = %d, want ~100", mid)
+	}
+}
+
+func TestDownUpRoundTripLowError(t *testing.T) {
+	// A smooth image should survive 2x down + 2x up with small error.
+	g := NewGray(64, 64)
+	for y := 0; y < 64; y++ {
+		for x := 0; x < 64; x++ {
+			g.Set(x, y, uint8(128+100*math.Sin(float64(x)/10)*math.Cos(float64(y)/10)))
+		}
+	}
+	down := Resize(g, 32, 32, Bilinear)
+	up := Resize(down, 64, 64, Bilinear)
+	var mae float64
+	for i := range g.Pix {
+		mae += math.Abs(float64(g.Pix[i]) - float64(up.Pix[i]))
+	}
+	mae /= float64(len(g.Pix))
+	if mae > 6 {
+		t.Errorf("mean absolute error %.2f after 2x round trip, want <= 6", mae)
+	}
+}
+
+func TestResizeFloatMatchesGray(t *testing.T) {
+	g := randomGray(31, 17, 6)
+	fg := ResizeFloat(ToFloat(g), 20, 11, Bilinear)
+	gg := Resize(g, 20, 11, Bilinear)
+	for i := range gg.Pix {
+		diff := math.Abs(fg.Pix[i]*255 - float64(gg.Pix[i]))
+		if diff > 1 {
+			t.Fatalf("float/gray resize disagree at %d by %.2f", i, diff)
+		}
+	}
+}
+
+func TestPyramid(t *testing.T) {
+	g := randomGray(128, 256, 7)
+	levels := Pyramid(g, 2.0, 16, 16, 0, Bilinear)
+	if len(levels) != 4 { // 128, 64, 32, 16
+		t.Fatalf("got %d levels, want 4", len(levels))
+	}
+	if levels[0].W != 128 || levels[3].W != 16 {
+		t.Errorf("level sizes wrong: %d .. %d", levels[0].W, levels[3].W)
+	}
+	// maxLevels cap.
+	if got := Pyramid(g, 2.0, 1, 1, 2, Nearest); len(got) != 2 {
+		t.Errorf("maxLevels ignored: %d levels", len(got))
+	}
+	// The paper's 1.1 ladder for the INRIA protocol: 64x128 to 128x256 has
+	// log(2)/log(1.1) ~ 7.3 levels above the base.
+	big := NewGray(128, 256)
+	l11 := Pyramid(big, 1.1, 64, 128, 0, Nearest)
+	if len(l11) < 7 || len(l11) > 9 {
+		t.Errorf("1.1 pyramid has %d levels, want 7..9", len(l11))
+	}
+}
+
+func TestCubicWeightPartitionOfUnity(t *testing.T) {
+	// Catmull-Rom weights at any phase sum to 1.
+	for phase := 0.0; phase < 1.0; phase += 0.093 {
+		sum := 0.0
+		for i := -1; i <= 2; i++ {
+			sum += cubicWeight(phase - float64(i))
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Fatalf("weights at phase %.3f sum to %v", phase, sum)
+		}
+	}
+}
+
+func TestInterpString(t *testing.T) {
+	if Nearest.String() != "nearest" || Bilinear.String() != "bilinear" || Bicubic.String() != "bicubic" {
+		t.Error("Interp.String names wrong")
+	}
+	if Interp(42).String() == "" {
+		t.Error("unknown Interp should still stringify")
+	}
+}
+
+func TestFillAndDrawPrimitives(t *testing.T) {
+	g := NewGray(20, 20)
+	FillRect(g, geom.R(5, 5, 10, 10), 200)
+	if g.At(5, 5) != 200 || g.At(9, 9) != 200 || g.At(10, 10) == 200 {
+		t.Error("FillRect wrong extent")
+	}
+	FillEllipse(g, geom.R(0, 0, 10, 10), 50)
+	if g.At(5, 5) != 50 {
+		t.Error("ellipse center not filled")
+	}
+	if g.At(0, 0) == 50 {
+		t.Error("ellipse corner should stay outside")
+	}
+}
+
+func TestFillQuadTriangle(t *testing.T) {
+	g := NewGray(20, 20)
+	// A degenerate quad forming a triangle.
+	FillQuad(g, geom.Pt{X: 10, Y: 2}, geom.Pt{X: 18, Y: 18}, geom.Pt{X: 2, Y: 18}, geom.Pt{X: 2, Y: 18}, 99)
+	if g.At(10, 12) != 99 {
+		t.Error("triangle interior not filled")
+	}
+	if g.At(1, 1) == 99 || g.At(19, 1) == 99 {
+		t.Error("triangle exterior filled")
+	}
+}
+
+func TestThickLine(t *testing.T) {
+	g := NewGray(30, 30)
+	ThickLine(g, geom.Pt{X: 5, Y: 5}, geom.Pt{X: 25, Y: 25}, 3, 255)
+	if g.At(15, 15) != 255 {
+		t.Error("line midpoint not drawn")
+	}
+	if g.At(25, 5) == 255 {
+		t.Error("far off-line pixel drawn")
+	}
+	// Zero-length line still paints something.
+	g2 := NewGray(10, 10)
+	ThickLine(g2, geom.Pt{X: 5, Y: 5}, geom.Pt{X: 5, Y: 5}, 3, 255)
+	if g2.At(5, 5) != 255 {
+		t.Error("degenerate line painted nothing")
+	}
+}
+
+func TestVerticalGradient(t *testing.T) {
+	g := NewGray(4, 11)
+	VerticalGradient(g, g.Bounds(), 0, 250)
+	if g.At(0, 0) != 0 || g.At(0, 10) != 250 {
+		t.Errorf("gradient endpoints: %d, %d", g.At(0, 0), g.At(0, 10))
+	}
+	mid := g.At(0, 5)
+	if mid < 120 || mid > 130 {
+		t.Errorf("gradient midpoint = %d, want ~125", mid)
+	}
+}
+
+func TestPaste(t *testing.T) {
+	dst := NewGray(10, 10)
+	src := NewGray(3, 3)
+	src.Fill(100)
+	src.Set(1, 1, 0) // transparent hole
+	Paste(dst, src, 4, 4, 0)
+	if dst.At(4, 4) != 100 {
+		t.Error("paste did not copy")
+	}
+	if dst.At(5, 5) != 0 {
+		t.Error("transparent pixel copied")
+	}
+	// Clipped paste must not panic.
+	Paste(dst, src, -2, -2, -1)
+	Paste(dst, src, 9, 9, -1)
+	if dst.At(9, 9) != 100 {
+		t.Error("clipped paste missing visible corner")
+	}
+}

@@ -1,0 +1,63 @@
+package imgproc
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Weather degradations for the DAS robustness studies: fog (atmospheric
+// scattering) and rain streaks. Both are the conditions the paper's
+// introduction lists among the factors stretching driver reaction time —
+// the regime where detector robustness matters most.
+
+// Fog applies the standard atmospheric scattering model
+// I' = I*t + A*(1-t) with a depth-dependent transmission t: pixels lower
+// in the frame (nearer the camera on a ground plane) keep more contrast,
+// the top of the frame fades towards the airlight A. density controls the
+// extinction (0 = clear, ~1 = heavy fog); airlight is the haze tone.
+func Fog(g *Gray, density float64, airlight uint8) *Gray {
+	if density <= 0 {
+		return g.Clone()
+	}
+	out := NewGray(g.W, g.H)
+	a := float64(airlight)
+	for y := 0; y < g.H; y++ {
+		// Depth proxy: the horizon (far) is at the top; transmission
+		// decays exponentially with distance.
+		depth := 1 - float64(y)/float64(g.H-1) // 1 at top, 0 at bottom
+		t := math.Exp(-density * (0.4 + 2.6*depth))
+		for x := 0; x < g.W; x++ {
+			v := float64(g.Pix[y*g.W+x])
+			out.Pix[y*g.W+x] = clamp8(v*t + a*(1-t))
+		}
+	}
+	return out
+}
+
+// Rain overlays nStreaks motion-blurred rain streaks of the given length
+// (pixels) at a near-vertical angle. The rng must not be nil.
+func Rain(g *Gray, nStreaks, length int, rng *rand.Rand) *Gray {
+	out := g.Clone()
+	if nStreaks <= 0 || length <= 0 {
+		return out
+	}
+	for i := 0; i < nStreaks; i++ {
+		x := rng.Intn(g.W)
+		y := rng.Intn(g.H)
+		angle := math.Pi/2 + (rng.Float64()-0.5)*0.3 // near vertical
+		dx := math.Cos(angle)
+		dy := math.Sin(angle)
+		tone := uint8(190 + rng.Intn(60))
+		for s := 0; s < length; s++ {
+			px := x + int(float64(s)*dx)
+			py := y + int(float64(s)*dy)
+			if px < 0 || py < 0 || px >= g.W || py >= g.H {
+				break
+			}
+			// Streaks are translucent: blend toward the streak tone.
+			old := float64(out.Pix[py*g.W+px])
+			out.Pix[py*g.W+px] = clamp8(0.6*old + 0.4*float64(tone))
+		}
+	}
+	return out
+}

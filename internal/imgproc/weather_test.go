@@ -1,0 +1,89 @@
+package imgproc
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestFogReducesContrastMoreAtTop(t *testing.T) {
+	g := randomGray(64, 64, 20)
+	foggy := Fog(g, 0.8, 200)
+	contrast := func(img *Gray, y0, y1 int) float64 {
+		var sum, sum2, n float64
+		for y := y0; y < y1; y++ {
+			for x := 0; x < img.W; x++ {
+				v := float64(img.At(x, y))
+				sum += v
+				sum2 += v * v
+				n++
+			}
+		}
+		m := sum / n
+		return sum2/n - m*m
+	}
+	topBefore := contrast(g, 0, 16)
+	topAfter := contrast(foggy, 0, 16)
+	botBefore := contrast(g, 48, 64)
+	botAfter := contrast(foggy, 48, 64)
+	if topAfter >= topBefore {
+		t.Error("fog did not reduce contrast at the top (far field)")
+	}
+	// The far field must lose proportionally more contrast than the near field.
+	if topAfter/topBefore >= botAfter/botBefore {
+		t.Errorf("fog not depth dependent: top ratio %.3f vs bottom %.3f",
+			topAfter/topBefore, botAfter/botBefore)
+	}
+}
+
+func TestFogZeroDensityIsCopy(t *testing.T) {
+	g := randomGray(16, 16, 21)
+	out := Fog(g, 0, 200)
+	for i := range g.Pix {
+		if out.Pix[i] != g.Pix[i] {
+			t.Fatal("zero-density fog changed pixels")
+		}
+	}
+}
+
+func TestFogConvergesToAirlight(t *testing.T) {
+	g := NewGray(32, 32) // black frame
+	heavy := Fog(g, 10, 180)
+	// The far field should approach the airlight tone.
+	if v := heavy.At(16, 0); v < 160 {
+		t.Errorf("top pixel %d, want near airlight 180", v)
+	}
+}
+
+func TestRainAddsBrightStreaks(t *testing.T) {
+	g := NewGray(64, 64)
+	g.Fill(60)
+	rng := rand.New(rand.NewSource(22))
+	rainy := Rain(g, 30, 12, rng)
+	brighter := 0
+	for i := range rainy.Pix {
+		if rainy.Pix[i] > 60 {
+			brighter++
+		}
+	}
+	if brighter < 100 {
+		t.Errorf("only %d brightened pixels after 30 streaks", brighter)
+	}
+	// Zero streaks is a copy.
+	same := Rain(g, 0, 12, rng)
+	for i := range g.Pix {
+		if same.Pix[i] != g.Pix[i] {
+			t.Fatal("no-streak rain changed pixels")
+		}
+	}
+}
+
+func TestRainDeterministicWithSeed(t *testing.T) {
+	g := randomGray(32, 32, 23)
+	a := Rain(g, 10, 8, rand.New(rand.NewSource(5)))
+	b := Rain(g, 10, 8, rand.New(rand.NewSource(5)))
+	for i := range a.Pix {
+		if a.Pix[i] != b.Pix[i] {
+			t.Fatal("rain not deterministic for a fixed rng")
+		}
+	}
+}

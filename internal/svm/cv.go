@@ -1,0 +1,93 @@
+package svm
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Cross-validation for hyper-parameter selection (the paper trains with
+// LibLinear, whose standard workflow picks C by k-fold CV).
+
+// CVResult reports one candidate's cross-validated accuracy.
+type CVResult struct {
+	C        float64
+	Accuracy float64
+}
+
+// CrossValidate estimates accuracy of the given configuration by k-fold
+// cross-validation with a deterministic fold assignment derived from
+// cfg.Seed.
+func CrossValidate(x [][]float64, y []int, cfg TrainConfig, folds int) (float64, error) {
+	n := len(x)
+	if folds < 2 {
+		return 0, fmt.Errorf("svm: need at least 2 folds, got %d", folds)
+	}
+	if n < folds {
+		return 0, fmt.Errorf("svm: %d examples cannot fill %d folds", n, folds)
+	}
+	// Deterministic shuffled fold assignment.
+	rng := rand.New(rand.NewSource(cfg.Seed + 7919))
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = i % folds
+	}
+	rng.Shuffle(n, func(i, j int) { assign[i], assign[j] = assign[j], assign[i] })
+
+	correct, total := 0, 0
+	for f := 0; f < folds; f++ {
+		var tx [][]float64
+		var ty []int
+		var vx [][]float64
+		var vy []int
+		for i := range x {
+			if assign[i] == f {
+				vx = append(vx, x[i])
+				vy = append(vy, y[i])
+			} else {
+				tx = append(tx, x[i])
+				ty = append(ty, y[i])
+			}
+		}
+		if len(vx) == 0 {
+			continue
+		}
+		res, err := Train(tx, ty, cfg)
+		if err != nil {
+			return 0, fmt.Errorf("svm: fold %d: %w", f, err)
+		}
+		for i := range vx {
+			if res.Model.Predict(vx[i]) == vy[i] {
+				correct++
+			}
+			total++
+		}
+	}
+	if total == 0 {
+		return 0, fmt.Errorf("svm: empty validation folds")
+	}
+	return float64(correct) / float64(total), nil
+}
+
+// SelectC sweeps candidate C values by k-fold cross-validation and returns
+// the best along with every candidate's score. Ties resolve to the
+// smallest C (strongest regularization).
+func SelectC(x [][]float64, y []int, base TrainConfig, candidates []float64, folds int) (float64, []CVResult, error) {
+	if len(candidates) == 0 {
+		return 0, nil, fmt.Errorf("svm: no C candidates")
+	}
+	var results []CVResult
+	bestC, bestAcc := 0.0, -1.0
+	for _, c := range candidates {
+		cfg := base
+		cfg.C = c
+		acc, err := CrossValidate(x, y, cfg, folds)
+		if err != nil {
+			return 0, nil, err
+		}
+		results = append(results, CVResult{C: c, Accuracy: acc})
+		if acc > bestAcc || (acc == bestAcc && c < bestC) {
+			bestAcc, bestC = acc, c
+		}
+	}
+	return bestC, results, nil
+}

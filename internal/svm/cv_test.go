@@ -1,0 +1,74 @@
+package svm
+
+import "testing"
+
+func TestCrossValidateSeparable(t *testing.T) {
+	x, y := gauss2D(200, 8, 50)
+	acc, err := CrossValidate(x, y, DefaultTrainConfig(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.97 {
+		t.Errorf("CV accuracy %.3f on separable data, want ~1", acc)
+	}
+}
+
+func TestCrossValidateDeterministic(t *testing.T) {
+	x, y := gauss2D(150, 2, 51)
+	a, err := CrossValidate(x, y, DefaultTrainConfig(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CrossValidate(x, y, DefaultTrainConfig(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("CV not deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestCrossValidateErrors(t *testing.T) {
+	x, y := gauss2D(10, 3, 52)
+	if _, err := CrossValidate(x, y, DefaultTrainConfig(), 1); err == nil {
+		t.Error("1 fold should error")
+	}
+	if _, err := CrossValidate(x[:3], y[:3], DefaultTrainConfig(), 5); err == nil {
+		t.Error("more folds than examples should error")
+	}
+}
+
+func TestSelectCPicksSensibleValue(t *testing.T) {
+	// Noisy overlapping data: extreme C values (severe under/overfit)
+	// should not win against a moderate one.
+	x, y := gauss2D(400, 1.5, 53)
+	base := DefaultTrainConfig()
+	base.Tol = 0.01
+	bestC, results, err := SelectC(x, y, base, []float64{1e-6, 1e-2, 1}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("results = %d", len(results))
+	}
+	if bestC == 1e-6 {
+		t.Errorf("C=1e-6 (near-zero model) should not win: %+v", results)
+	}
+	// The returned best matches the max score.
+	var want CVResult
+	for _, r := range results {
+		if r.Accuracy > want.Accuracy || (r.Accuracy == want.Accuracy && (want.C == 0 || r.C < want.C)) {
+			want = r
+		}
+	}
+	if bestC != want.C {
+		t.Errorf("bestC %v != argmax %v", bestC, want.C)
+	}
+}
+
+func TestSelectCErrors(t *testing.T) {
+	x, y := gauss2D(40, 3, 54)
+	if _, _, err := SelectC(x, y, DefaultTrainConfig(), nil, 4); err == nil {
+		t.Error("no candidates should error")
+	}
+}

@@ -1,0 +1,125 @@
+package svm
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// The model file format is a small line-oriented text format in the spirit
+// of LibLinear's model files:
+//
+//	pdsvm 1
+//	dim <n>
+//	bias <b>
+//	w
+//	<w0>
+//	<w1>
+//	...
+//
+// Weights use %.17g so the round trip is exact.
+
+const modelMagic = "pdsvm 1"
+
+// Write serializes m to w.
+func (m *Model) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, modelMagic)
+	fmt.Fprintf(bw, "dim %d\n", len(m.W))
+	fmt.Fprintf(bw, "bias %.17g\n", m.B)
+	fmt.Fprintln(bw, "w")
+	for _, v := range m.W {
+		fmt.Fprintf(bw, "%.17g\n", v)
+	}
+	return bw.Flush()
+}
+
+// Save writes m to the named file.
+func (m *Model) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := m.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Read deserializes a model written by Write.
+func Read(r io.Reader) (*Model, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	next := func() (string, error) {
+		if !sc.Scan() {
+			if err := sc.Err(); err != nil {
+				return "", err
+			}
+			return "", io.ErrUnexpectedEOF
+		}
+		return strings.TrimSpace(sc.Text()), nil
+	}
+	line, err := next()
+	if err != nil {
+		return nil, fmt.Errorf("svm: reading magic: %w", err)
+	}
+	if line != modelMagic {
+		return nil, fmt.Errorf("svm: bad magic %q", line)
+	}
+	line, err = next()
+	if err != nil {
+		return nil, fmt.Errorf("svm: reading dim: %w", err)
+	}
+	var dim int
+	if _, err := fmt.Sscanf(line, "dim %d", &dim); err != nil {
+		return nil, fmt.Errorf("svm: parsing %q: %w", line, err)
+	}
+	if dim <= 0 || dim > 1<<24 {
+		return nil, fmt.Errorf("svm: implausible dimension %d", dim)
+	}
+	line, err = next()
+	if err != nil {
+		return nil, fmt.Errorf("svm: reading bias: %w", err)
+	}
+	var biasStr string
+	if _, err := fmt.Sscanf(line, "bias %s", &biasStr); err != nil {
+		return nil, fmt.Errorf("svm: parsing %q: %w", line, err)
+	}
+	bias, err := strconv.ParseFloat(biasStr, 64)
+	if err != nil {
+		return nil, fmt.Errorf("svm: parsing bias %q: %w", biasStr, err)
+	}
+	line, err = next()
+	if err != nil {
+		return nil, fmt.Errorf("svm: reading weight header: %w", err)
+	}
+	if line != "w" {
+		return nil, fmt.Errorf("svm: expected weight header, got %q", line)
+	}
+	m := &Model{W: make([]float64, dim), B: bias}
+	for i := 0; i < dim; i++ {
+		line, err = next()
+		if err != nil {
+			return nil, fmt.Errorf("svm: reading weight %d: %w", i, err)
+		}
+		m.W[i], err = strconv.ParseFloat(line, 64)
+		if err != nil {
+			return nil, fmt.Errorf("svm: parsing weight %d %q: %w", i, line, err)
+		}
+	}
+	return m, nil
+}
+
+// Load reads a model from the named file.
+func Load(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -1,0 +1,361 @@
+// Package svm implements the linear support vector machine used by the
+// paper: training via the dual coordinate descent method of Hsieh et al.
+// (2008) — the algorithm behind LibLinear, which the authors used — and
+// classification as the plain dot product y(x) = w.x + b that the MACBAR
+// hardware evaluates (Equation 4 of the paper).
+package svm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/fixed"
+)
+
+// Loss selects the hinge-loss variant to optimize.
+type Loss int
+
+const (
+	// L1 is the standard hinge loss max(0, 1-y f(x)) (LibLinear -s 3).
+	L1 Loss = iota
+	// L2 is the squared hinge loss max(0, 1-y f(x))^2 (LibLinear -s 1).
+	L2
+)
+
+// String implements fmt.Stringer.
+func (l Loss) String() string {
+	if l == L1 {
+		return "l1"
+	}
+	if l == L2 {
+		return "l2"
+	}
+	return fmt.Sprintf("Loss(%d)", int(l))
+}
+
+// TrainConfig holds the solver parameters. The zero value is not valid; use
+// DefaultTrainConfig.
+type TrainConfig struct {
+	C         float64 // regularization/penalty parameter (> 0)
+	Loss      Loss    // hinge loss variant
+	Tol       float64 // stopping tolerance on projected-gradient violation
+	MaxEpochs int     // hard cap on passes over the data
+	BiasScale float64 // scale of the augmented bias feature; 0 trains without bias
+	Seed      int64   // permutation seed (training is deterministic given Seed)
+	// PosWeight and NegWeight multiply C for the positive and negative
+	// class respectively (LibLinear's -wi option); 0 means 1. Useful under
+	// the pedestrian protocol's class imbalance (1126 vs 4530).
+	PosWeight, NegWeight float64
+}
+
+// DefaultTrainConfig mirrors LibLinear's defaults (C=1, L2 loss, eps=0.1)
+// with a unit bias term.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{C: 1, Loss: L2, Tol: 0.1, MaxEpochs: 1000, BiasScale: 1, Seed: 1}
+}
+
+// Model is a trained linear classifier: Score(x) = W.x + B.
+type Model struct {
+	W []float64 // weight vector, one element per feature
+	B float64   // bias
+}
+
+// Score returns the decision value w.x + b. It panics if the feature vector
+// length does not match the model.
+func (m *Model) Score(x []float64) float64 {
+	if len(x) != len(m.W) {
+		panic(fmt.Sprintf("svm: feature length %d != model length %d", len(x), len(m.W)))
+	}
+	return dot(m.W, x) + m.B
+}
+
+// Predict returns +1 if Score(x) > 0 and -1 otherwise (Equations 5-6).
+func (m *Model) Predict(x []float64) int {
+	if m.Score(x) > 0 {
+		return 1
+	}
+	return -1
+}
+
+// Clone returns a deep copy of m.
+func (m *Model) Clone() *Model {
+	w := make([]float64, len(m.W))
+	copy(w, m.W)
+	return &Model{W: w, B: m.B}
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// TrainResult reports solver diagnostics alongside the model.
+type TrainResult struct {
+	Model     *Model
+	Epochs    int     // data passes performed
+	Converged bool    // stopping tolerance reached before MaxEpochs
+	Objective float64 // primal objective value at the solution (Equation 3 scaled by C)
+}
+
+// Train fits a linear SVM to the dense feature matrix x (one row per
+// example) with labels y in {-1, +1}, using dual coordinate descent.
+func Train(x [][]float64, y []int, cfg TrainConfig) (*TrainResult, error) {
+	n := len(x)
+	if n == 0 {
+		return nil, errors.New("svm: empty training set")
+	}
+	if len(y) != n {
+		return nil, fmt.Errorf("svm: %d examples but %d labels", n, len(y))
+	}
+	dim := len(x[0])
+	if dim == 0 {
+		return nil, errors.New("svm: zero-dimensional features")
+	}
+	for i, xi := range x {
+		if len(xi) != dim {
+			return nil, fmt.Errorf("svm: example %d has %d features, want %d", i, len(xi), dim)
+		}
+	}
+	hasPos, hasNeg := false, false
+	for i, yi := range y {
+		switch yi {
+		case 1:
+			hasPos = true
+		case -1:
+			hasNeg = true
+		default:
+			return nil, fmt.Errorf("svm: label %d of example %d not in {-1,+1}", yi, i)
+		}
+	}
+	if !hasPos || !hasNeg {
+		return nil, errors.New("svm: training set needs both classes")
+	}
+	if cfg.C <= 0 {
+		return nil, fmt.Errorf("svm: C = %g must be positive", cfg.C)
+	}
+	if cfg.MaxEpochs <= 0 {
+		cfg.MaxEpochs = 1000
+	}
+	if cfg.Tol <= 0 {
+		cfg.Tol = 0.1
+	}
+
+	// Per-class effective C (LibLinear's -wi): Ci = C * weight(y_i).
+	pw, nw := cfg.PosWeight, cfg.NegWeight
+	if pw == 0 {
+		pw = 1
+	}
+	if nw == 0 {
+		nw = 1
+	}
+	if pw < 0 || nw < 0 {
+		return nil, fmt.Errorf("svm: negative class weight %g/%g", pw, nw)
+	}
+	cOf := func(yi int) float64 {
+		if yi == 1 {
+			return cfg.C * pw
+		}
+		return cfg.C * nw
+	}
+
+	// Dual coordinate descent (Hsieh et al., ICML 2008, Algorithm 1).
+	// L1 loss: U_i = C_i, Dii = 0. L2 loss: U_i = +inf, Dii = 1/(2*C_i).
+	if cfg.Loss != L1 && cfg.Loss != L2 {
+		return nil, fmt.Errorf("svm: unknown loss %v", cfg.Loss)
+	}
+	upperOf := make([]float64, n)
+	diiOf := make([]float64, n)
+	for i := range y {
+		if cfg.Loss == L1 {
+			upperOf[i], diiOf[i] = cOf(y[i]), 0
+		} else {
+			upperOf[i], diiOf[i] = math.Inf(1), 1/(2*cOf(y[i]))
+		}
+	}
+
+	// Optionally augment with a bias feature of constant value BiasScale.
+	bias := cfg.BiasScale != 0
+	wLen := dim
+	if bias {
+		wLen++
+	}
+	w := make([]float64, wLen)
+	alpha := make([]float64, n)
+	// Precompute squared norms (including the bias feature).
+	qd := make([]float64, n)
+	for i, xi := range x {
+		q := diiOf[i]
+		for _, v := range xi {
+			q += v * v
+		}
+		if bias {
+			q += cfg.BiasScale * cfg.BiasScale
+		}
+		qd[i] = q
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+
+	epochs := 0
+	converged := false
+	for epoch := 0; epoch < cfg.MaxEpochs; epoch++ {
+		epochs = epoch + 1
+		rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		maxViolation := 0.0
+		for _, i := range perm {
+			xi := x[i]
+			yi := float64(y[i])
+			upper := upperOf[i]
+			// G = y_i * (w.x_i) - 1 + Dii * alpha_i
+			g := dot(w[:dim], xi)
+			if bias {
+				g += w[dim] * cfg.BiasScale
+			}
+			g = yi*g - 1 + diiOf[i]*alpha[i]
+
+			// Projected gradient.
+			var pg float64
+			switch {
+			case alpha[i] == 0:
+				pg = math.Min(g, 0)
+			case alpha[i] == upper:
+				pg = math.Max(g, 0)
+			default:
+				pg = g
+			}
+			if v := math.Abs(pg); v > maxViolation {
+				maxViolation = v
+			}
+			if pg == 0 || qd[i] == 0 {
+				continue
+			}
+			old := alpha[i]
+			na := old - g/qd[i]
+			if na < 0 {
+				na = 0
+			} else if na > upper {
+				na = upper
+			}
+			if na == old {
+				continue
+			}
+			alpha[i] = na
+			step := (na - old) * yi
+			for j, v := range xi {
+				w[j] += step * v
+			}
+			if bias {
+				w[dim] += step * cfg.BiasScale
+			}
+		}
+		if maxViolation < cfg.Tol {
+			converged = true
+			break
+		}
+	}
+
+	model := &Model{W: w[:dim]}
+	if bias {
+		model.B = w[dim] * cfg.BiasScale
+	}
+	// Keep W independent of the augmented slice.
+	model.W = append([]float64(nil), w[:dim]...)
+
+	return &TrainResult{
+		Model:     model,
+		Epochs:    epochs,
+		Converged: converged,
+		Objective: primalObjective(model, x, y, cfg),
+	}, nil
+}
+
+// primalObjective evaluates 0.5||w||^2 + C * sum(loss_i), the objective of
+// Equation 3 with lambda folded into C.
+func primalObjective(m *Model, x [][]float64, y []int, cfg TrainConfig) float64 {
+	obj := 0.5 * dot(m.W, m.W)
+	if cfg.BiasScale != 0 {
+		obj += 0.5 * (m.B / cfg.BiasScale) * (m.B / cfg.BiasScale)
+	}
+	pw, nw := cfg.PosWeight, cfg.NegWeight
+	if pw == 0 {
+		pw = 1
+	}
+	if nw == 0 {
+		nw = 1
+	}
+	for i, xi := range x {
+		margin := 1 - float64(y[i])*m.Score(xi)
+		if margin <= 0 {
+			continue
+		}
+		ci := cfg.C * nw
+		if y[i] == 1 {
+			ci = cfg.C * pw
+		}
+		if cfg.Loss == L2 {
+			obj += ci * margin * margin
+		} else {
+			obj += ci * margin
+		}
+	}
+	return obj
+}
+
+// Accuracy returns the fraction of examples classified correctly.
+func Accuracy(m *Model, x [][]float64, y []int) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	correct := 0
+	for i, xi := range x {
+		if m.Predict(xi) == y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(x))
+}
+
+// QuantizedModel is a model converted to the fixed-point representation the
+// hardware stores in its model memory.
+type QuantizedModel struct {
+	W      []int64      // quantized weights
+	B      int64        // quantized bias
+	Fmt    fixed.Format // storage format of weights and bias
+	Source *Model       // the float model this was derived from
+}
+
+// Quantize converts m into the given fixed-point format.
+func Quantize(m *Model, f fixed.Format) (*QuantizedModel, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	q := &QuantizedModel{
+		W:      make([]int64, len(m.W)),
+		B:      f.FromFloat(m.B),
+		Fmt:    f,
+		Source: m,
+	}
+	for i, v := range m.W {
+		q.W[i] = f.FromFloat(v)
+	}
+	return q, nil
+}
+
+// Dequantize returns the float model the quantized weights actually
+// represent (useful for measuring quantization-induced accuracy loss).
+func (q *QuantizedModel) Dequantize() *Model {
+	m := &Model{W: make([]float64, len(q.W)), B: q.Fmt.ToFloat(q.B)}
+	for i, v := range q.W {
+		m.W[i] = q.Fmt.ToFloat(v)
+	}
+	return m
+}

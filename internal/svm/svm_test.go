@@ -1,0 +1,435 @@
+package svm
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fixed"
+)
+
+// gauss2D draws an n-sample 2-class Gaussian problem with the given class
+// separation along the first axis.
+func gauss2D(n int, sep float64, seed int64) (x [][]float64, y []int) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		label := 1
+		mean := sep / 2
+		if i%2 == 1 {
+			label = -1
+			mean = -sep / 2
+		}
+		x = append(x, []float64{mean + rng.NormFloat64(), rng.NormFloat64()})
+		y = append(y, label)
+	}
+	return x, y
+}
+
+func TestTrainSeparable(t *testing.T) {
+	// Widely separated classes must be classified perfectly.
+	x, y := gauss2D(200, 10, 1)
+	for _, loss := range []Loss{L1, L2} {
+		cfg := DefaultTrainConfig()
+		cfg.Loss = loss
+		res, err := Train(x, y, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if acc := Accuracy(res.Model, x, y); acc != 1 {
+			t.Errorf("%v loss: training accuracy %v on separable data, want 1", loss, acc)
+		}
+		if !res.Converged {
+			t.Errorf("%v loss did not converge", loss)
+		}
+		// The separating direction must be along the first axis.
+		if math.Abs(res.Model.W[0]) < math.Abs(res.Model.W[1])*3 {
+			t.Errorf("%v loss: weights %v not aligned with separation", loss, res.Model.W)
+		}
+	}
+}
+
+func TestTrainOverlapping(t *testing.T) {
+	// Overlapping classes: accuracy should land near the Bayes rate
+	// (~84% for separation 2 with unit-variance Gaussians).
+	x, y := gauss2D(2000, 2, 2)
+	res, err := Train(x, y, DefaultTrainConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := Accuracy(res.Model, x, y)
+	if acc < 0.78 || acc > 0.90 {
+		t.Errorf("accuracy %v, want ~0.84", acc)
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	x, y := gauss2D(300, 3, 3)
+	cfg := DefaultTrainConfig()
+	r1, err := Train(x, y, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Train(x, y, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1.Model.W {
+		if r1.Model.W[i] != r2.Model.W[i] {
+			t.Fatal("training is not deterministic for a fixed seed")
+		}
+	}
+	if r1.Model.B != r2.Model.B {
+		t.Fatal("bias differs between identical runs")
+	}
+}
+
+func TestTrainBiasShiftedData(t *testing.T) {
+	// Both class means on the same side of the origin: only a biased
+	// hyperplane separates them.
+	rng := rand.New(rand.NewSource(4))
+	var x [][]float64
+	var y []int
+	for i := 0; i < 400; i++ {
+		mean := 6.0
+		label := 1
+		if i%2 == 1 {
+			mean = 3.0
+			label = -1
+		}
+		x = append(x, []float64{mean + rng.NormFloat64()*0.3})
+		y = append(y, label)
+	}
+	cfg := DefaultTrainConfig()
+	cfg.BiasScale = 10 // large bias scale so the bias can reach -4.5ish
+	res, err := Train(x, y, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := Accuracy(res.Model, x, y); acc < 0.99 {
+		t.Errorf("biased problem accuracy %v, want ~1 (bias %v)", acc, res.Model.B)
+	}
+	if res.Model.B >= 0 {
+		t.Errorf("bias should be negative, got %v", res.Model.B)
+	}
+	// Without bias the same problem is much harder.
+	cfg.BiasScale = 0
+	res2, err := Train(x, y, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := Accuracy(res2.Model, x, y); acc > 0.9 {
+		t.Errorf("bias-free accuracy %v unexpectedly high", acc)
+	}
+	if res2.Model.B != 0 {
+		t.Errorf("bias-free training produced bias %v", res2.Model.B)
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	good := [][]float64{{1}, {-1}}
+	labels := []int{1, -1}
+	cases := []struct {
+		name string
+		x    [][]float64
+		y    []int
+		cfg  TrainConfig
+	}{
+		{"empty", nil, nil, DefaultTrainConfig()},
+		{"label mismatch", good, []int{1}, DefaultTrainConfig()},
+		{"bad label", good, []int{1, 2}, DefaultTrainConfig()},
+		{"one class", good, []int{1, 1}, DefaultTrainConfig()},
+		{"ragged", [][]float64{{1}, {1, 2}}, labels, DefaultTrainConfig()},
+		{"zero dim", [][]float64{{}, {}}, labels, DefaultTrainConfig()},
+		{"bad C", good, labels, TrainConfig{C: -1}},
+	}
+	for _, c := range cases {
+		if _, err := Train(c.x, c.y, c.cfg); err == nil {
+			t.Errorf("%s: Train succeeded, want error", c.name)
+		}
+	}
+}
+
+func TestObjectiveDecreasesWithMoreEpochs(t *testing.T) {
+	x, y := gauss2D(500, 1.5, 5)
+	cfg := DefaultTrainConfig()
+	cfg.Tol = 1e-9 // force epoch-capped runs
+	cfg.MaxEpochs = 1
+	r1, err := Train(x, y, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.MaxEpochs = 50
+	r50, err := Train(x, y, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r50.Objective > r1.Objective+1e-9 {
+		t.Errorf("objective rose with epochs: %v -> %v", r1.Objective, r50.Objective)
+	}
+}
+
+func TestScorePanicsOnDimensionMismatch(t *testing.T) {
+	m := &Model{W: []float64{1, 2}}
+	defer func() {
+		if recover() == nil {
+			t.Error("Score with wrong dimension should panic")
+		}
+	}()
+	m.Score([]float64{1})
+}
+
+func TestPredictSign(t *testing.T) {
+	m := &Model{W: []float64{1}, B: -0.5}
+	if m.Predict([]float64{1}) != 1 {
+		t.Error("positive score should predict +1")
+	}
+	if m.Predict([]float64{0}) != -1 {
+		t.Error("negative score should predict -1")
+	}
+	// Paper's convention: y(x) exactly 0 is not positive.
+	if m.Predict([]float64{0.5}) != -1 {
+		t.Error("zero score should predict -1")
+	}
+}
+
+func TestModelIORoundTrip(t *testing.T) {
+	x, y := gauss2D(100, 4, 6)
+	res, err := Train(x, y, DefaultTrainConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.Model.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.B != res.Model.B || len(got.W) != len(res.Model.W) {
+		t.Fatal("header mismatch after round trip")
+	}
+	for i := range got.W {
+		if got.W[i] != res.Model.W[i] {
+			t.Fatal("weights not bit-exact after round trip")
+		}
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"wrong magic\n",
+		"pdsvm 1\ndim -3\n",
+		"pdsvm 1\ndim 2\nbias x\n",
+		"pdsvm 1\ndim 2\nbias 0\nw\n1.0\n", // truncated weights
+		"pdsvm 1\ndim 2\nbias 0\nnotw\n1\n2\n",
+	}
+	for _, src := range cases {
+		if _, err := Read(bytes.NewReader([]byte(src))); err == nil {
+			t.Errorf("Read(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestQuantizeRoundTrip(t *testing.T) {
+	m := &Model{W: []float64{0.5, -0.25, 0.125}, B: -1.5}
+	q, err := Quantize(m, fixed.Q(3, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := q.Dequantize()
+	for i := range m.W {
+		if math.Abs(d.W[i]-m.W[i]) > 1.0/4096 {
+			t.Errorf("weight %d quantization error too large: %v vs %v", i, d.W[i], m.W[i])
+		}
+	}
+	if math.Abs(d.B-m.B) > 1.0/4096 {
+		t.Errorf("bias error: %v vs %v", d.B, m.B)
+	}
+	if _, err := Quantize(m, fixed.Format{Width: 1}); err == nil {
+		t.Error("Quantize with invalid format should error")
+	}
+}
+
+// TestQuantizedAccuracyClose verifies the HW premise: 16-bit fixed-point
+// weights classify (almost) identically to the float model.
+func TestQuantizedAccuracyClose(t *testing.T) {
+	x, y := gauss2D(1000, 2, 7)
+	res, err := Train(x, y, DefaultTrainConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Quantize(res.Model, fixed.Q(3, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	accF := Accuracy(res.Model, x, y)
+	accQ := Accuracy(q.Dequantize(), x, y)
+	if math.Abs(accF-accQ) > 0.01 {
+		t.Errorf("quantization changed accuracy %v -> %v", accF, accQ)
+	}
+}
+
+// Property: the trained decision boundary is invariant to permuting the
+// training set (given identical seeds the permutation differs, but accuracy
+// must stay equivalent on separable data).
+func TestTrainPermutationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		x, y := gauss2D(60, 8, seed)
+		r, err := Train(x, y, DefaultTrainConfig())
+		if err != nil {
+			return false
+		}
+		return Accuracy(r.Model, x, y) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	m := &Model{W: []float64{1, 2}, B: 3}
+	c := m.Clone()
+	c.W[0] = 9
+	c.B = 9
+	if m.W[0] != 1 || m.B != 3 {
+		t.Error("Clone shares state")
+	}
+}
+
+func TestLossString(t *testing.T) {
+	if L1.String() != "l1" || L2.String() != "l2" || Loss(7).String() == "" {
+		t.Error("Loss strings wrong")
+	}
+}
+
+// TestHigherCFitsHarder: increasing C reduces training error on
+// non-separable data (less regularization).
+func TestHigherCFitsHarder(t *testing.T) {
+	x, y := gauss2D(400, 1, 8)
+	lo := DefaultTrainConfig()
+	lo.C = 1e-4
+	hi := DefaultTrainConfig()
+	hi.C = 10
+	hi.Tol = 1e-3
+	rl, err := Train(x, y, lo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rh, err := Train(x, y, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tiny C collapses towards w=0 and must not beat a well-fit model.
+	if Accuracy(rl.Model, x, y) > Accuracy(rh.Model, x, y)+0.02 {
+		t.Errorf("C=1e-4 accuracy %v beats C=10 accuracy %v",
+			Accuracy(rl.Model, x, y), Accuracy(rh.Model, x, y))
+	}
+}
+
+// TestClassWeightsShiftOperatingPoint: up-weighting the positive class on
+// imbalanced data must raise recall (at some precision cost), mirroring
+// LibLinear's -wi behaviour.
+func TestClassWeightsShiftOperatingPoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	var x [][]float64
+	var y []int
+	// 1:9 imbalance with overlap.
+	for i := 0; i < 1000; i++ {
+		if i%10 == 0 {
+			x = append(x, []float64{1.0 + rng.NormFloat64()})
+			y = append(y, 1)
+		} else {
+			x = append(x, []float64{-1.0 + rng.NormFloat64()})
+			y = append(y, -1)
+		}
+	}
+	recall := func(m *Model) float64 {
+		tp, fn := 0, 0
+		for i := range x {
+			if y[i] != 1 {
+				continue
+			}
+			if m.Predict(x[i]) == 1 {
+				tp++
+			} else {
+				fn++
+			}
+		}
+		return float64(tp) / float64(tp+fn)
+	}
+	plain := DefaultTrainConfig()
+	plain.Tol = 1e-3
+	rp, err := Train(x, y, plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weighted := plain
+	weighted.PosWeight = 9 // balance the classes
+	rw, err := Train(x, y, weighted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recall(rw.Model) <= recall(rp.Model) {
+		t.Errorf("PosWeight=9 recall %.3f not above unweighted %.3f",
+			recall(rw.Model), recall(rp.Model))
+	}
+}
+
+func TestClassWeightsRejectNegative(t *testing.T) {
+	x := [][]float64{{1}, {-1}}
+	y := []int{1, -1}
+	cfg := DefaultTrainConfig()
+	cfg.PosWeight = -1
+	if _, err := Train(x, y, cfg); err == nil {
+		t.Error("negative class weight should error")
+	}
+}
+
+// TestClassWeightsUnityMatchesUnweighted: weights of exactly 1 must not
+// change the solution.
+func TestClassWeightsUnityMatchesUnweighted(t *testing.T) {
+	x, y := gauss2D(200, 3, 41)
+	a, err := Train(x, y, DefaultTrainConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultTrainConfig()
+	cfg.PosWeight, cfg.NegWeight = 1, 1
+	b, err := Train(x, y, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Model.W {
+		if a.Model.W[i] != b.Model.W[i] {
+			t.Fatal("unity weights changed the solution")
+		}
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/m.model"
+	m := &Model{W: []float64{1.5, -2.25, 1e-17}, B: 0.125}
+	if err := m.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m.W {
+		if got.W[i] != m.W[i] {
+			t.Fatal("weights differ after file round trip")
+		}
+	}
+	if got.B != m.B {
+		t.Fatal("bias differs")
+	}
+	if _, err := Load(dir + "/missing.model"); err == nil {
+		t.Error("missing file should error")
+	}
+}

@@ -1,0 +1,216 @@
+package track
+
+import (
+	"testing"
+
+	"repro/internal/eval"
+	"repro/internal/geom"
+)
+
+func det(x, y int, score float64) eval.Detection {
+	return eval.Detection{Box: geom.XYWH(x, y, 64, 128), Score: score}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{MatchIoU: 0, ConfirmHits: 2, MaxMisses: 3},
+		{MatchIoU: 1.5, ConfirmHits: 2, MaxMisses: 3},
+		{MatchIoU: 0.3, ConfirmHits: 0, MaxMisses: 3},
+		{MatchIoU: 0.3, ConfirmHits: 2, MaxMisses: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d validated", i)
+		}
+	}
+}
+
+func TestNewPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New with invalid config should panic")
+		}
+	}()
+	New(Config{})
+}
+
+func TestTrackLifecycle(t *testing.T) {
+	tk := New(DefaultConfig()) // confirm after 2 hits, survive 3 misses
+	tk.Update([]eval.Detection{det(100, 100, 1)})
+	if got := tk.Tracks(); len(got) != 1 || got[0].State != Tentative {
+		t.Fatalf("after 1 hit: %+v", got)
+	}
+	if len(tk.Confirmed()) != 0 {
+		t.Fatal("confirmed too early")
+	}
+	tk.Update([]eval.Detection{det(102, 101, 1)})
+	conf := tk.Confirmed()
+	if len(conf) != 1 {
+		t.Fatalf("not confirmed after 2 hits: %d", len(conf))
+	}
+	if conf[0].ConfirmedFrame != 1 || conf[0].BornFrame != 0 {
+		t.Errorf("latency bookkeeping wrong: born %d confirmed %d",
+			conf[0].BornFrame, conf[0].ConfirmedFrame)
+	}
+	// Coast for MaxMisses frames, still alive...
+	for i := 0; i < 3; i++ {
+		tk.Update(nil)
+	}
+	if len(tk.Tracks()) != 1 {
+		t.Fatal("track died during allowed coasting")
+	}
+	// ...one more miss deletes it.
+	tk.Update(nil)
+	if len(tk.Tracks()) != 0 {
+		t.Fatal("track survived past MaxMisses")
+	}
+}
+
+func TestTrackIdentityStability(t *testing.T) {
+	tk := New(DefaultConfig())
+	// A walker moving right 5 px per frame.
+	var id int
+	for f := 0; f < 10; f++ {
+		tk.Update([]eval.Detection{det(100+5*f, 100, 1)})
+		tracks := tk.Tracks()
+		if len(tracks) != 1 {
+			t.Fatalf("frame %d: %d tracks", f, len(tracks))
+		}
+		if f == 0 {
+			id = tracks[0].ID
+		} else if tracks[0].ID != id {
+			t.Fatalf("frame %d: identity changed %d -> %d", f, id, tracks[0].ID)
+		}
+	}
+}
+
+func TestVelocityCoastingBridgesGaps(t *testing.T) {
+	tk := New(DefaultConfig())
+	// Establish motion: 10 px/frame rightwards.
+	for f := 0; f < 4; f++ {
+		tk.Update([]eval.Detection{det(100+10*f, 100, 1)})
+	}
+	id := tk.Tracks()[0].ID
+	// Two missed frames, then the walker reappears where physics put it.
+	tk.Update(nil)
+	tk.Update(nil)
+	tk.Update([]eval.Detection{det(100+10*6, 100, 1)})
+	tracks := tk.Confirmed()
+	if len(tracks) != 1 || tracks[0].ID != id {
+		t.Fatalf("coasting failed to re-associate: %+v", tracks)
+	}
+}
+
+func TestTwoTargetsNoSwap(t *testing.T) {
+	tk := New(DefaultConfig())
+	for f := 0; f < 6; f++ {
+		tk.Update([]eval.Detection{
+			det(100, 100, 0.9),
+			det(400, 100, 0.8),
+		})
+	}
+	tracks := tk.Confirmed()
+	if len(tracks) != 2 {
+		t.Fatalf("want 2 confirmed tracks, got %d", len(tracks))
+	}
+	if tracks[0].ID == tracks[1].ID {
+		t.Fatal("identical track IDs")
+	}
+}
+
+func TestConfirmHitsOneConfirmsImmediately(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ConfirmHits = 1
+	tk := New(cfg)
+	tk.Update([]eval.Detection{det(10, 10, 1)})
+	if len(tk.Confirmed()) != 1 {
+		t.Fatal("ConfirmHits=1 should confirm on first sight")
+	}
+}
+
+func TestEvaluatePerfectDetector(t *testing.T) {
+	// Ground truth: one walker drifting right; a perfect detector reports
+	// exactly the truth.
+	var dets [][]eval.Detection
+	var truth [][]geom.Rect
+	var ids [][]int
+	for f := 0; f < 10; f++ {
+		b := geom.XYWH(100+4*f, 100, 64, 128)
+		dets = append(dets, []eval.Detection{{Box: b, Score: 1}})
+		truth = append(truth, []geom.Rect{b})
+		ids = append(ids, []int{0})
+	}
+	m, err := Evaluate(DefaultConfig(), dets, truth, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Frame 0 is tentative (not yet confirmed): one miss, then matches.
+	if m.Matches != 9 || m.Misses != 1 {
+		t.Errorf("matches/misses = %d/%d, want 9/1", m.Matches, m.Misses)
+	}
+	if m.IDSwitches != 0 || m.FalseTracks != 0 {
+		t.Errorf("switches/false = %d/%d", m.IDSwitches, m.FalseTracks)
+	}
+	if m.MOTA() < 0.8 {
+		t.Errorf("MOTA %.3f too low for a perfect detector", m.MOTA())
+	}
+	if m.MeanConfirmLatency != 1 {
+		t.Errorf("confirm latency %.1f frames, want 1", m.MeanConfirmLatency)
+	}
+}
+
+func TestEvaluateFlakyDetectorWorse(t *testing.T) {
+	var full, flaky [][]eval.Detection
+	var truth [][]geom.Rect
+	var ids [][]int
+	for f := 0; f < 20; f++ {
+		b := geom.XYWH(100+4*f, 100, 64, 128)
+		truth = append(truth, []geom.Rect{b})
+		ids = append(ids, []int{0})
+		full = append(full, []eval.Detection{{Box: b, Score: 1}})
+		if f%3 == 0 {
+			flaky = append(flaky, nil) // drops every third frame
+		} else {
+			flaky = append(flaky, []eval.Detection{{Box: b, Score: 1}})
+		}
+	}
+	mFull, err := Evaluate(DefaultConfig(), full, truth, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mFlaky, err := Evaluate(DefaultConfig(), flaky, truth, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mFlaky.MOTA() >= mFull.MOTA() {
+		t.Errorf("flaky detector MOTA %.3f not worse than full %.3f",
+			mFlaky.MOTA(), mFull.MOTA())
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	if _, err := Evaluate(DefaultConfig(), make([][]eval.Detection, 2), make([][]geom.Rect, 1), make([][]int, 2)); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := Evaluate(Config{}, nil, nil, nil); err == nil {
+		t.Error("invalid config should error")
+	}
+}
+
+func TestStateString(t *testing.T) {
+	for _, s := range []State{Tentative, Confirmed, Deleted, State(9)} {
+		if s.String() == "" {
+			t.Error("empty state name")
+		}
+	}
+}
+
+func TestMOTAZeroTruth(t *testing.T) {
+	var m Metrics
+	if m.MOTA() != 0 {
+		t.Error("MOTA with no truth should be 0")
+	}
+}
