@@ -8,6 +8,7 @@ package repro_test
 // run stays in minutes; cmd/pdeval runs the paper-sized protocol.
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -404,6 +405,88 @@ func BenchmarkImagePyramidVsFeaturePyramid(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkDetectParallel times the full multi-scale detection hot path at
+// several worker counts: zero-copy window scoring (no per-window copy or
+// allocation — check allocs/op with -benchmem) with levels sharded across
+// window rows, the software analogue of the paper's 8 parallel MACBARs.
+// Workers=1 is the serial baseline; the speedup at higher counts needs a
+// multi-core runner, but detections are identical at every count.
+func BenchmarkDetectParallel(b *testing.B) {
+	g := dataset.New(14)
+	set, err := g.RenderAt(g.NewSpecSet(60, 180), 1.0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	det, err := core.Train(set, core.DefaultConfig(), core.DefaultTrainOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	scene, err := g.MakeScene(dataset.DefaultSceneConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []core.PyramidMode{core.FeaturePyramid, core.ImagePyramid} {
+		for _, workers := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/workers%d", mode, workers), func(b *testing.B) {
+				cfg := det.Config()
+				cfg.Mode = mode
+				cfg.Workers = workers
+				d, err := core.NewDetector(det.Model(), cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				var n int
+				for i := 0; i < b.N; i++ {
+					dets, err := d.Detect(scene.Frame)
+					if err != nil {
+						b.Fatal(err)
+					}
+					n = len(dets)
+				}
+				b.ReportMetric(float64(n), "detections")
+			})
+		}
+	}
+}
+
+// BenchmarkScoreWindow compares the zero-copy strided window scorer against
+// the copy-then-dot path it replaced on one 4608-dim window.
+func BenchmarkScoreWindow(b *testing.B) {
+	img := imgproc.NewGray(640, 480)
+	rng := rand.New(rand.NewSource(15))
+	for i := range img.Pix {
+		img.Pix[i] = uint8(rng.Intn(256))
+	}
+	fm, err := hog.Compute(img, hog.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := &svm.Model{W: make([]float64, 4608)}
+	for i := range m.W {
+		m.W[i] = rng.NormFloat64()
+	}
+	b.Run("zero-copy", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, ok := fm.ScoreWindow(m.W, i%(fm.BlocksX-8), i%(fm.BlocksY-16), 8, 16); !ok {
+				b.Fatal("window rejected")
+			}
+		}
+	})
+	b.Run("copy-dot", func(b *testing.B) {
+		b.ReportAllocs()
+		buf := make([]float64, 4608)
+		for i := 0; i < b.N; i++ {
+			if !fm.WindowInto(buf, i%(fm.BlocksX-8), i%(fm.BlocksY-16), 8, 16) {
+				b.Fatal("window rejected")
+			}
+			_ = m.Score(buf)
+		}
+	})
 }
 
 // BenchmarkCORDIC times the magnitude/orientation unit of the HW extractor.

@@ -30,6 +30,7 @@ func main() {
 		maxScales = flag.Int("scales", 0, "max pyramid levels (0 = all that fit)")
 		threshold = flag.Float64("threshold", 0, "SVM decision threshold")
 		nms       = flag.Float64("nms", 0.3, "NMS IoU (<= 0 disables)")
+		workers   = flag.Int("workers", 0, "scan worker goroutines (0 = GOMAXPROCS, 1 = serial)")
 		annotate  = flag.String("annotate", "", "write an annotated PPM here")
 	)
 	flag.Parse()
@@ -50,6 +51,7 @@ func main() {
 	cfg.MaxScales = *maxScales
 	cfg.Threshold = *threshold
 	cfg.NMSOverlap = *nms
+	cfg.Workers = *workers
 	octave := false
 	switch *mode {
 	case "image":

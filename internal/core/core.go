@@ -8,6 +8,9 @@ package core
 
 import (
 	"fmt"
+	"math"
+	"runtime"
+	"sync"
 
 	"repro/internal/eval"
 	"repro/internal/featpyr"
@@ -76,6 +79,14 @@ type Config struct {
 	// Fixed configures the fixed-point scaler (FeaturePyramidFixed); nil
 	// uses featpyr.NewFixedScaler defaults.
 	Fixed *featpyr.FixedScaler
+	// Workers bounds the goroutines used on the detection hot path: pyramid
+	// levels are built and scanned concurrently, each level sharded across
+	// window rows. 0 means GOMAXPROCS; 1 scans serially. Window scores do
+	// not depend on sharding and shard results are merged in raster order,
+	// so every worker count produces identical detections. This is the
+	// software analogue of the paper's eight parallel MACBAR classifiers
+	// scoring window columns side by side.
+	Workers int
 }
 
 // DefaultConfig returns the paper's detector configuration with the
@@ -108,7 +119,18 @@ func (c Config) Validate() error {
 	if c.ScaleStep <= 1 {
 		return fmt.Errorf("core: scale step %g must exceed 1", c.ScaleStep)
 	}
+	if c.Workers < 0 {
+		return fmt.Errorf("core: negative worker count %d", c.Workers)
+	}
 	return nil
+}
+
+// workers resolves the configured worker count (0 means GOMAXPROCS).
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // DescriptorLen returns the feature-vector length a model must have for
@@ -163,39 +185,22 @@ func (d *Detector) Detect(frame *imgproc.Gray) ([]eval.Detection, error) {
 
 // DetectRaw runs multi-scale detection without non-maximum suppression.
 func (d *Detector) DetectRaw(frame *imgproc.Gray) ([]eval.Detection, error) {
-	switch d.cfg.Mode {
-	case ImagePyramid:
-		return d.detectImagePyramid(frame)
-	case FeaturePyramid, FeaturePyramidChained, FeaturePyramidFixed:
-		return d.detectFeaturePyramid(frame)
+	levels, release, err := d.buildLevels(frame)
+	if err != nil {
+		return nil, err
 	}
-	return nil, fmt.Errorf("core: unknown pyramid mode %v", d.cfg.Mode)
+	defer release()
+	out := d.scanLevels(levels)
+	sortByScore(out)
+	return out, nil
 }
 
-// scanLevel slides the detection window over one feature map, appending
-// scored detections. scale maps level pixel coordinates back to the frame.
-func (d *Detector) scanLevel(fm *hog.FeatureMap, scale float64, out []eval.Detection) []eval.Detection {
-	wbx, wby := d.cfg.windowBlocks()
-	if fm.BlocksX < wbx || fm.BlocksY < wby {
-		return out
-	}
-	buf := make([]float64, wbx*wby*fm.BlockLen)
-	cell := d.cfg.HOG.CellSize
-	for by := 0; by+wby <= fm.BlocksY; by++ {
-		for bx := 0; bx+wbx <= fm.BlocksX; bx++ {
-			if !fm.WindowInto(buf, bx, by, wbx, wby) {
-				continue
-			}
-			score := d.model.Score(buf)
-			if score <= d.cfg.Threshold {
-				continue
-			}
-			// Window anchor in level pixels, then back to frame pixels.
-			box := geom.XYWH(bx*cell, by*cell, d.cfg.WindowW, d.cfg.WindowH).Scale(scale)
-			out = append(out, eval.Detection{Box: box, Score: score})
-		}
-	}
-	return out
+// pyrLevel is one scale of either pyramid flavour. sx and sy map level pixel
+// coordinates back to frame pixels; they differ in general because level
+// grids are rounded to integers independently per axis.
+type pyrLevel struct {
+	fm     *hog.FeatureMap
+	sx, sy float64
 }
 
 // maxLevels returns the level cap handed to the pyramid builders.
@@ -206,78 +211,251 @@ func (d *Detector) maxLevels() int {
 	return 0 // unlimited, bounded by window fit
 }
 
-func (d *Detector) detectImagePyramid(frame *imgproc.Gray) ([]eval.Detection, error) {
-	levels := imgproc.Pyramid(frame, d.cfg.ScaleStep, d.cfg.WindowW, d.cfg.WindowH,
-		d.maxLevels(), d.cfg.Interp)
-	if len(levels) == 0 {
-		return nil, fmt.Errorf("core: frame %dx%d smaller than detection window", frame.W, frame.H)
-	}
-	var out []eval.Detection
-	for i, img := range levels {
-		fm, err := hog.Compute(img, d.cfg.HOG)
-		if err != nil {
-			return nil, fmt.Errorf("core: level %d: %w", i, err)
+// buildLevels constructs the pyramid of the configured mode and returns its
+// levels with their per-axis frame-mapping factors, plus a release function
+// that recycles pooled feature storage once scanning is done. Both DetectRaw
+// and ScoreMaps go through here, so every mode scores the same levels in
+// both entry points.
+func (d *Detector) buildLevels(frame *imgproc.Gray) ([]pyrLevel, func(), error) {
+	noop := func() {}
+	wbx, wby := d.cfg.windowBlocks()
+	switch d.cfg.Mode {
+	case ImagePyramid:
+		imgs := imgproc.Pyramid(frame, d.cfg.ScaleStep, d.cfg.WindowW, d.cfg.WindowH,
+			d.maxLevels(), d.cfg.Interp)
+		if len(imgs) == 0 {
+			return nil, noop, fmt.Errorf("core: frame %dx%d smaller than detection window", frame.W, frame.H)
 		}
-		// The exact scale of this level (sizes are rounded per level).
-		sx := float64(frame.W) / float64(img.W)
-		out = d.scanLevel(fm, sx, out)
+		// HOG extraction dominates image-pyramid cost; run the levels
+		// through a bounded worker pool.
+		levels := make([]pyrLevel, len(imgs))
+		errs := make([]error, len(imgs))
+		sem := make(chan struct{}, d.cfg.workers())
+		var wg sync.WaitGroup
+		for i, img := range imgs {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int, img *imgproc.Gray) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				fm, err := hog.Compute(img, d.cfg.HOG)
+				if err != nil {
+					errs[i] = fmt.Errorf("core: level %d: %w", i, err)
+					return
+				}
+				// The exact per-axis scale of this level (sizes are
+				// rounded per level, separately in X and Y).
+				levels[i] = pyrLevel{
+					fm: fm,
+					sx: float64(frame.W) / float64(img.W),
+					sy: float64(frame.H) / float64(img.H),
+				}
+			}(i, img)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, noop, err
+			}
+		}
+		return levels, noop, nil
+
+	case FeaturePyramid, FeaturePyramidChained, FeaturePyramidFixed:
+		base, err := hog.Compute(frame, d.cfg.HOG)
+		if err != nil {
+			return nil, noop, err
+		}
+		var levels []featpyr.Level
+		release := noop
+		switch d.cfg.Mode {
+		case FeaturePyramid:
+			p, err := featpyr.Build(base, d.cfg.ScaleStep, wbx, wby, d.maxLevels(), d.cfg.Scale)
+			if err != nil {
+				return nil, noop, err
+			}
+			levels, release = p.Levels, p.Release
+		case FeaturePyramidChained:
+			p, err := featpyr.BuildChained(base, d.cfg.ScaleStep, wbx, wby, d.maxLevels(), d.cfg.Scale)
+			if err != nil {
+				return nil, noop, err
+			}
+			levels, release = p.Levels, p.Release
+		case FeaturePyramidFixed:
+			if base.BlocksX < wbx || base.BlocksY < wby {
+				return nil, noop, fmt.Errorf("core: frame %dx%d smaller than detection window", frame.W, frame.H)
+			}
+			scaler := d.cfg.Fixed
+			if scaler == nil {
+				scaler = featpyr.NewFixedScaler()
+			}
+			levels = []featpyr.Level{{Scale: 1, Map: base}}
+			prev := base
+			for i := 1; d.cfg.MaxScales == 0 || i < d.cfg.MaxScales; i++ {
+				// Termination is decided on the target grid before scaling
+				// (same rounding as ScaleMapBy): a level too small for the
+				// window ends the pyramid, while a scaler failure on a
+				// viable level is a real error and is returned, not
+				// swallowed as silent truncation.
+				outBX := int(math.Round(float64(prev.BlocksX) / d.cfg.ScaleStep))
+				outBY := int(math.Round(float64(prev.BlocksY) / d.cfg.ScaleStep))
+				if outBX < wbx || outBY < wby {
+					break
+				}
+				m, _, err := scaler.ScaleMap(prev, outBX, outBY)
+				if err != nil {
+					return nil, noop, fmt.Errorf("core: fixed scaler level %d: %w", i, err)
+				}
+				levels = append(levels, featpyr.Level{
+					Scale: levels[i-1].Scale * d.cfg.ScaleStep,
+					Map:   m,
+				})
+				prev = m
+			}
+			lv := levels
+			release = func() {
+				for i := range lv {
+					featpyr.ReleaseMap(lv[i].Map)
+				}
+			}
+		}
+		out := make([]pyrLevel, len(levels))
+		for i, l := range levels {
+			// Effective per-axis scale of this level from the block-grid
+			// ratio (grids are rounded per level, like image pyramid
+			// sizes, and independently per axis).
+			out[i] = pyrLevel{
+				fm: l.Map,
+				sx: float64(base.BlocksX) / float64(l.Map.BlocksX),
+				sy: float64(base.BlocksY) / float64(l.Map.BlocksY),
+			}
+		}
+		return out, release, nil
 	}
-	sortByScore(out)
-	return out, nil
+	return nil, noop, fmt.Errorf("core: unknown pyramid mode %v", d.cfg.Mode)
 }
 
-func (d *Detector) detectFeaturePyramid(frame *imgproc.Gray) ([]eval.Detection, error) {
-	base, err := hog.Compute(frame, d.cfg.HOG)
-	if err != nil {
-		return nil, err
-	}
+// scanLevelRows slides the detection window over block rows [row0, row1) of
+// one feature map, appending scored detections to out. Windows are scored
+// zero-copy against the feature map (hog.FeatureMap.ScoreWindow) — nothing
+// is allocated per window. sx and sy map level pixel coordinates back to
+// frame pixels per axis.
+func (d *Detector) scanLevelRows(fm *hog.FeatureMap, sx, sy float64, row0, row1 int, out []eval.Detection) []eval.Detection {
 	wbx, wby := d.cfg.windowBlocks()
-	var levels []featpyr.Level
-	switch d.cfg.Mode {
-	case FeaturePyramid:
-		p, err := featpyr.Build(base, d.cfg.ScaleStep, wbx, wby, d.maxLevels(), d.cfg.Scale)
-		if err != nil {
-			return nil, err
-		}
-		levels = p.Levels
-	case FeaturePyramidChained:
-		p, err := featpyr.BuildChained(base, d.cfg.ScaleStep, wbx, wby, d.maxLevels(), d.cfg.Scale)
-		if err != nil {
-			return nil, err
-		}
-		levels = p.Levels
-	case FeaturePyramidFixed:
-		scaler := d.cfg.Fixed
-		if scaler == nil {
-			scaler = featpyr.NewFixedScaler()
-		}
-		if base.BlocksX < wbx || base.BlocksY < wby {
-			return nil, fmt.Errorf("core: frame %dx%d smaller than detection window", frame.W, frame.H)
-		}
-		levels = []featpyr.Level{{Scale: 1, Map: base}}
-		prev := base
-		for i := 1; d.cfg.MaxScales == 0 || i < d.cfg.MaxScales; i++ {
-			m, _, err := scaler.ScaleMapBy(prev, d.cfg.ScaleStep)
-			if err != nil {
-				break
+	cell := d.cfg.HOG.CellSize
+	w := d.model.W
+	for by := row0; by < row1; by++ {
+		for bx := 0; bx+wbx <= fm.BlocksX; bx++ {
+			score, ok := fm.ScoreWindow(w, bx, by, wbx, wby)
+			if !ok {
+				continue
 			}
-			if m.BlocksX < wbx || m.BlocksY < wby {
-				break
+			score += d.model.B
+			if score <= d.cfg.Threshold {
+				continue
 			}
-			levels = append(levels, featpyr.Level{
-				Scale: levels[i-1].Scale * d.cfg.ScaleStep,
-				Map:   m,
-			})
-			prev = m
+			// Window anchor in level pixels, then back to frame pixels.
+			box := geom.XYWH(bx*cell, by*cell, d.cfg.WindowW, d.cfg.WindowH).ScaleXY(sx, sy)
+			out = append(out, eval.Detection{Box: box, Score: score})
 		}
 	}
+	return out
+}
+
+// rowShard is one unit of scan work: a contiguous run of window rows of one
+// level.
+type rowShard struct {
+	level      int
+	row0, row1 int
+}
+
+// shardLevels splits each level's row count into up to `workers` contiguous
+// shards, in (level, row) order. Levels with fewer rows than workers yield
+// fewer shards; a zero row count yields none.
+func shardLevels(rows []int, workers int) []rowShard {
+	var shards []rowShard
+	for level, n := range rows {
+		if n < 1 {
+			continue
+		}
+		step := (n + workers - 1) / workers
+		for r := 0; r < n; r += step {
+			r1 := r + step
+			if r1 > n {
+				r1 = n
+			}
+			shards = append(shards, rowShard{level: level, row0: r, row1: r1})
+		}
+	}
+	return shards
+}
+
+// runShards executes fn over the shards on a pool of `workers` goroutines.
+// fn must be safe for concurrent calls on distinct shard indices.
+func runShards(shards []rowShard, workers int, fn func(i int, s rowShard)) {
+	if workers > len(shards) {
+		workers = len(shards)
+	}
+	if workers <= 1 {
+		for i, s := range shards {
+			fn(i, s)
+		}
+		return
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				fn(i, shards[i])
+			}
+		}()
+	}
+	for i := range shards {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+}
+
+// scanRows returns the number of window rows of each level (zero when the
+// window does not fit).
+func (d *Detector) scanRows(levels []pyrLevel) []int {
+	wbx, wby := d.cfg.windowBlocks()
+	rows := make([]int, len(levels))
+	for i, l := range levels {
+		if l.fm.BlocksX >= wbx && l.fm.BlocksY >= wby {
+			rows[i] = l.fm.BlocksY - wby + 1
+		}
+	}
+	return rows
+}
+
+// scanLevels scores every window of every level, sharding levels across
+// window rows over the worker pool. Shard outputs are concatenated in
+// (level, row) order, so the result is exactly the raster-order slice a
+// serial scan produces — detections are byte-identical for every worker
+// count.
+func (d *Detector) scanLevels(levels []pyrLevel) []eval.Detection {
+	rows := d.scanRows(levels)
+	workers := d.cfg.workers()
+	if workers <= 1 {
+		var out []eval.Detection
+		for i, l := range levels {
+			out = d.scanLevelRows(l.fm, l.sx, l.sy, 0, rows[i], out)
+		}
+		return out
+	}
+	shards := shardLevels(rows, workers)
+	outs := make([][]eval.Detection, len(shards))
+	runShards(shards, workers, func(i int, s rowShard) {
+		l := levels[s.level]
+		outs[i] = d.scanLevelRows(l.fm, l.sx, l.sy, s.row0, s.row1, nil)
+	})
 	var out []eval.Detection
-	for _, l := range levels {
-		// Effective scale of this level from the block-grid ratio (grids
-		// are rounded per level, like image pyramid sizes).
-		sx := float64(base.BlocksX) / float64(l.Map.BlocksX)
-		out = d.scanLevel(l.Map, sx, out)
+	for _, o := range outs {
+		out = append(out, o...)
 	}
-	sortByScore(out)
-	return out, nil
+	return out
 }

@@ -48,9 +48,12 @@ func (d *Detector) DetectOctaveRaw(frame *imgproc.Gray, oc OctavePyramidConfig) 
 	wbx, wby := d.cfg.windowBlocks()
 
 	// Real octaves: scales 1, 2, 4, ... while the window still fits.
+	// sx and sy are the exact per-axis frame scales of the octave image
+	// (octave sizes are rounded independently per axis).
 	type octave struct {
-		scale float64
-		fm    *hog.FeatureMap
+		scale  float64
+		sx, sy float64
+		fm     *hog.FeatureMap
 	}
 	var octaves []octave
 	for s := 1.0; ; s *= 2 {
@@ -70,13 +73,19 @@ func (d *Detector) DetectOctaveRaw(frame *imgproc.Gray, oc OctavePyramidConfig) 
 		if fm.BlocksX < wbx || fm.BlocksY < wby {
 			break
 		}
-		octaves = append(octaves, octave{scale: s, fm: fm})
+		octaves = append(octaves, octave{
+			scale: s,
+			sx:    float64(frame.W) / float64(w),
+			sy:    float64(frame.H) / float64(h),
+			fm:    fm,
+		})
 	}
 	if len(octaves) == 0 {
 		return nil, fmt.Errorf("core: frame %dx%d smaller than detection window", frame.W, frame.H)
 	}
 
-	var out []eval.Detection
+	var levels []pyrLevel
+	var scratch []*hog.FeatureMap // resampled maps to recycle after the scan
 	level := 0
 	for {
 		if d.cfg.MaxScales > 0 && level >= d.cfg.MaxScales {
@@ -107,11 +116,20 @@ func (d *Detector) DetectOctaveRaw(frame *imgproc.Gray, oc OctavePyramidConfig) 
 			if err != nil {
 				return nil, err
 			}
+			scratch = append(scratch, fm)
 		}
-		// Effective frame scale of this level.
-		eff := base.scale * float64(base.fm.BlocksX) / float64(fm.BlocksX)
-		out = d.scanLevel(fm, eff, out)
+		// Effective per-axis frame scale of this level: octave scale times
+		// the intra-octave block-grid ratio (both rounded per axis).
+		levels = append(levels, pyrLevel{
+			fm: fm,
+			sx: base.sx * float64(base.fm.BlocksX) / float64(fm.BlocksX),
+			sy: base.sy * float64(base.fm.BlocksY) / float64(fm.BlocksY),
+		})
 		level++
+	}
+	out := d.scanLevels(levels)
+	for _, fm := range scratch {
+		featpyr.ReleaseMap(fm)
 	}
 	sortByScore(out)
 	return out, nil

@@ -4,8 +4,6 @@ import (
 	"fmt"
 	"math"
 
-	"repro/internal/featpyr"
-	"repro/internal/hog"
 	"repro/internal/imgproc"
 )
 
@@ -14,8 +12,12 @@ import (
 // the intermediate the sliding-window detector thresholds, exposed for
 // heat-map inspection and custom post-processing.
 type ScoreMap struct {
-	Scale  float64 // level scale relative to the frame
-	W, H   int     // anchor grid dimensions
+	// Scale and ScaleY map level pixel coordinates back to the frame
+	// horizontally and vertically; they differ in general because level
+	// grids are rounded to integers independently per axis.
+	Scale  float64
+	ScaleY float64
+	W, H   int // anchor grid dimensions
 	Scores []float64
 }
 
@@ -55,43 +57,50 @@ func (sm *ScoreMap) ToImage() *imgproc.Gray {
 	return img
 }
 
-// ScoreMaps computes the dense decision values of every feature-pyramid
-// level for the frame (no thresholding, no NMS). Levels follow the
-// detector's configuration (ScaleStep, MaxScales).
+// ScoreMaps computes the dense decision values of every pyramid level for
+// the frame (no thresholding, no NMS). Levels come from the same builder as
+// DetectRaw, so the maps correspond exactly to the windows the configured
+// Mode scans — image-pyramid, feature-pyramid, chained and fixed detectors
+// all get heat maps of their own pyramid. Scoring is zero-copy and sharded
+// across window rows over the configured worker pool.
 func (d *Detector) ScoreMaps(frame *imgproc.Gray) ([]*ScoreMap, error) {
-	base, err := hog.Compute(frame, d.cfg.HOG)
+	levels, release, err := d.buildLevels(frame)
 	if err != nil {
 		return nil, err
 	}
+	defer release()
 	wbx, wby := d.cfg.windowBlocks()
-	p, err := featpyr.Build(base, d.cfg.ScaleStep, wbx, wby, d.maxLevels(), d.cfg.Scale)
-	if err != nil {
-		return nil, err
-	}
-	var out []*ScoreMap
-	for _, level := range p.Levels {
-		fm := level.Map
-		nx := fm.BlocksX - wbx + 1
-		ny := fm.BlocksY - wby + 1
-		if nx < 1 || ny < 1 {
+	rows := d.scanRows(levels)
+	maps := make([]*ScoreMap, len(levels))
+	for i, l := range levels {
+		if rows[i] < 1 {
 			continue
 		}
-		sm := &ScoreMap{
-			Scale:  float64(base.BlocksX) / float64(fm.BlocksX),
+		nx := l.fm.BlocksX - wbx + 1
+		maps[i] = &ScoreMap{
+			Scale:  l.sx,
+			ScaleY: l.sy,
 			W:      nx,
-			H:      ny,
-			Scores: make([]float64, nx*ny),
+			H:      rows[i],
+			Scores: make([]float64, nx*rows[i]),
 		}
-		buf := make([]float64, wbx*wby*fm.BlockLen)
-		for by := 0; by < ny; by++ {
-			for bx := 0; bx < nx; bx++ {
-				if !fm.WindowInto(buf, bx, by, wbx, wby) {
-					return nil, fmt.Errorf("core: window (%d,%d) extraction failed", bx, by)
-				}
-				sm.Scores[by*nx+bx] = d.model.Score(buf)
+	}
+	w := d.model.W
+	runShards(shardLevels(rows, d.cfg.workers()), d.cfg.workers(), func(_ int, s rowShard) {
+		fm := levels[s.level].fm
+		sm := maps[s.level]
+		for by := s.row0; by < s.row1; by++ {
+			for bx := 0; bx < sm.W; bx++ {
+				score, _ := fm.ScoreWindow(w, bx, by, wbx, wby)
+				sm.Scores[by*sm.W+bx] = score + d.model.B
 			}
 		}
-		out = append(out, sm)
+	})
+	out := maps[:0]
+	for _, sm := range maps {
+		if sm != nil {
+			out = append(out, sm)
+		}
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("core: frame %dx%d smaller than detection window", frame.W, frame.H)

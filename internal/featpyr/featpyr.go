@@ -19,9 +19,58 @@ package featpyr
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/hog"
 )
+
+// featPool recycles the per-level feature slabs of pyramid construction.
+// Every level of every frame allocates one large float64 slice; at video
+// rate that is the dominant steady-state garbage of the detector, so levels
+// released via Pyramid.Release or ReleaseMap are reused for the next frame.
+var featPool sync.Pool // holds *[]float64
+
+// getFeat returns an n-element slice, recycled when the pool has one large
+// enough. Callers must overwrite every element; recycled contents are stale.
+func getFeat(n int) []float64 {
+	if p, ok := featPool.Get().(*[]float64); ok && cap(*p) >= n {
+		return (*p)[:n]
+	}
+	return make([]float64, n)
+}
+
+// newPooledMap returns a feature map shaped like the given grid whose storage
+// comes from the scratch pool.
+func newPooledMap(bx, by int, src *hog.FeatureMap) *hog.FeatureMap {
+	return &hog.FeatureMap{
+		BlocksX:  bx,
+		BlocksY:  by,
+		BlockLen: src.BlockLen,
+		Feat:     getFeat(bx * by * src.BlockLen),
+		Cfg:      src.Cfg,
+	}
+}
+
+// ReleaseMap returns fm's feature storage to the construction scratch pool
+// and detaches it from fm. Call it only when nothing aliases the map any
+// more (slices returned by Block and Window alias it). Releasing nil or an
+// already-released map is a no-op.
+func ReleaseMap(fm *hog.FeatureMap) {
+	if fm == nil || fm.Feat == nil {
+		return
+	}
+	buf := fm.Feat[:0]
+	fm.Feat = nil
+	featPool.Put(&buf)
+}
+
+// clonePooled is hog.FeatureMap.Clone with pool-backed storage.
+func clonePooled(fm *hog.FeatureMap) *hog.FeatureMap {
+	c := *fm
+	c.Feat = getFeat(len(fm.Feat))
+	copy(c.Feat, fm.Feat)
+	return &c
+}
 
 // ScaleConfig controls feature-map resampling.
 type ScaleConfig struct {
@@ -66,13 +115,9 @@ func ScaleMapRatio(fm *hog.FeatureMap, outBX, outBY int, rx, ry float64, cfg Sca
 	if rx <= 0 || ry <= 0 {
 		return nil, fmt.Errorf("featpyr: non-positive sampling ratios %g, %g", rx, ry)
 	}
-	out := &hog.FeatureMap{
-		BlocksX:  outBX,
-		BlocksY:  outBY,
-		BlockLen: fm.BlockLen,
-		Feat:     make([]float64, outBX*outBY*fm.BlockLen),
-		Cfg:      fm.Cfg,
-	}
+	// Every element of the pooled slab is overwritten below (each output
+	// block is fully assigned), so no zeroing pass is needed.
+	out := newPooledMap(outBX, outBY, fm)
 	sx := rx
 	sy := ry
 	n := fm.BlockLen
@@ -184,6 +229,15 @@ type Pyramid struct {
 	Levels []Level
 }
 
+// Release returns every level's feature storage to the construction scratch
+// pool so the next pyramid build can reuse it. Call it once scanning is done
+// and nothing aliases the level maps; the pyramid must not be used after.
+func (p *Pyramid) Release() {
+	for i := range p.Levels {
+		ReleaseMap(p.Levels[i].Map)
+	}
+}
+
 // Build constructs a feature pyramid from the base map. Each level i holds
 // the base map down-sampled by step^i. Construction stops when a level
 // would be smaller than minBX x minBY blocks (the window size) or after
@@ -209,7 +263,7 @@ func Build(base *hog.FeatureMap, step float64, minBX, minBY, maxLevels int, cfg 
 		var m *hog.FeatureMap
 		var err error
 		if i == 0 {
-			m = base.Clone()
+			m = clonePooled(base)
 		} else {
 			m, err = ScaleMap(base, outBX, outBY, cfg)
 			if err != nil {
@@ -237,7 +291,7 @@ func BuildChained(base *hog.FeatureMap, step float64, minBX, minBY, maxLevels in
 	if maxLevels <= 0 {
 		maxLevels = math.MaxInt32
 	}
-	p := &Pyramid{Levels: []Level{{Scale: 1, Map: base.Clone()}}}
+	p := &Pyramid{Levels: []Level{{Scale: 1, Map: clonePooled(base)}}}
 	prev := base
 	for i := 1; i < maxLevels; i++ {
 		outBX := int(math.Round(float64(prev.BlocksX) / step))

@@ -3,10 +3,22 @@ package featpyr
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/fixed"
 	"repro/internal/hog"
 )
+
+// qfPool recycles the quantized-input scratch of ScaleMapRatio; the slice is
+// only live for the duration of one call.
+var qfPool sync.Pool // holds *[]int64
+
+func getQF(n int) []int64 {
+	if p, ok := qfPool.Get().(*[]int64); ok && cap(*p) >= n {
+		return (*p)[:n]
+	}
+	return make([]int64, n)
+}
 
 // FixedScaler is a bit-accurate software model of the hardware's
 // shift-and-add feature down-scaling module. Features are stored in the
@@ -75,17 +87,16 @@ func (s *FixedScaler) ScaleMapRatio(fm *hog.FeatureMap, outBX, outBY int, rx, ry
 	}
 	// Quantize the whole input map once (in hardware the features already
 	// arrive in this format from the HOG normalizer).
-	qf := make([]int64, len(fm.Feat))
+	qf := getQF(len(fm.Feat))
+	defer func() {
+		buf := qf[:0]
+		qfPool.Put(&buf)
+	}()
 	for i, v := range fm.Feat {
 		qf[i] = s.FeatFmt.FromFloat(v)
 	}
-	out := &hog.FeatureMap{
-		BlocksX:  outBX,
-		BlocksY:  outBY,
-		BlockLen: fm.BlockLen,
-		Feat:     make([]float64, outBX*outBY*fm.BlockLen),
-		Cfg:      fm.Cfg,
-	}
+	// Every element of the pooled output is assigned below.
+	out := newPooledMap(outBX, outBY, fm)
 	stats := &ScaleStats{OutputBlocks: outBX * outBY}
 
 	sx := rx

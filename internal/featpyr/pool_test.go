@@ -1,0 +1,74 @@
+package featpyr
+
+import (
+	"testing"
+
+	"repro/internal/hog"
+)
+
+func TestPyramidReleaseAndRebuild(t *testing.T) {
+	base := randomMap(t, 320, 400, 31)
+	p1, err := Build(base, 1.1, 8, 16, 4, ScaleConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Snapshot the level contents, then recycle the storage and rebuild:
+	// pooled slabs must not change the numerical result.
+	snap := make([][]float64, len(p1.Levels))
+	for i, l := range p1.Levels {
+		snap[i] = append([]float64(nil), l.Map.Feat...)
+	}
+	p1.Release()
+	for i, l := range p1.Levels {
+		if l.Map.Feat != nil {
+			t.Fatalf("level %d still attached after Release", i)
+		}
+	}
+	p2, err := Build(base, 1.1, 8, 16, 4, ScaleConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p2.Levels) != len(snap) {
+		t.Fatalf("rebuild has %d levels, want %d", len(p2.Levels), len(snap))
+	}
+	for i, l := range p2.Levels {
+		if len(l.Map.Feat) != len(snap[i]) {
+			t.Fatalf("level %d length %d, want %d", i, len(l.Map.Feat), len(snap[i]))
+		}
+		for k, v := range l.Map.Feat {
+			if v != snap[i][k] {
+				t.Fatalf("level %d feature %d changed after pool reuse: %v != %v", i, k, v, snap[i][k])
+			}
+		}
+	}
+	p2.Release()
+}
+
+func TestReleaseMapNilSafe(t *testing.T) {
+	ReleaseMap(nil)
+	fm := &hog.FeatureMap{}
+	ReleaseMap(fm) // already detached
+	m := randomMap(t, 64, 128, 32)
+	ReleaseMap(m)
+	ReleaseMap(m) // double release is a no-op
+}
+
+func TestFixedScalerPooledScratch(t *testing.T) {
+	base := randomMap(t, 256, 320, 33)
+	s := NewFixedScaler()
+	a, _, err := s.ScaleMapBy(base, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := append([]float64(nil), a.Feat...)
+	ReleaseMap(a)
+	b, _, err := s.ScaleMapBy(base, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range b.Feat {
+		if v != snap[k] {
+			t.Fatalf("feature %d changed after pool reuse: %v != %v", k, v, snap[k])
+		}
+	}
+}

@@ -136,6 +136,22 @@ func (r Rect) Scale(s float64) Rect {
 		round(float64(r.Max.X)*s), round(float64(r.Max.Y)*s))
 }
 
+// ScaleXY returns r with X coordinates multiplied by sx and Y coordinates by
+// sy, rounded to the nearest integer. Pyramid levels are rounded to integer
+// grids per axis, so mapping level coordinates back to the frame generally
+// needs distinct horizontal and vertical factors; Scale is the isotropic
+// special case.
+func (r Rect) ScaleXY(sx, sy float64) Rect {
+	round := func(v float64) int {
+		if v >= 0 {
+			return int(v + 0.5)
+		}
+		return -int(-v + 0.5)
+	}
+	return R(round(float64(r.Min.X)*sx), round(float64(r.Min.Y)*sy),
+		round(float64(r.Max.X)*sx), round(float64(r.Max.Y)*sy))
+}
+
 // Center returns the integer center of r (rounded towards Min).
 func (r Rect) Center() Pt {
 	return Pt{(r.Min.X + r.Max.X) / 2, (r.Min.Y + r.Max.Y) / 2}

@@ -114,6 +114,25 @@ func TestScaleIdentityAndRounding(t *testing.T) {
 	}
 }
 
+func TestScaleXY(t *testing.T) {
+	r := R(8, 16, 72, 144)
+	if got := r.ScaleXY(1, 1); got != r {
+		t.Errorf("ScaleXY(1,1) = %v, want %v", got, r)
+	}
+	// Each axis uses its own factor.
+	got := r.ScaleXY(1.5, 2)
+	if want := R(12, 32, 108, 288); got != want {
+		t.Errorf("ScaleXY(1.5,2) = %v, want %v", got, want)
+	}
+	// Isotropic ScaleXY agrees with Scale, including negative rounding.
+	for _, s := range []float64{0.5, 1.1, 2.75} {
+		a := R(-7, -3, 9, 13)
+		if x, y := a.Scale(s), a.ScaleXY(s, s); x != y {
+			t.Errorf("Scale(%g) = %v but ScaleXY = %v", s, x, y)
+		}
+	}
+}
+
 func TestWindows(t *testing.T) {
 	pts := Windows(R(0, 0, 10, 10), 4, 4, 2)
 	// x in {0,2,4,6}, y in {0,2,4,6} -> 16 windows.

@@ -172,6 +172,52 @@ func (fm *FeatureMap) WindowInto(dst []float64, bx, by, wBlocksX, wBlocksY int) 
 	return true
 }
 
+// ScoreWindow computes the dot product of the weight vector w against the
+// descriptor of the window anchored at block (bx, by) and spanning
+// wBlocksX x wBlocksY blocks, without materializing the descriptor: each of
+// the window's wBlocksY block rows is a contiguous stripe of the feature map,
+// so the product is wBlocksY strided row dot-products. This is the zero-copy
+// form of Window + a dense dot, and models the hardware classifier, which
+// streams block columns out of NHOGMem into the MACBARs rather than gathering
+// a window vector. It reports whether the window fits the map and the weight
+// vector has the window's descriptor length.
+//
+// The accumulation order is fixed, so for a given window the score is
+// bit-identical run to run regardless of the caller's parallelism.
+func (fm *FeatureMap) ScoreWindow(w []float64, bx, by, wBlocksX, wBlocksY int) (float64, bool) {
+	if bx < 0 || by < 0 || wBlocksX < 1 || wBlocksY < 1 ||
+		bx+wBlocksX > fm.BlocksX || by+wBlocksY > fm.BlocksY {
+		return 0, false
+	}
+	rowLen := wBlocksX * fm.BlockLen
+	if len(w) != wBlocksY*rowLen {
+		return 0, false
+	}
+	var s float64
+	for y := 0; y < wBlocksY; y++ {
+		row := fm.Feat[((by+y)*fm.BlocksX+bx)*fm.BlockLen:]
+		s += dotRow(w[y*rowLen:(y+1)*rowLen], row[:rowLen])
+	}
+	return s, true
+}
+
+// dotRow is the four-way unrolled dot product of one block row. len(a) must
+// not exceed len(b).
+func dotRow(a, b []float64) float64 {
+	var s0, s1, s2, s3 float64
+	n := len(a) &^ 3
+	for i := 0; i < n; i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+	}
+	for i := n; i < len(a); i++ {
+		s0 += a[i] * b[i]
+	}
+	return ((s0 + s1) + s2) + s3
+}
+
 // Descriptor computes the HOG descriptor of a single detection window
 // image (e.g. a 64x128 training crop): the full pipeline followed by
 // extraction of the window-sized block grid anchored at the origin.

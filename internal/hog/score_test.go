@@ -1,0 +1,71 @@
+package hog
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/imgproc"
+)
+
+func dotSlices(a, b []float64) float64 {
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+func TestScoreWindowMatchesWindowDot(t *testing.T) {
+	cfg := DefaultConfig()
+	img := imgproc.NewGray(200, 240)
+	rng := rand.New(rand.NewSource(21))
+	for i := range img.Pix {
+		img.Pix[i] = uint8(rng.Intn(256))
+	}
+	fm, err := Compute(img, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wbx, wby := cfg.WindowBlocks(cfg.WindowCells(64, 128))
+	w := make([]float64, wbx*wby*fm.BlockLen)
+	for i := range w {
+		w[i] = rng.NormFloat64()
+	}
+	for _, anchor := range [][2]int{{0, 0}, {3, 5}, {fm.BlocksX - wbx, fm.BlocksY - wby}} {
+		bx, by := anchor[0], anchor[1]
+		got, ok := fm.ScoreWindow(w, bx, by, wbx, wby)
+		if !ok {
+			t.Fatalf("window (%d,%d) rejected", bx, by)
+		}
+		want := dotSlices(w, fm.Window(bx, by, wbx, wby))
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("window (%d,%d): zero-copy score %v, copied score %v", bx, by, got, want)
+		}
+	}
+}
+
+func TestScoreWindowRejectsBadInput(t *testing.T) {
+	cfg := DefaultConfig()
+	fm := &FeatureMap{BlocksX: 10, BlocksY: 20, BlockLen: cfg.BlockLen(), Cfg: cfg}
+	fm.Feat = make([]float64, 10*20*fm.BlockLen)
+	w := make([]float64, 8*16*fm.BlockLen)
+	if _, ok := fm.ScoreWindow(w, 2, 4, 8, 16); !ok {
+		t.Error("in-range window rejected")
+	}
+	for _, bad := range [][4]int{
+		{-1, 0, 8, 16}, // negative anchor
+		{0, -1, 8, 16},
+		{3, 0, 8, 16}, // overhangs the right edge
+		{0, 5, 8, 16}, // overhangs the bottom edge
+		{0, 0, 0, 16}, // degenerate window
+		{0, 0, 8, 0},
+	} {
+		if _, ok := fm.ScoreWindow(w, bad[0], bad[1], bad[2], bad[3]); ok {
+			t.Errorf("window %v accepted", bad)
+		}
+	}
+	if _, ok := fm.ScoreWindow(w[:10], 0, 0, 8, 16); ok {
+		t.Error("short weight vector accepted")
+	}
+}
