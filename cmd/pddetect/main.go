@@ -5,16 +5,22 @@
 // Usage:
 //
 //	pddetect -model pedestrian.model -in frame.pgm -mode feature -annotate out.ppm
+//
+// With -stream N the frame is instead fed N times through the deadline-aware
+// streaming runtime (internal/rt) at the -fps frame rate, exercising the
+// degradation ladder and printing the runtime's Stats snapshot.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/imgproc"
+	"repro/internal/rt"
 	"repro/internal/svm"
 )
 
@@ -32,6 +38,8 @@ func main() {
 		nms       = flag.Float64("nms", 0.3, "NMS IoU (<= 0 disables)")
 		workers   = flag.Int("workers", 0, "scan worker goroutines (0 = GOMAXPROCS, 1 = serial)")
 		annotate  = flag.String("annotate", "", "write an annotated PPM here")
+		stream    = flag.Int("stream", 0, "feed the frame N times through the streaming runtime")
+		fps       = flag.Float64("fps", 60, "frame rate for -stream (sets the per-frame deadline)")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -71,6 +79,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if *stream > 0 {
+		if octave {
+			log.Fatal("-stream does not support octave mode")
+		}
+		runStream(det, frame, *stream, *fps)
+		return
+	}
 	var dets []eval.Detection
 	if octave {
 		dets, err = det.DetectOctave(frame, core.OctavePyramidConfig{Lambda: *lambda})
@@ -95,4 +110,48 @@ func main() {
 		}
 		log.Printf("annotated frame written to %s", *annotate)
 	}
+}
+
+// runStream replays the frame n times through the streaming runtime at the
+// given frame rate and reports the per-frame outcomes plus the final Stats
+// snapshot — the software rendition of the paper's 60 fps budget analysis.
+func runStream(det *core.Detector, frame *imgproc.Gray, n int, fps float64) {
+	p, err := rt.New(det, rt.Config{FPS: fps})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer p.Close()
+	interval := time.Duration(float64(time.Second) / fps)
+	log.Printf("streaming %d frames at %.1f fps (deadline %s, ladder %v)",
+		n, fps, p.Deadline().Round(time.Microsecond), p.Ladder())
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for r := range p.Results() {
+			status := "ok"
+			switch {
+			case r.Err != nil:
+				status = "error: " + r.Err.Error()
+			case r.Missed:
+				status = "missed deadline"
+			}
+			log.Printf("frame %3d: rung %d, %3d detections, latency %8s  %s",
+				r.Seq, r.Rung, len(r.Detections), r.Latency.Round(time.Microsecond), status)
+		}
+	}()
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for i := 0; i < n; i++ {
+		if !p.Submit(frame) {
+			log.Printf("frame %d rejected", i)
+		}
+		if i < n-1 {
+			<-tick.C
+		}
+	}
+	p.Flush()
+	log.Printf("stats: %s", p.Stats())
+	p.Close()
+	<-done
 }

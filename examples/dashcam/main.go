@@ -1,8 +1,10 @@
 // Dashcam: the paper's motivating workload — multi-scale pedestrian
 // detection on driver-assistance frames. Runs the conventional image
 // pyramid and the proposed HOG feature pyramid over the same frames,
-// comparing wall-clock cost and detection agreement, then relates the frame
-// rate to stopping distances (Section 1).
+// comparing wall-clock cost and detection agreement, relates the frame
+// rate to stopping distances (Section 1), and finally replays the frames
+// through the deadline-aware streaming runtime (internal/rt) to show
+// graceful degradation under an injected slow scale.
 package main
 
 import (
@@ -16,6 +18,8 @@ import (
 	"repro/internal/eval"
 	"repro/internal/geom"
 	"repro/internal/imgproc"
+	"repro/internal/rt"
+	"repro/internal/rt/faultinject"
 )
 
 func main() {
@@ -114,4 +118,53 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println("wrote dashcam_annotated.ppm (red = detections, green = ground truth)")
+
+	streamDemo(det, cfg, scenes)
+}
+
+// streamDemo replays the scenes through the streaming runtime with a fault
+// injected into the finest pyramid scale: the runtime misses its deadline,
+// sheds the slow scale, and keeps the stream inside the frame budget — the
+// graceful-degradation behaviour a driver-assistance system needs when a
+// processing stage misbehaves (Section 1's budget leaves no room to block).
+func streamDemo(det *core.Detector, cfg core.Config, scenes []*dataset.Scene) {
+	fmt.Println()
+	faults := faultinject.New()
+	c := cfg
+	c.Mode = core.FeaturePyramid
+	c.LevelProbe = faults.Probe
+	d, err := core.NewDetector(det.Model(), c)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// A generous software deadline (the pure-Go scan is far from the
+	// paper's hardware speed); the injected stall blows through it.
+	deadline := 250 * time.Millisecond
+	p, err := rt.New(d, rt.Config{Deadline: deadline, DegradeAfter: 2, RecoverAfter: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer p.Close()
+	fmt.Printf("streaming with deadline %s, ladder %v\n", deadline, p.Ladder())
+	faults.StallLevel(0, 2*deadline) // the finest scale turns pathological
+
+	feed := func(n int, note string) {
+		for i := 0; i < n; i++ {
+			p.Submit(scenes[i%len(scenes)].Frame)
+			r := <-p.Results()
+			status := "ok"
+			switch {
+			case r.Err != nil:
+				status = "error: " + r.Err.Error()
+			case r.Missed:
+				status = "missed deadline"
+			}
+			fmt.Printf("  frame %2d [%s]: rung %d, latency %8s  %s\n",
+				r.Seq, note, r.Rung, r.Latency.Round(time.Millisecond), status)
+		}
+	}
+	feed(3, "stalled")
+	faults.Reset()
+	feed(3, "healthy")
+	fmt.Printf("stream stats: %s\n", p.Stats())
 }

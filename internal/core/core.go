@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -87,6 +88,22 @@ type Config struct {
 	// software analogue of the paper's eight parallel MACBAR classifiers
 	// scoring window columns side by side.
 	Workers int
+	// SkipFinest drops the N finest (most expensive) pyramid levels from
+	// scanning, keeping at least the coarsest level. The streaming runtime
+	// (internal/rt) uses it to shed load under deadline pressure, mirroring
+	// the paper's memory-limited 2-scale hardware operating point: the
+	// finest levels carry by far the most windows, so dropping them first
+	// buys the largest latency reduction at the smallest coverage loss
+	// (far-field detection range goes first). Ignored by DetectOctave.
+	SkipFinest int
+	// LevelProbe, if non-nil, is invoked once per scanned pyramid level
+	// (with its absolute pyramid index, assigned before any skipping) at
+	// the start of every scan. A non-nil return aborts the frame with that
+	// error. It exists for instrumentation and fault injection
+	// (internal/rt/faultinject models per-level stalls and poison scales
+	// through it); levels shed via SkipFinest are not probed, which is what
+	// lets the runtime degrade around an injected per-level fault.
+	LevelProbe func(ctx context.Context, level int) error
 }
 
 // DefaultConfig returns the paper's detector configuration with the
@@ -121,6 +138,9 @@ func (c Config) Validate() error {
 	}
 	if c.Workers < 0 {
 		return fmt.Errorf("core: negative worker count %d", c.Workers)
+	}
+	if c.SkipFinest < 0 {
+		return fmt.Errorf("core: negative skip-finest count %d", c.SkipFinest)
 	}
 	return nil
 }
@@ -173,7 +193,16 @@ func (d *Detector) Model() *svm.Model { return d.model }
 // detections (after thresholding and NMS) in frame pixel coordinates,
 // highest score first.
 func (d *Detector) Detect(frame *imgproc.Gray) ([]eval.Detection, error) {
-	raw, err := d.DetectRaw(frame)
+	return d.DetectCtx(context.Background(), frame)
+}
+
+// DetectCtx is Detect with cooperative cancellation: pyramid construction
+// and window scanning observe ctx and return ctx.Err() promptly (within one
+// window row / one pyramid level) once it is cancelled or its deadline
+// passes. The streaming runtime (internal/rt) uses it to enforce the
+// per-frame budget of das.FrameBudget.
+func (d *Detector) DetectCtx(ctx context.Context, frame *imgproc.Gray) ([]eval.Detection, error) {
+	raw, err := d.DetectRawCtx(ctx, frame)
 	if err != nil {
 		return nil, err
 	}
@@ -185,22 +214,36 @@ func (d *Detector) Detect(frame *imgproc.Gray) ([]eval.Detection, error) {
 
 // DetectRaw runs multi-scale detection without non-maximum suppression.
 func (d *Detector) DetectRaw(frame *imgproc.Gray) ([]eval.Detection, error) {
-	levels, release, err := d.buildLevels(frame)
+	return d.DetectRawCtx(context.Background(), frame)
+}
+
+// DetectRawCtx is DetectRaw with cooperative cancellation (see DetectCtx).
+func (d *Detector) DetectRawCtx(ctx context.Context, frame *imgproc.Gray) ([]eval.Detection, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	levels, release, err := d.buildLevels(ctx, frame)
 	if err != nil {
 		return nil, err
 	}
 	defer release()
-	out := d.scanLevels(levels)
+	out, err := d.scanLevels(ctx, levels)
+	if err != nil {
+		return nil, err
+	}
 	sortByScore(out)
 	return out, nil
 }
 
 // pyrLevel is one scale of either pyramid flavour. sx and sy map level pixel
 // coordinates back to frame pixels; they differ in general because level
-// grids are rounded to integers independently per axis.
+// grids are rounded to integers independently per axis. index is the
+// absolute pyramid level (0 = finest), stable under SkipFinest so that
+// LevelProbe and the degradation ladder agree on which scale is which.
 type pyrLevel struct {
 	fm     *hog.FeatureMap
 	sx, sy float64
+	index  int
 }
 
 // maxLevels returns the level cap handed to the pyramid builders.
@@ -211,52 +254,108 @@ func (d *Detector) maxLevels() int {
 	return 0 // unlimited, bounded by window fit
 }
 
+// levelSize is one planned image-pyramid level: its absolute index and the
+// rounded pixel dimensions (the same rounding as imgproc.Pyramid).
+type levelSize struct {
+	index int
+	w, h  int
+}
+
+// pyramidSizes enumerates the image-pyramid level geometries for the frame:
+// level i is the frame divided by ScaleStep^i, stopping when the detection
+// window no longer fits or after maxLevels levels.
+func (d *Detector) pyramidSizes(frameW, frameH int) []levelSize {
+	maxL := d.maxLevels()
+	if maxL <= 0 {
+		maxL = math.MaxInt32
+	}
+	var out []levelSize
+	for i := 0; i < maxL; i++ {
+		f := math.Pow(d.cfg.ScaleStep, float64(i))
+		w := int(math.Round(float64(frameW) / f))
+		h := int(math.Round(float64(frameH) / f))
+		if w < d.cfg.WindowW || h < d.cfg.WindowH {
+			break
+		}
+		out = append(out, levelSize{index: i, w: w, h: h})
+	}
+	return out
+}
+
+// skipFinest resolves the effective number of finest levels to shed for a
+// pyramid of n levels: the configured count, clamped so that at least the
+// coarsest level survives.
+func (d *Detector) skipFinest(n int) int {
+	skip := d.cfg.SkipFinest
+	if skip >= n {
+		skip = n - 1
+	}
+	if skip < 0 {
+		skip = 0
+	}
+	return skip
+}
+
 // buildLevels constructs the pyramid of the configured mode and returns its
 // levels with their per-axis frame-mapping factors, plus a release function
 // that recycles pooled feature storage once scanning is done. Both DetectRaw
 // and ScoreMaps go through here, so every mode scores the same levels in
-// both entry points.
-func (d *Detector) buildLevels(frame *imgproc.Gray) ([]pyrLevel, func(), error) {
+// both entry points. Construction observes ctx: extraction stops within one
+// pyramid level of cancellation.
+func (d *Detector) buildLevels(ctx context.Context, frame *imgproc.Gray) ([]pyrLevel, func(), error) {
 	noop := func() {}
 	wbx, wby := d.cfg.windowBlocks()
 	switch d.cfg.Mode {
 	case ImagePyramid:
-		imgs := imgproc.Pyramid(frame, d.cfg.ScaleStep, d.cfg.WindowW, d.cfg.WindowH,
-			d.maxLevels(), d.cfg.Interp)
-		if len(imgs) == 0 {
+		sizes := d.pyramidSizes(frame.W, frame.H)
+		if len(sizes) == 0 {
 			return nil, noop, fmt.Errorf("core: frame %dx%d smaller than detection window", frame.W, frame.H)
 		}
-		// HOG extraction dominates image-pyramid cost; run the levels
-		// through a bounded worker pool.
-		levels := make([]pyrLevel, len(imgs))
-		errs := make([]error, len(imgs))
+		// Shed levels before doing any work: in image-pyramid mode both the
+		// resize and the HOG extraction of a skipped level are saved.
+		sizes = sizes[d.skipFinest(len(sizes)):]
+		// Resize + HOG extraction dominates image-pyramid cost; run the
+		// levels through a bounded worker pool. Each worker recovers its own
+		// panics so a poison frame (e.g. a truncated pixel buffer) surfaces
+		// as an error from DetectRawCtx instead of killing the process.
+		levels := make([]pyrLevel, len(sizes))
+		errs := make([]error, len(sizes))
 		sem := make(chan struct{}, d.cfg.workers())
 		var wg sync.WaitGroup
-		for i, img := range imgs {
+		for i, s := range sizes {
 			wg.Add(1)
 			sem <- struct{}{}
-			go func(i int, img *imgproc.Gray) {
+			go func(i int, s levelSize) {
 				defer wg.Done()
 				defer func() { <-sem }()
+				defer func() {
+					if r := recover(); r != nil {
+						errs[i] = fmt.Errorf("core: level %d: panic during extraction: %v", s.index, r)
+					}
+				}()
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					return
+				}
+				img := imgproc.Resize(frame, s.w, s.h, d.cfg.Interp)
 				fm, err := hog.Compute(img, d.cfg.HOG)
 				if err != nil {
-					errs[i] = fmt.Errorf("core: level %d: %w", i, err)
+					errs[i] = fmt.Errorf("core: level %d: %w", s.index, err)
 					return
 				}
 				// The exact per-axis scale of this level (sizes are
 				// rounded per level, separately in X and Y).
 				levels[i] = pyrLevel{
-					fm: fm,
-					sx: float64(frame.W) / float64(img.W),
-					sy: float64(frame.H) / float64(img.H),
+					fm:    fm,
+					sx:    float64(frame.W) / float64(img.W),
+					sy:    float64(frame.H) / float64(img.H),
+					index: s.index,
 				}
-			}(i, img)
+			}(i, s)
 		}
 		wg.Wait()
-		for _, err := range errs {
-			if err != nil {
-				return nil, noop, err
-			}
+		if err := firstError(errs); err != nil {
+			return nil, noop, err
 		}
 		return levels, noop, nil
 
@@ -265,17 +364,20 @@ func (d *Detector) buildLevels(frame *imgproc.Gray) ([]pyrLevel, func(), error) 
 		if err != nil {
 			return nil, noop, err
 		}
+		if err := ctx.Err(); err != nil {
+			return nil, noop, err
+		}
 		var levels []featpyr.Level
 		release := noop
 		switch d.cfg.Mode {
 		case FeaturePyramid:
-			p, err := featpyr.Build(base, d.cfg.ScaleStep, wbx, wby, d.maxLevels(), d.cfg.Scale)
+			p, err := featpyr.BuildCtx(ctx, base, d.cfg.ScaleStep, wbx, wby, d.maxLevels(), d.cfg.Scale)
 			if err != nil {
 				return nil, noop, err
 			}
 			levels, release = p.Levels, p.Release
 		case FeaturePyramidChained:
-			p, err := featpyr.BuildChained(base, d.cfg.ScaleStep, wbx, wby, d.maxLevels(), d.cfg.Scale)
+			p, err := featpyr.BuildChainedCtx(ctx, base, d.cfg.ScaleStep, wbx, wby, d.maxLevels(), d.cfg.Scale)
 			if err != nil {
 				return nil, noop, err
 			}
@@ -301,6 +403,12 @@ func (d *Detector) buildLevels(frame *imgproc.Gray) ([]pyrLevel, func(), error) 
 				if outBX < wbx || outBY < wby {
 					break
 				}
+				if err := ctx.Err(); err != nil {
+					for j := range levels {
+						featpyr.ReleaseMap(levels[j].Map)
+					}
+					return nil, noop, err
+				}
 				m, _, err := scaler.ScaleMap(prev, outBX, outBY)
 				if err != nil {
 					return nil, noop, fmt.Errorf("core: fixed scaler level %d: %w", i, err)
@@ -318,32 +426,67 @@ func (d *Detector) buildLevels(frame *imgproc.Gray) ([]pyrLevel, func(), error) 
 				}
 			}
 		}
-		out := make([]pyrLevel, len(levels))
+		// Feature pyramids derive every coarser level from the base map, so
+		// shedding only skips the scan (which dominates); skipped level maps
+		// go straight back to the scratch pool. Absolute indices are kept so
+		// LevelProbe still addresses the original scale ladder.
+		skip := d.skipFinest(len(levels))
+		out := make([]pyrLevel, 0, len(levels)-skip)
 		for i, l := range levels {
+			if i < skip {
+				featpyr.ReleaseMap(l.Map)
+				continue
+			}
 			// Effective per-axis scale of this level from the block-grid
 			// ratio (grids are rounded per level, like image pyramid
 			// sizes, and independently per axis).
-			out[i] = pyrLevel{
-				fm: l.Map,
-				sx: float64(base.BlocksX) / float64(l.Map.BlocksX),
-				sy: float64(base.BlocksY) / float64(l.Map.BlocksY),
-			}
+			out = append(out, pyrLevel{
+				fm:    l.Map,
+				sx:    float64(base.BlocksX) / float64(l.Map.BlocksX),
+				sy:    float64(base.BlocksY) / float64(l.Map.BlocksY),
+				index: i,
+			})
 		}
 		return out, release, nil
 	}
 	return nil, noop, fmt.Errorf("core: unknown pyramid mode %v", d.cfg.Mode)
 }
 
+// firstError returns the most informative error of a per-level slice: the
+// first non-cancellation error if any (a real failure should not be masked
+// by the cancellations it triggered in sibling workers), else the first
+// error.
+func firstError(errs []error) error {
+	var first error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if err != context.Canceled && err != context.DeadlineExceeded {
+			return err
+		}
+		if first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
 // scanLevelRows slides the detection window over block rows [row0, row1) of
 // one feature map, appending scored detections to out. Windows are scored
 // zero-copy against the feature map (hog.FeatureMap.ScoreWindow) — nothing
 // is allocated per window. sx and sy map level pixel coordinates back to
-// frame pixels per axis.
-func (d *Detector) scanLevelRows(fm *hog.FeatureMap, sx, sy float64, row0, row1 int, out []eval.Detection) []eval.Detection {
+// frame pixels per axis. Cancellation is checked once per window row, so an
+// expired ctx stops a scan within one row; the caller discards partial
+// output on error, keeping results deterministic.
+func (d *Detector) scanLevelRows(ctx context.Context, fm *hog.FeatureMap, sx, sy float64, row0, row1 int, out []eval.Detection) ([]eval.Detection, error) {
 	wbx, wby := d.cfg.windowBlocks()
 	cell := d.cfg.HOG.CellSize
 	w := d.model.W
 	for by := row0; by < row1; by++ {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
 		for bx := 0; bx+wbx <= fm.BlocksX; bx++ {
 			score, ok := fm.ScoreWindow(w, bx, by, wbx, wby)
 			if !ok {
@@ -358,7 +501,7 @@ func (d *Detector) scanLevelRows(fm *hog.FeatureMap, sx, sy float64, row0, row1 
 			out = append(out, eval.Detection{Box: box, Score: score})
 		}
 	}
-	return out
+	return out, nil
 }
 
 // rowShard is one unit of scan work: a contiguous run of window rows of one
@@ -390,33 +533,68 @@ func shardLevels(rows []int, workers int) []rowShard {
 }
 
 // runShards executes fn over the shards on a pool of `workers` goroutines.
-// fn must be safe for concurrent calls on distinct shard indices.
-func runShards(shards []rowShard, workers int, fn func(i int, s rowShard)) {
+// fn must be safe for concurrent calls on distinct shard indices and is
+// expected to observe ctx itself for sub-shard cancellation granularity.
+// Each worker goroutine recovers its own panics — a poison shard (corrupt
+// feature data) is reported as an error instead of crashing the process —
+// and cancellation stops job dispatch between shards. On a non-nil return
+// the shard outputs are incomplete and must be discarded.
+func runShards(ctx context.Context, shards []rowShard, workers int, fn func(i int, s rowShard) error) error {
 	if workers > len(shards) {
 		workers = len(shards)
 	}
 	if workers <= 1 {
 		for i, s := range shards {
-			fn(i, s)
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(i, s); err != nil {
+				return err
+			}
 		}
-		return
+		return nil
 	}
 	jobs := make(chan int)
+	errs := make([]error, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[w] = fmt.Errorf("core: scan worker panic: %v", r)
+					// Keep draining so the dispatcher never blocks on a
+					// dead worker pool.
+					for range jobs {
+					}
+				}
+			}()
 			for i := range jobs {
-				fn(i, shards[i])
+				if errs[w] != nil || ctx.Err() != nil {
+					continue // drain without scanning
+				}
+				if err := fn(i, shards[i]); err != nil {
+					errs[w] = err
+				}
 			}
-		}()
+		}(w)
 	}
 	for i := range shards {
-		jobs <- i
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			close(jobs)
+			wg.Wait()
+			return ctx.Err()
+		}
 	}
 	close(jobs)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return firstError(errs)
 }
 
 // scanRows returns the number of window rows of each level (zero when the
@@ -432,30 +610,61 @@ func (d *Detector) scanRows(levels []pyrLevel) []int {
 	return rows
 }
 
+// probeLevels runs the configured LevelProbe over the levels about to be
+// scanned, in finest-to-coarsest order. A probe error aborts the frame.
+func (d *Detector) probeLevels(ctx context.Context, levels []pyrLevel) error {
+	probe := d.cfg.LevelProbe
+	if probe == nil {
+		return nil
+	}
+	for _, l := range levels {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := probe(ctx, l.index); err != nil {
+			return fmt.Errorf("core: level %d probe: %w", l.index, err)
+		}
+	}
+	return nil
+}
+
 // scanLevels scores every window of every level, sharding levels across
 // window rows over the worker pool. Shard outputs are concatenated in
 // (level, row) order, so the result is exactly the raster-order slice a
 // serial scan produces — detections are byte-identical for every worker
-// count.
-func (d *Detector) scanLevels(levels []pyrLevel) []eval.Detection {
+// count. On cancellation or a worker failure partial output is discarded
+// and the error returned.
+func (d *Detector) scanLevels(ctx context.Context, levels []pyrLevel) ([]eval.Detection, error) {
+	if err := d.probeLevels(ctx, levels); err != nil {
+		return nil, err
+	}
 	rows := d.scanRows(levels)
 	workers := d.cfg.workers()
 	if workers <= 1 {
 		var out []eval.Detection
+		var err error
 		for i, l := range levels {
-			out = d.scanLevelRows(l.fm, l.sx, l.sy, 0, rows[i], out)
+			out, err = d.scanLevelRows(ctx, l.fm, l.sx, l.sy, 0, rows[i], out)
+			if err != nil {
+				return nil, err
+			}
 		}
-		return out
+		return out, nil
 	}
 	shards := shardLevels(rows, workers)
 	outs := make([][]eval.Detection, len(shards))
-	runShards(shards, workers, func(i int, s rowShard) {
+	err := runShards(ctx, shards, workers, func(i int, s rowShard) error {
 		l := levels[s.level]
-		outs[i] = d.scanLevelRows(l.fm, l.sx, l.sy, s.row0, s.row1, nil)
+		var err error
+		outs[i], err = d.scanLevelRows(ctx, l.fm, l.sx, l.sy, s.row0, s.row1, nil)
+		return err
 	})
+	if err != nil {
+		return nil, err
+	}
 	var out []eval.Detection
 	for _, o := range outs {
 		out = append(out, o...)
 	}
-	return out
+	return out, nil
 }

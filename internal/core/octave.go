@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -121,15 +122,19 @@ func (d *Detector) DetectOctaveRaw(frame *imgproc.Gray, oc OctavePyramidConfig) 
 		// Effective per-axis frame scale of this level: octave scale times
 		// the intra-octave block-grid ratio (both rounded per axis).
 		levels = append(levels, pyrLevel{
-			fm: fm,
-			sx: base.sx * float64(base.fm.BlocksX) / float64(fm.BlocksX),
-			sy: base.sy * float64(base.fm.BlocksY) / float64(fm.BlocksY),
+			fm:    fm,
+			sx:    base.sx * float64(base.fm.BlocksX) / float64(fm.BlocksX),
+			sy:    base.sy * float64(base.fm.BlocksY) / float64(fm.BlocksY),
+			index: level,
 		})
 		level++
 	}
-	out := d.scanLevels(levels)
+	out, err := d.scanLevels(context.Background(), levels)
 	for _, fm := range scratch {
 		featpyr.ReleaseMap(fm)
+	}
+	if err != nil {
+		return nil, err
 	}
 	sortByScore(out)
 	return out, nil

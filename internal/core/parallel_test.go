@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"reflect"
 	"testing"
@@ -40,7 +41,10 @@ func TestScanLevelRowsScalesAxesIndependently(t *testing.T) {
 	wbx, wby := cfg.windowBlocks() // 8 x 16
 	rows := fm.BlocksY - wby + 1
 	cols := fm.BlocksX - wbx + 1
-	out := d.scanLevelRows(fm, 1.5, 2.0, 0, rows, nil)
+	out, err := d.scanLevelRows(context.Background(), fm, 1.5, 2.0, 0, rows, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(out) != rows*cols {
 		t.Fatalf("scanned %d windows, want %d", len(out), rows*cols)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -64,7 +65,15 @@ func (sm *ScoreMap) ToImage() *imgproc.Gray {
 // all get heat maps of their own pyramid. Scoring is zero-copy and sharded
 // across window rows over the configured worker pool.
 func (d *Detector) ScoreMaps(frame *imgproc.Gray) ([]*ScoreMap, error) {
-	levels, release, err := d.buildLevels(frame)
+	return d.ScoreMapsCtx(context.Background(), frame)
+}
+
+// ScoreMapsCtx is ScoreMaps with cooperative cancellation (see DetectCtx).
+func (d *Detector) ScoreMapsCtx(ctx context.Context, frame *imgproc.Gray) ([]*ScoreMap, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	levels, release, err := d.buildLevels(ctx, frame)
 	if err != nil {
 		return nil, err
 	}
@@ -86,16 +95,23 @@ func (d *Detector) ScoreMaps(frame *imgproc.Gray) ([]*ScoreMap, error) {
 		}
 	}
 	w := d.model.W
-	runShards(shardLevels(rows, d.cfg.workers()), d.cfg.workers(), func(_ int, s rowShard) {
+	err = runShards(ctx, shardLevels(rows, d.cfg.workers()), d.cfg.workers(), func(_ int, s rowShard) error {
 		fm := levels[s.level].fm
 		sm := maps[s.level]
 		for by := s.row0; by < s.row1; by++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			for bx := 0; bx < sm.W; bx++ {
 				score, _ := fm.ScoreWindow(w, bx, by, wbx, wby)
 				sm.Scores[by*sm.W+bx] = score + d.model.B
 			}
 		}
+		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	out := maps[:0]
 	for _, sm := range maps {
 		if sm != nil {

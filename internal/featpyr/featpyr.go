@@ -17,6 +17,7 @@
 package featpyr
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -246,6 +247,13 @@ func (p *Pyramid) Release() {
 // hardware's chained scaler (Figure 6) is modelled separately in
 // BuildChained and in package hw/scaler.
 func Build(base *hog.FeatureMap, step float64, minBX, minBY, maxLevels int, cfg ScaleConfig) (*Pyramid, error) {
+	return BuildCtx(context.Background(), base, step, minBX, minBY, maxLevels, cfg)
+}
+
+// BuildCtx is Build with cooperative cancellation: construction checks ctx
+// between levels and returns ctx.Err() once it is cancelled, releasing any
+// levels already built back to the scratch pool.
+func BuildCtx(ctx context.Context, base *hog.FeatureMap, step float64, minBX, minBY, maxLevels int, cfg ScaleConfig) (*Pyramid, error) {
 	if step <= 1 {
 		return nil, fmt.Errorf("featpyr: pyramid step %g must exceed 1", step)
 	}
@@ -254,6 +262,10 @@ func Build(base *hog.FeatureMap, step float64, minBX, minBY, maxLevels int, cfg 
 	}
 	p := &Pyramid{}
 	for i := 0; i < maxLevels; i++ {
+		if err := ctx.Err(); err != nil {
+			p.Release()
+			return nil, err
+		}
 		s := math.Pow(step, float64(i))
 		outBX := int(math.Round(float64(base.BlocksX) / s))
 		outBY := int(math.Round(float64(base.BlocksY) / s))
@@ -285,6 +297,12 @@ func Build(base *hog.FeatureMap, step float64, minBX, minBY, maxLevels int, cfg 
 // only ever handles the fixed step ratio — which is what makes the
 // shift-and-add implementation cheap.
 func BuildChained(base *hog.FeatureMap, step float64, minBX, minBY, maxLevels int, cfg ScaleConfig) (*Pyramid, error) {
+	return BuildChainedCtx(context.Background(), base, step, minBX, minBY, maxLevels, cfg)
+}
+
+// BuildChainedCtx is BuildChained with cooperative cancellation (see
+// BuildCtx).
+func BuildChainedCtx(ctx context.Context, base *hog.FeatureMap, step float64, minBX, minBY, maxLevels int, cfg ScaleConfig) (*Pyramid, error) {
 	if step <= 1 {
 		return nil, fmt.Errorf("featpyr: pyramid step %g must exceed 1", step)
 	}
@@ -294,6 +312,10 @@ func BuildChained(base *hog.FeatureMap, step float64, minBX, minBY, maxLevels in
 	p := &Pyramid{Levels: []Level{{Scale: 1, Map: clonePooled(base)}}}
 	prev := base
 	for i := 1; i < maxLevels; i++ {
+		if err := ctx.Err(); err != nil {
+			p.Release()
+			return nil, err
+		}
 		outBX := int(math.Round(float64(prev.BlocksX) / step))
 		outBY := int(math.Round(float64(prev.BlocksY) / step))
 		if outBX < minBX || outBY < minBY {

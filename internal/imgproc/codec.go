@@ -81,11 +81,17 @@ func ReadPGM(r io.Reader) (*Gray, error) {
 		if _, err := io.ReadFull(br, g.Pix); err != nil {
 			return nil, fmt.Errorf("imgproc: short PGM pixel data: %w", err)
 		}
+		if err := rescaleSamples(g.Pix, maxv); err != nil {
+			return nil, fmt.Errorf("imgproc: PGM pixel data: %w", err)
+		}
 	} else {
 		for i := range g.Pix {
 			v, err := pnmInt(br)
 			if err != nil {
 				return nil, fmt.Errorf("imgproc: PGM pixel %d: %w", i, err)
+			}
+			if v > maxv {
+				return nil, fmt.Errorf("imgproc: PGM pixel %d: sample %d exceeds maxval %d", i, v, maxv)
 			}
 			g.Pix[i] = uint8(v * 255 / maxv)
 		}
@@ -123,16 +129,39 @@ func ReadPPM(r io.Reader) (*RGB, error) {
 		if _, err := io.ReadFull(br, c.Pix); err != nil {
 			return nil, fmt.Errorf("imgproc: short PPM pixel data: %w", err)
 		}
+		if err := rescaleSamples(c.Pix, maxv); err != nil {
+			return nil, fmt.Errorf("imgproc: PPM pixel data: %w", err)
+		}
 	} else {
 		for i := range c.Pix {
 			v, err := pnmInt(br)
 			if err != nil {
 				return nil, fmt.Errorf("imgproc: PPM sample %d: %w", i, err)
 			}
+			if v > maxv {
+				return nil, fmt.Errorf("imgproc: PPM sample %d: value %d exceeds maxval %d", i, v, maxv)
+			}
 			c.Pix[i] = uint8(v * 255 / maxv)
 		}
 	}
 	return c, nil
+}
+
+// rescaleSamples maps binary samples from [0, maxv] onto [0, 255] in place.
+// Binary bodies with samples above the declared maxval are corrupt per the
+// netpbm spec and rejected — silently keeping them would brighten or wrap
+// the frame and skew every gradient downstream.
+func rescaleSamples(pix []uint8, maxv int) error {
+	if maxv == 255 {
+		return nil
+	}
+	for i, v := range pix {
+		if int(v) > maxv {
+			return fmt.Errorf("sample %d: value %d exceeds maxval %d", i, v, maxv)
+		}
+		pix[i] = uint8(int(v) * 255 / maxv)
+	}
+	return nil
 }
 
 // pnmHeader parses the width, height and maxval triple common to PGM/PPM.
@@ -152,11 +181,22 @@ func pnmHeader(br *bufio.Reader) (w, h, maxv int, err error) {
 	if w > 1<<16 || h > 1<<16 {
 		return 0, 0, 0, fmt.Errorf("imgproc: PNM size %dx%d too large", w, h)
 	}
+	// Cap the total pixel count as well: the per-dimension limit alone still
+	// admits a 4 GiB allocation from a 12-byte header (65536 x 65536), which
+	// a corrupt or hostile stream could use to take the process down before
+	// a single pixel is read.
+	if w*h > maxPNMPixels {
+		return 0, 0, 0, fmt.Errorf("imgproc: PNM size %dx%d exceeds %d-pixel limit", w, h, maxPNMPixels)
+	}
 	if maxv <= 0 || maxv > 255 {
 		return 0, 0, 0, fmt.Errorf("imgproc: unsupported PNM maxval %d", maxv)
 	}
 	return w, h, maxv, nil
 }
+
+// maxPNMPixels bounds decoder allocations (64 Mpx ≈ 8K video); headers
+// claiming more are rejected as corrupt.
+const maxPNMPixels = 1 << 26
 
 // pnmToken reads the next whitespace-delimited token, skipping '#' comments.
 // It consumes exactly one byte of whitespace after the token, which is the

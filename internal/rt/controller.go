@@ -1,0 +1,89 @@
+package rt
+
+import (
+	"sync"
+	"time"
+)
+
+// controller is the degradation controller: a small hysteresis state
+// machine over the rung ladder. It degrades after DegradeAfter consecutive
+// deadline misses and recovers after RecoverAfter consecutive frames that
+// finish within RecoverMargin of the deadline. Frames that land between
+// the margin and the deadline hold the current rung (the hysteresis band),
+// and frames that fail for reasons other than the deadline (poison input)
+// are neutral — shedding scales cannot fix a corrupt frame, so they must
+// not drag the operating point down.
+type controller struct {
+	mu           sync.Mutex
+	nRungs       int
+	degradeAfter int
+	recoverAfter int
+	margin       float64
+
+	cur        int
+	missStreak int
+	okStreak   int
+
+	degradeEvents uint64
+	recoverEvents uint64
+}
+
+func newController(nRungs, degradeAfter, recoverAfter int, margin float64) *controller {
+	return &controller{
+		nRungs:       nRungs,
+		degradeAfter: degradeAfter,
+		recoverAfter: recoverAfter,
+		margin:       margin,
+	}
+}
+
+// current returns the rung the next frame should be scanned at.
+func (c *controller) current() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cur
+}
+
+// observe feeds one frame outcome into the state machine.
+func (c *controller) observe(r FrameResult, deadline time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch {
+	case r.Missed:
+		c.okStreak = 0
+		c.missStreak++
+		if c.missStreak >= c.degradeAfter {
+			if c.cur < c.nRungs-1 {
+				c.cur++
+				c.degradeEvents++
+			}
+			// At the bottom rung there is nothing left to shed; restart
+			// the streak so a later recovery is judged fresh.
+			c.missStreak = 0
+		}
+	case r.Err != nil:
+		// Neutral: a non-deadline failure says nothing about load.
+	case float64(r.Latency) <= c.margin*float64(deadline):
+		c.missStreak = 0
+		c.okStreak++
+		if c.okStreak >= c.recoverAfter {
+			if c.cur > 0 {
+				c.cur--
+				c.recoverEvents++
+			}
+			c.okStreak = 0
+		}
+	default:
+		// Inside the hysteresis band: on time but not comfortably so.
+		// Hold the rung and both streaks start over.
+		c.missStreak = 0
+		c.okStreak = 0
+	}
+}
+
+// state returns the controller counters for a stats snapshot.
+func (c *controller) state() (cur int, degradeEvents, recoverEvents uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cur, c.degradeEvents, c.recoverEvents
+}

@@ -1,0 +1,111 @@
+package rt
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+const ctlDeadline = 100 * time.Millisecond
+
+// miss, comfortable, band and neutral frame outcomes for feeding the
+// controller directly.
+func missFrame() FrameResult {
+	return FrameResult{Missed: true, Latency: ctlDeadline + time.Millisecond}
+}
+func comfortableFrame() FrameResult {
+	return FrameResult{Latency: ctlDeadline / 10}
+}
+func bandFrame() FrameResult {
+	// Inside the hysteresis band: on time, but above the recovery margin.
+	return FrameResult{Latency: 90 * time.Millisecond}
+}
+func neutralFrame() FrameResult {
+	return FrameResult{Err: errors.New("poison"), Latency: time.Millisecond}
+}
+
+func feed(c *controller, n int, f func() FrameResult) {
+	for i := 0; i < n; i++ {
+		c.observe(f(), ctlDeadline)
+	}
+}
+
+func TestControllerDegradesOnlyAfterConsecutiveMisses(t *testing.T) {
+	c := newController(4, 3, 8, 0.7)
+	feed(c, 2, missFrame)
+	feed(c, 1, comfortableFrame)
+	feed(c, 2, missFrame)
+	if got := c.current(); got != 0 {
+		t.Fatalf("rung %d after broken miss streaks, want 0", got)
+	}
+	feed(c, 1, missFrame) // third consecutive miss
+	if got := c.current(); got != 1 {
+		t.Fatalf("rung %d after 3 consecutive misses, want 1", got)
+	}
+	if _, deg, _ := c.state(); deg != 1 {
+		t.Fatalf("degrade events %d, want 1", deg)
+	}
+}
+
+func TestControllerClampsAtBottomRung(t *testing.T) {
+	c := newController(3, 2, 8, 0.7)
+	feed(c, 20, missFrame)
+	cur, deg, _ := c.state()
+	if cur != 2 {
+		t.Fatalf("rung %d under sustained misses, want bottom rung 2", cur)
+	}
+	if deg != 2 {
+		t.Fatalf("degrade events %d, want exactly 2 (one per real transition)", deg)
+	}
+}
+
+func TestControllerRecoversWithHysteresis(t *testing.T) {
+	c := newController(4, 2, 4, 0.7)
+	feed(c, 4, missFrame) // two degrade steps
+	if got := c.current(); got != 2 {
+		t.Fatalf("rung %d, want 2", got)
+	}
+	// Band frames are on time but must NOT count toward recovery.
+	feed(c, 3, comfortableFrame)
+	feed(c, 1, bandFrame)
+	feed(c, 3, comfortableFrame)
+	if got := c.current(); got != 2 {
+		t.Fatalf("rung %d: band frame should have reset the recovery streak", got)
+	}
+	feed(c, 1, comfortableFrame) // fourth consecutive comfortable frame
+	if got := c.current(); got != 1 {
+		t.Fatalf("rung %d after recovery streak, want 1", got)
+	}
+	feed(c, 4, comfortableFrame)
+	if got := c.current(); got != 0 {
+		t.Fatalf("rung %d after second recovery streak, want 0", got)
+	}
+	if _, _, rec := c.state(); rec != 2 {
+		t.Fatalf("recover events %d, want 2", rec)
+	}
+	// Fully recovered: more comfortable frames change nothing.
+	feed(c, 10, comfortableFrame)
+	if got := c.current(); got != 0 {
+		t.Fatalf("rung %d, want to stay at 0", got)
+	}
+}
+
+func TestControllerNeutralFramesDoNotSteer(t *testing.T) {
+	c := newController(4, 3, 4, 0.7)
+	// A poison frame fails fast for reasons unrelated to load: it must
+	// neither degrade the pipeline nor break an ongoing recovery streak.
+	feed(c, 20, neutralFrame)
+	if got := c.current(); got != 0 {
+		t.Fatalf("rung %d after neutral frames, want 0", got)
+	}
+	feed(c, 3, missFrame)
+	if got := c.current(); got != 1 {
+		t.Fatalf("rung %d, want 1", got)
+	}
+	feed(c, 3, comfortableFrame)
+	feed(c, 1, neutralFrame)
+	feed(c, 1, comfortableFrame) // fourth comfortable, streak intact
+	if got := c.current(); got != 0 {
+		t.Fatalf("rung %d: neutral frame should not reset the recovery streak", got)
+	}
+}

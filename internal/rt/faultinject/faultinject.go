@@ -1,0 +1,155 @@
+// Package faultinject synthesizes the failure modes the streaming runtime
+// (internal/rt) must survive, so its degradation and recovery behaviour can
+// be tested deterministically instead of waiting for real hardware to
+// misbehave:
+//
+//   - per-level stalls and failures, injected into the detection hot path
+//     through core.Config.LevelProbe — an artificially slow or broken
+//     pyramid scale, the fault the degradation ladder sheds around;
+//   - poison frames, whose pixel buffer is shorter than the header claims
+//     and which therefore panic inside the feature extractor — the fault
+//     per-goroutine panic recovery converts into a per-frame error;
+//   - corrupt encoded images (truncated or bit-flipped PGM/PPM bytes) for
+//     exercising the codec hardening in internal/imgproc.
+//
+// All injectors are safe for concurrent use: tests flip faults on and off
+// while the pipeline is running.
+package faultinject
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/imgproc"
+)
+
+// levelFault is the injected behaviour of one pyramid level.
+type levelFault struct {
+	stall    time.Duration
+	err      error
+	panicVal any
+}
+
+// Faults injects per-level faults into a detector via its Probe method.
+// The zero value is ready to use and injects nothing.
+type Faults struct {
+	mu     sync.Mutex
+	levels map[int]levelFault
+}
+
+// New returns an empty fault set.
+func New() *Faults { return &Faults{} }
+
+func (f *Faults) set(level int, mod func(*levelFault)) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.levels == nil {
+		f.levels = make(map[int]levelFault)
+	}
+	lf := f.levels[level]
+	mod(&lf)
+	f.levels[level] = lf
+}
+
+// StallLevel makes every scan of the given pyramid level sleep for d — an
+// artificially slow scale. The sleep observes the frame's context, so a
+// deadline cuts it short (the frame then reports the context error).
+func (f *Faults) StallLevel(level int, d time.Duration) {
+	f.set(level, func(lf *levelFault) { lf.stall = d })
+}
+
+// FailLevel makes every scan of the given pyramid level abort the frame
+// with err.
+func (f *Faults) FailLevel(level int, err error) {
+	f.set(level, func(lf *levelFault) { lf.err = err })
+}
+
+// PanicLevel makes every scan of the given pyramid level panic with v — a
+// poison scale, exercising the runtime's per-goroutine panic recovery.
+func (f *Faults) PanicLevel(level int, v any) {
+	f.set(level, func(lf *levelFault) { lf.panicVal = v })
+}
+
+// Clear removes all faults of one level.
+func (f *Faults) Clear(level int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.levels, level)
+}
+
+// Reset removes every fault.
+func (f *Faults) Reset() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.levels = nil
+}
+
+// Probe is a core.Config.LevelProbe: install it on the detector handed to
+// rt.New and the faults configured here fire for every frame scanned at a
+// rung that still covers the faulted level. Levels shed by the degradation
+// ladder are not probed — which is exactly how the runtime steps around a
+// faulted scale.
+func (f *Faults) Probe(ctx context.Context, level int) error {
+	f.mu.Lock()
+	lf := f.levels[level]
+	f.mu.Unlock()
+	if lf.panicVal != nil {
+		panic(lf.panicVal)
+	}
+	if lf.err != nil {
+		return lf.err
+	}
+	if lf.stall > 0 {
+		t := time.NewTimer(lf.stall)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return nil
+}
+
+// TruncatePix returns a poison frame: a copy of g whose pixel buffer is cut
+// to n bytes while the header still claims the full W x H size. Feature
+// extraction indexes past the buffer and panics — the canonical corrupt
+// frame the runtime must survive. n is clamped to [0, len(g.Pix)].
+func TruncatePix(g *imgproc.Gray, n int) *imgproc.Gray {
+	if n < 0 {
+		n = 0
+	}
+	if n > len(g.Pix) {
+		n = len(g.Pix)
+	}
+	pix := make([]uint8, n)
+	copy(pix, g.Pix[:n])
+	return &imgproc.Gray{W: g.W, H: g.H, Pix: pix}
+}
+
+// Truncate returns the first n bytes of an encoded image, simulating a
+// stream cut mid-frame. n is clamped to [0, len(data)].
+func Truncate(data []byte, n int) []byte {
+	if n < 0 {
+		n = 0
+	}
+	if n > len(data) {
+		n = len(data)
+	}
+	out := make([]byte, n)
+	copy(out, data[:n])
+	return out
+}
+
+// FlipByte returns a copy of data with the byte at index i XOR'd by mask,
+// simulating single-byte corruption in transit. Out-of-range indices return
+// an unmodified copy.
+func FlipByte(data []byte, i int, mask byte) []byte {
+	out := make([]byte, len(data))
+	copy(out, data)
+	if i >= 0 && i < len(out) {
+		out[i] ^= mask
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+package faultinject
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/imgproc"
+)
+
+func TestProbeInjectsConfiguredFaults(t *testing.T) {
+	f := New()
+	ctx := context.Background()
+	if err := f.Probe(ctx, 0); err != nil {
+		t.Fatalf("empty fault set: %v", err)
+	}
+	sentinel := errors.New("scaler fault")
+	f.FailLevel(1, sentinel)
+	if err := f.Probe(ctx, 1); !errors.Is(err, sentinel) {
+		t.Fatalf("level 1: got %v, want injected error", err)
+	}
+	if err := f.Probe(ctx, 0); err != nil {
+		t.Fatalf("level 0 must stay clean: %v", err)
+	}
+	f.Clear(1)
+	if err := f.Probe(ctx, 1); err != nil {
+		t.Fatalf("after Clear: %v", err)
+	}
+	f.PanicLevel(2, "poison scale")
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("PanicLevel probe should panic")
+			}
+		}()
+		f.Probe(ctx, 2)
+	}()
+	f.Reset()
+	if err := f.Probe(ctx, 2); err != nil {
+		t.Fatalf("after Reset: %v", err)
+	}
+}
+
+func TestProbeStallRespectsContext(t *testing.T) {
+	f := New()
+	f.StallLevel(0, time.Minute)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := f.Probe(ctx, 0)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want deadline exceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("stall ignored the context: took %v", elapsed)
+	}
+}
+
+func TestTruncatePixKeepsHeaderLiesAboutBuffer(t *testing.T) {
+	g := imgproc.NewGray(8, 8)
+	p := TruncatePix(g, 10)
+	if p.W != 8 || p.H != 8 {
+		t.Fatalf("poison frame header %dx%d, want 8x8", p.W, p.H)
+	}
+	if len(p.Pix) != 10 {
+		t.Fatalf("poison frame buffer %d bytes, want 10", len(p.Pix))
+	}
+	if q := TruncatePix(g, 1000); len(q.Pix) != len(g.Pix) {
+		t.Fatalf("over-long truncation should clamp to %d, got %d", len(g.Pix), len(q.Pix))
+	}
+	// The original is untouched.
+	if len(g.Pix) != 64 {
+		t.Fatalf("original mutated: %d bytes", len(g.Pix))
+	}
+}
+
+func TestTruncateAndFlipByte(t *testing.T) {
+	data := []byte("P5\n4 4\n255\n0123456789abcdef")
+	cut := Truncate(data, 8)
+	if !bytes.Equal(cut, data[:8]) {
+		t.Fatalf("Truncate = %q", cut)
+	}
+	cut[0] = 'X' // must not alias the original
+	if data[0] != 'P' {
+		t.Fatal("Truncate aliases its input")
+	}
+	flipped := FlipByte(data, 0, 0xFF)
+	if flipped[0] == data[0] || !bytes.Equal(flipped[1:], data[1:]) {
+		t.Fatalf("FlipByte changed the wrong bytes")
+	}
+	if out := FlipByte(data, -1, 0xFF); !bytes.Equal(out, data) {
+		t.Fatal("out-of-range flip should be a plain copy")
+	}
+}

@@ -1,0 +1,383 @@
+// Package rt is the deadline-aware streaming runtime around core.Detector.
+//
+// The paper's premise is a hard real-time budget: at 60 fps HDTV the
+// detector gets 16.6 ms per frame (Section 1), and internal/das computes
+// exactly that budget (das.BudgetAt, das.MaxDetectorLatency). This package
+// enforces it. A Pipeline wraps a detector for a continuous frame feed and
+// guarantees forward progress under overload, poison input, and injected
+// faults:
+//
+//   - every frame runs under a context deadline derived from the frame
+//     budget, so a stalled scale cannot block the stream;
+//   - a degradation controller sheds work in a principled order when the
+//     deadline is missed repeatedly — finest pyramid levels first (the
+//     paper's memory-limited hardware runs the same trade at 2 scales),
+//     then scan workers — and restores it with hysteresis once latency
+//     recovers;
+//   - the input queue is bounded and drops the oldest frame under
+//     backpressure (a stale frame is worthless to a driver-assistance
+//     system);
+//   - each frame is scanned under per-goroutine panic recovery, so a
+//     poison frame yields a FrameResult with Err set instead of killing
+//     the stream.
+//
+// Stats() exposes a snapshot of the runtime counters for dashboards and
+// the cmd/pddetect -stream mode; internal/rt/faultinject drives the
+// deterministic degradation tests.
+package rt
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/das"
+	"repro/internal/eval"
+	"repro/internal/imgproc"
+)
+
+// Config tunes the streaming runtime. The zero value is not usable: either
+// FPS or Deadline must be set. All other fields have working defaults.
+type Config struct {
+	// FPS is the target frame rate; the per-frame deadline defaults to the
+	// das frame budget at this rate (das.BudgetAt: 1/FPS seconds).
+	FPS float64
+	// Deadline overrides FPS with an explicit per-frame latency budget.
+	Deadline time.Duration
+	// Queue bounds the input queue. When full, the oldest queued frame is
+	// dropped to make room (drop-oldest). Default 4.
+	Queue int
+	// MaxShed caps how many finest pyramid levels the controller may shed
+	// below the detector's own configuration. Default 2 (the paper's
+	// hardware operating point keeps 2 of the finest scales' worth of
+	// memory; shedding the two finest levels of a 1.1-step pyramid is the
+	// software analogue).
+	MaxShed int
+	// MinWorkers floors the worker-reduction rungs of the ladder.
+	// Default 1.
+	MinWorkers int
+	// DegradeAfter is how many consecutive deadline misses trigger a step
+	// down the ladder. Default 3.
+	DegradeAfter int
+	// RecoverAfter is how many consecutive comfortable frames (latency at
+	// most RecoverMargin of the deadline) trigger a step back up.
+	// Default 8.
+	RecoverAfter int
+	// RecoverMargin is the fraction of the deadline a frame must finish
+	// within to count toward recovery; the gap between it and 1.0 is the
+	// hysteresis band that prevents oscillation. Default 0.7.
+	RecoverMargin float64
+}
+
+// deadline resolves the per-frame budget.
+func (c Config) deadline() (time.Duration, error) {
+	if c.Deadline > 0 {
+		return c.Deadline, nil
+	}
+	if c.FPS > 0 {
+		b := das.BudgetAt(0, c.FPS)
+		return time.Duration(b.FrameTime * float64(time.Second)), nil
+	}
+	return 0, errors.New("rt: config needs FPS or Deadline")
+}
+
+// withDefaults fills the zero-valued tuning knobs.
+func (c Config) withDefaults() Config {
+	if c.Queue <= 0 {
+		c.Queue = 4
+	}
+	if c.MaxShed < 0 {
+		c.MaxShed = 0
+	} else if c.MaxShed == 0 {
+		c.MaxShed = 2
+	}
+	if c.MinWorkers <= 0 {
+		c.MinWorkers = 1
+	}
+	if c.DegradeAfter <= 0 {
+		c.DegradeAfter = 3
+	}
+	if c.RecoverAfter <= 0 {
+		c.RecoverAfter = 8
+	}
+	if c.RecoverMargin <= 0 || c.RecoverMargin >= 1 {
+		c.RecoverMargin = 0.7
+	}
+	return c
+}
+
+// Rung is one operating point of the degradation ladder.
+type Rung struct {
+	// SkipFinest is the number of finest pyramid levels shed at this rung
+	// (core.Config.SkipFinest).
+	SkipFinest int
+	// Workers is the scan worker count at this rung.
+	Workers int
+}
+
+// ladder builds the degradation ladder from the detector's own operating
+// point: rung 0 is the configured detector; the next MaxShed rungs shed one
+// more finest pyramid level each (the biggest win per step — the finest
+// level carries the most windows); the remaining rungs halve the scan
+// workers down to minWorkers at maximum shed. Frame dropping is not a rung:
+// the bounded queue drops stale frames at every rung.
+func ladder(baseSkip, baseWorkers, maxShed, minWorkers int) []Rung {
+	rungs := []Rung{{SkipFinest: baseSkip, Workers: baseWorkers}}
+	for s := 1; s <= maxShed; s++ {
+		rungs = append(rungs, Rung{SkipFinest: baseSkip + s, Workers: baseWorkers})
+	}
+	for w := baseWorkers / 2; w >= minWorkers && w < rungs[len(rungs)-1].Workers; w /= 2 {
+		rungs = append(rungs, Rung{SkipFinest: baseSkip + maxShed, Workers: w})
+	}
+	return rungs
+}
+
+// PanicError wraps a panic recovered while scanning a frame. The stream
+// continues; the poison frame's FrameResult carries this error.
+type PanicError struct {
+	Value any
+}
+
+// Error implements the error interface.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("rt: panic while scanning frame: %v", e.Value)
+}
+
+// FrameResult is the outcome of one submitted frame.
+type FrameResult struct {
+	// Seq is the frame's submission sequence number (0-based).
+	Seq uint64
+	// Detections is the detector output; nil when Err is set.
+	Detections []eval.Detection
+	// Err is the per-frame failure, if any: a detection error, the
+	// context error of a frame cut off at its deadline, or a *PanicError
+	// for a recovered poison frame. The stream continues either way.
+	Err error
+	// Wait is how long the frame sat in the input queue.
+	Wait time.Duration
+	// Latency is the detection wall time (excluding Wait).
+	Latency time.Duration
+	// Missed reports that the frame exceeded its deadline.
+	Missed bool
+	// Rung is the degradation rung the frame was scanned at.
+	Rung int
+}
+
+// frameItem is one queued frame.
+type frameItem struct {
+	seq   uint64
+	frame *imgproc.Gray
+	at    time.Time
+}
+
+// Pipeline is a running streaming detection runtime. Create it with New,
+// feed it with Submit, consume Results, and Close it when done. The
+// consumer must drain Results; the pipeline applies backpressure (and
+// eventually drops frames) when it does not.
+type Pipeline struct {
+	cfg      Config
+	deadline time.Duration
+	rungs    []Rung
+	dets     []*core.Detector
+
+	in      chan frameItem
+	results chan FrameResult
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	stop       chan struct{}
+	done       chan struct{}
+	closeOnce  sync.Once
+
+	seq   atomic.Uint64
+	ctrl  *controller
+	stats *stats
+}
+
+// New builds the degradation ladder for the detector and starts the
+// pipeline's scan loop. The detector's configuration (mode, scales,
+// workers, probes) is rung 0 of the ladder.
+func New(det *core.Detector, cfg Config) (*Pipeline, error) {
+	deadline, err := cfg.deadline()
+	if err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	base := det.Config()
+	baseWorkers := base.Workers
+	if baseWorkers <= 0 {
+		baseWorkers = runtime.GOMAXPROCS(0)
+	}
+	rungs := ladder(base.SkipFinest, baseWorkers, cfg.MaxShed, cfg.MinWorkers)
+	dets := make([]*core.Detector, len(rungs))
+	for i, r := range rungs {
+		c := base
+		c.SkipFinest = r.SkipFinest
+		c.Workers = r.Workers
+		d, err := core.NewDetector(det.Model(), c)
+		if err != nil {
+			return nil, fmt.Errorf("rt: rung %d (%+v): %w", i, r, err)
+		}
+		dets[i] = d
+	}
+	baseCtx, baseCancel := context.WithCancel(context.Background())
+	p := &Pipeline{
+		cfg:        cfg,
+		deadline:   deadline,
+		rungs:      rungs,
+		dets:       dets,
+		in:         make(chan frameItem, cfg.Queue),
+		results:    make(chan FrameResult, cfg.Queue+1),
+		baseCtx:    baseCtx,
+		baseCancel: baseCancel,
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
+		ctrl: newController(len(rungs), cfg.DegradeAfter, cfg.RecoverAfter,
+			cfg.RecoverMargin),
+		stats: newStats(),
+	}
+	go p.run()
+	return p, nil
+}
+
+// Deadline returns the per-frame latency budget the pipeline enforces.
+func (p *Pipeline) Deadline() time.Duration { return p.deadline }
+
+// Ladder returns the degradation ladder, rung 0 first.
+func (p *Pipeline) Ladder() []Rung {
+	out := make([]Rung, len(p.rungs))
+	copy(out, p.rungs)
+	return out
+}
+
+// Results is the stream of per-frame outcomes, in scan order. It is closed
+// by Close.
+func (p *Pipeline) Results() <-chan FrameResult { return p.results }
+
+// Submit offers a frame to the pipeline without blocking. When the queue is
+// full the oldest queued frame is dropped to make room (a newer frame is
+// always worth more to a driver-assistance system than a stale one). It
+// returns false if the frame could not be accepted — the pipeline is
+// closed, or the queue stayed full even after the eviction attempt.
+func (p *Pipeline) Submit(frame *imgproc.Gray) bool {
+	select {
+	case <-p.stop:
+		return false
+	default:
+	}
+	it := frameItem{seq: p.seq.Add(1) - 1, frame: frame, at: time.Now()}
+	select {
+	case p.in <- it:
+		p.stats.frameIn()
+		return true
+	default:
+	}
+	// Queue full: evict the oldest queued frame, then retry once. The
+	// eviction and the retry race the scan loop benignly — at worst the
+	// scan loop dequeued a frame in between and no eviction was needed.
+	select {
+	case <-p.in:
+		p.stats.frameDropped()
+	default:
+	}
+	select {
+	case p.in <- it:
+		p.stats.frameIn()
+		return true
+	default:
+		return false
+	}
+}
+
+// Flush blocks until every accepted frame has been scanned or dropped. It
+// does not stop the pipeline; use it before reading a final Stats snapshot
+// or before Close when every submitted frame matters.
+func (p *Pipeline) Flush() {
+	for {
+		s := p.stats.snapshot(p)
+		if s.FramesOut+s.FramesDropped >= s.FramesIn {
+			return
+		}
+		select {
+		case <-p.done:
+			return
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// Close stops the pipeline: in-flight work is cancelled, queued frames are
+// discarded, and Results is closed. It is idempotent and safe to call
+// concurrently with Submit.
+func (p *Pipeline) Close() {
+	p.closeOnce.Do(func() {
+		close(p.stop)
+		p.baseCancel()
+	})
+	<-p.done
+}
+
+// Stats returns a snapshot of the runtime counters.
+func (p *Pipeline) Stats() Stats { return p.stats.snapshot(p) }
+
+// run is the scan loop: one goroutine pulls frames off the bounded queue,
+// scans them under the deadline at the controller's current rung, feeds the
+// outcome back to the controller, and emits the result.
+func (p *Pipeline) run() {
+	defer close(p.done)
+	defer close(p.results)
+	for {
+		select {
+		case <-p.stop:
+			return
+		case it := <-p.in:
+			r := p.process(it)
+			p.ctrl.observe(r, p.deadline)
+			p.stats.observe(r)
+			select {
+			case p.results <- r:
+			case <-p.stop:
+				return
+			}
+		}
+	}
+}
+
+// process scans one frame under the per-frame deadline at the current rung.
+func (p *Pipeline) process(it frameItem) FrameResult {
+	rung := p.ctrl.current()
+	wait := time.Since(it.at)
+	ctx, cancel := context.WithTimeout(p.baseCtx, p.deadline)
+	start := time.Now()
+	dets, err := detectFrame(ctx, p.dets[rung], it.frame)
+	cancel()
+	lat := time.Since(start)
+	return FrameResult{
+		Seq:        it.seq,
+		Detections: dets,
+		Err:        err,
+		Wait:       wait,
+		Latency:    lat,
+		Missed:     lat > p.deadline || errors.Is(err, context.DeadlineExceeded),
+		Rung:       rung,
+	}
+}
+
+// detectFrame runs one detection under panic recovery: a poison frame (for
+// example a frame whose pixel buffer is shorter than its header claims)
+// panics somewhere in the feature extractor and is returned as a
+// *PanicError instead of killing the stream. Worker-pool goroutines inside
+// core recover their own panics; this guards the scan goroutine itself.
+func detectFrame(ctx context.Context, det *core.Detector, frame *imgproc.Gray) (dets []eval.Detection, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			dets, err = nil, &PanicError{Value: r}
+		}
+	}()
+	return det.DetectCtx(ctx, frame)
+}

@@ -1,0 +1,127 @@
+package rt
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Stats is a point-in-time snapshot of the pipeline counters.
+type Stats struct {
+	// FramesIn counts frames accepted into the queue (including frames
+	// later evicted by drop-oldest). FramesOut counts scanned frames whose
+	// result was emitted; FramesDropped counts evictions. When the
+	// pipeline is idle, FramesIn == FramesOut + FramesDropped.
+	FramesIn, FramesOut, FramesDropped uint64
+	// DeadlineMisses counts frames that exceeded the per-frame budget.
+	DeadlineMisses uint64
+	// Errors counts frames that failed for any reason (deadline cutoff,
+	// detection error, recovered panic); Panics counts the recovered
+	// panics among them.
+	Errors, Panics uint64
+	// DegradeEvents and RecoverEvents count controller rung transitions.
+	DegradeEvents, RecoverEvents uint64
+	// Rung is the current degradation rung (0 = full quality) of Rungs
+	// total; SkipFinest and Workers describe its operating point.
+	Rung, Rungs         int
+	SkipFinest, Workers int
+	// Deadline is the enforced per-frame budget.
+	Deadline time.Duration
+	// Queue wait and detection latency, cumulative mean and worst case.
+	AvgWait, MaxWait       time.Duration
+	AvgLatency, MaxLatency time.Duration
+}
+
+// String renders the snapshot as a one-line operator summary.
+func (s Stats) String() string {
+	return fmt.Sprintf(
+		"in %d out %d dropped %d | misses %d errors %d (panics %d) | rung %d/%d (skip %d, workers %d) | lat avg %s max %s / budget %s",
+		s.FramesIn, s.FramesOut, s.FramesDropped,
+		s.DeadlineMisses, s.Errors, s.Panics,
+		s.Rung, s.Rungs-1, s.SkipFinest, s.Workers,
+		s.AvgLatency.Round(time.Microsecond), s.MaxLatency.Round(time.Microsecond),
+		s.Deadline.Round(time.Microsecond))
+}
+
+// stats accumulates pipeline counters behind one mutex; the scan loop is a
+// single goroutine, so contention is only with snapshot readers.
+type stats struct {
+	mu sync.Mutex
+
+	in, out, dropped uint64
+	misses           uint64
+	errs, panics     uint64
+
+	waitSum, latSum time.Duration
+	maxWait, maxLat time.Duration
+}
+
+func newStats() *stats { return &stats{} }
+
+func (s *stats) frameIn() {
+	s.mu.Lock()
+	s.in++
+	s.mu.Unlock()
+}
+
+func (s *stats) frameDropped() {
+	s.mu.Lock()
+	s.dropped++
+	s.mu.Unlock()
+}
+
+// observe folds one frame outcome into the counters.
+func (s *stats) observe(r FrameResult) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.out++
+	if r.Missed {
+		s.misses++
+	}
+	if r.Err != nil {
+		s.errs++
+		var pe *PanicError
+		if errors.As(r.Err, &pe) {
+			s.panics++
+		}
+	}
+	s.waitSum += r.Wait
+	s.latSum += r.Latency
+	if r.Wait > s.maxWait {
+		s.maxWait = r.Wait
+	}
+	if r.Latency > s.maxLat {
+		s.maxLat = r.Latency
+	}
+}
+
+// snapshot assembles the exported Stats, pulling the controller state and
+// ladder geometry from the pipeline.
+func (s *stats) snapshot(p *Pipeline) Stats {
+	cur, deg, rec := p.ctrl.state()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := Stats{
+		FramesIn:       s.in,
+		FramesOut:      s.out,
+		FramesDropped:  s.dropped,
+		DeadlineMisses: s.misses,
+		Errors:         s.errs,
+		Panics:         s.panics,
+		DegradeEvents:  deg,
+		RecoverEvents:  rec,
+		Rung:           cur,
+		Rungs:          len(p.rungs),
+		SkipFinest:     p.rungs[cur].SkipFinest,
+		Workers:        p.rungs[cur].Workers,
+		Deadline:       p.deadline,
+		MaxWait:        s.maxWait,
+		MaxLatency:     s.maxLat,
+	}
+	if s.out > 0 {
+		out.AvgWait = s.waitSum / time.Duration(s.out)
+		out.AvgLatency = s.latSum / time.Duration(s.out)
+	}
+	return out
+}

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -93,6 +94,13 @@ func Read(r io.Reader) (*Model, error) {
 	if err != nil {
 		return nil, fmt.Errorf("svm: parsing bias %q: %w", biasStr, err)
 	}
+	// ParseFloat accepts "NaN" and "Inf", but a non-finite coefficient
+	// poisons every window score it touches (NaN compares false with any
+	// threshold, so detections silently vanish). A model file carrying one
+	// is corrupt; refuse it here rather than debug it downstream.
+	if !isFinite(bias) {
+		return nil, fmt.Errorf("svm: non-finite bias %q", biasStr)
+	}
 	line, err = next()
 	if err != nil {
 		return nil, fmt.Errorf("svm: reading weight header: %w", err)
@@ -110,8 +118,15 @@ func Read(r io.Reader) (*Model, error) {
 		if err != nil {
 			return nil, fmt.Errorf("svm: parsing weight %d %q: %w", i, line, err)
 		}
+		if !isFinite(m.W[i]) {
+			return nil, fmt.Errorf("svm: non-finite weight %d %q", i, line)
+		}
 	}
 	return m, nil
+}
+
+func isFinite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
 }
 
 // Load reads a model from the named file.

@@ -1,0 +1,75 @@
+package svm
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestModelRoundTrip(t *testing.T) {
+	m := &Model{W: []float64{0.5, -1.25, 3e-17, 0, 42}, B: -0.75}
+	var buf bytes.Buffer
+	if err := m.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.B != m.B || len(got.W) != len(m.W) {
+		t.Fatalf("round trip: got bias %g dim %d", got.B, len(got.W))
+	}
+	for i := range m.W {
+		if got.W[i] != m.W[i] {
+			t.Errorf("weight %d: %g != %g", i, got.W[i], m.W[i])
+		}
+	}
+}
+
+func TestReadRejectsNonFinite(t *testing.T) {
+	cases := []struct {
+		name, src string
+	}{
+		{"NaN bias", "pdsvm 1\ndim 2\nbias NaN\nw\n1\n2\n"},
+		{"+Inf bias", "pdsvm 1\ndim 2\nbias +Inf\nw\n1\n2\n"},
+		{"NaN weight", "pdsvm 1\ndim 2\nbias 0\nw\n1\nNaN\n"},
+		{"-Inf weight", "pdsvm 1\ndim 2\nbias 0\nw\n-Inf\n2\n"},
+		{"Infinity weight", "pdsvm 1\ndim 1\nbias 0\nw\nInfinity\n"},
+	}
+	for _, c := range cases {
+		if _, err := Read(strings.NewReader(c.src)); err == nil {
+			t.Errorf("%s: Read succeeded, want error", c.name)
+		}
+	}
+}
+
+func TestWriteOfNonFiniteModelDoesNotReload(t *testing.T) {
+	// A model corrupted in memory (diverged training) still serializes, but
+	// the reader must refuse to bring it back.
+	m := &Model{W: []float64{1, math.NaN()}, B: 0}
+	var buf bytes.Buffer
+	if err := m.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(&buf); err == nil {
+		t.Error("reloaded a model with a NaN weight")
+	}
+}
+
+func TestReadRejectsMalformedHeaders(t *testing.T) {
+	cases := []string{
+		"",
+		"wrong 1\ndim 1\nbias 0\nw\n1\n",
+		"pdsvm 1\ndim 0\nbias 0\nw\n",
+		"pdsvm 1\ndim -3\nbias 0\nw\n",
+		"pdsvm 1\ndim 99999999999\nbias 0\nw\n",
+		"pdsvm 1\ndim 2\nbias 0\nw\n1\n", // missing weight
+		"pdsvm 1\ndim 1\nbias 0\nnotw\n1\n",
+	}
+	for _, src := range cases {
+		if _, err := Read(strings.NewReader(src)); err == nil {
+			t.Errorf("Read(%q) succeeded, want error", src)
+		}
+	}
+}
