@@ -8,9 +8,12 @@ package repro_test
 // run stays in minutes; cmd/pdeval runs the paper-sized protocol.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"net/http/httptest"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/das"
@@ -26,6 +29,8 @@ import (
 	"repro/internal/hw/svmpipe"
 	"repro/internal/hw/timemux"
 	"repro/internal/imgproc"
+	"repro/internal/rt"
+	"repro/internal/serve"
 	"repro/internal/svm"
 )
 
@@ -587,4 +592,38 @@ func BenchmarkRobustnessNoise(b *testing.B) {
 	b.ReportMetric(pts[0].HOGAcc*100, "HOGacc@6_%")
 	b.ReportMetric(pts[1].HOGAcc*100, "HOGacc@20_%")
 	b.ReportMetric(pts[1].ImageAcc*100, "Imgacc@20_%")
+}
+
+// BenchmarkServeRoundTrip measures one full request through the serving
+// stack — client HTTP round trip, admission queue, circuit breaker,
+// supervisor dispatch, rt pipeline scan — with an all-zero model so the
+// number isolates the serving overhead on top of the detector itself.
+func BenchmarkServeRoundTrip(b *testing.B) {
+	factory := func(worker int) (*core.Detector, error) {
+		cfg := core.DefaultConfig()
+		cfg.Mode = core.FeaturePyramid
+		cfg.ScaleStep = 1.3
+		cfg.Workers = 1
+		return core.NewDetector(&svm.Model{W: make([]float64, cfg.DescriptorLen())}, cfg)
+	}
+	sup, err := serve.NewSupervisor(factory, serve.SupervisorConfig{
+		Workers:  1,
+		Pipeline: rt.Config{Deadline: 10 * time.Second},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sup.Close()
+	ts := httptest.NewServer(serve.NewServer(sup, serve.ServerConfig{}).Handler())
+	defer ts.Close()
+	client := serve.NewClient(ts.URL, serve.ClientConfig{})
+	frame := imgproc.NewGray(128, 256)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.Detect(ctx, i, frame); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

@@ -1,0 +1,193 @@
+// Command pdbench runs the repo's headline micro-benchmarks — the parallel
+// detection hot path, the zero-copy window scorer, and the serving-layer
+// round trip — and reports the results in machine-readable JSON so CI and
+// PR logs can diff performance across revisions without scraping `go test
+// -bench` text output.
+//
+// Usage:
+//
+//	pdbench                      # human-readable table on stdout
+//	pdbench -json BENCH_PR3.json # also write the JSON report
+//
+// The models are synthetic (random or all-zero weights): the quantities of
+// interest are ns/op and allocs/op of the scanning and serving machinery,
+// not detection accuracy.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/hog"
+	"repro/internal/imgproc"
+	"repro/internal/rt"
+	"repro/internal/serve"
+	"repro/internal/svm"
+)
+
+// benchResult is one benchmark in the JSON report.
+type benchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// report is the full JSON document written by -json.
+type report struct {
+	GoVersion  string        `json:"go_version"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Timestamp  string        `json:"timestamp"`
+	Results    []benchResult `json:"results"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pdbench: ")
+	jsonPath := flag.String("json", "", "write the JSON report to this file")
+	flag.Parse()
+
+	rep := report{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+	}
+	run := func(name string, fn func(b *testing.B)) {
+		r := testing.Benchmark(fn)
+		res := benchResult{
+			Name:        name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		rep.Results = append(rep.Results, res)
+		fmt.Printf("%-32s %10d iters  %14.0f ns/op  %8d allocs/op  %10d B/op\n",
+			res.Name, res.Iterations, res.NsPerOp, res.AllocsPerOp, res.BytesPerOp)
+	}
+
+	run("DetectParallel/workers=1", benchDetect(1))
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		run(fmt.Sprintf("DetectParallel/workers=%d", n), benchDetect(0))
+	}
+	run("ScoreWindow/zero-copy", benchScoreWindow)
+	run("ServeRoundTrip", benchServeRoundTrip)
+
+	if *jsonPath != "" {
+		raw, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*jsonPath, append(raw, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("report written to %s", *jsonPath)
+	}
+}
+
+// randFrame fills a frame with deterministic noise so the scan does real
+// gradient work instead of skating over flat zeros.
+func randFrame(w, h int, seed int64) *imgproc.Gray {
+	g := imgproc.NewGray(w, h)
+	rng := rand.New(rand.NewSource(seed))
+	for i := range g.Pix {
+		g.Pix[i] = uint8(rng.Intn(256))
+	}
+	return g
+}
+
+// benchDetect benchmarks the full multi-scale scan of a VGA frame with the
+// given worker count (0 = GOMAXPROCS) and a random-weight model.
+func benchDetect(workers int) func(b *testing.B) {
+	return func(b *testing.B) {
+		cfg := core.DefaultConfig()
+		cfg.Mode = core.FeaturePyramid
+		cfg.Workers = workers
+		rng := rand.New(rand.NewSource(21))
+		model := &svm.Model{W: make([]float64, cfg.DescriptorLen())}
+		for i := range model.W {
+			model.W[i] = rng.NormFloat64() * 0.01
+		}
+		det, err := core.NewDetector(model, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		frame := randFrame(640, 480, 22)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := det.Detect(frame); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// benchScoreWindow benchmarks the zero-copy strided window scorer on one
+// 4608-dim window (mirrors BenchmarkScoreWindow/zero-copy in bench_test.go).
+func benchScoreWindow(b *testing.B) {
+	fm, err := hog.Compute(randFrame(640, 480, 15), hog.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(15))
+	w := make([]float64, 4608)
+	for i := range w {
+		w[i] = rng.NormFloat64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := fm.ScoreWindow(w, i%(fm.BlocksX-8), i%(fm.BlocksY-16), 8, 16); !ok {
+			b.Fatal("window rejected")
+		}
+	}
+}
+
+// benchServeRoundTrip benchmarks one request through the whole serving
+// stack: client HTTP round trip, admission, breaker, supervisor dispatch,
+// pipeline scan with an all-zero model.
+func benchServeRoundTrip(b *testing.B) {
+	factory := func(worker int) (*core.Detector, error) {
+		cfg := core.DefaultConfig()
+		cfg.Mode = core.FeaturePyramid
+		cfg.ScaleStep = 1.3
+		cfg.Workers = 1
+		return core.NewDetector(&svm.Model{W: make([]float64, cfg.DescriptorLen())}, cfg)
+	}
+	sup, err := serve.NewSupervisor(factory, serve.SupervisorConfig{
+		Workers:  1,
+		Pipeline: rt.Config{Deadline: 10 * time.Second},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sup.Close()
+	ts := httptest.NewServer(serve.NewServer(sup, serve.ServerConfig{}).Handler())
+	defer ts.Close()
+	client := serve.NewClient(ts.URL, serve.ClientConfig{})
+	frame := imgproc.NewGray(128, 256)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.Detect(ctx, i, frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

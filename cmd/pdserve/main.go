@@ -1,0 +1,136 @@
+// Command pdserve runs the fault-tolerant multi-stream detection service:
+// a supervisor of worker pipelines behind the internal/serve HTTP layer
+// (bounded admission queue, circuit breaker, health endpoints).
+//
+// Usage:
+//
+//	pdserve -model pedestrian.model -addr :8080 -workers 4 -queue 16
+//
+// POST a binary PGM frame to /detect (headers: X-Stream pins the camera
+// stream to a worker, X-Deadline-Ms bounds the request); GET /healthz,
+// /readyz and /statsz for liveness, readiness and stats. SIGINT/SIGTERM
+// drains in-flight requests under -drain before exiting.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rt"
+	"repro/internal/serve"
+	"repro/internal/svm"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pdserve: ")
+	var (
+		modelPath = flag.String("model", "pedestrian.model", "trained model file")
+		addr      = flag.String("addr", ":8080", "listen address")
+		mode      = flag.String("mode", "feature", "pyramid mode: image, feature, chained, fixed")
+		step      = flag.Float64("step", 1.1, "pyramid scale step")
+		threshold = flag.Float64("threshold", 0, "SVM decision threshold")
+		nms       = flag.Float64("nms", 0.3, "NMS IoU (<= 0 disables)")
+
+		workers = flag.Int("workers", 1, "supervised worker pipelines (streams pin by ID modulo this)")
+		fps     = flag.Float64("fps", 30, "per-worker frame budget (sets the pipeline deadline)")
+		queue   = flag.Int("queue", 16, "admission queue depth (beyond it requests shed with 429)")
+		timeout = flag.Duration("timeout", 2*time.Second, "default per-request deadline (X-Deadline-Ms overrides)")
+
+		breakerFailures = flag.Int("breaker-failures", 5, "consecutive detector failures that open the circuit breaker")
+		breakerCooldown = flag.Duration("breaker-cooldown", 2*time.Second, "open-breaker cooldown before the half-open probe")
+
+		restartBackoff    = flag.Duration("restart-backoff", 50*time.Millisecond, "initial worker restart backoff (doubles per consecutive restart)")
+		restartBackoffMax = flag.Duration("restart-backoff-max", 5*time.Second, "worker restart backoff cap")
+		restartAfter      = flag.Int("restart-after-errors", 16, "consecutive erroring frames that restart a worker (negative disables)")
+
+		drain = flag.Duration("drain", 10*time.Second, "graceful shutdown drain deadline")
+	)
+	flag.Parse()
+
+	model, err := svm.Load(*modelPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.ScaleStep = *step
+	cfg.Threshold = *threshold
+	cfg.NMSOverlap = *nms
+	switch *mode {
+	case "image":
+		cfg.Mode = core.ImagePyramid
+	case "feature":
+		cfg.Mode = core.FeaturePyramid
+	case "chained":
+		cfg.Mode = core.FeaturePyramidChained
+	case "fixed":
+		cfg.Mode = core.FeaturePyramidFixed
+	default:
+		log.Fatalf("unknown mode %q", *mode)
+	}
+
+	// Every worker gets its own detector so a panic in one cannot poison
+	// shared state in another, and a restart rebuilds from scratch.
+	factory := func(worker int) (*core.Detector, error) {
+		return core.NewDetector(model, cfg)
+	}
+	sup, err := serve.NewSupervisor(factory, serve.SupervisorConfig{
+		Workers:            *workers,
+		Pipeline:           rt.Config{FPS: *fps},
+		RestartBackoff:     *restartBackoff,
+		RestartBackoffMax:  *restartBackoffMax,
+		RestartAfterErrors: *restartAfter,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := serve.NewServer(sup, serve.ServerConfig{
+		Queue:          *queue,
+		DefaultTimeout: *timeout,
+		Breaker: serve.BreakerConfig{
+			FailureThreshold: *breakerFailures,
+			Cooldown:         *breakerCooldown,
+			OnTransition: func(from, to serve.BreakerState) {
+				log.Printf("circuit breaker: %s -> %s", from, to)
+			},
+		},
+	})
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("serving %s (%s pyramid) on %s: %d workers at %.1f fps, queue %d, breaker %d/%s",
+		*modelPath, *mode, *addr, *workers, *fps, *queue, *breakerFailures, *breakerCooldown)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("%s: draining (deadline %s)", sig, *drain)
+	case err := <-errc:
+		sup.Close()
+		log.Fatal(err)
+	}
+
+	// Shutdown chain: stop accepting requests and drain the app layer,
+	// then the HTTP layer, then tear down the workers.
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("drain: %v", err)
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	sup.Close()
+	st := sup.Stats()
+	log.Printf("final: %+v", srv.Stats())
+	log.Printf("aggregate pipeline: %s", st.Aggregate)
+}

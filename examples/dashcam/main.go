@@ -148,9 +148,17 @@ func streamDemo(det *core.Detector, cfg core.Config, scenes []*dataset.Scene) {
 	fmt.Printf("streaming with deadline %s, ladder %v\n", deadline, p.Ladder())
 	faults.StallLevel(0, 2*deadline) // the finest scale turns pathological
 
+	// A refused Submit (full intake queue or closed pipeline) is load
+	// shedding, not a silent no-op: count it and move on to the next frame
+	// rather than blocking on a result that will never come.
+	shed := 0
 	feed := func(n int, note string) {
 		for i := 0; i < n; i++ {
-			p.Submit(scenes[i%len(scenes)].Frame)
+			if !p.Submit(scenes[i%len(scenes)].Frame) {
+				shed++
+				fmt.Printf("  frame %2d [%s]: shed at intake (queue full)\n", i, note)
+				continue
+			}
 			r := <-p.Results()
 			status := "ok"
 			switch {
@@ -166,5 +174,5 @@ func streamDemo(det *core.Detector, cfg core.Config, scenes []*dataset.Scene) {
 	feed(3, "stalled")
 	faults.Reset()
 	feed(3, "healthy")
-	fmt.Printf("stream stats: %s\n", p.Stats())
+	fmt.Printf("stream stats: %s (shed at intake: %d)\n", p.Stats(), shed)
 }

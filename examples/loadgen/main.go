@@ -1,0 +1,192 @@
+// Loadgen drives the fault-tolerant detection service past its capacity on
+// purpose and narrates how the protection layers respond: the bounded
+// admission queue sheds with 429, the retrying client backs off and gets
+// through, the circuit breaker trips on a detector fault burst, fails fast
+// while open, and recovers through a half-open probe once the fault clears.
+//
+// Everything runs in-process against a real HTTP listener on a loopback
+// port; faults are scripted with internal/rt/faultinject, so the run is
+// self-contained and needs no trained model (an all-zero model is enough —
+// the subject here is the serving layer, not detection accuracy).
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/imgproc"
+	"repro/internal/rt"
+	"repro/internal/rt/faultinject"
+	"repro/internal/serve"
+	"repro/internal/svm"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("loadgen: ")
+
+	// One supervised worker with a scripted fault probe: small queue and a
+	// tight breaker so every protection mechanism is easy to trigger.
+	faults := faultinject.New()
+	factory := func(worker int) (*core.Detector, error) {
+		cfg := core.DefaultConfig()
+		cfg.Mode = core.FeaturePyramid
+		cfg.ScaleStep = 1.3
+		cfg.Workers = 1
+		cfg.LevelProbe = faults.Probe
+		model := &svm.Model{W: make([]float64, cfg.DescriptorLen())}
+		return core.NewDetector(model, cfg)
+	}
+	sup, err := serve.NewSupervisor(factory, serve.SupervisorConfig{
+		Workers:  1,
+		Pipeline: rt.Config{Deadline: 5 * time.Second},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sup.Close()
+	srv := serve.NewServer(sup, serve.ServerConfig{
+		Queue:          2,
+		DefaultTimeout: 5 * time.Second,
+		RetryAfter:     50 * time.Millisecond,
+		Breaker: serve.BreakerConfig{
+			FailureThreshold: 3,
+			Cooldown:         300 * time.Millisecond,
+			OnTransition: func(from, to serve.BreakerState) {
+				fmt.Printf("  breaker: %s -> %s\n", from, to)
+			},
+		},
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("service on %s: queue depth 2, breaker trips after 3 failures\n", base)
+
+	frame := imgproc.NewGray(128, 256)
+	var buf bytes.Buffer
+	if err := imgproc.WritePGM(&buf, frame); err != nil {
+		log.Fatal(err)
+	}
+	body := buf.Bytes()
+
+	var retries atomic.Uint64
+	newClient := func() *serve.Client {
+		return serve.NewClient(base, serve.ClientConfig{
+			MaxAttempts: 8,
+			BackoffBase: 25 * time.Millisecond,
+			BackoffMax:  400 * time.Millisecond,
+			OnRetry: func(attempt int, wait time.Duration, cause error) {
+				retries.Add(1)
+				fmt.Printf("  client retry %d in %s: %v\n", attempt, wait.Round(time.Millisecond), cause)
+			},
+		})
+	}
+	ctx := context.Background()
+
+	// Phase 1 — warmup: the healthy path.
+	fmt.Println("\n== phase 1: warmup (healthy service) ==")
+	c := newClient()
+	for i := 0; i < 3; i++ {
+		if _, err := c.Detect(ctx, i, frame); err != nil {
+			log.Fatalf("warmup frame %d: %v", i, err)
+		}
+	}
+	fmt.Printf("  3 frames served, 0 retries\n")
+
+	// Phase 2 — overload: scans stall, a burst outruns the queue, raw
+	// requests shed with 429 while retrying clients all get through.
+	fmt.Println("\n== phase 2: overload (stalled scans, burst past capacity) ==")
+	faults.StallLevel(0, 150*time.Millisecond)
+	var raw429 atomic.Uint64
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(base+"/detect", "application/octet-stream", bytes.NewReader(body))
+			if err != nil {
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusTooManyRequests {
+				raw429.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	fmt.Printf("  raw burst of 6 against queue depth 2: %d shed with 429 + Retry-After\n", raw429.Load())
+	before := retries.Load()
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(stream int) {
+			defer wg.Done()
+			if _, err := newClient().Detect(ctx, stream, frame); err != nil {
+				fmt.Printf("  retrying client on stream %d still failed: %v\n", stream, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	fmt.Printf("  4 retrying clients under the same overload: all served after %d retries\n", retries.Load()-before)
+	faults.Reset()
+
+	// Phase 3 — detector fault burst: the breaker trips and fails fast.
+	fmt.Println("\n== phase 3: detector fault burst (breaker trips) ==")
+	faults.FailLevel(0, errors.New("injected detector fault"))
+	for i := 0; i < 3; i++ {
+		resp, err := http.Post(base+"/detect", "application/octet-stream", bytes.NewReader(body))
+		if err != nil {
+			log.Fatal(err)
+		}
+		resp.Body.Close()
+		fmt.Printf("  faulting frame %d: HTTP %d\n", i, resp.StatusCode)
+	}
+	resp, err := http.Post(base+"/detect", "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	fmt.Printf("  next request fails fast: HTTP %d, Retry-After %ss (no scan attempted)\n",
+		resp.StatusCode, resp.Header.Get("Retry-After"))
+	if r, err := http.Get(base + "/readyz"); err == nil {
+		r.Body.Close()
+		fmt.Printf("  /readyz: HTTP %d (out of rotation while open)\n", r.StatusCode)
+	}
+
+	// Phase 4 — recovery: the fault clears, the cooldown elapses, and the
+	// half-open probe restores service; the retrying client rides through.
+	fmt.Println("\n== phase 4: recovery (fault cleared, probe closes the breaker) ==")
+	faults.Reset()
+	if _, err := newClient().Detect(ctx, 0, frame); err != nil {
+		log.Fatalf("recovery frame: %v", err)
+	}
+	if r, err := http.Get(base + "/readyz"); err == nil {
+		r.Body.Close()
+		fmt.Printf("  /readyz: HTTP %d (back in rotation)\n", r.StatusCode)
+	}
+
+	// Final accounting from the service's own counters.
+	fmt.Println("\n== final stats ==")
+	st := srv.Stats()
+	bs := srv.Breaker().Stats()
+	agg := sup.Stats().Aggregate
+	fmt.Printf("  server:  accepted=%d shed=%d breaker_rejected=%d completed=%d failed=%d\n",
+		st.Accepted, st.Shed, st.BreakerRejected, st.Completed, st.Failed)
+	fmt.Printf("  breaker: state=%s trips=%d probes=%d recoveries=%d\n",
+		bs.State, bs.Trips, bs.Probes, bs.Recoveries)
+	fmt.Printf("  workers: frames=%d errors=%d panics=%d\n", agg.FramesOut, agg.Errors, agg.Panics)
+	fmt.Printf("  client retries across all phases: %d\n", retries.Load())
+}

@@ -22,6 +22,11 @@ var (
 	sharedOpts TrainOptions
 )
 
+// testDetector returns the shared trained model plus a FRESH generator for
+// the calling test to render scenes from. Handing out the training
+// generator would leak RNG state between tests — what each test renders
+// would depend on which tests ran before it, and with -shuffle=on the
+// scenes (and therefore assertion outcomes) would vary with test order.
 func testDetector(t *testing.T) (*Detector, *dataset.Generator) {
 	t.Helper()
 	trainOnce.Do(func() {
@@ -39,7 +44,7 @@ func testDetector(t *testing.T) (*Detector, *dataset.Generator) {
 	if sharedErr != nil {
 		t.Fatal(sharedErr)
 	}
-	return sharedDet, sharedGen
+	return sharedDet, dataset.New(1002)
 }
 
 func TestConfigValidate(t *testing.T) {

@@ -194,6 +194,14 @@ type Pipeline struct {
 	done       chan struct{}
 	closeOnce  sync.Once
 
+	// closeMu gates intake against Close: Submit holds the read side while
+	// it enqueues, Close takes the write side to flip closed. This makes the
+	// pair safe to race — once Close has the lock, no Submit is mid-enqueue,
+	// so the scan loop's shutdown drain observes every accepted frame and
+	// the FramesIn == FramesOut + FramesDropped invariant survives Close.
+	closeMu sync.RWMutex
+	closed  bool
+
 	seq   atomic.Uint64
 	ctrl  *controller
 	stats *stats
@@ -265,10 +273,10 @@ func (p *Pipeline) Results() <-chan FrameResult { return p.results }
 // returns false if the frame could not be accepted — the pipeline is
 // closed, or the queue stayed full even after the eviction attempt.
 func (p *Pipeline) Submit(frame *imgproc.Gray) bool {
-	select {
-	case <-p.stop:
+	p.closeMu.RLock()
+	defer p.closeMu.RUnlock()
+	if p.closed {
 		return false
-	default:
 	}
 	it := frameItem{seq: p.seq.Add(1) - 1, frame: frame, at: time.Now()}
 	select {
@@ -296,9 +304,15 @@ func (p *Pipeline) Submit(frame *imgproc.Gray) bool {
 
 // Flush blocks until every accepted frame has been scanned or dropped. It
 // does not stop the pipeline; use it before reading a final Stats snapshot
-// or before Close when every submitted frame matters.
+// or before Close when every submitted frame matters. On a closed pipeline
+// it is a no-op that returns immediately.
 func (p *Pipeline) Flush() {
 	for {
+		select {
+		case <-p.done:
+			return
+		default:
+		}
 		s := p.stats.snapshot(p)
 		if s.FramesOut+s.FramesDropped >= s.FramesIn {
 			return
@@ -312,14 +326,30 @@ func (p *Pipeline) Flush() {
 }
 
 // Close stops the pipeline: in-flight work is cancelled, queued frames are
-// discarded, and Results is closed. It is idempotent and safe to call
-// concurrently with Submit.
+// discarded (counted as dropped), and Results is closed. It is idempotent —
+// every call blocks until shutdown is complete — and safe to call
+// concurrently with Submit, Flush, and other Close calls; the supervisor
+// restart path in internal/serve relies on all three properties.
 func (p *Pipeline) Close() {
 	p.closeOnce.Do(func() {
+		p.closeMu.Lock()
+		p.closed = true
+		p.closeMu.Unlock()
 		close(p.stop)
 		p.baseCancel()
 	})
 	<-p.done
+}
+
+// Closed reports whether Close has been called. Submit returns false and
+// Flush returns immediately once it does.
+func (p *Pipeline) Closed() bool {
+	select {
+	case <-p.stop:
+		return true
+	default:
+		return false
+	}
 }
 
 // Stats returns a snapshot of the runtime counters.
@@ -331,6 +361,21 @@ func (p *Pipeline) Stats() Stats { return p.stats.snapshot(p) }
 func (p *Pipeline) run() {
 	defer close(p.done)
 	defer close(p.results)
+	// Frames still queued when Close fires were accepted but will never be
+	// scanned; count them as dropped so the stats invariant
+	// FramesIn == FramesOut + FramesDropped holds after shutdown. Close
+	// flips the intake gate before signalling stop, so no Submit can add to
+	// the queue after this drain runs.
+	defer func() {
+		for {
+			select {
+			case <-p.in:
+				p.stats.frameDropped()
+			default:
+				return
+			}
+		}
+	}()
 	for {
 		select {
 		case <-p.stop:

@@ -3,6 +3,7 @@ package rt
 import (
 	"context"
 	"errors"
+	"sync"
 	"testing"
 	"time"
 
@@ -60,8 +61,12 @@ func step(t *testing.T, p *Pipeline, frame *imgproc.Gray) FrameResult {
 func TestShedUnderStallAndRecover(t *testing.T) {
 	faults := faultinject.New()
 	det, frame := testDetector(t, faults)
+	// The deadline is generous relative to an unstalled scan (~ms): the
+	// recovery streak needs frames comfortably inside RecoverMargin even
+	// when the race detector and parallel package binaries slow things
+	// down several-fold, or the streak resets and the rung never recovers.
 	p, err := New(det, Config{
-		Deadline:     100 * time.Millisecond,
+		Deadline:     time.Second,
 		MaxShed:      2,
 		DegradeAfter: 2,
 		RecoverAfter: 3,
@@ -78,7 +83,7 @@ func TestShedUnderStallAndRecover(t *testing.T) {
 	}
 
 	// The finest level stalls far past the deadline.
-	faults.StallLevel(0, 400*time.Millisecond)
+	faults.StallLevel(0, 4*time.Second)
 
 	// Frames 1-2: scanned at full quality, cut off at the deadline.
 	for i := 0; i < 2; i++ {
@@ -279,6 +284,125 @@ func TestCloseCancelsInflightStall(t *testing.T) {
 	p.Close()
 	if elapsed := time.Since(start); elapsed > 5*time.Second {
 		t.Fatalf("Close took %v: in-flight frame was not cancelled", elapsed)
+	}
+}
+
+// TestLifecycleAfterClose is the regression suite for the supervisor
+// restart path (internal/serve): double Close from concurrent goroutines,
+// Submit after Close, and Flush after Close must all be safe no-ops, and
+// the frame accounting must still balance afterwards.
+func TestLifecycleAfterClose(t *testing.T) {
+	det, frame := testDetector(t, nil)
+	p, err := New(det, Config{Deadline: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Closed() {
+		t.Fatal("pipeline reports closed before Close")
+	}
+	if r := step(t, p, frame); r.Err != nil {
+		t.Fatalf("clean frame: %v", r.Err)
+	}
+
+	// Concurrent double Close: both calls must return, exactly once each.
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.Close()
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("concurrent Close calls did not return")
+	}
+
+	if !p.Closed() {
+		t.Error("Closed() false after Close")
+	}
+	if p.Submit(frame) {
+		t.Error("Submit accepted a frame after Close")
+	}
+	flushed := make(chan struct{})
+	go func() { p.Flush(); close(flushed) }()
+	select {
+	case <-flushed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Flush hung on a closed pipeline")
+	}
+	s := p.Stats()
+	if s.FramesIn != s.FramesOut+s.FramesDropped {
+		t.Errorf("after Close: in %d != out %d + dropped %d",
+			s.FramesIn, s.FramesOut, s.FramesDropped)
+	}
+}
+
+// TestCloseCountsQueuedFramesDropped: frames sitting in the queue when Close
+// fires are accounted as dropped, not leaked from the stats.
+func TestCloseCountsQueuedFramesDropped(t *testing.T) {
+	faults := faultinject.New()
+	det, frame := testDetector(t, faults)
+	p, err := New(det, Config{Deadline: 10 * time.Second, Queue: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Park the scanner inside a stall, then queue frames behind it.
+	faults.StallLevel(0, 10*time.Second)
+	if !p.Submit(frame) {
+		t.Fatal("first submit rejected")
+	}
+	time.Sleep(50 * time.Millisecond) // scanner enters the stall
+	for i := 0; i < 3; i++ {
+		if !p.Submit(frame) {
+			t.Fatalf("queued submit %d rejected", i)
+		}
+	}
+	p.Close()
+	s := p.Stats()
+	if s.FramesIn != 4 {
+		t.Fatalf("frames in %d, want 4", s.FramesIn)
+	}
+	if s.FramesIn != s.FramesOut+s.FramesDropped {
+		t.Errorf("in %d != out %d + dropped %d after Close drained the queue",
+			s.FramesIn, s.FramesOut, s.FramesDropped)
+	}
+	if s.FramesDropped < 2 {
+		t.Errorf("dropped %d, want >= 2 (queued frames behind the stall)", s.FramesDropped)
+	}
+}
+
+// TestConcurrentSubmitClose races many Submit calls against Close under the
+// race detector: no panic, no lost frames in the accounting.
+func TestConcurrentSubmitClose(t *testing.T) {
+	det, frame := testDetector(t, nil)
+	p, err := New(det, Config{Deadline: 10 * time.Second, Queue: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				p.Submit(frame)
+			}
+		}()
+	}
+	time.Sleep(5 * time.Millisecond)
+	p.Close()
+	wg.Wait()
+	for range p.Results() {
+		// drain whatever was emitted before Close landed
+	}
+	s := p.Stats()
+	if s.FramesIn != s.FramesOut+s.FramesDropped {
+		t.Errorf("in %d != out %d + dropped %d under Submit/Close race",
+			s.FramesIn, s.FramesOut, s.FramesDropped)
 	}
 }
 

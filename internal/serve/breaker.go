@@ -1,0 +1,199 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// BreakerState is one of the three circuit-breaker states.
+type BreakerState int
+
+const (
+	// BreakerClosed: requests flow; consecutive failures are counted.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: requests are rejected until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: one probe request is allowed through; its outcome
+	// decides between closing the breaker and re-opening it.
+	BreakerHalfOpen
+)
+
+// String implements fmt.Stringer.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return fmt.Sprintf("BreakerState(%d)", int(s))
+}
+
+// ErrBreakerOpen is returned by Breaker.Allow while the breaker rejects
+// requests (open, or half-open with the probe slot taken).
+var ErrBreakerOpen = errors.New("serve: circuit breaker open")
+
+// BreakerConfig tunes the circuit breaker.
+type BreakerConfig struct {
+	// FailureThreshold is how many consecutive failures trip the breaker
+	// from closed to open. Default 5.
+	FailureThreshold int
+	// Cooldown is how long the breaker stays open before allowing a
+	// half-open probe. Default 2s.
+	Cooldown time.Duration
+	// Now is the clock; it exists so tests can drive the open -> half-open
+	// transition deterministically. Default time.Now.
+	Now func() time.Time
+	// OnTransition, if non-nil, is called on every state change. It runs
+	// with the breaker lock held: keep it fast and do not call back into
+	// the breaker.
+	OnTransition func(from, to BreakerState)
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 2 * time.Second
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// BreakerStats is a point-in-time snapshot of the breaker.
+type BreakerStats struct {
+	State               string `json:"state"`
+	ConsecutiveFailures int    `json:"consecutive_failures"`
+	// Trips counts closed/half-open -> open transitions, Probes the
+	// half-open requests allowed through, Recoveries the half-open ->
+	// closed transitions.
+	Trips      uint64 `json:"trips"`
+	Probes     uint64 `json:"probes"`
+	Recoveries uint64 `json:"recoveries"`
+}
+
+// Breaker is a consecutive-failure circuit breaker: closed -> open after
+// FailureThreshold consecutive failures, open -> half-open after Cooldown,
+// half-open -> closed on a successful probe (or back to open on a failed
+// one). It protects the detector workers from a sustained fault turning
+// every request into a slow failure: while open, callers shed instantly
+// with a retry hint instead of queueing up behind a broken detector.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu       sync.Mutex
+	state    BreakerState
+	fails    int
+	openedAt time.Time
+	probing  bool // a half-open probe is in flight
+
+	trips, probes, recoveries uint64
+}
+
+// NewBreaker returns a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults()}
+}
+
+// transition moves the breaker to a new state (caller holds mu).
+func (b *Breaker) transition(to BreakerState) {
+	from := b.state
+	if from == to {
+		return
+	}
+	b.state = to
+	if b.cfg.OnTransition != nil {
+		b.cfg.OnTransition(from, to)
+	}
+}
+
+// Allow reports whether a request may proceed. When it returns
+// ErrBreakerOpen, retryAfter is how long the caller should wait before
+// trying again. A nil error means the request is admitted and its outcome
+// MUST be reported through Record — in the half-open state the admitted
+// request is the probe, and the probe slot stays taken until Record runs.
+func (b *Breaker) Allow() (retryAfter time.Duration, err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return 0, nil
+	case BreakerOpen:
+		if wait := b.cfg.Cooldown - b.cfg.Now().Sub(b.openedAt); wait > 0 {
+			return wait, ErrBreakerOpen
+		}
+		b.transition(BreakerHalfOpen)
+		b.probing = true
+		b.probes++
+		return 0, nil
+	default: // BreakerHalfOpen
+		if b.probing {
+			return b.cfg.Cooldown, ErrBreakerOpen
+		}
+		b.probing = true
+		b.probes++
+		return 0, nil
+	}
+}
+
+// Record reports the outcome of a request admitted by Allow; err == nil is
+// a success. A success closes a half-open breaker and resets the failure
+// run; a failure re-opens a half-open breaker immediately and trips a
+// closed one once the run reaches the threshold.
+func (b *Breaker) Record(err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerHalfOpen {
+		b.probing = false
+	}
+	if err == nil {
+		b.fails = 0
+		if b.state == BreakerHalfOpen {
+			b.recoveries++
+			b.transition(BreakerClosed)
+		}
+		return
+	}
+	b.fails++
+	switch b.state {
+	case BreakerHalfOpen:
+		b.openedAt = b.cfg.Now()
+		b.trips++
+		b.transition(BreakerOpen)
+	case BreakerClosed:
+		if b.fails >= b.cfg.FailureThreshold {
+			b.openedAt = b.cfg.Now()
+			b.trips++
+			b.transition(BreakerOpen)
+		}
+	}
+}
+
+// State returns the current state, resolving an elapsed open cooldown the
+// same way Allow would (an open breaker past its cooldown reads as open
+// until a request actually probes it; readiness checks want the raw state).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Stats returns a snapshot of the breaker counters.
+func (b *Breaker) Stats() BreakerStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BreakerStats{
+		State:               b.state.String(),
+		ConsecutiveFailures: b.fails,
+		Trips:               b.trips,
+		Probes:              b.probes,
+		Recoveries:          b.recoveries,
+	}
+}

@@ -1,0 +1,140 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock drives the breaker's open -> half-open transition without real
+// sleeps.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(1000, 0)} }
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestBreakerTripHalfOpenRecover(t *testing.T) {
+	clock := newFakeClock()
+	var transitions []string
+	b := NewBreaker(BreakerConfig{
+		FailureThreshold: 3,
+		Cooldown:         time.Minute,
+		Now:              clock.Now,
+		OnTransition: func(from, to BreakerState) {
+			transitions = append(transitions, fmt.Sprintf("%s->%s", from, to))
+		},
+	})
+	boom := errors.New("boom")
+
+	// Failures below the threshold keep the breaker closed; a success in
+	// between resets the run.
+	for _, outcome := range []error{boom, boom, nil, boom, boom} {
+		if _, err := b.Allow(); err != nil {
+			t.Fatalf("closed breaker rejected a request: %v", err)
+		}
+		b.Record(outcome)
+	}
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state %v after interrupted failure runs, want closed", got)
+	}
+
+	// Third consecutive failure trips it.
+	if _, err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.Record(boom)
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state %v after threshold run, want open", got)
+	}
+
+	// Open: rejected with the cooldown remainder as the hint.
+	clock.Advance(15 * time.Second)
+	retry, err := b.Allow()
+	if !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("open breaker allowed a request (err=%v)", err)
+	}
+	if retry != 45*time.Second {
+		t.Errorf("retry hint %v, want 45s (cooldown remainder)", retry)
+	}
+
+	// Cooldown elapses: exactly one probe goes through, concurrent
+	// requests keep shedding while it is in flight.
+	clock.Advance(46 * time.Second)
+	if _, err := b.Allow(); err != nil {
+		t.Fatalf("half-open probe rejected: %v", err)
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state %v during probe, want half-open", b.State())
+	}
+	if _, err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatal("second request admitted while the probe is in flight")
+	}
+
+	// Failed probe re-opens immediately.
+	b.Record(boom)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %v after failed probe, want open", b.State())
+	}
+
+	// Next cooldown, successful probe closes it.
+	clock.Advance(61 * time.Second)
+	if _, err := b.Allow(); err != nil {
+		t.Fatalf("second probe rejected: %v", err)
+	}
+	b.Record(nil)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state %v after successful probe, want closed", b.State())
+	}
+	if _, err := b.Allow(); err != nil {
+		t.Fatal("recovered breaker rejected a request")
+	}
+	b.Record(nil)
+
+	st := b.Stats()
+	if st.Trips != 2 || st.Probes != 2 || st.Recoveries != 1 {
+		t.Errorf("trips/probes/recoveries = %d/%d/%d, want 2/2/1",
+			st.Trips, st.Probes, st.Recoveries)
+	}
+	want := []string{
+		"closed->open", "open->half-open", "half-open->open",
+		"open->half-open", "half-open->closed",
+	}
+	if len(transitions) != len(want) {
+		t.Fatalf("transitions %v, want %v", transitions, want)
+	}
+	for i := range want {
+		if transitions[i] != want[i] {
+			t.Fatalf("transition %d = %q, want %q (full: %v)", i, transitions[i], want[i], transitions)
+		}
+	}
+}
+
+func TestBreakerDefaultsAndStateString(t *testing.T) {
+	b := NewBreaker(BreakerConfig{})
+	if b.cfg.FailureThreshold != 5 || b.cfg.Cooldown != 2*time.Second {
+		t.Errorf("defaults = %d/%v, want 5/2s", b.cfg.FailureThreshold, b.cfg.Cooldown)
+	}
+	for s, want := range map[BreakerState]string{
+		BreakerClosed: "closed", BreakerOpen: "open", BreakerHalfOpen: "half-open",
+	} {
+		if s.String() != want {
+			t.Errorf("state %d String() = %q, want %q", int(s), s.String(), want)
+		}
+	}
+}

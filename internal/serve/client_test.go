@@ -1,0 +1,195 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/rt"
+)
+
+// TestClientRetriesTransientThenSucceeds: 429 and 503 are retried with the
+// server's Retry-After hint; the third attempt lands.
+func TestClientRetriesTransientThenSucceeds(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch calls.Add(1) {
+		case 1:
+			w.Header().Set("Retry-After", "0.005")
+			writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: "admission queue full"})
+		case 2:
+			writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "circuit breaker open"})
+		default:
+			if got := r.Header.Get("X-Stream"); got != "9" {
+				t.Errorf("X-Stream = %q, want 9", got)
+			}
+			if r.Header.Get("X-Deadline-Ms") == "" {
+				t.Error("missing X-Deadline-Ms on a deadlined context")
+			}
+			writeJSON(w, http.StatusOK, DetectResponse{
+				Stream:     9,
+				Detections: []Detection{{X: 1, Y: 2, W: 3, H: 4, Score: 0.5}},
+			})
+		}
+	}))
+	defer ts.Close()
+
+	var retried []int
+	c := NewClient(ts.URL, ClientConfig{
+		MaxAttempts: 4,
+		BackoffBase: time.Millisecond,
+		BackoffMax:  4 * time.Millisecond,
+		OnRetry:     func(attempt int, wait time.Duration, cause error) { retried = append(retried, attempt) },
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	dets, err := c.Detect(ctx, 9, testFrame())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 3 {
+		t.Errorf("attempts = %d, want 3", calls.Load())
+	}
+	if c.Retries() != 2 {
+		t.Errorf("Retries() = %d, want 2", c.Retries())
+	}
+	if len(retried) != 2 || retried[0] != 1 || retried[1] != 2 {
+		t.Errorf("OnRetry attempts = %v, want [1 2]", retried)
+	}
+	if len(dets) != 1 || dets[0].Box != geom.XYWH(1, 2, 3, 4) || dets[0].Score != 0.5 {
+		t.Errorf("detections = %+v, want one box (1,2,3,4)@0.5", dets)
+	}
+}
+
+// TestClientPermanentFailureNotRetried: 4xx is the caller's fault — one
+// attempt, typed error.
+func TestClientPermanentFailureNotRetried(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad PGM frame"})
+	}))
+	defer ts.Close()
+	c := NewClient(ts.URL, ClientConfig{MaxAttempts: 5, BackoffBase: time.Millisecond})
+	_, err := c.Detect(context.Background(), 0, testFrame())
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusBadRequest {
+		t.Fatalf("err = %v, want *APIError with status 400", err)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("attempts = %d, want 1 (no retry on permanent failure)", calls.Load())
+	}
+	if c.Retries() != 0 {
+		t.Errorf("Retries() = %d, want 0", c.Retries())
+	}
+}
+
+// TestClientHonoursEndToEndDeadline: a server that never recovers cannot
+// make the client overstay its context budget.
+func TestClientHonoursEndToEndDeadline(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "0.020")
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "circuit breaker open"})
+	}))
+	defer ts.Close()
+	c := NewClient(ts.URL, ClientConfig{
+		MaxAttempts: 100,
+		BackoffBase: 20 * time.Millisecond,
+		BackoffMax:  40 * time.Millisecond,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Detect(ctx, 0, testFrame())
+	if err == nil {
+		t.Fatal("Detect succeeded against a permanently unavailable server")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("Detect overstayed its 150ms budget by far: %v", elapsed)
+	}
+	if c.Retries() == 0 {
+		t.Error("client never retried before giving up")
+	}
+}
+
+// TestClientAttemptsExhausted: transient failures stop after MaxAttempts.
+func TestClientAttemptsExhausted(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		writeJSON(w, http.StatusGatewayTimeout, errorResponse{Error: "deadline exceeded"})
+	}))
+	defer ts.Close()
+	c := NewClient(ts.URL, ClientConfig{MaxAttempts: 3, BackoffBase: time.Millisecond, BackoffMax: 2 * time.Millisecond})
+	_, err := c.Detect(context.Background(), 0, testFrame())
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusGatewayTimeout {
+		t.Fatalf("err = %v, want wrapped 504 APIError", err)
+	}
+	if calls.Load() != 3 {
+		t.Errorf("attempts = %d, want 3", calls.Load())
+	}
+}
+
+// TestClientRetriesNetworkErrors: a dead endpoint is a transient failure.
+func TestClientRetriesNetworkErrors(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	ts.Close() // connection refused from here on
+	c := NewClient(ts.URL, ClientConfig{MaxAttempts: 2, BackoffBase: time.Millisecond, BackoffMax: 2 * time.Millisecond})
+	if _, err := c.Detect(context.Background(), 0, testFrame()); err == nil {
+		t.Fatal("Detect succeeded against a closed endpoint")
+	}
+	if c.Retries() != 1 {
+		t.Errorf("Retries() = %d, want 1", c.Retries())
+	}
+}
+
+// TestClientServerRoundTrip drives the real stack end to end: client ->
+// HTTP -> admission -> breaker -> supervisor -> rt pipeline -> detector,
+// and back through the JSON wire format.
+func TestClientServerRoundTrip(t *testing.T) {
+	sup, err := NewSupervisor(testFactory(t, nil), SupervisorConfig{
+		Workers:  2,
+		Pipeline: rt.Config{Deadline: 10 * time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sup.Close()
+	srv := NewServer(sup, ServerConfig{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	c := NewClient(ts.URL, ClientConfig{})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for stream := 0; stream < 4; stream++ {
+		dets, err := c.Detect(ctx, stream, testFrame())
+		if err != nil {
+			t.Fatalf("stream %d: %v", stream, err)
+		}
+		if len(dets) != 0 {
+			t.Errorf("stream %d: %d detections from the zero model, want 0", stream, len(dets))
+		}
+	}
+	st := sup.Stats()
+	if st.Aggregate.FramesOut != 4 {
+		t.Errorf("aggregate frames out = %d, want 4", st.Aggregate.FramesOut)
+	}
+	// Streams 0/2 pin to worker 0, streams 1/3 to worker 1.
+	if st.Workers[0].Pipeline.FramesOut != 2 || st.Workers[1].Pipeline.FramesOut != 2 {
+		t.Errorf("per-worker frames out = %d/%d, want 2/2",
+			st.Workers[0].Pipeline.FramesOut, st.Workers[1].Pipeline.FramesOut)
+	}
+	var resp DetectResponse
+	raw, _ := json.Marshal(DetectResponse{Stream: 1, Detections: []Detection{{X: 1, Y: 2, W: 3, H: 4, Score: 0.25}}})
+	if err := json.Unmarshal(raw, &resp); err != nil || len(resp.Detections) != 1 {
+		t.Errorf("wire format round trip failed: %v %+v", err, resp)
+	}
+}

@@ -1,0 +1,382 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/imgproc"
+	"repro/internal/rt"
+)
+
+// ServerConfig tunes the HTTP serving layer.
+type ServerConfig struct {
+	// Queue bounds the number of admitted /detect requests in flight
+	// (waiting for a worker plus being scanned). Beyond it requests are
+	// load-shed with 429 + Retry-After instead of queueing without bound —
+	// under sustained overload a bounded queue keeps latency flat while an
+	// unbounded one turns every request into a timeout. Default 16.
+	Queue int
+	// DefaultTimeout is the per-request deadline when the client sends no
+	// X-Deadline-Ms header. Default 2s.
+	DefaultTimeout time.Duration
+	// MaxBodyBytes caps the uploaded frame size. Default 32 MiB (an HDTV
+	// PGM is ~2 MB).
+	MaxBodyBytes int64
+	// RetryAfter is the hint returned with 429 (and with 503 when the
+	// breaker gives no cooldown remainder). Default 500ms.
+	RetryAfter time.Duration
+	// Breaker configures the per-detector circuit breaker guarding the
+	// supervisor.
+	Breaker BreakerConfig
+}
+
+func (c ServerConfig) withDefaults() ServerConfig {
+	if c.Queue <= 0 {
+		c.Queue = 16
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 2 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 32 << 20
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = 500 * time.Millisecond
+	}
+	return c
+}
+
+// ServerStats is a snapshot of the server-level counters.
+type ServerStats struct {
+	// Accepted counts requests admitted past the queue and the breaker;
+	// Shed the 429 load-shed rejections; BreakerRejected the 503 breaker
+	// rejections; Completed/Failed the outcomes of accepted requests
+	// (rejections count in neither); Draining whether the server is
+	// shutting down.
+	Accepted        uint64 `json:"accepted"`
+	Shed            uint64 `json:"shed"`
+	BreakerRejected uint64 `json:"breaker_rejected"`
+	Completed       uint64 `json:"completed"`
+	Failed          uint64 `json:"failed"`
+	Draining        bool   `json:"draining"`
+}
+
+// Detection is the JSON wire form of one detection box.
+type Detection struct {
+	X     int     `json:"x"`
+	Y     int     `json:"y"`
+	W     int     `json:"w"`
+	H     int     `json:"h"`
+	Score float64 `json:"score"`
+}
+
+// DetectResponse is the JSON body of a successful POST /detect.
+type DetectResponse struct {
+	Stream     int         `json:"stream"`
+	Detections []Detection `json:"detections"`
+}
+
+// errorResponse is the JSON body of a failed request.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// statszResponse is the JSON body of GET /statsz.
+type statszResponse struct {
+	Server     ServerStats     `json:"server"`
+	Breaker    BreakerStats    `json:"breaker"`
+	Supervisor SupervisorStats `json:"supervisor"`
+}
+
+// Server is the HTTP front of a Supervisor.
+//
+// Endpoint contract:
+//
+//	POST /detect   body: binary PGM (P5) frame.
+//	               headers: X-Stream (int, default 0) pins the request to a
+//	               worker; X-Deadline-Ms (int) bounds the request.
+//	               200: DetectResponse JSON. 400: bad frame. 429: admission
+//	               queue full, Retry-After set. 503: breaker open, worker
+//	               restarting, or draining, Retry-After set. 504: deadline
+//	               exceeded. 500: detector fault.
+//	GET  /healthz  200 while the process is alive (liveness).
+//	GET  /readyz   200 when serving; 503 while the breaker is open or the
+//	               server is draining (readiness — take it out of rotation).
+//	GET  /statsz   statszResponse JSON: server, breaker, supervisor stats.
+//
+// Retry-After values carry fractional seconds (e.g. "0.250"); integer-
+// second parsers read them as a standard hint after truncation.
+type Server struct {
+	cfg     ServerConfig
+	sup     *Supervisor
+	breaker *Breaker
+	mux     *http.ServeMux
+
+	sem chan struct{} // admission queue slots
+
+	mu        sync.Mutex
+	inflight  int
+	draining  bool
+	accepted  uint64
+	shed      uint64
+	rejected  uint64
+	completed uint64
+	failed    uint64
+}
+
+// NewServer wraps a supervisor. The caller keeps ownership of the
+// supervisor (close it after the server has drained).
+func NewServer(sup *Supervisor, cfg ServerConfig) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		sup:     sup,
+		breaker: NewBreaker(cfg.Breaker),
+		sem:     make(chan struct{}, cfg.Queue),
+		mux:     http.NewServeMux(),
+	}
+	s.mux.HandleFunc("/detect", s.handleDetect)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	s.mux.HandleFunc("/statsz", s.handleStatsz)
+	return s
+}
+
+// Handler returns the HTTP handler serving the endpoint contract above.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Breaker exposes the server's circuit breaker (for transition logging).
+func (s *Server) Breaker() *Breaker { return s.breaker }
+
+// Stats returns the server-level counters.
+func (s *Server) Stats() ServerStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return ServerStats{
+		Accepted:        s.accepted,
+		Shed:            s.shed,
+		BreakerRejected: s.rejected,
+		Completed:       s.completed,
+		Failed:          s.failed,
+		Draining:        s.draining,
+	}
+}
+
+// beginRequest registers an in-flight request (for the drain counter)
+// unless the server is draining.
+func (s *Server) beginRequest() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.inflight++
+	return true
+}
+
+// endRequest retires an in-flight request. Only admitted requests (past
+// the queue and the breaker) count toward completed/failed — shed and
+// breaker-rejected requests are tallied by their own counters.
+func (s *Server) endRequest(admitted bool, err error) {
+	s.mu.Lock()
+	s.inflight--
+	if admitted {
+		if err == nil {
+			s.completed++
+		} else {
+			s.failed++
+		}
+	}
+	s.mu.Unlock()
+}
+
+// Shutdown drains the server: new /detect requests are refused with 503
+// (and /readyz fails) while requests already admitted run to completion.
+// It returns nil once the last in-flight request finished, or the context
+// error if the drain deadline expired first. The supervisor is left
+// running; close it after Shutdown returns.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	tick := time.NewTicker(5 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		s.mu.Lock()
+		n := s.inflight
+		s.mu.Unlock()
+		if n == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("serve: drain incomplete, %d requests in flight: %w", n, ctx.Err())
+		case <-tick.C:
+		}
+	}
+}
+
+// retryAfterValue renders a Retry-After header with fractional seconds.
+func retryAfterValue(d time.Duration) string {
+	return strconv.FormatFloat(d.Seconds(), 'f', 3, 64)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) writeUnavailable(w http.ResponseWriter, status int, retryAfter time.Duration, msg string) {
+	w.Header().Set("Retry-After", retryAfterValue(retryAfter))
+	writeJSON(w, status, errorResponse{Error: msg})
+}
+
+func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST a PGM frame"})
+		return
+	}
+	if !s.beginRequest() {
+		s.writeUnavailable(w, http.StatusServiceUnavailable, s.cfg.RetryAfter, "draining")
+		return
+	}
+	var reqErr error
+	admitted := false
+	defer func() { s.endRequest(admitted, reqErr) }()
+
+	// Admission: a full queue sheds immediately — the client's retry with
+	// backoff is the system's flow control.
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	default:
+		s.mu.Lock()
+		s.shed++
+		s.mu.Unlock()
+		reqErr = errors.New("shed")
+		s.writeUnavailable(w, http.StatusTooManyRequests, s.cfg.RetryAfter, "admission queue full")
+		return
+	}
+
+	// Circuit breaker: while the detector is known-broken, fail fast with
+	// the cooldown remainder as the retry hint.
+	if retryAfter, err := s.breaker.Allow(); err != nil {
+		s.mu.Lock()
+		s.rejected++
+		s.mu.Unlock()
+		reqErr = err
+		s.writeUnavailable(w, http.StatusServiceUnavailable, retryAfter, "circuit breaker open")
+		return
+	}
+	admitted = true
+	s.mu.Lock()
+	s.accepted++
+	s.mu.Unlock()
+
+	stream := 0
+	if v := r.Header.Get("X-Stream"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			reqErr = err
+			s.breaker.Record(nil) // client fault, not a detector failure
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad X-Stream: " + err.Error()})
+			return
+		}
+		stream = n
+	}
+	timeout := s.cfg.DefaultTimeout
+	if v := r.Header.Get("X-Deadline-Ms"); v != "" {
+		ms, err := strconv.Atoi(v)
+		if err != nil || ms <= 0 {
+			reqErr = fmt.Errorf("bad X-Deadline-Ms %q", v)
+			s.breaker.Record(nil)
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: reqErr.Error()})
+			return
+		}
+		timeout = time.Duration(ms) * time.Millisecond
+	}
+
+	frame, err := imgproc.ReadPGM(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		reqErr = err
+		s.breaker.Record(nil) // corrupt upload is the client's fault
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad PGM frame: " + err.Error()})
+		return
+	}
+
+	// Deadline propagation: the request context (cancelled when the client
+	// goes away) bounded by the per-request budget.
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	dets, err := s.sup.Do(ctx, stream, frame)
+	reqErr = err
+
+	// Client disconnects are not detector failures; everything else an
+	// admitted request observes feeds the breaker.
+	if errors.Is(err, context.Canceled) {
+		s.breaker.Record(nil)
+	} else {
+		s.breaker.Record(err)
+	}
+
+	switch {
+	case err == nil:
+		resp := DetectResponse{Stream: stream, Detections: make([]Detection, 0, len(dets))}
+		for _, d := range dets {
+			resp.Detections = append(resp.Detections, Detection{
+				X: d.Box.Min.X, Y: d.Box.Min.Y, W: d.Box.W(), H: d.Box.H(), Score: d.Score,
+			})
+		}
+		writeJSON(w, http.StatusOK, resp)
+	case errors.Is(err, ErrWorkerRestarting), errors.Is(err, ErrSupervisorClosed):
+		s.writeUnavailable(w, http.StatusServiceUnavailable, s.cfg.RetryAfter, err.Error())
+	case errors.Is(err, context.DeadlineExceeded):
+		writeJSON(w, http.StatusGatewayTimeout, errorResponse{Error: "deadline exceeded"})
+	case errors.Is(err, context.Canceled):
+		// Client went away; the status code is moot but 499-style closure
+		// needs some answer for conforming middleware.
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "request cancelled"})
+	default:
+		var pe *rt.PanicError
+		if errors.As(err, &pe) {
+			writeJSON(w, http.StatusInternalServerError, errorResponse{Error: "detector panic: " + pe.Error()})
+			return
+		}
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	switch {
+	case draining:
+		s.writeUnavailable(w, http.StatusServiceUnavailable, s.cfg.RetryAfter, "draining")
+	case s.breaker.State() == BreakerOpen:
+		s.writeUnavailable(w, http.StatusServiceUnavailable, s.cfg.RetryAfter, "circuit breaker open")
+	default:
+		writeJSON(w, http.StatusOK, map[string]bool{"ready": true})
+	}
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, statszResponse{
+		Server:     s.Stats(),
+		Breaker:    s.breaker.Stats(),
+		Supervisor: s.sup.Stats(),
+	})
+}

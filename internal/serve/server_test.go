@@ -1,0 +1,382 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/imgproc"
+	"repro/internal/rt"
+	"repro/internal/rt/faultinject"
+)
+
+// pgmBody encodes the standard test frame as a request body.
+func pgmBody(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := imgproc.WritePGM(&buf, testFrame()); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// postFrame is one raw (no-retry) detect request.
+func postFrame(t *testing.T, url string, body []byte, hdr map[string]string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url+"/detect", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, raw
+}
+
+// postFrameCode is the goroutine-safe variant of postFrame (no t.Fatal):
+// it returns the status code, or -1 on a transport error.
+func postFrameCode(url string, body []byte) int {
+	resp, err := http.Post(url+"/detect", "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		return -1
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+func getStatus(t *testing.T, url string) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+// TestServerOverloadShedsWith429 is acceptance scenario (b): sustained
+// overload yields 429 + Retry-After while the admitted request completes,
+// and the whole stack settles without leaking goroutines.
+func TestServerOverloadShedsWith429(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	faults := faultinject.New()
+	sup, err := NewSupervisor(testFactory(t, map[int]*faultinject.Faults{0: faults}), SupervisorConfig{
+		Workers:  1,
+		Pipeline: rt.Config{Deadline: 10 * time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(sup, ServerConfig{Queue: 1, DefaultTimeout: 10 * time.Second})
+	ts := httptest.NewServer(srv.Handler())
+	body := pgmBody(t)
+
+	// Park the single worker inside a slow frame...
+	faults.StallLevel(0, 500*time.Millisecond)
+	slowDone := make(chan int, 1)
+	go func() { slowDone <- postFrameCode(ts.URL, body) }()
+	// ...wait until its frame is actually inside the pipeline (the
+	// admission slot is held from before Submit to after the result)...
+	deadline := time.Now().Add(5 * time.Second)
+	for sup.Stats().Aggregate.FramesIn == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("slow request never reached the pipeline")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// ...and overload: the queue (depth 1) is full, so these shed.
+	for i := 0; i < 3; i++ {
+		resp, raw := postFrame(t, ts.URL, body, nil)
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("overload request %d: status %d (%s), want 429", i, resp.StatusCode, raw)
+		}
+		if resp.Header.Get("Retry-After") == "" {
+			t.Errorf("overload request %d: missing Retry-After", i)
+		}
+	}
+
+	if code := <-slowDone; code != http.StatusOK {
+		t.Fatalf("admitted slow request finished with %d, want 200", code)
+	}
+	st := srv.Stats()
+	if st.Shed != 3 {
+		t.Errorf("shed = %d, want 3", st.Shed)
+	}
+	if st.Completed != 1 {
+		t.Errorf("completed = %d, want 1", st.Completed)
+	}
+
+	// Zero goroutine leaks once everything is torn down (settling check).
+	faults.Reset()
+	ts.Close()
+	sup.Close()
+	settleGoroutines(t, baseline)
+}
+
+// TestServerBreakerTripsReadyzFailsAndProbeRecovers is acceptance scenario
+// (c): the breaker trips after the configured failure run, /readyz fails
+// while it is open, and a half-open probe restores service.
+func TestServerBreakerTripsReadyzFailsAndProbeRecovers(t *testing.T) {
+	faults := faultinject.New()
+	clock := newFakeClock()
+	sup, err := NewSupervisor(testFactory(t, map[int]*faultinject.Faults{0: faults}), SupervisorConfig{
+		Workers:  1,
+		Pipeline: rt.Config{Deadline: 10 * time.Second},
+		// Keep the error-run restart out of this test's way.
+		RestartAfterErrors: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sup.Close()
+	srv := NewServer(sup, ServerConfig{
+		Queue:          4,
+		DefaultTimeout: 10 * time.Second,
+		Breaker:        BreakerConfig{FailureThreshold: 3, Cooldown: time.Minute, Now: clock.Now},
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	body := pgmBody(t)
+
+	if code := getStatus(t, ts.URL+"/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz %d, want 200", code)
+	}
+	if code := getStatus(t, ts.URL+"/readyz"); code != http.StatusOK {
+		t.Fatalf("readyz %d before faults, want 200", code)
+	}
+
+	// Three consecutive detector failures trip the breaker.
+	faults.FailLevel(0, errors.New("injected detector fault"))
+	for i := 0; i < 3; i++ {
+		resp, raw := postFrame(t, ts.URL, body, nil)
+		if resp.StatusCode != http.StatusInternalServerError {
+			t.Fatalf("failing request %d: status %d (%s), want 500", i, resp.StatusCode, raw)
+		}
+	}
+
+	// Open: requests shed instantly with a Retry-After hint, readiness
+	// fails so a load balancer takes the instance out of rotation.
+	resp, raw := postFrame(t, ts.URL, body, nil)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("open-breaker request: status %d (%s), want 503", resp.StatusCode, raw)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("open-breaker 503 missing Retry-After")
+	}
+	if code := getStatus(t, ts.URL+"/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz %d while breaker open, want 503", code)
+	}
+
+	// Cooldown passes and the fault clears: the half-open probe succeeds
+	// and service is restored.
+	faults.Reset()
+	clock.Advance(61 * time.Second)
+	resp, raw = postFrame(t, ts.URL, body, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("probe request: status %d (%s), want 200", resp.StatusCode, raw)
+	}
+	if code := getStatus(t, ts.URL+"/readyz"); code != http.StatusOK {
+		t.Fatalf("readyz %d after recovery, want 200", code)
+	}
+
+	// /statsz tells the whole story.
+	statsResp, err := http.Get(ts.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer statsResp.Body.Close()
+	var st statszResponse
+	if err := json.NewDecoder(statsResp.Body).Decode(&st); err != nil {
+		t.Fatalf("decoding statsz: %v", err)
+	}
+	if st.Breaker.State != "closed" || st.Breaker.Trips != 1 || st.Breaker.Probes != 1 || st.Breaker.Recoveries != 1 {
+		t.Errorf("breaker stats %+v, want closed with trips/probes/recoveries 1/1/1", st.Breaker)
+	}
+	if st.Server.Failed != 3 || st.Server.BreakerRejected != 1 {
+		t.Errorf("server stats %+v, want 3 failed + 1 breaker-rejected", st.Server)
+	}
+	if st.Supervisor.Aggregate.Errors != 3 {
+		t.Errorf("supervisor aggregate errors = %d, want 3", st.Supervisor.Aggregate.Errors)
+	}
+}
+
+// TestServerDeadlinePropagation: a request deadline shorter than the scan
+// aborts the wait with 504 instead of blocking the client.
+func TestServerDeadlinePropagation(t *testing.T) {
+	faults := faultinject.New()
+	sup, err := NewSupervisor(testFactory(t, map[int]*faultinject.Faults{0: faults}), SupervisorConfig{
+		Workers:  1,
+		Pipeline: rt.Config{Deadline: 10 * time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sup.Close()
+	srv := NewServer(sup, ServerConfig{Queue: 2})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	faults.StallLevel(0, 2*time.Second)
+	start := time.Now()
+	resp, raw := postFrame(t, ts.URL, pgmBody(t), map[string]string{"X-Deadline-Ms": "80"})
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d (%s), want 504", resp.StatusCode, raw)
+	}
+	if elapsed := time.Since(start); elapsed > 1500*time.Millisecond {
+		t.Errorf("80ms-deadline request took %v", elapsed)
+	}
+	faults.Reset()
+}
+
+// TestServerRejectsBadInput: malformed frames and headers are 400s and do
+// not count against the breaker.
+func TestServerRejectsBadInput(t *testing.T) {
+	sup, err := NewSupervisor(testFactory(t, nil), SupervisorConfig{
+		Workers:  1,
+		Pipeline: rt.Config{Deadline: 10 * time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sup.Close()
+	srv := NewServer(sup, ServerConfig{Breaker: BreakerConfig{FailureThreshold: 1}})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	body := pgmBody(t)
+
+	cases := []struct {
+		name string
+		body []byte
+		hdr  map[string]string
+	}{
+		{"corrupt frame", []byte("P5\nnot a frame"), nil},
+		{"truncated frame", faultinject.Truncate(body, len(body)/2), nil},
+		{"bad stream header", body, map[string]string{"X-Stream": "abc"}},
+		{"bad deadline header", body, map[string]string{"X-Deadline-Ms": "-5"}},
+	}
+	for _, c := range cases {
+		resp, raw := postFrame(t, ts.URL, c.body, c.hdr)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d (%s), want 400", c.name, resp.StatusCode, raw)
+		}
+	}
+	if resp, _ := postFrame(t, ts.URL, body, map[string]string{"X-Stream": "7"}); resp.StatusCode != http.StatusOK {
+		t.Errorf("valid request after bad ones: %d, want 200 (breaker must not have tripped)", resp.StatusCode)
+	}
+	if got := getStatus(t, ts.URL+"/readyz"); got != http.StatusOK {
+		t.Errorf("readyz %d, want 200: client faults fed the breaker", got)
+	}
+	if resp, err := http.Get(ts.URL + "/detect"); err == nil {
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("GET /detect = %d, want 405", resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+}
+
+// TestServerGracefulDrain: Shutdown lets the in-flight request finish,
+// fails readiness, and sheds new work with 503 while draining.
+func TestServerGracefulDrain(t *testing.T) {
+	faults := faultinject.New()
+	sup, err := NewSupervisor(testFactory(t, map[int]*faultinject.Faults{0: faults}), SupervisorConfig{
+		Workers:  1,
+		Pipeline: rt.Config{Deadline: 10 * time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sup.Close()
+	srv := NewServer(sup, ServerConfig{Queue: 2, DefaultTimeout: 10 * time.Second})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	body := pgmBody(t)
+
+	faults.StallLevel(0, 400*time.Millisecond)
+	slowDone := make(chan int, 1)
+	go func() { slowDone <- postFrameCode(ts.URL, body) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for sup.Stats().Aggregate.FramesIn == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("slow request never reached the pipeline")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	drainErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		drainErr <- srv.Shutdown(ctx)
+	}()
+	// Draining is observable immediately.
+	readyDeadline := time.Now().Add(5 * time.Second)
+	for getStatus(t, ts.URL+"/readyz") != http.StatusServiceUnavailable {
+		if time.Now().After(readyDeadline) {
+			t.Fatal("readyz stayed 200 during drain")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if resp, _ := postFrame(t, ts.URL, body, nil); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("new request during drain: %d, want 503", resp.StatusCode)
+	}
+
+	// The admitted request still completes, then the drain finishes clean.
+	if code := <-slowDone; code != http.StatusOK {
+		t.Fatalf("in-flight request finished with %d during drain, want 200", code)
+	}
+	if err := <-drainErr; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+// TestServerDrainDeadline: a drain that cannot finish in time reports the
+// context error instead of hanging.
+func TestServerDrainDeadline(t *testing.T) {
+	faults := faultinject.New()
+	sup, err := NewSupervisor(testFactory(t, map[int]*faultinject.Faults{0: faults}), SupervisorConfig{
+		Workers:  1,
+		Pipeline: rt.Config{Deadline: 10 * time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sup.Close()
+	srv := NewServer(sup, ServerConfig{Queue: 2, DefaultTimeout: 10 * time.Second})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	faults.StallLevel(0, 3*time.Second)
+	body := pgmBody(t)
+	go postFrameCode(ts.URL, body)
+	deadline := time.Now().Add(5 * time.Second)
+	for sup.Stats().Aggregate.FramesIn == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("slow request never reached the pipeline")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := srv.Shutdown(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Shutdown = %v, want wrapped deadline exceeded", err)
+	}
+	faults.Reset()
+}

@@ -1,0 +1,253 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/imgproc"
+	"repro/internal/rt"
+	"repro/internal/rt/faultinject"
+	"repro/internal/svm"
+)
+
+// testFactory builds per-worker detectors with a synthetic all-zero model
+// (every window scores the bias, 0, below the threshold — the behaviour
+// under test is supervision, not accuracy). faultsFor lets a test inject
+// faults into specific workers only; a restarted worker re-installs its
+// fault probe, so tests control recovery through faults.Reset. The 128x256
+// frame yields a 3-level feature pyramid at step 1.3 (absolute levels
+// 0, 1, 2).
+func testFactory(t testing.TB, faultsFor map[int]*faultinject.Faults) DetectorFactory {
+	t.Helper()
+	return func(worker int) (*core.Detector, error) {
+		cfg := core.DefaultConfig()
+		cfg.Mode = core.FeaturePyramid
+		cfg.ScaleStep = 1.3
+		cfg.Workers = 1
+		if f := faultsFor[worker]; f != nil {
+			cfg.LevelProbe = f.Probe
+		}
+		model := &svm.Model{W: make([]float64, cfg.DescriptorLen())}
+		return core.NewDetector(model, cfg)
+	}
+}
+
+func testFrame() *imgproc.Gray { return imgproc.NewGray(128, 256) }
+
+// settleGoroutines polls until the goroutine count drops back to the
+// baseline — supervisor workers and pipeline goroutines unwind
+// asynchronously after Close.
+func settleGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		n := runtime.NumGoroutine()
+		if n <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines did not settle: %d running, baseline %d", n, baseline)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestWorkerPanicRestartsWhileOthersServe is acceptance scenario (a): a
+// panic kills one worker, the supervisor restarts it with backoff, and the
+// other stream keeps serving the whole time.
+func TestWorkerPanicRestartsWhileOthersServe(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	faults := faultinject.New()
+	sup, err := NewSupervisor(testFactory(t, map[int]*faultinject.Faults{0: faults}), SupervisorConfig{
+		Workers:           2,
+		Pipeline:          rt.Config{Deadline: 10 * time.Second},
+		RestartBackoff:    20 * time.Millisecond,
+		RestartBackoffMax: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	frame := testFrame()
+
+	// Both streams healthy at startup.
+	for stream := 0; stream < 2; stream++ {
+		if _, err := sup.Do(ctx, stream, frame); err != nil {
+			t.Fatalf("stream %d healthy frame: %v", stream, err)
+		}
+	}
+
+	// Poison worker 0: its next frame panics and the supervisor must
+	// treat the worker as killed.
+	faults.PanicLevel(1, "injected worker kill")
+	_, err = sup.Do(ctx, 0, frame)
+	var pe *rt.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("poisoned stream 0 returned %v, want *rt.PanicError", err)
+	}
+
+	// Stream 1 keeps serving while worker 0 is down/restarting.
+	for i := 0; i < 5; i++ {
+		if _, err := sup.Do(ctx, 1, frame); err != nil {
+			t.Fatalf("stream 1 frame %d failed during worker 0 restart: %v", i, err)
+		}
+	}
+
+	// Clear the fault; worker 0 must come back after its backoff. While it
+	// is down, requests fail fast with ErrWorkerRestarting (or panic again
+	// if an incarnation raced the Reset) instead of hanging.
+	faults.Reset()
+	recoverDeadline := time.Now().Add(15 * time.Second)
+	for {
+		_, err := sup.Do(ctx, 0, frame)
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, ErrWorkerRestarting) && !errors.As(err, &pe) {
+			t.Fatalf("stream 0 during restart: unexpected error %v", err)
+		}
+		if time.Now().After(recoverDeadline) {
+			t.Fatalf("worker 0 did not recover; last error: %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	st := sup.Stats()
+	if st.Workers[0].Restarts < 1 {
+		t.Errorf("worker 0 restarts = %d, want >= 1", st.Workers[0].Restarts)
+	}
+	if st.Workers[1].Restarts != 0 {
+		t.Errorf("worker 1 restarts = %d, want 0 (fault must stay confined)", st.Workers[1].Restarts)
+	}
+	if st.Aggregate.Panics < 1 {
+		t.Errorf("aggregate panics = %d, want >= 1", st.Aggregate.Panics)
+	}
+	if st.Workers[0].State != "running" {
+		t.Errorf("worker 0 state %q after recovery, want running", st.Workers[0].State)
+	}
+
+	sup.Close()
+	sup.Close() // idempotent
+	settleGoroutines(t, baseline)
+}
+
+// TestPoisonedStreamRestartsWorker: a run of consecutive failures (no
+// panic) also restarts the worker — from the outside a stream whose every
+// frame errors is indistinguishable from a wedged worker.
+func TestPoisonedStreamRestartsWorker(t *testing.T) {
+	faults := faultinject.New()
+	injected := errors.New("injected scan failure")
+	sup, err := NewSupervisor(testFactory(t, map[int]*faultinject.Faults{0: faults}), SupervisorConfig{
+		Workers:            1,
+		Pipeline:           rt.Config{Deadline: 10 * time.Second},
+		RestartBackoff:     10 * time.Millisecond,
+		RestartBackoffMax:  50 * time.Millisecond,
+		RestartAfterErrors: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sup.Close()
+	ctx := context.Background()
+	frame := testFrame()
+
+	faults.FailLevel(0, injected)
+	for i := 0; i < 3; i++ {
+		_, err := sup.Do(ctx, 0, frame)
+		if !errors.Is(err, injected) {
+			t.Fatalf("frame %d: got %v, want injected failure", i, err)
+		}
+	}
+	// The third consecutive failure restarts the worker.
+	deadline := time.Now().Add(10 * time.Second)
+	for sup.Stats().Workers[0].Restarts < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("consecutive-failure run did not restart the worker")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	faults.Reset()
+	deadline = time.Now().Add(15 * time.Second)
+	for {
+		if _, err := sup.Do(ctx, 0, frame); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("worker did not recover after poisoned stream cleared")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestBackoffDelayDoublesAndCaps pins the restart backoff ladder.
+func TestBackoffDelayDoublesAndCaps(t *testing.T) {
+	base, max := 50*time.Millisecond, 400*time.Millisecond
+	want := []time.Duration{
+		50 * time.Millisecond,  // n=1
+		100 * time.Millisecond, // n=2
+		200 * time.Millisecond, // n=3
+		400 * time.Millisecond, // n=4
+		400 * time.Millisecond, // n=5 capped
+		400 * time.Millisecond, // n=50 capped (no overflow)
+	}
+	for i, n := range []int{1, 2, 3, 4, 5, 50} {
+		if got := backoffDelay(n, base, max); got != want[i] {
+			t.Errorf("backoffDelay(%d) = %v, want %v", n, got, want[i])
+		}
+	}
+	if got := backoffDelay(0, base, max); got != base {
+		t.Errorf("backoffDelay(0) = %v, want clamped to base %v", got, base)
+	}
+}
+
+// TestSupervisorCloseAbortsInflightScan: Close must not wait out a slow
+// frame — it cancels the scan through the pipeline context.
+func TestSupervisorCloseAbortsInflightScan(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	faults := faultinject.New()
+	sup, err := NewSupervisor(testFactory(t, map[int]*faultinject.Faults{0: faults}), SupervisorConfig{
+		Workers:  1,
+		Pipeline: rt.Config{Deadline: 10 * time.Minute},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults.StallLevel(0, 10*time.Minute)
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	// The request abandons at its deadline; the scan is still in flight.
+	if _, err := sup.Do(ctx, 0, testFrame()); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("stalled request returned %v, want deadline exceeded", err)
+	}
+	start := time.Now()
+	sup.Close()
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Close took %v with a stalled scan in flight", elapsed)
+	}
+	settleGoroutines(t, baseline)
+}
+
+// TestStreamPinning: stream IDs (including negatives) map stably onto
+// workers.
+func TestStreamPinning(t *testing.T) {
+	sup, err := NewSupervisor(testFactory(t, nil), SupervisorConfig{
+		Workers:  3,
+		Pipeline: rt.Config{Deadline: 10 * time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sup.Close()
+	cases := map[int]int{0: 0, 1: 1, 2: 2, 3: 0, 7: 1, -1: 2, -3: 0}
+	for stream, want := range cases {
+		if got := sup.workerFor(stream); got != want {
+			t.Errorf("workerFor(%d) = %d, want %d", stream, got, want)
+		}
+	}
+}

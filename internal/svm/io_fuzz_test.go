@@ -1,0 +1,96 @@
+package svm
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// FuzzRead throws arbitrary bytes at the model reader. Model files cross a
+// trust boundary (they are trained elsewhere and shipped to the vehicle),
+// so the invariant under fuzzing is total: any input either parses into a
+// fully usable model — every coefficient finite, weight count matching the
+// declared dimension — or returns an error. It must never panic, never
+// over-allocate from a hostile header, and never hand the scorer a NaN/Inf
+// that would silently swallow detections downstream.
+//
+// The seed corpus doubles as the regression suite for the reader hardening
+// (mirroring imgproc's FuzzDecode): `go test` runs every f.Add case even
+// without -fuzz.
+func FuzzRead(f *testing.F) {
+	// A valid model exactly as Write emits it.
+	var valid bytes.Buffer
+	if err := (&Model{W: []float64{0.25, -1.5, 3e-9}, B: -0.125}).Write(&valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	// Minimal hand-written valid model.
+	f.Add([]byte("pdsvm 1\ndim 1\nbias 0\nw\n1\n"))
+	// Non-finite coefficients: ParseFloat accepts these spellings, the
+	// reader must not.
+	f.Add([]byte("pdsvm 1\ndim 1\nbias NaN\nw\n1\n"))
+	f.Add([]byte("pdsvm 1\ndim 1\nbias +Inf\nw\n1\n"))
+	f.Add([]byte("pdsvm 1\ndim 2\nbias 0\nw\n1\nnan\n"))
+	f.Add([]byte("pdsvm 1\ndim 2\nbias 0\nw\n-inf\n1\n"))
+	f.Add([]byte("pdsvm 1\ndim 1\nbias 1e999\nw\n1\n"))
+	// Truncations at every structural boundary.
+	f.Add([]byte(""))
+	f.Add([]byte("pdsvm 1"))
+	f.Add([]byte("pdsvm 1\ndim 3\n"))
+	f.Add([]byte("pdsvm 1\ndim 3\nbias 0\n"))
+	f.Add([]byte("pdsvm 1\ndim 3\nbias 0\nw\n1\n2\n"))
+	// Bad magic / header garbage.
+	f.Add([]byte("pdsvm 2\ndim 1\nbias 0\nw\n1\n"))
+	f.Add([]byte("libsvm\n"))
+	// Hostile dimensions: zero, negative, and far past the plausibility
+	// cap (a 16 EiB allocation if trusted).
+	f.Add([]byte("pdsvm 1\ndim 0\nbias 0\nw\n"))
+	f.Add([]byte("pdsvm 1\ndim -4\nbias 0\nw\n"))
+	f.Add([]byte("pdsvm 1\ndim 99999999999999999999\nbias 0\nw\n"))
+	f.Add([]byte("pdsvm 1\ndim 16777217\nbias 0\nw\n"))
+	// Garbage tokens where numbers belong.
+	f.Add([]byte("pdsvm 1\ndim x\nbias 0\nw\n1\n"))
+	f.Add([]byte("pdsvm 1\ndim 1\nbias zero\nw\n1\n"))
+	f.Add([]byte("pdsvm 1\ndim 1\nbias 0\nweights\n1\n"))
+	f.Add([]byte("pdsvm 1\ndim 1\nbias 0\nw\n0x1p5q\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if m == nil {
+			t.Fatal("Read returned nil model and nil error")
+		}
+		if len(m.W) == 0 || len(m.W) > 1<<24 {
+			t.Fatalf("accepted model has implausible dimension %d", len(m.W))
+		}
+		if math.IsNaN(m.B) || math.IsInf(m.B, 0) {
+			t.Fatalf("accepted model has non-finite bias %v", m.B)
+		}
+		for i, w := range m.W {
+			if math.IsNaN(w) || math.IsInf(w, 0) {
+				t.Fatalf("accepted model has non-finite weight %d: %v", i, w)
+			}
+		}
+		// An accepted model must survive the round trip unchanged: Write
+		// uses %.17g, so re-reading reproduces it bit for bit.
+		var buf bytes.Buffer
+		if err := m.Write(&buf); err != nil {
+			t.Fatalf("re-encoding accepted model: %v", err)
+		}
+		m2, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("re-reading re-encoded model: %v", err)
+		}
+		if m2.B != m.B || len(m2.W) != len(m.W) {
+			t.Fatalf("round trip changed the model: bias %v->%v, dim %d->%d",
+				m.B, m2.B, len(m.W), len(m2.W))
+		}
+		for i := range m.W {
+			if m2.W[i] != m.W[i] {
+				t.Fatalf("round trip changed weight %d: %v -> %v", i, m.W[i], m2.W[i])
+			}
+		}
+	})
+}
