@@ -363,6 +363,94 @@ func BenchmarkHOGComputeVGA(b *testing.B) {
 	}
 }
 
+// BenchmarkComputeCells compares the retained reference cell histogrammer
+// (per-pixel Atan2/Hypot behind a clamping accessor) against the fused
+// tangent-threshold fast path, allocating and arena-backed, across an
+// interior-dominated VGA frame and a border-heavy strip, plus the banded
+// parallel path at several worker counts. The fused/reference ratio on
+// vga/serial is the PR's headline front-end speedup.
+func BenchmarkComputeCells(b *testing.B) {
+	cfg := hog.DefaultConfig()
+	rng := rand.New(rand.NewSource(21))
+	mk := func(w, h int) *imgproc.Gray {
+		img := imgproc.NewGray(w, h)
+		for i := range img.Pix {
+			img.Pix[i] = uint8(rng.Intn(256))
+		}
+		return img
+	}
+	for _, sz := range []struct {
+		name string
+		img  *imgproc.Gray
+	}{
+		// 58 of 60 cell rows are interior on VGA; the 2-cell-tall strip
+		// keeps the replicate-clamp border path on half its rows.
+		{"vga", mk(640, 480)},
+		{"border-strip", mk(640, 16)},
+	} {
+		b.Run(sz.name+"/reference", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := hog.ReferenceComputeCells(sz.img, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(sz.name+"/fused", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := hog.ComputeCells(sz.img, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		for _, workers := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("%s/fused-into/workers%d", sz.name, workers), func(b *testing.B) {
+				s := hog.NewScratch()
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := hog.ComputeCellsInto(sz.img, cfg, s, workers); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkNormalize compares allocating block normalization against the
+// arena-backed NormalizeInto on a VGA cell grid.
+func BenchmarkNormalize(b *testing.B) {
+	cfg := hog.DefaultConfig()
+	img := imgproc.NewGray(640, 480)
+	rng := rand.New(rand.NewSource(22))
+	for i := range img.Pix {
+		img.Pix[i] = uint8(rng.Intn(256))
+	}
+	grid, err := hog.ComputeCells(img, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("alloc", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := hog.Normalize(grid, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("into", func(b *testing.B) {
+		var fm hog.FeatureMap
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := hog.NormalizeInto(grid, cfg, &fm); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkSVMScoreWindow times one 4608-dim window classification.
 func BenchmarkSVMScoreWindow(b *testing.B) {
 	rng := rand.New(rand.NewSource(10))

@@ -7,7 +7,8 @@
 // Usage:
 //
 //	pdbench                      # human-readable table on stdout
-//	pdbench -json BENCH_PR3.json # also write the JSON report
+//	pdbench -json BENCH_PR4.json # also write the JSON report
+//	pdbench -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // The models are synthetic (random or all-zero weights): the quantities of
 // interest are ns/op and allocs/op of the scanning and serving machinery,
@@ -24,6 +25,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"testing"
 	"time"
 
@@ -58,7 +60,34 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("pdbench: ")
 	jsonPath := flag.String("json", "", "write the JSON report to this file")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile (after the run) to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			runtime.GC() // flush recently freed objects out of the profile
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
 
 	rep := report{
 		GoVersion:  runtime.Version(),
@@ -81,6 +110,12 @@ func main() {
 			res.Name, res.Iterations, res.NsPerOp, res.AllocsPerOp, res.BytesPerOp)
 	}
 
+	run("ComputeCells/reference", benchComputeCellsRef)
+	run("ComputeCells/fused", benchComputeCellsFused(1))
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		run(fmt.Sprintf("ComputeCells/fused/workers=%d", n), benchComputeCellsFused(n))
+	}
+	run("Normalize/into", benchNormalizeInto)
 	run("DetectParallel/workers=1", benchDetect(1))
 	if n := runtime.GOMAXPROCS(0); n > 1 {
 		run(fmt.Sprintf("DetectParallel/workers=%d", n), benchDetect(0))
@@ -109,6 +144,56 @@ func randFrame(w, h int, seed int64) *imgproc.Gray {
 		g.Pix[i] = uint8(rng.Intn(256))
 	}
 	return g
+}
+
+// benchComputeCellsRef benchmarks the retained reference cell histogrammer
+// (per-pixel Atan2/Hypot) on a VGA frame — the front-end baseline the fused
+// pass is measured against.
+func benchComputeCellsRef(b *testing.B) {
+	frame := randFrame(640, 480, 23)
+	cfg := hog.DefaultConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hog.ReferenceComputeCells(frame, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchComputeCellsFused benchmarks the fused tangent-threshold front end
+// through a reusable scratch arena at the given band-worker count.
+func benchComputeCellsFused(workers int) func(b *testing.B) {
+	return func(b *testing.B) {
+		frame := randFrame(640, 480, 23)
+		cfg := hog.DefaultConfig()
+		s := hog.NewScratch()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := hog.ComputeCellsInto(frame, cfg, s, workers); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// benchNormalizeInto benchmarks arena-backed block normalization of a VGA
+// cell grid.
+func benchNormalizeInto(b *testing.B) {
+	cfg := hog.DefaultConfig()
+	grid, err := hog.ComputeCells(randFrame(640, 480, 23), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var fm hog.FeatureMap
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := hog.NormalizeInto(grid, cfg, &fm); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // benchDetect benchmarks the full multi-scale scan of a VGA frame with the

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/imgproc"
+	"repro/internal/svm"
+)
+
+// TestDetectAllocs pins the steady-state allocation budget of the whole
+// detect path in feature-pyramid mode. The arena keeps the HOG front end
+// allocation-free and featpyr's level pool recycles the pyramid maps, so
+// what remains per frame is a small fixed set: the level/detection slices
+// and the release closure. The budget has headroom over the measured count
+// (~22 on this container) but sits orders of magnitude below the ~70 allocs
+// / 10 MB per frame the seed tree paid; a regression past it means
+// per-frame garbage crept back into the hot path.
+func TestDetectAllocs(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Workers = 1
+	// A zero-weight model scores every window at the bias: keep it below
+	// threshold so no detection slices grow during the measurement.
+	model := &svm.Model{W: make([]float64, cfg.DescriptorLen()), B: -1}
+	d, err := NewDetector(model, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	frame := imgproc.NewGray(320, 240)
+	for i := range frame.Pix {
+		frame.Pix[i] = uint8(rng.Intn(256))
+	}
+	// Warm the arena and the featpyr level pool.
+	for i := 0; i < 3; i++ {
+		if _, err := d.Detect(frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const budget = 32
+	n := testing.AllocsPerRun(20, func() {
+		if _, err := d.Detect(frame); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if n > budget {
+		t.Errorf("Detect: %v allocs/op in steady state, budget %d", n, budget)
+	}
+}

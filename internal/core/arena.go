@@ -1,0 +1,28 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/hog"
+)
+
+// Arena pools the per-frame HOG front-end scratch (hog.Scratch) behind the
+// detect path: the luminance plane, cell grid, and base feature map are
+// reused across frames instead of reallocated, which removes the dominant
+// per-frame allocations from Detect (pinned by TestDetectAllocs).
+//
+// An Arena is safe for concurrent use; each in-flight frame checks out its
+// own scratch. Detectors sharing an Arena (the streaming runtime shares one
+// across its degradation rungs, which run one frame at a time) also share
+// the pooled buffers, so switching rungs does not re-grow them.
+type Arena struct {
+	pool sync.Pool
+}
+
+// NewArena returns an empty arena; scratch buffers grow on first use.
+func NewArena() *Arena {
+	return &Arena{pool: sync.Pool{New: func() any { return hog.NewScratch() }}}
+}
+
+func (a *Arena) get() *hog.Scratch  { return a.pool.Get().(*hog.Scratch) }
+func (a *Arena) put(s *hog.Scratch) { a.pool.Put(s) }

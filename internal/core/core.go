@@ -96,6 +96,11 @@ type Config struct {
 	// buys the largest latency reduction at the smallest coverage loss
 	// (far-field detection range goes first). Ignored by DetectOctave.
 	SkipFinest int
+	// Arena, if non-nil, supplies the pooled per-frame HOG scratch for the
+	// detect path; detectors sharing an Arena share its buffers (the
+	// streaming runtime hands one arena to every degradation rung). nil
+	// gives the detector a private arena in NewDetector.
+	Arena *Arena
 	// LevelProbe, if non-nil, is invoked once per scanned pyramid level
 	// (with its absolute pyramid index, assigned before any skipping) at
 	// the start of every scan. A non-nil return aborts the frame with that
@@ -167,6 +172,7 @@ func (c Config) windowBlocks() (bx, by int) {
 type Detector struct {
 	cfg   Config
 	model *svm.Model
+	arena *Arena
 }
 
 // NewDetector validates the configuration against the model dimensions.
@@ -180,7 +186,11 @@ func NewDetector(model *svm.Model, cfg Config) (*Detector, error) {
 	if want := cfg.DescriptorLen(); len(model.W) != want {
 		return nil, fmt.Errorf("core: model has %d weights, config needs %d", len(model.W), want)
 	}
-	return &Detector{cfg: cfg, model: model}, nil
+	arena := cfg.Arena
+	if arena == nil {
+		arena = NewArena()
+	}
+	return &Detector{cfg: cfg, model: model, arena: arena}, nil
 }
 
 // Config returns the detector's configuration.
@@ -360,30 +370,49 @@ func (d *Detector) buildLevels(ctx context.Context, frame *imgproc.Gray) ([]pyrL
 		return levels, noop, nil
 
 	case FeaturePyramid, FeaturePyramidChained, FeaturePyramidFixed:
-		base, err := hog.Compute(frame, d.cfg.HOG)
+		// The base extraction runs through the arena's pooled scratch: the
+		// fused front end writes the luminance plane, cell grid, and base
+		// feature map into reusable buffers instead of allocating them per
+		// frame. The scratch-owned base map must never reach
+		// featpyr.ReleaseMap (its slab belongs to the arena, not the level
+		// pool); the float pyramids clone it into pooled level 0, so their
+		// scratch checks back in right after construction, while the fixed
+		// pyramid scans it directly as level 0 and holds the scratch until
+		// release.
+		s := d.arena.get()
+		base, err := hog.ComputeInto(frame, d.cfg.HOG, s, d.cfg.workers())
 		if err != nil {
+			d.arena.put(s)
 			return nil, noop, err
 		}
 		if err := ctx.Err(); err != nil {
+			d.arena.put(s)
 			return nil, noop, err
 		}
+		// The arena may hand the scratch to another frame once it is
+		// checked in; snapshot the base grid size for the scale ratios
+		// below instead of re-reading the (then recycled) map.
+		baseBX, baseBY := base.BlocksX, base.BlocksY
 		var levels []featpyr.Level
 		release := noop
 		switch d.cfg.Mode {
 		case FeaturePyramid:
 			p, err := featpyr.BuildCtx(ctx, base, d.cfg.ScaleStep, wbx, wby, d.maxLevels(), d.cfg.Scale)
+			d.arena.put(s)
 			if err != nil {
 				return nil, noop, err
 			}
 			levels, release = p.Levels, p.Release
 		case FeaturePyramidChained:
 			p, err := featpyr.BuildChainedCtx(ctx, base, d.cfg.ScaleStep, wbx, wby, d.maxLevels(), d.cfg.Scale)
+			d.arena.put(s)
 			if err != nil {
 				return nil, noop, err
 			}
 			levels, release = p.Levels, p.Release
 		case FeaturePyramidFixed:
 			if base.BlocksX < wbx || base.BlocksY < wby {
+				d.arena.put(s)
 				return nil, noop, fmt.Errorf("core: frame %dx%d smaller than detection window", frame.W, frame.H)
 			}
 			scaler := d.cfg.Fixed
@@ -404,13 +433,18 @@ func (d *Detector) buildLevels(ctx context.Context, frame *imgproc.Gray) ([]pyrL
 					break
 				}
 				if err := ctx.Err(); err != nil {
-					for j := range levels {
+					for j := 1; j < len(levels); j++ {
 						featpyr.ReleaseMap(levels[j].Map)
 					}
+					d.arena.put(s)
 					return nil, noop, err
 				}
 				m, _, err := scaler.ScaleMap(prev, outBX, outBY)
 				if err != nil {
+					for j := 1; j < len(levels); j++ {
+						featpyr.ReleaseMap(levels[j].Map)
+					}
+					d.arena.put(s)
 					return nil, noop, fmt.Errorf("core: fixed scaler level %d: %w", i, err)
 				}
 				levels = append(levels, featpyr.Level{
@@ -421,20 +455,27 @@ func (d *Detector) buildLevels(ctx context.Context, frame *imgproc.Gray) ([]pyrL
 			}
 			lv := levels
 			release = func() {
-				for i := range lv {
+				// Level 0 is the scratch-owned base: it returns to the
+				// arena, not the featpyr pool.
+				for i := 1; i < len(lv); i++ {
 					featpyr.ReleaseMap(lv[i].Map)
 				}
+				d.arena.put(s)
 			}
 		}
 		// Feature pyramids derive every coarser level from the base map, so
 		// shedding only skips the scan (which dominates); skipped level maps
-		// go straight back to the scratch pool. Absolute indices are kept so
-		// LevelProbe still addresses the original scale ladder.
+		// go straight back to the scratch pool — except a scratch-owned base,
+		// whose storage the release function returns to the arena instead.
+		// Absolute indices are kept so LevelProbe still addresses the
+		// original scale ladder.
 		skip := d.skipFinest(len(levels))
 		out := make([]pyrLevel, 0, len(levels)-skip)
 		for i, l := range levels {
 			if i < skip {
-				featpyr.ReleaseMap(l.Map)
+				if l.Map != base {
+					featpyr.ReleaseMap(l.Map)
+				}
 				continue
 			}
 			// Effective per-axis scale of this level from the block-grid
@@ -442,8 +483,8 @@ func (d *Detector) buildLevels(ctx context.Context, frame *imgproc.Gray) ([]pyrL
 			// sizes, and independently per axis).
 			out = append(out, pyrLevel{
 				fm:    l.Map,
-				sx:    float64(base.BlocksX) / float64(l.Map.BlocksX),
-				sy:    float64(base.BlocksY) / float64(l.Map.BlocksY),
+				sx:    float64(baseBX) / float64(l.Map.BlocksX),
+				sy:    float64(baseBY) / float64(l.Map.BlocksY),
 				index: i,
 			})
 		}

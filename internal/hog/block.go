@@ -34,60 +34,77 @@ func (fm *FeatureMap) Clone() *FeatureMap {
 }
 
 // Normalize assembles and normalizes the block feature map from raw cell
-// histograms under the configured layout and normalization scheme.
+// histograms under the configured layout and normalization scheme. The
+// returned map is freshly allocated and caller-owned; NormalizeInto is the
+// reusable-storage variant.
 func Normalize(grid *CellGrid, cfg Config) (*FeatureMap, error) {
-	if err := cfg.Validate(); err != nil {
+	fm := &FeatureMap{}
+	if err := NormalizeInto(grid, cfg, fm); err != nil {
 		return nil, err
 	}
+	return fm, nil
+}
+
+// NormalizeInto assembles and normalizes the block feature map into fm,
+// reusing fm's feature storage when it is large enough (growing it
+// otherwise). Steady-state calls with a same-shaped grid allocate nothing.
+func NormalizeInto(grid *CellGrid, cfg Config, fm *FeatureMap) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
 	if grid.Bins != cfg.Bins {
-		return nil, fmt.Errorf("hog: grid has %d bins, config %d", grid.Bins, cfg.Bins)
+		return fmt.Errorf("hog: grid has %d bins, config %d", grid.Bins, cfg.Bins)
 	}
 	var bx, by int
+	perCell := false
 	switch cfg.Layout {
 	case LayoutOverlap:
 		bx = grid.CellsX - cfg.BlockCells + 1
 		by = grid.CellsY - cfg.BlockCells + 1
 		if bx < 1 || by < 1 {
-			return nil, fmt.Errorf("hog: cell grid %dx%d smaller than one block", grid.CellsX, grid.CellsY)
+			return fmt.Errorf("hog: cell grid %dx%d smaller than one block", grid.CellsX, grid.CellsY)
 		}
 	case LayoutPerCell:
 		bx, by = grid.CellsX, grid.CellsY
+		perCell = true
 	default:
-		return nil, fmt.Errorf("hog: unknown layout %v", cfg.Layout)
+		return fmt.Errorf("hog: unknown layout %v", cfg.Layout)
 	}
-	fm := &FeatureMap{
-		BlocksX:  bx,
-		BlocksY:  by,
-		BlockLen: cfg.BlockLen(),
-		Feat:     make([]float64, bx*by*cfg.BlockLen()),
-		Cfg:      cfg,
+	blockLen := cfg.BlockLen()
+	n := bx * by * blockLen
+	if cap(fm.Feat) < n {
+		fm.Feat = make([]float64, n)
 	}
-	clampCell := func(c, n int) int {
-		if c >= n {
-			return n - 1
-		}
-		return c
-	}
+	fm.BlocksX, fm.BlocksY, fm.BlockLen = bx, by, blockLen
+	fm.Feat = fm.Feat[:n]
+	fm.Cfg = cfg
+	bins := cfg.Bins
+	maxCX, maxCY := grid.CellsX-1, grid.CellsY-1
 	for y := 0; y < by; y++ {
 		for x := 0; x < bx; x++ {
-			dst := fm.Block(x, y)
+			dst := fm.Feat[(y*bx+x)*blockLen : (y*bx+x+1)*blockLen]
 			// Gather the BlockCells x BlockCells cell histograms.
 			k := 0
 			for cy := 0; cy < cfg.BlockCells; cy++ {
 				for cx := 0; cx < cfg.BlockCells; cx++ {
 					gx, gy := x+cx, y+cy
-					if cfg.Layout == LayoutPerCell {
-						gx = clampCell(gx, grid.CellsX)
-						gy = clampCell(gy, grid.CellsY)
+					if perCell {
+						// Edge blocks replicate the border cells.
+						if gx > maxCX {
+							gx = maxCX
+						}
+						if gy > maxCY {
+							gy = maxCY
+						}
 					}
-					copy(dst[k:k+cfg.Bins], grid.At(gx, gy))
-					k += cfg.Bins
+					copy(dst[k:k+bins], grid.At(gx, gy))
+					k += bins
 				}
 			}
 			normalizeBlock(dst, cfg)
 		}
 	}
-	return fm, nil
+	return nil
 }
 
 // normalizeBlock applies the configured normalization to one block vector

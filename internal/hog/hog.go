@@ -23,7 +23,6 @@ package hog
 
 import (
 	"fmt"
-	"math"
 
 	"repro/internal/imgproc"
 )
@@ -188,14 +187,17 @@ func (g *CellGrid) At(cx, cy int) []float64 {
 // of img. Pixels in partial cells at the right/bottom edges are ignored,
 // matching the streaming hardware. The image must be at least one cell in
 // each dimension.
+//
+// This entry point runs the fused tangent-threshold fast path (see fast.go)
+// serially and returns a freshly allocated, caller-owned grid; temporaries
+// are recycled through an internal pool. For an allocation-free steady
+// state or banded parallelism use ComputeCellsInto with a Scratch.
+// ReferenceComputeCells retains the original Atan2/Hypot implementation as
+// the numerical reference.
 func ComputeCells(img *imgproc.Gray, cfg Config) (*CellGrid, error) {
-	if err := cfg.Validate(); err != nil {
+	cellsX, cellsY, err := checkCells(img, cfg)
+	if err != nil {
 		return nil, err
-	}
-	cellsX := img.W / cfg.CellSize
-	cellsY := img.H / cfg.CellSize
-	if cellsX < 1 || cellsY < 1 {
-		return nil, fmt.Errorf("hog: image %dx%d smaller than one %dpx cell", img.W, img.H, cfg.CellSize)
 	}
 	grid := &CellGrid{
 		CellsX: cellsX,
@@ -203,96 +205,11 @@ func ComputeCells(img *imgproc.Gray, cfg Config) (*CellGrid, error) {
 		Bins:   cfg.Bins,
 		Hist:   make([]float64, cellsX*cellsY*cfg.Bins),
 	}
-	// Luminance in [0, 1] (so Epsilon has a scale-free meaning), with
-	// optional sqrt gamma compression.
-	pix := img.Pix
-	w, h := img.W, img.H
-	lum := make([]float64, len(pix))
-	for i, v := range pix {
-		if cfg.SqrtGamma {
-			lum[i] = math.Sqrt(float64(v) / 255)
-		} else {
-			lum[i] = float64(v) / 255
-		}
-	}
-	at := func(x, y int) float64 {
-		if x < 0 {
-			x = 0
-		} else if x >= w {
-			x = w - 1
-		}
-		if y < 0 {
-			y = 0
-		} else if y >= h {
-			y = h - 1
-		}
-		return lum[y*w+x]
-	}
-
-	binWidth := math.Pi / float64(cfg.Bins)
-	maxY := cellsY * cfg.CellSize
-	maxX := cellsX * cfg.CellSize
-	for y := 0; y < maxY; y++ {
-		for x := 0; x < maxX; x++ {
-			gx := at(x+1, y) - at(x-1, y)
-			gy := at(x, y+1) - at(x, y-1)
-			mag := math.Hypot(gx, gy)
-			if mag == 0 {
-				continue
-			}
-			// Unsigned orientation in [0, pi).
-			theta := math.Atan2(gy, gx)
-			if theta < 0 {
-				theta += math.Pi
-			}
-			if theta >= math.Pi {
-				theta -= math.Pi
-			}
-			// Two-nearest-bin vote: bins are centered at (b+0.5)*binWidth.
-			fb := theta/binWidth - 0.5
-			b0 := int(math.Floor(fb))
-			alpha := fb - float64(b0)
-			b1 := b0 + 1
-			// Wrap around the unsigned orientation circle.
-			if b0 < 0 {
-				b0 += cfg.Bins
-			}
-			if b1 >= cfg.Bins {
-				b1 -= cfg.Bins
-			}
-			v0 := mag * (1 - alpha)
-			v1 := mag * alpha
-
-			if !cfg.InterpolateCells {
-				cell := grid.At(x/cfg.CellSize, y/cfg.CellSize)
-				cell[b0] += v0
-				cell[b1] += v1
-				continue
-			}
-			// Bilinear spatial split across the four nearest cells.
-			fx := (float64(x)+0.5)/float64(cfg.CellSize) - 0.5
-			fy := (float64(y)+0.5)/float64(cfg.CellSize) - 0.5
-			cx0 := int(math.Floor(fx))
-			cy0 := int(math.Floor(fy))
-			ax := fx - float64(cx0)
-			ay := fy - float64(cy0)
-			for _, cc := range [4]struct {
-				cx, cy int
-				w      float64
-			}{
-				{cx0, cy0, (1 - ax) * (1 - ay)},
-				{cx0 + 1, cy0, ax * (1 - ay)},
-				{cx0, cy0 + 1, (1 - ax) * ay},
-				{cx0 + 1, cy0 + 1, ax * ay},
-			} {
-				if cc.cx < 0 || cc.cy < 0 || cc.cx >= cellsX || cc.cy >= cellsY || cc.w == 0 {
-					continue
-				}
-				cell := grid.At(cc.cx, cc.cy)
-				cell[b0] += v0 * cc.w
-				cell[b1] += v1 * cc.w
-			}
-		}
+	s := scratchPool.Get().(*Scratch)
+	err = computeCellsImpl(img, cfg, grid, s, 1)
+	scratchPool.Put(s)
+	if err != nil {
+		return nil, err
 	}
 	return grid, nil
 }

@@ -1,0 +1,93 @@
+package hog
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/imgproc"
+)
+
+// Scratch is the reusable per-frame arena of the HOG front-end: the
+// luminance plane, the cell grid, the normalized feature map, the banded
+// interpolation halos, and the orientation threshold table all live here
+// and are recycled across frames. A steady-state ComputeCellsInto /
+// ComputeInto call allocates nothing (pinned by TestFrontEndAllocs).
+//
+// Ownership rules:
+//
+//   - The *CellGrid returned by ComputeCellsInto and the *FeatureMap
+//     returned by ComputeInto alias the scratch; they are valid until the
+//     next ...Into call on the same Scratch.
+//   - A Scratch serves one frame at a time; concurrent frames need
+//     distinct Scratches (core.Arena pools them per in-flight frame).
+//   - Never hand scratch-owned maps to featpyr.ReleaseMap: the feature
+//     slab belongs to the arena, not to featpyr's level pool.
+type Scratch struct {
+	lum  []float64
+	halo []float64
+	grid CellGrid
+	fm   FeatureMap
+	bt   binTable
+	// fc is the per-pass context; it lives here (not on the stack) because
+	// the band workers capture it, which would otherwise heap-allocate it
+	// on every frame.
+	fc fusedCtx
+}
+
+// NewScratch returns an empty arena; buffers grow on first use and are
+// retained afterwards.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// scratchPool recycles arenas for the allocating convenience entry points
+// (ComputeCells, Compute), which still return caller-owned results but
+// reuse pooled temporaries (luminance plane, halos, threshold table)
+// between calls.
+var scratchPool = sync.Pool{New: func() any { return NewScratch() }}
+
+// checkCells validates cfg against img and returns the cell grid size.
+func checkCells(img *imgproc.Gray, cfg Config) (cellsX, cellsY int, err error) {
+	if err := cfg.Validate(); err != nil {
+		return 0, 0, err
+	}
+	cellsX = img.W / cfg.CellSize
+	cellsY = img.H / cfg.CellSize
+	if cellsX < 1 || cellsY < 1 {
+		return 0, 0, fmt.Errorf("hog: image %dx%d smaller than one %dpx cell", img.W, img.H, cfg.CellSize)
+	}
+	return cellsX, cellsY, nil
+}
+
+// ComputeCellsInto computes dense cell histograms into s's reusable grid
+// using the fused fast path, parallelized over cell-row bands by up to
+// `workers` goroutines (<= 1 means serial; results are byte-identical at
+// every worker count). The returned grid aliases s.
+func ComputeCellsInto(img *imgproc.Gray, cfg Config, s *Scratch, workers int) (*CellGrid, error) {
+	cellsX, cellsY, err := checkCells(img, cfg)
+	if err != nil {
+		return nil, err
+	}
+	n := cellsX * cellsY * cfg.Bins
+	if cap(s.grid.Hist) < n {
+		s.grid.Hist = make([]float64, n)
+	}
+	s.grid.CellsX, s.grid.CellsY, s.grid.Bins = cellsX, cellsY, cfg.Bins
+	s.grid.Hist = s.grid.Hist[:n]
+	if err := computeCellsImpl(img, cfg, &s.grid, s, workers); err != nil {
+		return nil, err
+	}
+	return &s.grid, nil
+}
+
+// ComputeInto runs the full fused pipeline (cells + block normalization)
+// into s's reusable buffers. The returned map aliases s; see the Scratch
+// ownership rules.
+func ComputeInto(img *imgproc.Gray, cfg Config, s *Scratch, workers int) (*FeatureMap, error) {
+	grid, err := ComputeCellsInto(img, cfg, s, workers)
+	if err != nil {
+		return nil, err
+	}
+	if err := NormalizeInto(grid, cfg, &s.fm); err != nil {
+		return nil, err
+	}
+	return &s.fm, nil
+}

@@ -222,6 +222,12 @@ func New(det *core.Detector, cfg Config) (*Pipeline, error) {
 		baseWorkers = runtime.GOMAXPROCS(0)
 	}
 	rungs := ladder(base.SkipFinest, baseWorkers, cfg.MaxShed, cfg.MinWorkers)
+	// All rungs share one frame arena: the scan loop runs one frame at a
+	// time, and a rung switch should reuse the already-grown scratch
+	// buffers rather than warm up private ones.
+	if base.Arena == nil {
+		base.Arena = core.NewArena()
+	}
 	dets := make([]*core.Detector, len(rungs))
 	for i, r := range rungs {
 		c := base
