@@ -32,6 +32,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/hog"
 	"repro/internal/imgproc"
+	"repro/internal/obs"
 	"repro/internal/rt"
 	"repro/internal/serve"
 	"repro/internal/svm"
@@ -116,12 +117,31 @@ func main() {
 		run(fmt.Sprintf("ComputeCells/fused/workers=%d", n), benchComputeCellsFused(n))
 	}
 	run("Normalize/into", benchNormalizeInto)
-	run("DetectParallel/workers=1", benchDetect(1))
+	run("DetectParallel/workers=1", benchDetect(1, false))
 	if n := runtime.GOMAXPROCS(0); n > 1 {
-		run(fmt.Sprintf("DetectParallel/workers=%d", n), benchDetect(0))
+		run(fmt.Sprintf("DetectParallel/workers=%d", n), benchDetect(0, false))
 	}
 	run("ScoreWindow/zero-copy", benchScoreWindow)
 	run("ServeRoundTrip", benchServeRoundTrip)
+
+	// Observability overhead: the same single-worker scan with the obs
+	// recorder attached. The tentpole's contract is that instrumentation
+	// stays in the noise (<2% on ns/op, zero extra allocs).
+	run("DetectParallel/workers=1/metrics=on", benchDetect(1, true))
+	var off, on *benchResult
+	for i := range rep.Results {
+		switch rep.Results[i].Name {
+		case "DetectParallel/workers=1":
+			off = &rep.Results[i]
+		case "DetectParallel/workers=1/metrics=on":
+			on = &rep.Results[i]
+		}
+	}
+	if off != nil && on != nil && off.NsPerOp > 0 {
+		pct := (on.NsPerOp - off.NsPerOp) / off.NsPerOp * 100
+		fmt.Printf("%-32s %+.2f%% ns/op, %+d allocs/op\n",
+			"obs overhead (metrics on-off)", pct, on.AllocsPerOp-off.AllocsPerOp)
+	}
 
 	if *jsonPath != "" {
 		raw, err := json.MarshalIndent(rep, "", "  ")
@@ -197,12 +217,16 @@ func benchNormalizeInto(b *testing.B) {
 }
 
 // benchDetect benchmarks the full multi-scale scan of a VGA frame with the
-// given worker count (0 = GOMAXPROCS) and a random-weight model.
-func benchDetect(workers int) func(b *testing.B) {
+// given worker count (0 = GOMAXPROCS) and a random-weight model. metrics
+// attaches an obs recorder to measure the instrumentation overhead.
+func benchDetect(workers int, metrics bool) func(b *testing.B) {
 	return func(b *testing.B) {
 		cfg := core.DefaultConfig()
 		cfg.Mode = core.FeaturePyramid
 		cfg.Workers = workers
+		if metrics {
+			cfg.Metrics = obs.NewDetectRecorder(obs.NewMetrics())
+		}
 		rng := rand.New(rand.NewSource(21))
 		model := &svm.Model{W: make([]float64, cfg.DescriptorLen())}
 		for i := range model.W {

@@ -20,6 +20,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/imgproc"
+	"repro/internal/obs"
 	"repro/internal/rt"
 	"repro/internal/svm"
 )
@@ -116,7 +117,8 @@ func main() {
 // given frame rate and reports the per-frame outcomes plus the final Stats
 // snapshot — the software rendition of the paper's 60 fps budget analysis.
 func runStream(det *core.Detector, frame *imgproc.Gray, n int, fps float64) {
-	p, err := rt.New(det, rt.Config{FPS: fps})
+	m := obs.NewMetrics()
+	p, err := rt.New(det, rt.Config{FPS: fps, Metrics: m})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -154,4 +156,5 @@ func runStream(det *core.Detector, frame *imgproc.Gray, n int, fps float64) {
 	log.Printf("stats: %s", p.Stats())
 	p.Close()
 	<-done
+	log.Printf("stage latencies:\n%s", m.Summary())
 }

@@ -8,7 +8,9 @@
 //
 // POST a binary PGM frame to /detect (headers: X-Stream pins the camera
 // stream to a worker, X-Deadline-Ms bounds the request); GET /healthz,
-// /readyz and /statsz for liveness, readiness and stats. SIGINT/SIGTERM
+// /readyz and /statsz for liveness, readiness and stats; GET /metricsz
+// for the Prometheus scrape and /tracez for the slowest-frame traces.
+// -pprof mounts net/http/pprof under /debug/pprof/. SIGINT/SIGTERM
 // drains in-flight requests under -drain before exiting.
 package main
 
@@ -17,12 +19,14 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // handlers gated behind -pprof in main
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/rt"
 	"repro/internal/serve"
 	"repro/internal/svm"
@@ -52,6 +56,7 @@ func main() {
 		restartAfter      = flag.Int("restart-after-errors", 16, "consecutive erroring frames that restart a worker (negative disables)")
 
 		drain = flag.Duration("drain", 10*time.Second, "graceful shutdown drain deadline")
+		pprof = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 
@@ -76,6 +81,11 @@ func main() {
 		log.Fatalf("unknown mode %q", *mode)
 	}
 
+	// One shared metrics registry: every worker pipeline records into it
+	// (stage histograms and counters are atomic; each pipeline has its own
+	// frame-scratch recorder lane) and /metricsz scrapes it.
+	metrics := obs.NewMetrics()
+
 	// Every worker gets its own detector so a panic in one cannot poison
 	// shared state in another, and a restart rebuilds from scratch.
 	factory := func(worker int) (*core.Detector, error) {
@@ -83,7 +93,7 @@ func main() {
 	}
 	sup, err := serve.NewSupervisor(factory, serve.SupervisorConfig{
 		Workers:            *workers,
-		Pipeline:           rt.Config{FPS: *fps},
+		Pipeline:           rt.Config{FPS: *fps, Metrics: metrics},
 		RestartBackoff:     *restartBackoff,
 		RestartBackoffMax:  *restartBackoffMax,
 		RestartAfterErrors: *restartAfter,
@@ -94,6 +104,7 @@ func main() {
 	srv := serve.NewServer(sup, serve.ServerConfig{
 		Queue:          *queue,
 		DefaultTimeout: *timeout,
+		Metrics:        metrics,
 		Breaker: serve.BreakerConfig{
 			FailureThreshold: *breakerFailures,
 			Cooldown:         *breakerCooldown,
@@ -103,7 +114,18 @@ func main() {
 		},
 	})
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	// The pprof import registers its handlers on http.DefaultServeMux;
+	// they are only reachable when -pprof routes /debug/pprof/ there.
+	handler := srv.Handler()
+	if *pprof {
+		mux := http.NewServeMux()
+		mux.Handle("/debug/pprof/", http.DefaultServeMux)
+		mux.Handle("/", handler)
+		handler = mux
+		log.Printf("pprof enabled at /debug/pprof/")
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	log.Printf("serving %s (%s pyramid) on %s: %d workers at %.1f fps, queue %d, breaker %d/%s",
@@ -133,4 +155,7 @@ func main() {
 	st := sup.Stats()
 	log.Printf("final: %+v", srv.Stats())
 	log.Printf("aggregate pipeline: %s", st.Aggregate)
+	if s := metrics.Summary(); s != "" {
+		log.Printf("stage latencies:\n%s", s)
+	}
 }

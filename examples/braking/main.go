@@ -6,6 +6,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 
 	"repro/internal/das"
 )
@@ -25,7 +26,10 @@ func main() {
 
 	fmt.Println("\n=== what the 60 fps requirement buys ===")
 	for _, fps := range []float64{10, 30, 60} {
-		b := das.BudgetAt(70, fps)
+		b, err := das.BudgetAt(70, fps)
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("%5.0f fps: %.1f ms/frame, %.2f m travelled per frame at 70 km/h\n",
 			fps, b.FrameTime*1e3, b.MetresPerFrame)
 	}

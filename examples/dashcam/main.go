@@ -18,6 +18,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/geom"
 	"repro/internal/imgproc"
+	"repro/internal/obs"
 	"repro/internal/rt"
 	"repro/internal/rt/faultinject"
 )
@@ -101,7 +102,10 @@ func main() {
 		r := das.Analyze(das.Scenario{SpeedKmh: kmh})
 		fmt.Println(r)
 	}
-	b := das.BudgetAt(50, 60)
+	b, err := das.BudgetAt(50, 60)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("at 60 fps the vehicle moves %.2f m between frames at 50 km/h\n", b.MetresPerFrame)
 	lat := das.MaxDetectorLatency(das.Scenario{SpeedKmh: 50}, 60)
 	fmt.Printf("latency budget to keep the 60 m detection range at 50 km/h: %.2f s\n", lat)
@@ -140,7 +144,8 @@ func streamDemo(det *core.Detector, cfg core.Config, scenes []*dataset.Scene) {
 	// A generous software deadline (the pure-Go scan is far from the
 	// paper's hardware speed); the injected stall blows through it.
 	deadline := 250 * time.Millisecond
-	p, err := rt.New(d, rt.Config{Deadline: deadline, DegradeAfter: 2, RecoverAfter: 2})
+	m := obs.NewMetrics()
+	p, err := rt.New(d, rt.Config{Deadline: deadline, DegradeAfter: 2, RecoverAfter: 2, Metrics: m})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -175,4 +180,5 @@ func streamDemo(det *core.Detector, cfg core.Config, scenes []*dataset.Scene) {
 	faults.Reset()
 	feed(3, "healthy")
 	fmt.Printf("stream stats: %s (shed at intake: %d)\n", p.Stats(), shed)
+	fmt.Printf("stage latencies:\n%s", m.Summary())
 }

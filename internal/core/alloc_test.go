@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/imgproc"
+	"repro/internal/obs"
 	"repro/internal/svm"
 )
 
@@ -45,5 +46,51 @@ func TestDetectAllocs(t *testing.T) {
 	})
 	if n > budget {
 		t.Errorf("Detect: %v allocs/op in steady state, budget %d", n, budget)
+	}
+}
+
+// TestDetectAllocsMetricsOn re-pins the TestDetectAllocs budget with the
+// observability layer enabled: stage timing, per-level resample histograms,
+// and arena counters must all record without adding a single steady-state
+// allocation to the detect path.
+func TestDetectAllocsMetricsOn(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Workers = 1
+	cfg.Metrics = obs.NewDetectRecorder(obs.NewMetrics())
+	model := &svm.Model{W: make([]float64, cfg.DescriptorLen()), B: -1}
+	d, err := NewDetector(model, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	frame := imgproc.NewGray(320, 240)
+	for i := range frame.Pix {
+		frame.Pix[i] = uint8(rng.Intn(256))
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := d.Detect(frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const budget = 32
+	n := testing.AllocsPerRun(20, func() {
+		if _, err := d.Detect(frame); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if n > budget {
+		t.Errorf("Detect with metrics: %v allocs/op in steady state, budget %d", n, budget)
+	}
+	m := cfg.Metrics.Metrics()
+	for _, st := range []obs.Stage{obs.StageHOGCells, obs.StageHOGNorm, obs.StagePyramid, obs.StageScan, obs.StageNMS} {
+		if m.Stage[st].Snapshot().Count == 0 {
+			t.Errorf("stage %s recorded nothing with metrics enabled", st)
+		}
+	}
+	if m.PyrLevel.Snapshot().Count == 0 {
+		t.Error("pyramid-level histogram recorded nothing")
+	}
+	if gets, _ := d.arena.Counters(); gets == 0 {
+		t.Error("arena counters recorded no checkouts")
 	}
 }

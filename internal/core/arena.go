@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/hog"
 )
@@ -16,13 +17,36 @@ import (
 // across its degradation rungs, which run one frame at a time) also share
 // the pooled buffers, so switching rungs does not re-grow them.
 type Arena struct {
-	pool sync.Pool
+	pool   sync.Pool
+	gets   atomic.Uint64
+	misses atomic.Uint64
 }
 
 // NewArena returns an empty arena; scratch buffers grow on first use.
 func NewArena() *Arena {
-	return &Arena{pool: sync.Pool{New: func() any { return hog.NewScratch() }}}
+	a := &Arena{}
+	a.pool.New = func() any {
+		a.misses.Add(1)
+		return hog.NewScratch()
+	}
+	return a
 }
 
-func (a *Arena) get() *hog.Scratch  { return a.pool.Get().(*hog.Scratch) }
-func (a *Arena) put(s *hog.Scratch) { a.pool.Put(s) }
+// Counters reports how many scratches have been checked out and how many of
+// those checkouts missed the pool (constructing a fresh scratch whose
+// buffers grow from empty). A steady-state detector should show misses
+// bounded by its peak frame concurrency; growth past that means buffers are
+// being thrown away somewhere.
+func (a *Arena) Counters() (gets, misses uint64) {
+	return a.gets.Load(), a.misses.Load()
+}
+
+func (a *Arena) get() *hog.Scratch {
+	a.gets.Add(1)
+	return a.pool.Get().(*hog.Scratch)
+}
+
+func (a *Arena) put(s *hog.Scratch) {
+	s.Metrics = nil
+	a.pool.Put(s)
+}

@@ -12,12 +12,14 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/eval"
 	"repro/internal/featpyr"
 	"repro/internal/geom"
 	"repro/internal/hog"
 	"repro/internal/imgproc"
+	"repro/internal/obs"
 	"repro/internal/svm"
 )
 
@@ -101,6 +103,16 @@ type Config struct {
 	// streaming runtime hands one arena to every degradation rung). nil
 	// gives the detector a private arena in NewDetector.
 	Arena *Arena
+	// Metrics, if non-nil, receives per-stage latency observations from the
+	// detect path: HOG cell binning and normalization (via the arena
+	// scratch), pyramid construction, window scanning, and NMS, plus
+	// per-level resample timings. Recording is lock-free and
+	// allocation-free, so the alloc budgets hold with metrics enabled; nil
+	// (the default) leaves the hot path with a single predicted-not-taken
+	// branch per stage. A DetectRecorder accumulates one frame at a time:
+	// detectors running frames concurrently need distinct recorders, which
+	// may share one *obs.Metrics registry (its histograms are atomic).
+	Metrics *obs.DetectRecorder
 	// LevelProbe, if non-nil, is invoked once per scanned pyramid level
 	// (with its absolute pyramid index, assigned before any skipping) at
 	// the start of every scan. A non-nil return aborts the frame with that
@@ -190,6 +202,12 @@ func NewDetector(model *svm.Model, cfg Config) (*Detector, error) {
 	if arena == nil {
 		arena = NewArena()
 	}
+	// Route per-level resample timings of the float scalers into the
+	// registry's pyramid-level histogram unless the caller installed an
+	// explicit timer (the fixed scaler is timed directly in buildLevels).
+	if cfg.Scale.LevelTimer == nil {
+		cfg.Scale.LevelTimer = cfg.Metrics.LevelTimer()
+	}
 	return &Detector{cfg: cfg, model: model, arena: arena}, nil
 }
 
@@ -217,7 +235,9 @@ func (d *Detector) DetectCtx(ctx context.Context, frame *imgproc.Gray) ([]eval.D
 		return nil, err
 	}
 	if d.cfg.NMSOverlap > 0 {
+		t0 := time.Now()
 		raw = NMS(raw, d.cfg.NMSOverlap)
+		d.cfg.Metrics.Observe(obs.StageNMS, time.Since(t0))
 	}
 	return raw, nil
 }
@@ -232,15 +252,18 @@ func (d *Detector) DetectRawCtx(ctx context.Context, frame *imgproc.Gray) ([]eva
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	d.cfg.Metrics.BeginFrame()
 	levels, release, err := d.buildLevels(ctx, frame)
 	if err != nil {
 		return nil, err
 	}
 	defer release()
+	t0 := time.Now()
 	out, err := d.scanLevels(ctx, levels)
 	if err != nil {
 		return nil, err
 	}
+	d.cfg.Metrics.Observe(obs.StageScan, time.Since(t0))
 	sortByScore(out)
 	return out, nil
 }
@@ -328,6 +351,13 @@ func (d *Detector) buildLevels(ctx context.Context, frame *imgproc.Gray) ([]pyrL
 		// levels through a bounded worker pool. Each worker recovers its own
 		// panics so a poison frame (e.g. a truncated pixel buffer) surfaces
 		// as an error from DetectRawCtx instead of killing the process.
+		//
+		// The whole per-level resize+extract fan-out books under
+		// StagePyramid: the parallel workers compute HOG through pooled
+		// scratches that cannot share the frame's single-threaded stage
+		// recorder, so image-pyramid mode does not split out hog_cells /
+		// hog_norm the way the feature modes do.
+		t0 := time.Now()
 		levels := make([]pyrLevel, len(sizes))
 		errs := make([]error, len(sizes))
 		sem := make(chan struct{}, d.cfg.workers())
@@ -367,6 +397,7 @@ func (d *Detector) buildLevels(ctx context.Context, frame *imgproc.Gray) ([]pyrL
 		if err := firstError(errs); err != nil {
 			return nil, noop, err
 		}
+		d.cfg.Metrics.Observe(obs.StagePyramid, time.Since(t0))
 		return levels, noop, nil
 
 	case FeaturePyramid, FeaturePyramidChained, FeaturePyramidFixed:
@@ -380,6 +411,7 @@ func (d *Detector) buildLevels(ctx context.Context, frame *imgproc.Gray) ([]pyrL
 		// pyramid scans it directly as level 0 and holds the scratch until
 		// release.
 		s := d.arena.get()
+		s.Metrics = d.cfg.Metrics // cells/normalize stage timings; cleared on put
 		base, err := hog.ComputeInto(frame, d.cfg.HOG, s, d.cfg.workers())
 		if err != nil {
 			d.arena.put(s)
@@ -393,6 +425,7 @@ func (d *Detector) buildLevels(ctx context.Context, frame *imgproc.Gray) ([]pyrL
 		// checked in; snapshot the base grid size for the scale ratios
 		// below instead of re-reading the (then recycled) map.
 		baseBX, baseBY := base.BlocksX, base.BlocksY
+		pt0 := time.Now()
 		var levels []featpyr.Level
 		release := noop
 		switch d.cfg.Mode {
@@ -439,6 +472,7 @@ func (d *Detector) buildLevels(ctx context.Context, frame *imgproc.Gray) ([]pyrL
 					d.arena.put(s)
 					return nil, noop, err
 				}
+				lt0 := time.Now()
 				m, _, err := scaler.ScaleMap(prev, outBX, outBY)
 				if err != nil {
 					for j := 1; j < len(levels); j++ {
@@ -447,6 +481,7 @@ func (d *Detector) buildLevels(ctx context.Context, frame *imgproc.Gray) ([]pyrL
 					d.arena.put(s)
 					return nil, noop, fmt.Errorf("core: fixed scaler level %d: %w", i, err)
 				}
+				d.cfg.Metrics.ObserveLevel(time.Since(lt0))
 				levels = append(levels, featpyr.Level{
 					Scale: levels[i-1].Scale * d.cfg.ScaleStep,
 					Map:   m,
@@ -463,6 +498,7 @@ func (d *Detector) buildLevels(ctx context.Context, frame *imgproc.Gray) ([]pyrL
 				d.arena.put(s)
 			}
 		}
+		d.cfg.Metrics.Observe(obs.StagePyramid, time.Since(pt0))
 		// Feature pyramids derive every coarser level from the base map, so
 		// shedding only skips the scan (which dominates); skipped level maps
 		// go straight back to the scratch pool — except a scratch-owned base,

@@ -119,13 +119,20 @@ type FrameBudget struct {
 }
 
 // BudgetAt returns the frame budget at the given vehicle speed (km/h) and
-// detector frame rate. It panics if fps is not positive.
-func BudgetAt(speedKmh, fps float64) FrameBudget {
-	if fps <= 0 {
-		panic("das: fps must be positive")
+// detector frame rate. The frame rate must be positive and finite and the
+// speed non-negative and finite; anything else — including NaN and ±Inf,
+// which slip through ordinary <= comparisons — is rejected with an error
+// rather than propagating a zero, negative, or NaN frame budget into
+// deadline arithmetic (rt.Config derives context timeouts from FrameTime).
+func BudgetAt(speedKmh, fps float64) (FrameBudget, error) {
+	if math.IsNaN(fps) || math.IsInf(fps, 0) || fps <= 0 {
+		return FrameBudget{}, fmt.Errorf("das: frame rate %g must be positive and finite", fps)
+	}
+	if math.IsNaN(speedKmh) || math.IsInf(speedKmh, 0) || speedKmh < 0 {
+		return FrameBudget{}, fmt.Errorf("das: speed %g km/h must be non-negative and finite", speedKmh)
 	}
 	ft := 1 / fps
-	return FrameBudget{FPS: fps, FrameTime: ft, MetresPerFrame: KmhToMs(speedKmh) * ft}
+	return FrameBudget{FPS: fps, FrameTime: ft, MetresPerFrame: KmhToMs(speedKmh) * ft}, nil
 }
 
 // PixelHeightAtDistance returns the approximate pixel height of a pedestrian

@@ -113,13 +113,56 @@ func TestMaxDetectorLatency(t *testing.T) {
 }
 
 func TestBudgetAt(t *testing.T) {
-	b := BudgetAt(50, 60)
+	b, err := BudgetAt(50, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !almost(b.FrameTime, 1.0/60, 1e-12) {
 		t.Errorf("frame time = %v", b.FrameTime)
 	}
 	// ~23 cm per frame at 50 km/h and 60 fps.
 	if !almost(b.MetresPerFrame, KmhToMs(50)/60, 1e-12) {
 		t.Errorf("metres per frame = %v", b.MetresPerFrame)
+	}
+	// A stationary vehicle is a legitimate scenario (rt derives pure frame
+	// deadlines with speed 0).
+	if b, err := BudgetAt(0, 60); err != nil || b.MetresPerFrame != 0 {
+		t.Errorf("BudgetAt(0, 60) = %+v, %v; want zero metres per frame, no error", b, err)
+	}
+}
+
+// TestBudgetAtRejectsDegenerateInputs pins the edge-case contract: a NaN
+// frame rate used to slip through the old fps <= 0 panic guard (every NaN
+// comparison is false) and ±Inf produced a zero FrameTime, either of which
+// poisons the deadline arithmetic downstream (a zero rt deadline cancels
+// every frame immediately; a NaN one is undefined). All degenerate inputs
+// must come back as errors, never as panics or silent garbage budgets.
+func TestBudgetAtRejectsDegenerateInputs(t *testing.T) {
+	nan := math.NaN()
+	inf := math.Inf(1)
+	for _, tc := range []struct {
+		name          string
+		speedKmh, fps float64
+	}{
+		{"zero fps", 50, 0},
+		{"negative fps", 50, -30},
+		{"NaN fps", 50, nan},
+		{"+Inf fps", 50, inf},
+		{"-Inf fps", 50, -inf},
+		{"negative speed", -10, 60},
+		{"NaN speed", nan, 60},
+		{"+Inf speed", inf, 60},
+		{"-Inf speed", -inf, 60},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			b, err := BudgetAt(tc.speedKmh, tc.fps)
+			if err == nil {
+				t.Fatalf("BudgetAt(%g, %g) = %+v, want error", tc.speedKmh, tc.fps, b)
+			}
+			if b != (FrameBudget{}) {
+				t.Errorf("error return carried a non-zero budget %+v", b)
+			}
+		})
 	}
 }
 

@@ -21,8 +21,10 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"repro/internal/hog"
+	"repro/internal/obs"
 )
 
 // featPool recycles the per-level feature slabs of pyramid construction.
@@ -87,6 +89,10 @@ type ScaleConfig struct {
 	// down-sampling by factor s, features are multiplied by s^-Lambda.
 	// Zero (the paper's choice) disables the correction.
 	Lambda float64
+	// LevelTimer, if non-nil, receives the wall time of every resample
+	// (one observation per pyramid level built through ScaleMapRatio).
+	// Recording is lock-free and allocation-free; nil disables it.
+	LevelTimer *obs.Histogram
 }
 
 // ScaleMap resamples fm to an outBX x outBY block grid. Factors are implied
@@ -116,6 +122,7 @@ func ScaleMapRatio(fm *hog.FeatureMap, outBX, outBY int, rx, ry float64, cfg Sca
 	if rx <= 0 || ry <= 0 {
 		return nil, fmt.Errorf("featpyr: non-positive sampling ratios %g, %g", rx, ry)
 	}
+	t0 := time.Now()
 	// Every element of the pooled slab is overwritten below (each output
 	// block is fully assigned), so no zeroing pass is needed.
 	out := newPooledMap(outBX, outBY, fm)
@@ -154,6 +161,7 @@ func ScaleMapRatio(fm *hog.FeatureMap, outBX, outBY int, rx, ry float64, cfg Sca
 	if cfg.Renormalize {
 		renormalize(out)
 	}
+	cfg.LevelTimer.Observe(time.Since(t0))
 	return out, nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/imgproc"
+	"repro/internal/obs"
 )
 
 // TestFrontEndAllocs pins the steady-state allocation count of the fused
@@ -54,4 +55,25 @@ func TestFrontEndAllocs(t *testing.T) {
 			}
 		})
 	}
+	// The zero-allocation contract must survive metrics being switched on:
+	// stage recording is atomic adds into preallocated histograms.
+	t.Run("metrics-on", func(t *testing.T) {
+		s := NewScratch()
+		s.Metrics = obs.NewDetectRecorder(obs.NewMetrics())
+		cfg := DefaultConfig()
+		if _, err := ComputeInto(img, cfg, s, 1); err != nil {
+			t.Fatal(err)
+		}
+		if n := testing.AllocsPerRun(20, func() {
+			s.Metrics.BeginFrame()
+			if _, err := ComputeInto(img, cfg, s, 1); err != nil {
+				t.Fatal(err)
+			}
+		}); n != 0 {
+			t.Errorf("ComputeInto with metrics: %v allocs/op in steady state, want 0", n)
+		}
+		if got := s.Metrics.Metrics().Stage[obs.StageHOGCells].Snapshot().Count; got == 0 {
+			t.Error("metrics enabled but no hog_cells observations recorded")
+		}
+	})
 }

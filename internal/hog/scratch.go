@@ -3,8 +3,10 @@ package hog
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/imgproc"
+	"repro/internal/obs"
 )
 
 // Scratch is the reusable per-frame arena of the HOG front-end: the
@@ -23,6 +25,13 @@ import (
 //   - Never hand scratch-owned maps to featpyr.ReleaseMap: the feature
 //     slab belongs to the arena, not to featpyr's level pool.
 type Scratch struct {
+	// Metrics, if non-nil, receives the front end's stage timings
+	// (StageHOGCells, StageHOGNorm). The detect path sets it on arena
+	// checkout and clears it on check-in (core.Arena); recording is
+	// nil-safe and allocation-free, so the metrics-off path costs one
+	// branch and the alloc budgets hold either way.
+	Metrics *obs.DetectRecorder
+
 	lum  []float64
 	halo []float64
 	grid CellGrid
@@ -72,9 +81,11 @@ func ComputeCellsInto(img *imgproc.Gray, cfg Config, s *Scratch, workers int) (*
 	}
 	s.grid.CellsX, s.grid.CellsY, s.grid.Bins = cellsX, cellsY, cfg.Bins
 	s.grid.Hist = s.grid.Hist[:n]
+	t0 := time.Now()
 	if err := computeCellsImpl(img, cfg, &s.grid, s, workers); err != nil {
 		return nil, err
 	}
+	s.Metrics.Observe(obs.StageHOGCells, time.Since(t0))
 	return &s.grid, nil
 }
 
@@ -86,8 +97,10 @@ func ComputeInto(img *imgproc.Gray, cfg Config, s *Scratch, workers int) (*Featu
 	if err != nil {
 		return nil, err
 	}
+	t0 := time.Now()
 	if err := NormalizeInto(grid, cfg, &s.fm); err != nil {
 		return nil, err
 	}
+	s.Metrics.Observe(obs.StageHOGNorm, time.Since(t0))
 	return &s.fm, nil
 }

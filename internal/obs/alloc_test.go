@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// TestObsRecordAllocs pins every hot-path record operation at zero
+// allocations: counters, gauges, histogram observations, per-frame stage
+// recording, and trace-ring insertion (both the filling and the full,
+// evicting regime). The whole observability layer rides the detection
+// hot path, so any allocation here would break the TestFrontEndAllocs /
+// TestDetectAllocs budgets with metrics enabled.
+func TestObsRecordAllocs(t *testing.T) {
+	m := NewMetrics()
+	r := NewDetectRecorder(m)
+	var c Counter
+	var g Gauge
+	var h Histogram
+	tr := FrameTrace{Total: time.Hour} // slower than everything: always evicts
+
+	check := func(name string, fn func()) {
+		t.Helper()
+		if n := testing.AllocsPerRun(100, fn); n != 0 {
+			t.Errorf("%s: %v allocs/op, want 0", name, n)
+		}
+	}
+
+	check("Counter.Inc", func() { c.Inc() })
+	check("Counter.Add", func() { c.Add(3) })
+	check("Gauge.Set", func() { g.Set(7) })
+	check("Histogram.Observe", func() { h.Observe(123 * time.Microsecond) })
+	check("DetectRecorder.BeginFrame", func() { r.BeginFrame() })
+	check("DetectRecorder.Observe", func() {
+		r.Observe(StageScan, time.Millisecond)
+		r.Observe(StageHOGCells, time.Microsecond)
+	})
+	check("DetectRecorder.ObserveLevel", func() { r.ObserveLevel(time.Millisecond) })
+	check("DetectRecorder.FrameStages", func() { _ = r.FrameStages() })
+	// The first TraceSlots records fill the ring; the rest exercise the
+	// full-ring fast rejection. Then seed a genuinely-evicting regime.
+	var ring TraceRing
+	check("TraceRing.Record/filling", func() { ring.Record(&tr) })
+	for i := 0; i <= TraceSlots; i++ {
+		m.Traces.Record(&FrameTrace{Total: time.Duration(i)})
+	}
+	check("TraceRing.Record/full", func() { m.Traces.Record(&tr) })
+
+	// Nil-safe no-op paths (the metrics-off configuration) must also be
+	// free.
+	var nilR *DetectRecorder
+	var nilH *Histogram
+	check("nil recorder", func() {
+		nilR.BeginFrame()
+		nilR.Observe(StageScan, time.Millisecond)
+		nilR.ObserveLevel(time.Millisecond)
+	})
+	check("nil histogram", func() { nilH.Observe(time.Millisecond) })
+}

@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram bucket geometry: a log-linear layout (HdrHistogram-style).
+// Values are nanoseconds. Each power-of-two octave is split into
+// histSub = 2^histSubBits linear sub-buckets, so the relative quantile
+// error is at most 1/histSub (12.5% at histSubBits = 2 — plenty for
+// latency percentiles). Everything at or past 2^histMaxExp ns (~18 min)
+// lands in the last bucket.
+const (
+	histSubBits = 2
+	histSub     = 1 << histSubBits
+	histMaxExp  = 40
+	histBuckets = histSub + (histMaxExp-histSubBits)*histSub
+)
+
+// bucketIndex maps a nanosecond value to its bucket.
+func bucketIndex(v uint64) int {
+	if v < histSub {
+		return int(v)
+	}
+	exp := bits.Len64(v) - 1 // position of the top set bit, >= histSubBits
+	if exp >= histMaxExp {
+		return histBuckets - 1
+	}
+	sub := (v >> (uint(exp) - histSubBits)) & (histSub - 1)
+	return histSub + (exp-histSubBits)*histSub + int(sub)
+}
+
+// bucketUpper is the inclusive upper bound (ns) of bucket i; quantiles
+// report this bound, so they never understate a latency.
+func bucketUpper(i int) uint64 {
+	if i < histSub {
+		return uint64(i)
+	}
+	exp := histSubBits + (i-histSub)/histSub
+	sub := uint64((i - histSub) % histSub)
+	width := uint64(1) << (uint(exp) - histSubBits)
+	return uint64(1)<<uint(exp) + (sub+1)*width - 1
+}
+
+// Histogram is a preallocated latency histogram with log-spaced buckets.
+// Observe is lock-free, allocation-free, and safe for concurrent use; the
+// zero value is ready to record. Quantiles come from Snapshot, off the
+// hot path.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64 // ns
+	max     atomic.Uint64 // ns
+	buckets [histBuckets]atomic.Uint64
+}
+
+// Observe records one duration. Negative durations clamp to zero. Safe on
+// a nil receiver (no-op), so optional timer hooks can be passed around as
+// possibly-nil *Histogram.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	var v uint64
+	if d > 0 {
+		v = uint64(d)
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		old := h.max.Load()
+		if v <= old || h.max.CompareAndSwap(old, v) {
+			break
+		}
+	}
+	h.buckets[bucketIndex(v)].Add(1)
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram. Counters are
+// loaded individually, so a snapshot taken while recording proceeds may
+// be off by the frames in flight during the loads — fine for monitoring,
+// not a linearizable cut.
+type HistogramSnapshot struct {
+	Count   uint64
+	Sum     time.Duration
+	Max     time.Duration
+	buckets [histBuckets]uint64
+}
+
+// Snapshot copies the histogram state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	if h == nil {
+		return s
+	}
+	s.Count = h.count.Load()
+	s.Sum = time.Duration(h.sum.Load())
+	s.Max = time.Duration(h.max.Load())
+	for i := range s.buckets {
+		s.buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// Mean returns the mean observed duration (0 when empty).
+func (s *HistogramSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / time.Duration(s.Count)
+}
+
+// Quantile returns the q-quantile (0 < q <= 1) as the upper bound of the
+// bucket containing it, so the true latency is never understated by more
+// than the bucket's relative width (<= 12.5%). Returns 0 when empty.
+func (s *HistogramSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// Rank of the target observation, 1-based, rounded up.
+	rank := uint64(q * float64(s.Count))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > s.Count {
+		rank = s.Count
+	}
+	var cum uint64
+	for i, c := range s.buckets {
+		cum += c
+		if cum >= rank {
+			u := time.Duration(bucketUpper(i))
+			if i == histBuckets-1 && s.Max > u {
+				// Overflow bucket: its nominal bound understates; the
+				// observed maximum is the only honest answer.
+				return s.Max
+			}
+			if u > s.Max {
+				u = s.Max // never report past the observed maximum
+			}
+			return u
+		}
+	}
+	return s.Max
+}
+
+// Buckets invokes fn for every non-empty bucket in ascending order with
+// the bucket's inclusive upper bound (ns) and its count. Used by the
+// Prometheus renderer.
+func (s *HistogramSnapshot) Buckets(fn func(upperNs, count uint64)) {
+	for i, c := range s.buckets {
+		if c != 0 {
+			fn(bucketUpper(i), c)
+		}
+	}
+}

@@ -1,0 +1,228 @@
+package obs
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBucketIndexMonotone checks the log-linear bucket layout: indices
+// are monotone in the value, every value lands within its bucket's
+// bounds, and the layout is contiguous from 0.
+func TestBucketIndexMonotone(t *testing.T) {
+	last := -1
+	for _, v := range []uint64{0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 31, 32,
+		1000, 1 << 20, 1<<20 + 1, 1 << 30, 1 << 39, 1<<40 - 1, 1 << 40, 1 << 50} {
+		i := bucketIndex(v)
+		if i < last {
+			t.Fatalf("bucketIndex(%d) = %d < previous %d: not monotone", v, i, last)
+		}
+		if i < 0 || i >= histBuckets {
+			t.Fatalf("bucketIndex(%d) = %d out of range [0,%d)", v, i, histBuckets)
+		}
+		if v < 1<<histMaxExp && bucketUpper(i) < v {
+			t.Errorf("value %d exceeds its bucket upper bound %d (bucket %d)", v, bucketUpper(i), i)
+		}
+		last = i
+	}
+	// Bounds are strictly increasing, so cumulative walks are well-formed.
+	for i := 1; i < histBuckets; i++ {
+		if bucketUpper(i) <= bucketUpper(i-1) {
+			t.Fatalf("bucketUpper not increasing at %d: %d <= %d", i, bucketUpper(i), bucketUpper(i-1))
+		}
+	}
+}
+
+// TestHistogramQuantiles records a known distribution and checks the
+// quantiles land within the documented 12.5% bucket error.
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	rng := rand.New(rand.NewSource(7))
+	vals := make([]time.Duration, 0, 5000)
+	for i := 0; i < 5000; i++ {
+		d := time.Duration(rng.Intn(10_000_000)) * time.Microsecond / 1000 // up to 10ms
+		vals = append(vals, d)
+		h.Observe(d)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	s := h.Snapshot()
+	if s.Count != 5000 {
+		t.Fatalf("count %d, want 5000", s.Count)
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		got := s.Quantile(q)
+		want := vals[int(q*float64(len(vals)))-1]
+		if got < want {
+			t.Errorf("q%.2f = %s below true %s (quantiles must not understate)", q, got, want)
+		}
+		if float64(got) > float64(want)*1.130+float64(time.Microsecond) {
+			t.Errorf("q%.2f = %s more than 13%% above true %s", q, got, want)
+		}
+	}
+	if s.Max != vals[len(vals)-1] {
+		t.Errorf("max %s, want %s", s.Max, vals[len(vals)-1])
+	}
+	if got, want := s.Mean(), s.Sum/time.Duration(s.Count); got != want {
+		t.Errorf("mean %s, want %s", got, want)
+	}
+}
+
+// TestHistogramEdges covers empty, negative, and overflow observations.
+func TestHistogramEdges(t *testing.T) {
+	var h Histogram
+	s := h.Snapshot()
+	if s.Quantile(0.5) != 0 || s.Mean() != 0 || s.Max != 0 {
+		t.Error("empty histogram must report zeroes")
+	}
+	h.Observe(-time.Second) // clamps to 0
+	h.Observe(100 * time.Hour)
+	s = h.Snapshot()
+	if s.Count != 2 {
+		t.Fatalf("count %d, want 2", s.Count)
+	}
+	if s.Quantile(1) != 100*time.Hour {
+		t.Errorf("q1 = %s, want the observed max", s.Quantile(1))
+	}
+	var nilH *Histogram
+	nilH.Observe(time.Second) // must not panic
+	if nilH.Snapshot().Count != 0 {
+		t.Error("nil histogram snapshot not empty")
+	}
+}
+
+// TestHistogramConcurrent hammers Observe from many goroutines; counters
+// must add up (run under -race in tier-1).
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	const gor, per = 8, 2000
+	var wg sync.WaitGroup
+	for g := 0; g < gor; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(g*per+i) * time.Microsecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s := h.Snapshot(); s.Count != gor*per {
+		t.Errorf("count %d, want %d", s.Count, gor*per)
+	}
+}
+
+// TestTraceRingRetainsSlowest fills the ring past capacity and checks it
+// keeps exactly the slowest TraceSlots frames, slowest first.
+func TestTraceRingRetainsSlowest(t *testing.T) {
+	var r TraceRing
+	for i := 0; i < 3*TraceSlots; i++ {
+		r.Record(&FrameTrace{Seq: uint64(i), Total: time.Duration(i) * time.Millisecond})
+	}
+	got := r.Snapshot()
+	if len(got) != TraceSlots {
+		t.Fatalf("ring holds %d, want %d", len(got), TraceSlots)
+	}
+	for i, tr := range got {
+		want := time.Duration(3*TraceSlots-1-i) * time.Millisecond
+		if tr.Total != want {
+			t.Errorf("slot %d: total %s, want %s", i, tr.Total, want)
+		}
+	}
+	// A fast frame must not evict anything once the ring is full of
+	// slower ones.
+	r.Record(&FrameTrace{Seq: 999, Total: time.Microsecond})
+	for _, tr := range r.Snapshot() {
+		if tr.Seq == 999 {
+			t.Error("fast frame evicted a slower trace")
+		}
+	}
+}
+
+// TestDetectRecorder checks per-frame accumulation, reset, and nil
+// safety.
+func TestDetectRecorder(t *testing.T) {
+	m := NewMetrics()
+	r := NewDetectRecorder(m)
+	r.BeginFrame()
+	r.Observe(StageScan, 2*time.Millisecond)
+	r.Observe(StageScan, 3*time.Millisecond) // accumulates within a frame
+	r.Observe(StageNMS, time.Millisecond)
+	st := r.FrameStages()
+	if st[StageScan] != int64(5*time.Millisecond) {
+		t.Errorf("scan stage %d, want %d", st[StageScan], 5*time.Millisecond)
+	}
+	if got := m.Stage[StageScan].Snapshot().Count; got != 2 {
+		t.Errorf("scan histogram count %d, want 2 (one per Observe)", got)
+	}
+	r.BeginFrame()
+	if st := r.FrameStages(); st[StageScan] != 0 || st[StageNMS] != 0 {
+		t.Error("BeginFrame did not clear the stage scratch")
+	}
+	var nilR *DetectRecorder
+	nilR.BeginFrame()
+	nilR.Observe(StageScan, time.Second)
+	nilR.ObserveLevel(time.Second)
+	if nilR.FrameStages() != ([NumStages]int64{}) || nilR.LevelTimer() != nil || nilR.Metrics() != nil {
+		t.Error("nil recorder must be inert")
+	}
+}
+
+// TestWritePrometheus smoke-tests the text rendering: parseable lines,
+// the expected families, and counter values that match the registry.
+func TestWritePrometheus(t *testing.T) {
+	m := NewMetrics()
+	r := NewDetectRecorder(m)
+	r.Observe(StageScan, 5*time.Millisecond)
+	m.Frame.Observe(7 * time.Millisecond)
+	m.FramesOut.Add(3)
+	var b strings.Builder
+	m.WritePrometheus(&b, "pd")
+	out := b.String()
+	for _, want := range []string{
+		`pd_stage_seconds{stage="scan",quantile="0.5"}`,
+		`pd_stage_seconds_count{stage="scan"} 1`,
+		"pd_frame_seconds_count 1",
+		"pd_frames_out_total 3",
+		"# TYPE pd_frames_out_total counter",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q:\n%s", want, out)
+		}
+	}
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if !strings.HasPrefix(line, "#") && len(strings.Fields(line)) != 2 {
+			t.Errorf("malformed sample line %q", line)
+		}
+	}
+}
+
+// TestSummary smoke-tests the CLI table.
+func TestSummary(t *testing.T) {
+	m := NewMetrics()
+	m.Stage[StageHOGCells].Observe(time.Millisecond)
+	m.Frame.Observe(2 * time.Millisecond)
+	s := m.Summary()
+	if !strings.Contains(s, "hog_cells") || !strings.Contains(s, "frame") {
+		t.Errorf("summary missing rows:\n%s", s)
+	}
+}
+
+// TestStageString pins the label set (the Prometheus stage label values
+// are part of the scrape contract).
+func TestStageString(t *testing.T) {
+	want := []string{"decode", "hog_cells", "hog_norm", "pyramid", "scan", "nms"}
+	if NumStages != len(want) {
+		t.Fatalf("NumStages = %d, want %d", NumStages, len(want))
+	}
+	for i, w := range want {
+		if got := Stage(i).String(); got != w {
+			t.Errorf("Stage(%d) = %q, want %q", i, got, w)
+		}
+	}
+	if Stage(-1).String() != "unknown" || Stage(NumStages).String() != "unknown" {
+		t.Error("out-of-range stages must stringify as unknown")
+	}
+}

@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// TraceSlots is the capacity of a TraceRing: the slowest TraceSlots
+// frames seen since startup are retained.
+const TraceSlots = 32
+
+// FrameTrace is the span breakdown of one frame through the streaming
+// runtime: where the frame's wall time went, which degradation rung it
+// ran at, and whether it hit its deadline. Durations are nanoseconds in
+// the JSON form (field names carry the _ns suffix).
+type FrameTrace struct {
+	// Seq is the frame's pipeline submission sequence number; Worker is
+	// the rt.Config.MetricsID of the pipeline that scanned it (the serve
+	// supervisor sets it to the worker index).
+	Seq    uint64 `json:"seq"`
+	Worker int    `json:"worker"`
+	// Rung is the degradation rung the frame was scanned at.
+	Rung int `json:"rung"`
+	// Wait is queue time before the scan loop picked the frame up; Total
+	// is the detection wall time; Margin is Deadline - Total (negative
+	// when the deadline was missed).
+	Wait     time.Duration `json:"wait_ns"`
+	Total    time.Duration `json:"total_ns"`
+	Deadline time.Duration `json:"deadline_ns"`
+	Margin   time.Duration `json:"margin_ns"`
+	// Stages is the per-stage nanosecond breakdown, indexed like
+	// StageNames(). The stage sum is at most Total; the remainder is
+	// glue (slicing, sorting, scheduling) outside the named stages.
+	Stages [NumStages]int64 `json:"stages_ns"`
+	// ArenaMiss reports that the frame's scratch checkout grew fresh
+	// buffers instead of reusing pooled ones.
+	ArenaMiss bool `json:"arena_miss"`
+	// Missed reports a deadline miss; Failed any per-frame error.
+	Missed bool `json:"missed"`
+	Failed bool `json:"failed"`
+}
+
+// TraceRing retains the slowest-N frame traces in preallocated slots.
+// Record is allocation-free (one short critical section per frame); the
+// zero value is ready to use.
+type TraceRing struct {
+	mu    sync.Mutex
+	n     int
+	slots [TraceSlots]FrameTrace
+}
+
+// Record offers a trace. It is kept if the ring has a free slot or the
+// frame is slower than the ring's current fastest entry.
+func (r *TraceRing) Record(t *FrameTrace) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.n < len(r.slots) {
+		r.slots[r.n] = *t
+		r.n++
+		r.mu.Unlock()
+		return
+	}
+	min := 0
+	for i := 1; i < r.n; i++ {
+		if r.slots[i].Total < r.slots[min].Total {
+			min = i
+		}
+	}
+	if t.Total > r.slots[min].Total {
+		r.slots[min] = *t
+	}
+	r.mu.Unlock()
+}
+
+// Len returns the number of retained traces.
+func (r *TraceRing) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// Snapshot returns the retained traces, slowest first. It allocates (it
+// runs on scrape paths, not frame paths).
+func (r *TraceRing) Snapshot() []FrameTrace {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := make([]FrameTrace, r.n)
+	copy(out, r.slots[:r.n])
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Total > out[j].Total })
+	return out
+}

@@ -39,6 +39,7 @@ import (
 	"repro/internal/das"
 	"repro/internal/eval"
 	"repro/internal/imgproc"
+	"repro/internal/obs"
 )
 
 // Config tunes the streaming runtime. The zero value is not usable: either
@@ -72,6 +73,18 @@ type Config struct {
 	// within to count toward recovery; the gap between it and 1.0 is the
 	// hysteresis band that prevents oscillation. Default 0.7.
 	RecoverMargin float64
+	// Metrics, if non-nil, receives the pipeline's observability stream:
+	// per-stage latency histograms (via a core detect recorder shared by
+	// every rung), frame/wait histograms, intake/drop/miss/degrade
+	// counters, arena hit/miss counters, and a per-frame trace ring
+	// retaining the slowest frames. Recording is allocation-free; nil (the
+	// default) disables everything. A *obs.Metrics registry may be shared
+	// across pipelines (internal/serve shares one across its workers) —
+	// each pipeline gets its own frame-stage recorder lane internally.
+	Metrics *obs.Metrics
+	// MetricsID labels this pipeline's entries in the trace ring (the
+	// FrameTrace.Worker field); internal/serve sets it to the worker index.
+	MetricsID int
 }
 
 // deadline resolves the per-frame budget.
@@ -80,7 +93,10 @@ func (c Config) deadline() (time.Duration, error) {
 		return c.Deadline, nil
 	}
 	if c.FPS > 0 {
-		b := das.BudgetAt(0, c.FPS)
+		b, err := das.BudgetAt(0, c.FPS)
+		if err != nil {
+			return 0, fmt.Errorf("rt: %w", err)
+		}
 		return time.Duration(b.FrameTime * float64(time.Second)), nil
 	}
 	return 0, errors.New("rt: config needs FPS or Deadline")
@@ -205,6 +221,16 @@ type Pipeline struct {
 	seq   atomic.Uint64
 	ctrl  *controller
 	stats *stats
+
+	// Observability (all nil/zero when Config.Metrics is nil). rec is this
+	// pipeline's frame-stage recorder lane: the scan loop runs one frame at
+	// a time, so every rung detector can share it. prevDeg/prevRec are the
+	// controller transition counts already flushed into the obs counters;
+	// only the scan loop touches them.
+	metrics          *obs.Metrics
+	rec              *obs.DetectRecorder
+	arena            *core.Arena
+	prevDeg, prevRec uint64
 }
 
 // New builds the degradation ladder for the detector and starts the
@@ -227,6 +253,11 @@ func New(det *core.Detector, cfg Config) (*Pipeline, error) {
 	// buffers rather than warm up private ones.
 	if base.Arena == nil {
 		base.Arena = core.NewArena()
+	}
+	var rec *obs.DetectRecorder
+	if cfg.Metrics != nil {
+		rec = obs.NewDetectRecorder(cfg.Metrics)
+		base.Metrics = rec
 	}
 	dets := make([]*core.Detector, len(rungs))
 	for i, r := range rungs {
@@ -253,7 +284,10 @@ func New(det *core.Detector, cfg Config) (*Pipeline, error) {
 		done:       make(chan struct{}),
 		ctrl: newController(len(rungs), cfg.DegradeAfter, cfg.RecoverAfter,
 			cfg.RecoverMargin),
-		stats: newStats(),
+		stats:   newStats(),
+		metrics: cfg.Metrics,
+		rec:     rec,
+		arena:   base.Arena,
 	}
 	go p.run()
 	return p, nil
@@ -285,26 +319,37 @@ func (p *Pipeline) Submit(frame *imgproc.Gray) bool {
 		return false
 	}
 	it := frameItem{seq: p.seq.Add(1) - 1, frame: frame, at: time.Now()}
-	select {
-	case p.in <- it:
-		p.stats.frameIn()
+	if p.stats.tryEnqueue(p.in, it) {
+		p.countIn()
 		return true
-	default:
 	}
 	// Queue full: evict the oldest queued frame, then retry once. The
 	// eviction and the retry race the scan loop benignly — at worst the
 	// scan loop dequeued a frame in between and no eviction was needed.
-	select {
-	case <-p.in:
-		p.stats.frameDropped()
-	default:
+	// Both the eviction and the enqueue commit their channel operation and
+	// their counter update under the stats lock, so a concurrent Stats()
+	// snapshot can never catch the queue and the counters disagreeing.
+	if p.stats.tryEvict(p.in) {
+		p.countDropped()
 	}
-	select {
-	case p.in <- it:
-		p.stats.frameIn()
+	if p.stats.tryEnqueue(p.in, it) {
+		p.countIn()
 		return true
-	default:
-		return false
+	}
+	return false
+}
+
+// countIn / countDropped mirror intake accounting into the optional obs
+// registry (the authoritative counters live in stats).
+func (p *Pipeline) countIn() {
+	if p.metrics != nil {
+		p.metrics.FramesIn.Inc()
+	}
+}
+
+func (p *Pipeline) countDropped() {
+	if p.metrics != nil {
+		p.metrics.FramesDropped.Inc()
 	}
 }
 
@@ -319,8 +364,7 @@ func (p *Pipeline) Flush() {
 			return
 		default:
 		}
-		s := p.stats.snapshot(p)
-		if s.FramesOut+s.FramesDropped >= s.FramesIn {
+		if p.stats.snapshot(p).InFlight == 0 {
 			return
 		}
 		select {
@@ -369,17 +413,13 @@ func (p *Pipeline) run() {
 	defer close(p.results)
 	// Frames still queued when Close fires were accepted but will never be
 	// scanned; count them as dropped so the stats invariant
-	// FramesIn == FramesOut + FramesDropped holds after shutdown. Close
-	// flips the intake gate before signalling stop, so no Submit can add to
-	// the queue after this drain runs.
+	// FramesIn == FramesOut + FramesDropped + InFlight holds after
+	// shutdown with InFlight 0. Close flips the intake gate before
+	// signalling stop, so no Submit can add to the queue after this drain
+	// runs.
 	defer func() {
-		for {
-			select {
-			case <-p.in:
-				p.stats.frameDropped()
-			default:
-				return
-			}
+		for p.stats.tryEvict(p.in) {
+			p.countDropped()
 		}
 	}()
 	for {
@@ -387,6 +427,19 @@ func (p *Pipeline) run() {
 		case <-p.stop:
 			return
 		case it := <-p.in:
+			// Close may have fired while this loop slept on the queue; with
+			// both channels ready the select above picks randomly, so
+			// re-check stop before scanning. Without this, frames queued at
+			// Close time were nondeterministically scanned instead of
+			// discarded, contradicting Close's documented drop semantics
+			// (and flaking TestCloseCountsQueuedFramesDropped).
+			select {
+			case <-p.stop:
+				p.stats.dropDequeued()
+				p.countDropped()
+				return
+			default:
+			}
 			r := p.process(it)
 			p.ctrl.observe(r, p.deadline)
 			p.stats.observe(r)
@@ -403,12 +456,16 @@ func (p *Pipeline) run() {
 func (p *Pipeline) process(it frameItem) FrameResult {
 	rung := p.ctrl.current()
 	wait := time.Since(it.at)
+	var arenaGets0, arenaMisses0 uint64
+	if p.metrics != nil {
+		arenaGets0, arenaMisses0 = p.arena.Counters()
+	}
 	ctx, cancel := context.WithTimeout(p.baseCtx, p.deadline)
 	start := time.Now()
 	dets, err := detectFrame(ctx, p.dets[rung], it.frame)
 	cancel()
 	lat := time.Since(start)
-	return FrameResult{
+	r := FrameResult{
 		Seq:        it.seq,
 		Detections: dets,
 		Err:        err,
@@ -417,6 +474,61 @@ func (p *Pipeline) process(it frameItem) FrameResult {
 		Missed:     lat > p.deadline || errors.Is(err, context.DeadlineExceeded),
 		Rung:       rung,
 	}
+	p.recordFrame(r, arenaGets0, arenaMisses0)
+	return r
+}
+
+// recordFrame mirrors one frame outcome into the obs registry: outcome
+// counters, frame/wait histograms, arena hit/miss deltas, controller
+// transition deltas, and a trace-ring entry carrying the per-stage
+// breakdown the rung detector accumulated for this frame. Runs on the scan
+// loop only; no-op when metrics are disabled.
+func (p *Pipeline) recordFrame(r FrameResult, arenaGets0, arenaMisses0 uint64) {
+	m := p.metrics
+	if m == nil {
+		return
+	}
+	m.FramesOut.Inc()
+	m.Frame.Observe(r.Latency)
+	m.Wait.Observe(r.Wait)
+	if r.Missed {
+		m.DeadlineMisses.Inc()
+	}
+	if r.Err != nil {
+		m.Errors.Inc()
+		var pe *PanicError
+		if errors.As(r.Err, &pe) {
+			m.Panics.Inc()
+		}
+	}
+	// Frame-local deltas keep the obs counters additive when several
+	// pipelines share one registry (and possibly one arena); a shared
+	// arena's concurrent checkouts may be attributed to whichever frame
+	// observed them, but the totals stay exact.
+	gets, misses := p.arena.Counters()
+	frameGets, frameMisses := gets-arenaGets0, misses-arenaMisses0
+	m.ArenaMisses.Add(frameMisses)
+	if frameGets > frameMisses {
+		m.ArenaHits.Add(frameGets - frameMisses)
+	}
+	_, deg, rec := p.ctrl.state()
+	m.Degrades.Add(deg - p.prevDeg)
+	m.Recovers.Add(rec - p.prevRec)
+	p.prevDeg, p.prevRec = deg, rec
+	tr := obs.FrameTrace{
+		Seq:       r.Seq,
+		Worker:    p.cfg.MetricsID,
+		Rung:      r.Rung,
+		Wait:      r.Wait,
+		Total:     r.Latency,
+		Deadline:  p.deadline,
+		Margin:    p.deadline - r.Latency,
+		Stages:    p.rec.FrameStages(),
+		ArenaMiss: frameMisses > 0,
+		Missed:    r.Missed,
+		Failed:    r.Err != nil,
+	}
+	m.Traces.Record(&tr)
 }
 
 // detectFrame runs one detection under panic recovery: a poison frame (for

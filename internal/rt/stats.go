@@ -11,9 +11,18 @@ import (
 type Stats struct {
 	// FramesIn counts frames accepted into the queue (including frames
 	// later evicted by drop-oldest). FramesOut counts scanned frames whose
-	// result was emitted; FramesDropped counts evictions. When the
-	// pipeline is idle, FramesIn == FramesOut + FramesDropped.
+	// result was emitted; FramesDropped counts evictions. InFlight counts
+	// accepted frames not yet scanned or dropped (queued or being scanned).
+	//
+	// FramesIn == FramesOut + FramesDropped + InFlight holds at EVERY
+	// observable instant, not just at idle: the counter updates and the
+	// queue operations they describe commit atomically under one lock
+	// (stats.tryEnqueue / stats.tryEvict / stats.observe), so a snapshot
+	// can never catch a frame half-accounted. When the pipeline is idle or
+	// flushed, InFlight is 0 and the three-way identity of earlier releases
+	// holds unchanged.
 	FramesIn, FramesOut, FramesDropped uint64
+	InFlight                           uint64
 	// DeadlineMisses counts frames that exceeded the per-frame budget.
 	DeadlineMisses uint64
 	// Errors counts frames that failed for any reason (deadline cutoff,
@@ -36,20 +45,28 @@ type Stats struct {
 // String renders the snapshot as a one-line operator summary.
 func (s Stats) String() string {
 	return fmt.Sprintf(
-		"in %d out %d dropped %d | misses %d errors %d (panics %d) | rung %d/%d (skip %d, workers %d) | lat avg %s max %s / budget %s",
-		s.FramesIn, s.FramesOut, s.FramesDropped,
+		"in %d out %d dropped %d inflight %d | misses %d errors %d (panics %d) | rung %d/%d (skip %d, workers %d) | lat avg %s max %s / budget %s",
+		s.FramesIn, s.FramesOut, s.FramesDropped, s.InFlight,
 		s.DeadlineMisses, s.Errors, s.Panics,
 		s.Rung, s.Rungs-1, s.SkipFinest, s.Workers,
 		s.AvgLatency.Round(time.Microsecond), s.MaxLatency.Round(time.Microsecond),
 		s.Deadline.Round(time.Microsecond))
 }
 
-// stats accumulates pipeline counters behind one mutex; the scan loop is a
-// single goroutine, so contention is only with snapshot readers.
+// stats accumulates pipeline counters behind one mutex. The queue channel
+// operations that move frames between the accounted states run inside the
+// same critical section as the counters they update: a non-blocking send
+// plus in++ (tryEnqueue), a non-blocking receive plus dropped++ (tryEvict).
+// Without that pairing a snapshot could observe the channel state and the
+// counters mid-transition — the pre-PR-6 Submit incremented FramesIn after
+// the send, so a fast scan loop could emit the result (out++) before the
+// intake was counted and a concurrent Stats() read saw
+// FramesOut + FramesDropped > FramesIn.
 type stats struct {
 	mu sync.Mutex
 
 	in, out, dropped uint64
+	inflight         uint64
 	misses           uint64
 	errs, panics     uint64
 
@@ -59,23 +76,55 @@ type stats struct {
 
 func newStats() *stats { return &stats{} }
 
-func (s *stats) frameIn() {
+// tryEnqueue atomically (w.r.t. snapshots) offers the frame to the queue
+// and, on success, counts it as accepted and in flight.
+func (s *stats) tryEnqueue(ch chan frameItem, it frameItem) bool {
 	s.mu.Lock()
-	s.in++
-	s.mu.Unlock()
+	defer s.mu.Unlock()
+	select {
+	case ch <- it:
+		s.in++
+		s.inflight++
+		return true
+	default:
+		return false
+	}
 }
 
-func (s *stats) frameDropped() {
+// tryEvict atomically removes one queued frame and counts it as dropped.
+// It reports false when the queue was empty (nothing changed) — benign when
+// racing the scan loop's own dequeue.
+func (s *stats) tryEvict(ch chan frameItem) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case <-ch:
+		s.dropped++
+		s.inflight--
+		return true
+	default:
+		return false
+	}
+}
+
+// dropDequeued counts a frame the scan loop already removed from the queue
+// as dropped (it observed Close between the dequeue and the scan). The
+// frame stays in the in-flight count from dequeue until here, so the
+// accounting identity never wavers.
+func (s *stats) dropDequeued() {
 	s.mu.Lock()
 	s.dropped++
+	s.inflight--
 	s.mu.Unlock()
 }
 
-// observe folds one frame outcome into the counters.
+// observe folds one frame outcome into the counters, retiring it from the
+// in-flight count in the same critical section.
 func (s *stats) observe(r FrameResult) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.out++
+	s.inflight--
 	if r.Missed {
 		s.misses++
 	}
@@ -106,6 +155,7 @@ func (s *stats) snapshot(p *Pipeline) Stats {
 		FramesIn:       s.in,
 		FramesOut:      s.out,
 		FramesDropped:  s.dropped,
+		InFlight:       s.inflight,
 		DeadlineMisses: s.misses,
 		Errors:         s.errs,
 		Panics:         s.panics,

@@ -1,0 +1,40 @@
+package serve
+
+import (
+	"strconv"
+	"testing"
+	"time"
+)
+
+// TestRetryAfterValueBoundaries pins the Retry-After rendering at its edge
+// cases: the three-decimal format used to render sub-millisecond hints as
+// "0.000" and negative hints as negative strings, both of which clients
+// (including this package's parseRetryAfter) treat as "retry now" — the
+// opposite of a backoff hint. Every rendered value must parse back as a
+// strictly positive number of seconds.
+func TestRetryAfterValueBoundaries(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		d    time.Duration
+		want string
+	}{
+		{"negative", -time.Second, "0.001"},
+		{"zero", 0, "0.001"},
+		{"sub-microsecond", time.Nanosecond, "0.001"},
+		{"sub-millisecond", 999 * time.Microsecond, "0.001"},
+		{"exactly 1ms", time.Millisecond, "0.001"},
+		{"quarter second", 250 * time.Millisecond, "0.250"},
+		{"one second", time.Second, "1.000"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			got := retryAfterValue(tc.d)
+			if got != tc.want {
+				t.Errorf("retryAfterValue(%v) = %q, want %q", tc.d, got, tc.want)
+			}
+			v, err := strconv.ParseFloat(got, 64)
+			if err != nil || v <= 0 {
+				t.Errorf("rendered %q must parse as a positive float (got %v, %v)", got, v, err)
+			}
+		})
+	}
+}

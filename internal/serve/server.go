@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/imgproc"
+	"repro/internal/obs"
 	"repro/internal/rt"
 )
 
@@ -34,6 +35,13 @@ type ServerConfig struct {
 	// Breaker configures the per-detector circuit breaker guarding the
 	// supervisor.
 	Breaker BreakerConfig
+	// Metrics, if non-nil, is the observability registry rendered by
+	// GET /metricsz and GET /tracez. Point it at the same *obs.Metrics the
+	// supervisor's pipelines record into (SupervisorConfig.Pipeline.Metrics)
+	// so stage histograms, frame traces, and HTTP-layer counters come out
+	// of one scrape. The server additionally records PGM decode time into
+	// its StageDecode histogram. nil serves the HTTP counters only.
+	Metrics *obs.Metrics
 }
 
 func (c ServerConfig) withDefaults() ServerConfig {
@@ -109,6 +117,12 @@ type statszResponse struct {
 //	GET  /readyz   200 when serving; 503 while the breaker is open or the
 //	               server is draining (readiness — take it out of rotation).
 //	GET  /statsz   statszResponse JSON: server, breaker, supervisor stats.
+//	GET  /metricsz Prometheus text exposition: the obs registry (stage and
+//	               frame latency summaries, pipeline counters) when
+//	               ServerConfig.Metrics is set, plus HTTP admission,
+//	               breaker, and per-worker restart counters always.
+//	GET  /tracez   tracezResponse JSON: the slowest frames retained by the
+//	               trace ring, slowest first (empty without Metrics).
 //
 // Retry-After values carry fractional seconds (e.g. "0.250"); integer-
 // second parsers read them as a standard hint after truncation.
@@ -145,6 +159,8 @@ func NewServer(sup *Supervisor, cfg ServerConfig) *Server {
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/statsz", s.handleStatsz)
+	s.mux.HandleFunc("/metricsz", s.handleMetricsz)
+	s.mux.HandleFunc("/tracez", s.handleTracez)
 	return s
 }
 
@@ -223,7 +239,14 @@ func (s *Server) Shutdown(ctx context.Context) error {
 }
 
 // retryAfterValue renders a Retry-After header with fractional seconds.
+// The rendered value is clamped to a 1 ms floor: the three-decimal format
+// turns any shorter (or zero, or negative) hint into "0.000" — or a
+// negative string — which clients round to "retry immediately" and hammer
+// the server with, defeating the backoff the header exists to provide.
 func retryAfterValue(d time.Duration) string {
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
 	return strconv.FormatFloat(d.Seconds(), 'f', 3, 64)
 }
 
@@ -304,7 +327,14 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 		timeout = time.Duration(ms) * time.Millisecond
 	}
 
+	decode0 := time.Now()
 	frame, err := imgproc.ReadPGM(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if m := s.cfg.Metrics; m != nil && err == nil {
+		// Decode is recorded straight into the shared stage histogram (it
+		// is atomic); the per-frame trace stages come from the pipeline's
+		// recorder and therefore do not include decode.
+		m.Stage[obs.StageDecode].Observe(time.Since(decode0))
+	}
 	if err != nil {
 		reqErr = err
 		s.breaker.Record(nil) // corrupt upload is the client's fault
@@ -379,4 +409,62 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		Breaker:    s.breaker.Stats(),
 		Supervisor: s.sup.Stats(),
 	})
+}
+
+// handleMetricsz renders the Prometheus text scrape: the shared obs
+// registry first (when configured), then the HTTP admission, breaker, and
+// supervisor counters, which exist regardless of the registry.
+func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if m := s.cfg.Metrics; m != nil {
+		m.WritePrometheus(w, "pd")
+	}
+	st := s.Stats()
+	for _, c := range [...]struct {
+		name string
+		v    uint64
+	}{
+		{"pd_http_accepted_total", st.Accepted},
+		{"pd_http_shed_total", st.Shed},
+		{"pd_http_breaker_rejected_total", st.BreakerRejected},
+		{"pd_http_completed_total", st.Completed},
+		{"pd_http_failed_total", st.Failed},
+	} {
+		fmt.Fprintf(w, "# TYPE %s counter\n", c.name)
+		obs.WriteCounterLine(w, c.name, "", c.v)
+	}
+	bs := s.breaker.Stats()
+	fmt.Fprintf(w, "# TYPE pd_breaker_trips_total counter\n")
+	obs.WriteCounterLine(w, "pd_breaker_trips_total", "", bs.Trips)
+	fmt.Fprintf(w, "# TYPE pd_breaker_probes_total counter\n")
+	obs.WriteCounterLine(w, "pd_breaker_probes_total", "", bs.Probes)
+	fmt.Fprintf(w, "# TYPE pd_breaker_recoveries_total counter\n")
+	obs.WriteCounterLine(w, "pd_breaker_recoveries_total", "", bs.Recoveries)
+	fmt.Fprintf(w, "# TYPE pd_breaker_open gauge\n")
+	open := 0.0
+	if s.breaker.State() == BreakerOpen {
+		open = 1
+	}
+	obs.WriteGaugeLine(w, "pd_breaker_open", "", open)
+	sup := s.sup.Stats()
+	fmt.Fprintf(w, "# TYPE pd_worker_restarts_total counter\n")
+	for _, ws := range sup.Workers {
+		obs.WriteCounterLine(w, "pd_worker_restarts_total", fmt.Sprintf("worker=%q", strconv.Itoa(ws.ID)), ws.Restarts)
+	}
+	fmt.Fprintf(w, "# TYPE pd_frames_inflight gauge\n")
+	obs.WriteGaugeLine(w, "pd_frames_inflight", "", float64(sup.Aggregate.InFlight))
+}
+
+// tracezResponse is the JSON body of GET /tracez.
+type tracezResponse struct {
+	// Slowest holds the retained frame traces, slowest first.
+	Slowest []obs.FrameTrace `json:"slowest"`
+}
+
+func (s *Server) handleTracez(w http.ResponseWriter, r *http.Request) {
+	resp := tracezResponse{Slowest: []obs.FrameTrace{}}
+	if m := s.cfg.Metrics; m != nil {
+		resp.Slowest = m.Traces.Snapshot()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

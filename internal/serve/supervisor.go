@@ -253,12 +253,16 @@ func (s *Supervisor) Close() {
 }
 
 // buildPipeline constructs a fresh detector and pipeline for one worker.
+// Every incarnation is labelled with the worker index so its entries in the
+// shared trace ring (rt.Config.Metrics) stay attributable across restarts.
 func (s *Supervisor) buildPipeline(id int) (*rt.Pipeline, error) {
 	det, err := s.factory(id)
 	if err != nil {
 		return nil, fmt.Errorf("detector factory: %w", err)
 	}
-	return rt.New(det, s.cfg.Pipeline)
+	cfg := s.cfg.Pipeline
+	cfg.MetricsID = id
+	return rt.New(det, cfg)
 }
 
 // installPipe publishes a worker's new pipeline for stats readers.
@@ -457,6 +461,7 @@ func mergeStats(a, b rt.Stats) rt.Stats {
 	out.FramesIn += b.FramesIn
 	out.FramesOut += b.FramesOut
 	out.FramesDropped += b.FramesDropped
+	out.InFlight += b.InFlight
 	out.DeadlineMisses += b.DeadlineMisses
 	out.Errors += b.Errors
 	out.Panics += b.Panics
