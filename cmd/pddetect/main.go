@@ -41,6 +41,7 @@ func main() {
 		annotate  = flag.String("annotate", "", "write an annotated PPM here")
 		stream    = flag.Int("stream", 0, "feed the frame N times through the streaming runtime")
 		fps       = flag.Float64("fps", 60, "frame rate for -stream (sets the per-frame deadline)")
+		hang      = flag.Duration("hang-timeout", 0, "liveness watchdog for -stream: abandon a scan stuck this long and wedge the pipeline (0 derives 4x the frame deadline, negative disables)")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -84,7 +85,7 @@ func main() {
 		if octave {
 			log.Fatal("-stream does not support octave mode")
 		}
-		runStream(det, frame, *stream, *fps)
+		runStream(det, frame, *stream, *fps, *hang)
 		return
 	}
 	var dets []eval.Detection
@@ -116,16 +117,20 @@ func main() {
 // runStream replays the frame n times through the streaming runtime at the
 // given frame rate and reports the per-frame outcomes plus the final Stats
 // snapshot — the software rendition of the paper's 60 fps budget analysis.
-func runStream(det *core.Detector, frame *imgproc.Gray, n int, fps float64) {
+func runStream(det *core.Detector, frame *imgproc.Gray, n int, fps float64, hang time.Duration) {
 	m := obs.NewMetrics()
-	p, err := rt.New(det, rt.Config{FPS: fps, Metrics: m})
+	p, err := rt.New(det, rt.Config{FPS: fps, HangTimeout: hang, Metrics: m})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer p.Close()
 	interval := time.Duration(float64(time.Second) / fps)
-	log.Printf("streaming %d frames at %.1f fps (deadline %s, ladder %v)",
-		n, fps, p.Deadline().Round(time.Microsecond), p.Ladder())
+	watchdog := "disabled"
+	if h := p.HangTimeout(); h > 0 {
+		watchdog = h.String()
+	}
+	log.Printf("streaming %d frames at %.1f fps (deadline %s, watchdog %s, ladder %v)",
+		n, fps, p.Deadline().Round(time.Microsecond), watchdog, p.Ladder())
 
 	done := make(chan struct{})
 	go func() {
@@ -146,6 +151,10 @@ func runStream(det *core.Detector, frame *imgproc.Gray, n int, fps float64) {
 	defer tick.Stop()
 	for i := 0; i < n; i++ {
 		if !p.Submit(frame) {
+			if p.Wedged() {
+				log.Printf("pipeline wedged at frame %d: a scan hung past the watchdog; stopping the stream", i)
+				break
+			}
 			log.Printf("frame %d rejected", i)
 		}
 		if i < n-1 {

@@ -47,6 +47,7 @@ func main() {
 		fps     = flag.Float64("fps", 30, "per-worker frame budget (sets the pipeline deadline)")
 		queue   = flag.Int("queue", 16, "admission queue depth (beyond it requests shed with 429)")
 		timeout = flag.Duration("timeout", 2*time.Second, "default per-request deadline (X-Deadline-Ms overrides)")
+		hang    = flag.Duration("hang-timeout", 0, "liveness watchdog: abandon a scan stuck this long and restart the worker (0 derives 4x the frame deadline, negative disables)")
 
 		breakerFailures = flag.Int("breaker-failures", 5, "consecutive detector failures that open the circuit breaker")
 		breakerCooldown = flag.Duration("breaker-cooldown", 2*time.Second, "open-breaker cooldown before the half-open probe")
@@ -93,7 +94,7 @@ func main() {
 	}
 	sup, err := serve.NewSupervisor(factory, serve.SupervisorConfig{
 		Workers:            *workers,
-		Pipeline:           rt.Config{FPS: *fps, Metrics: metrics},
+		Pipeline:           rt.Config{FPS: *fps, HangTimeout: *hang, Metrics: metrics},
 		RestartBackoff:     *restartBackoff,
 		RestartBackoffMax:  *restartBackoffMax,
 		RestartAfterErrors: *restartAfter,

@@ -47,8 +47,11 @@ func main() {
 		return core.NewDetector(model, cfg)
 	}
 	sup, err := serve.NewSupervisor(factory, serve.SupervisorConfig{
-		Workers:  1,
-		Pipeline: rt.Config{Deadline: 5 * time.Second},
+		Workers: 1,
+		// The explicit HangTimeout arms the liveness watchdog well below
+		// the relaxed demo deadline (phase 5 hard-stalls a scan in
+		// non-cancellable code, which no deadline can cut short).
+		Pipeline: rt.Config{Deadline: 5 * time.Second, HangTimeout: 400 * time.Millisecond},
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -178,6 +181,29 @@ func main() {
 		fmt.Printf("  /readyz: HTTP %d (back in rotation)\n", r.StatusCode)
 	}
 
+	// Phase 5 — hang: a scan stuck in ctx-ignoring code cannot be cut
+	// short by any deadline. The pipeline's liveness watchdog abandons the
+	// stuck goroutine, wedges the pipeline, and the supervisor escalates
+	// the wedge to a worker restart — the caller gets a fast retryable 503
+	// instead of hanging out its full request timeout.
+	fmt.Println("\n== phase 5: hang (watchdog abandons the scan, supervisor restarts) ==")
+	faults.HardStallLevel(0, 1500*time.Millisecond)
+	hangStart := time.Now()
+	resp, err = http.Post(base+"/detect", "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	fmt.Printf("  hung frame answered in %s (not the 1.5s hang): HTTP %d\n",
+		time.Since(hangStart).Round(10*time.Millisecond), resp.StatusCode)
+	faults.Reset()
+	if _, err := newClient().Detect(ctx, 0, frame); err != nil {
+		log.Fatalf("post-hang frame: %v", err)
+	}
+	hangStats := sup.Stats()
+	fmt.Printf("  worker restarted and serving again: restarts=%d wedges=%d hung_frames=%d\n",
+		hangStats.Restarts, hangStats.Wedges, hangStats.Aggregate.FramesHung)
+
 	// Final accounting from the service's own counters.
 	fmt.Println("\n== final stats ==")
 	st := srv.Stats()
@@ -187,6 +213,6 @@ func main() {
 		st.Accepted, st.Shed, st.BreakerRejected, st.Completed, st.Failed)
 	fmt.Printf("  breaker: state=%s trips=%d probes=%d recoveries=%d\n",
 		bs.State, bs.Trips, bs.Probes, bs.Recoveries)
-	fmt.Printf("  workers: frames=%d errors=%d panics=%d\n", agg.FramesOut, agg.Errors, agg.Panics)
+	fmt.Printf("  workers: frames=%d errors=%d panics=%d hung=%d\n", agg.FramesOut, agg.Errors, agg.Panics, agg.FramesHung)
 	fmt.Printf("  client retries across all phases: %d\n", retries.Load())
 }

@@ -1,0 +1,419 @@
+// Package chaos is the seeded chaos-soak harness: it boots the full
+// serving stack (supervisor + workers + liveness watchdogs) against a
+// synthetic detector, fires a reproducible schedule of faults at it —
+// context-observing stalls, context-ignoring hangs, failures, panics,
+// poison frames, overload bursts — and continuously checks the invariants
+// that define "self-healing":
+//
+//   - frame-count conservation (FramesIn == FramesOut + FramesDropped +
+//     InFlight) on every worker and on the aggregate, at every polled
+//     instant, across restarts and wedges;
+//   - monotone cumulative counters (a restart must never read as a reset);
+//   - recovery SLO: once the schedule ends and faults clear, the server
+//     must report ready and every stream must serve again within a bound;
+//   - goroutine settling net of accounted leaks: after the soak closes,
+//     the abandoned-scanner ledger drains to zero and the goroutine count
+//     returns to baseline — nothing leaks that the watchdog didn't book.
+//
+// The same seed always replays the same schedule (cmd/pdsoak -seed N), so
+// a soak failure in CI is a deterministic repro, not a flake report.
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/imgproc"
+	"repro/internal/obs"
+	"repro/internal/rt"
+	"repro/internal/rt/faultinject"
+	"repro/internal/serve"
+	"repro/internal/svm"
+)
+
+// Config tunes one soak run.
+type Config struct {
+	// Seed drives the fault schedule; the same seed replays the same
+	// schedule. Required (0 is a valid seed).
+	Seed int64
+	// Workers is the supervisor worker count. Default 2.
+	Workers int
+	// Streams is the number of concurrent camera streams. Default 3.
+	Streams int
+	// Deadline is the per-frame budget; HangTimeout the watchdog bound.
+	// Defaults 60ms / 150ms.
+	Deadline    time.Duration
+	HangTimeout time.Duration
+	// Horizon is how long the fault schedule runs. Default 2s.
+	Horizon time.Duration
+	// Events is the number of scheduled faults. Default 8.
+	Events int
+	// FrameInterval is each stream's submit cadence. Default 15ms.
+	FrameInterval time.Duration
+	// RecoverySLO bounds how long after the schedule ends the stack may
+	// take to report ready and serve every stream again. Default 5s.
+	RecoverySLO time.Duration
+	// Logf, when non-nil, receives progress lines (cmd/pdsoak wires it to
+	// the terminal; tests leave it nil).
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.Streams <= 0 {
+		c.Streams = 3
+	}
+	if c.Deadline <= 0 {
+		c.Deadline = 60 * time.Millisecond
+	}
+	if c.HangTimeout <= 0 {
+		c.HangTimeout = 150 * time.Millisecond
+	}
+	if c.Horizon <= 0 {
+		c.Horizon = 2 * time.Second
+	}
+	if c.Events <= 0 {
+		c.Events = 8
+	}
+	if c.FrameInterval <= 0 {
+		c.FrameInterval = 15 * time.Millisecond
+	}
+	if c.RecoverySLO <= 0 {
+		c.RecoverySLO = 5 * time.Second
+	}
+	return c
+}
+
+// Result summarizes one soak run.
+type Result struct {
+	// Schedule is the fault plan that ran (print it to reproduce a report
+	// by hand; the seed alone replays it).
+	Schedule Schedule
+	// Frames counts requests issued; OK those that returned detections,
+	// Rejected the fast retryable refusals (restarting, hung, shed),
+	// Failed the per-frame errors (injected failures, panics, deadline
+	// cuts, poison frames) — all three are expected under chaos.
+	Frames, OK, Rejected, Failed uint64
+	// Restarts, Wedges, FramesHung are the final supervisor totals: a
+	// soak whose schedule contains hard stalls must show all three
+	// nonzero, or the watchdog never engaged.
+	Restarts, Wedges, FramesHung uint64
+	// Violations lists every invariant breach observed; empty means the
+	// system self-healed cleanly.
+	Violations []string
+}
+
+// maxViolations bounds the report: a broken invariant usually repeats
+// every poll tick, and 32 instances identify it as well as 10 000.
+const maxViolations = 32
+
+// violations is a bounded, concurrency-safe violation log.
+type violations struct {
+	mu        sync.Mutex
+	list      []string
+	truncated bool
+}
+
+func (v *violations) add(items ...string) {
+	if len(items) == 0 {
+		return
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for _, it := range items {
+		if len(v.list) >= maxViolations {
+			if !v.truncated {
+				v.list = append(v.list, "... further violations truncated")
+				v.truncated = true
+			}
+			return
+		}
+		v.list = append(v.list, it)
+	}
+}
+
+func (v *violations) snapshot() []string {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return append([]string(nil), v.list...)
+}
+
+// syntheticFactory builds per-worker detectors with an all-zero model —
+// every window scores the bias, below threshold, so the soak exercises the
+// full scan path (pyramid, features, classifier, NMS) without needing
+// trained weights. faultsFor wires each worker's fault probe; a restarted
+// worker re-installs its probe, so cleared faults govern recovery.
+func syntheticFactory(faultsFor map[int]*faultinject.Faults) serve.DetectorFactory {
+	return func(worker int) (*core.Detector, error) {
+		cfg := core.DefaultConfig()
+		cfg.Mode = core.FeaturePyramid
+		cfg.ScaleStep = 1.3
+		cfg.Workers = 1
+		if f := faultsFor[worker]; f != nil {
+			cfg.LevelProbe = f.Probe
+		}
+		model := &svm.Model{W: make([]float64, cfg.DescriptorLen())}
+		return core.NewDetector(model, cfg)
+	}
+}
+
+// soakFrame is the synthetic camera frame: 128x256 yields a 3-level
+// feature pyramid at step 1.3.
+func soakFrame() *imgproc.Gray { return imgproc.NewGray(128, 256) }
+
+// poisonFrame is a frame whose pixel buffer is shorter than its header
+// claims; the feature extractor panics on it and per-goroutine recovery
+// must convert the panic into a per-frame error.
+func poisonFrame() *imgproc.Gray { return faultinject.TruncatePix(soakFrame(), 64) }
+
+// Soak runs one chaos soak: boot the stack, drive the streams, fire the
+// seeded schedule, poll the invariants, verify recovery, and settle. The
+// returned error covers harness failures (a broken config, ctx cancelled);
+// invariant breaches are reported in Result.Violations, not as errors.
+func Soak(ctx context.Context, cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	sched := Generate(cfg.Seed, ScheduleConfig{
+		Events:      cfg.Events,
+		Horizon:     cfg.Horizon,
+		Streams:     cfg.Streams,
+		HangTimeout: cfg.HangTimeout,
+	})
+	res := Result{Schedule: sched}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	baseline := runtime.NumGoroutine()
+	metrics := obs.NewMetrics()
+	faultsFor := make(map[int]*faultinject.Faults, cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		faultsFor[i] = faultinject.New()
+	}
+	sup, err := serve.NewSupervisor(syntheticFactory(faultsFor), serve.SupervisorConfig{
+		Workers: cfg.Workers,
+		Pipeline: rt.Config{
+			Deadline:    cfg.Deadline,
+			HangTimeout: cfg.HangTimeout,
+			Metrics:     metrics,
+		},
+		RestartBackoff:     20 * time.Millisecond,
+		RestartBackoffMax:  200 * time.Millisecond,
+		RestartAfterErrors: 8,
+	})
+	if err != nil {
+		return res, fmt.Errorf("chaos: boot supervisor: %w", err)
+	}
+	srv := serve.NewServer(sup, serve.ServerConfig{Metrics: metrics})
+	viol := &violations{}
+
+	// workerOf mirrors the supervisor's stream pinning so level faults
+	// land on the worker that actually scans the stream.
+	workerOf := func(stream int) int { return ((stream % cfg.Workers) + cfg.Workers) % cfg.Workers }
+	// reqTimeout bounds one Do: past the watchdog and the supervisor's
+	// result-silent net, so a stuck stack surfaces as an error, not a
+	// stuck soak.
+	reqTimeout := cfg.Deadline + 2*cfg.HangTimeout + 250*time.Millisecond
+
+	doOne := func(stream int, frame *imgproc.Gray) {
+		rctx, cancel := context.WithTimeout(ctx, reqTimeout)
+		defer cancel()
+		_, err := sup.Do(rctx, stream, frame)
+		atomic.AddUint64(&res.Frames, 1)
+		switch {
+		case err == nil:
+			atomic.AddUint64(&res.OK, 1)
+		case errors.Is(err, serve.ErrWorkerRestarting), errors.Is(err, rt.ErrHung),
+			errors.Is(err, serve.ErrSupervisorClosed):
+			atomic.AddUint64(&res.Rejected, 1)
+		default:
+			atomic.AddUint64(&res.Failed, 1)
+		}
+	}
+
+	start := time.Now()
+	end := start.Add(cfg.Horizon)
+	var wg sync.WaitGroup
+	soakDone := make(chan struct{})
+
+	// Stream drivers: a steady frame cadence per stream.
+	for s := 0; s < cfg.Streams; s++ {
+		wg.Add(1)
+		go func(stream int) {
+			defer wg.Done()
+			frame := soakFrame()
+			for time.Now().Before(end) && ctx.Err() == nil {
+				doOne(stream, frame)
+				select {
+				case <-time.After(cfg.FrameInterval):
+				case <-ctx.Done():
+					return
+				}
+			}
+		}(s)
+	}
+
+	// Fault applier: one goroutine per event — sleep to the offset, apply,
+	// hold for Dur, clear. Clears use Reset on the worker's fault set;
+	// overlapping events on one worker may clear each other early, which
+	// only makes the schedule gentler, never stuck.
+	for _, ev := range sched {
+		wg.Add(1)
+		go func(ev Event) {
+			defer wg.Done()
+			select {
+			case <-time.After(ev.At):
+			case <-ctx.Done():
+				return
+			}
+			f := faultsFor[workerOf(ev.Stream)]
+			logf("chaos: %s", ev)
+			switch ev.Kind {
+			case SoftStall:
+				f.StallLevel(ev.Level, 10*cfg.Deadline)
+			case HardStall:
+				f.HardStallLevel(ev.Level, ev.Dur)
+			case Fail:
+				f.FailLevel(ev.Level, fmt.Errorf("chaos: injected failure (stream %d)", ev.Stream))
+			case Panic:
+				f.PanicLevel(ev.Level, fmt.Sprintf("chaos: injected panic (stream %d)", ev.Stream))
+			case Corrupt:
+				doOne(ev.Stream, poisonFrame())
+				return
+			case Burst:
+				// A volley of concurrent extras on top of the stream's
+				// steady cadence: overload must shed or degrade.
+				var bwg sync.WaitGroup
+				for i := 0; i < 8; i++ {
+					bwg.Add(1)
+					go func() { defer bwg.Done(); doOne(ev.Stream, soakFrame()) }()
+				}
+				bwg.Wait()
+				return
+			}
+			select {
+			case <-time.After(ev.Dur):
+			case <-ctx.Done():
+			}
+			f.Reset()
+		}(ev)
+	}
+
+	// Invariant poller: conservation and monotonicity at every tick, while
+	// the faults are actually firing — not just at the quiet end. It joins
+	// its own WaitGroup (it outlives the drivers: it keeps polling through
+	// the recovery phase, until soakDone).
+	var pollWg sync.WaitGroup
+	pollWg.Add(1)
+	go func() {
+		defer pollWg.Done()
+		prev := sup.Stats()
+		tick := time.NewTicker(20 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-soakDone:
+				return
+			case <-ctx.Done():
+				return
+			case <-tick.C:
+				cur := sup.Stats()
+				viol.add(CheckSupervisor(cur)...)
+				viol.add(CheckMonotone(prev, cur)...)
+				prev = cur
+			}
+		}
+	}()
+
+	// Let the schedule and drivers run out, then silence all faults.
+	streamsAndFaultsDone := make(chan struct{})
+	go func() { wg.Wait(); close(streamsAndFaultsDone) }()
+	select {
+	case <-streamsAndFaultsDone:
+	case <-ctx.Done():
+		close(soakDone)
+		sup.Close()
+		return res, fmt.Errorf("chaos: soak cancelled: %w", ctx.Err())
+	}
+	for _, f := range faultsFor {
+		f.Reset()
+	}
+
+	// Recovery SLO: the stack must report ready and serve every stream
+	// within the bound, now that nothing is injecting faults.
+	logf("chaos: schedule done after %s; verifying recovery", time.Since(start).Round(time.Millisecond))
+	recoverBy := time.Now().Add(cfg.RecoverySLO)
+	recovered := func() bool {
+		if ready, _ := srv.Ready(); !ready {
+			return false
+		}
+		for s := 0; s < cfg.Streams; s++ {
+			rctx, cancel := context.WithTimeout(ctx, reqTimeout)
+			_, err := sup.Do(rctx, s, soakFrame())
+			cancel()
+			if err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	for !recovered() {
+		if ctx.Err() != nil {
+			close(soakDone)
+			sup.Close()
+			return res, fmt.Errorf("chaos: soak cancelled: %w", ctx.Err())
+		}
+		if time.Now().After(recoverBy) {
+			ready, reason := srv.Ready()
+			viol.add(fmt.Sprintf("recovery SLO missed: not serving %s after faults cleared (ready=%v %s)",
+				cfg.RecoverySLO, ready, reason))
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	close(soakDone)
+	pollWg.Wait() // the poller must be gone before the settling count below
+
+	st := sup.Stats()
+	res.Restarts = st.Restarts
+	res.Wedges = st.Wedges
+	res.FramesHung = st.Aggregate.FramesHung
+	viol.add(CheckSupervisor(st)...)
+
+	// Teardown and settle: the abandoned-scanner ledger must drain (every
+	// hard-stalled goroutine unsticks and checks out) and the raw
+	// goroutine count must return to baseline — any residue is a leak the
+	// watchdog did not account for.
+	sup.Close()
+	settleBy := time.Now().Add(cfg.RecoverySLO + 3*cfg.HangTimeout)
+	for metrics.AbandonedScanners.Load() != 0 {
+		if time.Now().After(settleBy) {
+			viol.add(fmt.Sprintf("abandoned-scanner ledger did not drain: %d still booked",
+				metrics.AbandonedScanners.Load()))
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	for runtime.NumGoroutine() > baseline {
+		if time.Now().After(settleBy) {
+			viol.add(fmt.Sprintf("goroutines did not settle: %d running, baseline %d",
+				runtime.NumGoroutine(), baseline))
+			break
+		}
+		runtime.GC()
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	res.Violations = viol.snapshot()
+	logf("chaos: %d frames (%d ok, %d rejected, %d failed), %d restarts, %d wedges, %d hung, %d violations",
+		res.Frames, res.OK, res.Rejected, res.Failed, res.Restarts, res.Wedges, res.FramesHung, len(res.Violations))
+	return res, nil
+}

@@ -1,0 +1,140 @@
+package chaos
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/rt"
+	"repro/internal/serve"
+)
+
+// soakSeed is the fixed tier-1 seed. Changing it is fine — any seed must
+// pass — but keep it pinned so a failure is a deterministic repro.
+const soakSeed = 7
+
+// TestSoakShort is the tier-1 chaos acceptance: a short seeded soak over
+// the full stack must end with zero invariant violations — conservation
+// held at every polled instant, counters stayed monotone through restarts,
+// the stack recovered once faults cleared, and every goroutine settled net
+// of the accounted leaks.
+func TestSoakShort(t *testing.T) {
+	// Deadline/HangTimeout are deliberately generous: under -race the
+	// whole suite shares one CPU across packages, and a healthy scan that
+	// blows a tight deadline would read as a fault the schedule never
+	// injected. The seed pins the event kinds and times either way.
+	cfg := Config{
+		Seed:          soakSeed,
+		Workers:       2,
+		Streams:       3,
+		Deadline:      250 * time.Millisecond,
+		HangTimeout:   400 * time.Millisecond,
+		Horizon:       1200 * time.Millisecond,
+		Events:        10,
+		FrameInterval: 15 * time.Millisecond,
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := Soak(ctx, cfg)
+	if err != nil {
+		t.Fatalf("soak harness error: %v", err)
+	}
+	if len(res.Violations) > 0 {
+		t.Errorf("replay with: go run ./cmd/pdsoak -seed %d -workers %d -streams %d -events %d -duration %s -deadline %s -hang-timeout %s",
+			cfg.Seed, cfg.Workers, cfg.Streams, cfg.Events, cfg.Horizon, cfg.Deadline, cfg.HangTimeout)
+		t.Errorf("schedule:")
+		for _, ev := range res.Schedule {
+			t.Errorf("  %s", ev)
+		}
+		for _, v := range res.Violations {
+			t.Errorf("violation: %s", v)
+		}
+	}
+	if res.Frames == 0 || res.OK == 0 {
+		t.Errorf("soak served %d frames (%d ok); expected a live stream", res.Frames, res.OK)
+	}
+	// Seed 7's schedule contains at least one hard stall, so the watchdog
+	// and the wedge escalation must both have engaged.
+	hasHard := false
+	for _, ev := range res.Schedule {
+		if ev.Kind == HardStall {
+			hasHard = true
+		}
+	}
+	if hasHard && (res.Wedges == 0 || res.FramesHung == 0) {
+		t.Errorf("schedule had hard stalls but wedges=%d framesHung=%d — the watchdog never engaged",
+			res.Wedges, res.FramesHung)
+	}
+}
+
+// TestGenerateDeterministic: the same seed and config must yield the
+// identical schedule — the property the replay workflow rests on — and a
+// different seed a different one.
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := ScheduleConfig{Events: 16, Horizon: 2 * time.Second, Streams: 4}
+	a := Generate(42, cfg)
+	b := Generate(42, cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different schedules")
+	}
+	if len(a) != 16 {
+		t.Fatalf("schedule has %d events, want 16", len(a))
+	}
+	c := Generate(43, cfg)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced the identical schedule")
+	}
+	for i, ev := range a {
+		if i > 0 && ev.At < a[i-1].At {
+			t.Fatalf("schedule not time-ordered at %d: %v after %v", i, ev.At, a[i-1].At)
+		}
+		if ev.At >= cfg.Horizon*3/4 {
+			t.Errorf("event %d at %v lands past the 3/4-horizon window", i, ev.At)
+		}
+		if ev.Kind == HardStall && ev.Dur < 2*150*time.Millisecond {
+			t.Errorf("hard stall %d duration %v below the 2x watchdog bound", i, ev.Dur)
+		}
+	}
+}
+
+// TestCheckConservationFlagsBreach: the checker must actually fire on a
+// broken identity (a checker that never fires proves nothing).
+func TestCheckConservationFlagsBreach(t *testing.T) {
+	good := rt.Stats{FramesIn: 10, FramesOut: 7, FramesDropped: 2, InFlight: 1}
+	if v := CheckConservation("x", good); len(v) != 0 {
+		t.Errorf("consistent stats flagged: %v", v)
+	}
+	bad := rt.Stats{FramesIn: 10, FramesOut: 7, FramesDropped: 2, InFlight: 2}
+	if v := CheckConservation("x", bad); len(v) != 1 {
+		t.Errorf("broken conservation produced %d violations, want 1", len(v))
+	}
+	hung := rt.Stats{FramesIn: 1, FramesOut: 1, FramesHung: 1} // hung but 0 errors
+	if v := CheckConservation("x", hung); len(v) != 1 {
+		t.Errorf("hung>errors produced %d violations, want 1", len(v))
+	}
+}
+
+// TestCheckMonotoneFlagsRegression: counters moving backwards between
+// snapshots must be reported.
+func TestCheckMonotoneFlagsRegression(t *testing.T) {
+	prev := serve.SupervisorStats{
+		Restarts:  2,
+		Aggregate: rt.Stats{FramesIn: 100, FramesOut: 100},
+	}
+	cur := serve.SupervisorStats{
+		Restarts:  2,
+		Aggregate: rt.Stats{FramesIn: 120, FramesOut: 120},
+	}
+	if v := CheckMonotone(prev, cur); len(v) != 0 {
+		t.Errorf("monotone progression flagged: %v", v)
+	}
+	back := serve.SupervisorStats{
+		Restarts:  1, // restart counter reset
+		Aggregate: rt.Stats{FramesIn: 90, FramesOut: 120},
+	}
+	v := CheckMonotone(prev, back)
+	if len(v) != 2 {
+		t.Errorf("counter regression produced %d violations, want 2 (FramesIn, Restarts): %v", len(v), v)
+	}
+}

@@ -1,0 +1,79 @@
+package chaos
+
+import (
+	"fmt"
+
+	"repro/internal/rt"
+	"repro/internal/serve"
+)
+
+// Invariant checkers. Each returns human-readable violation strings; an
+// empty slice means the snapshot is consistent. The soak polls them
+// continuously while faults fire, so they must hold at every observable
+// instant — not just at idle — exactly as internal/rt documents for its
+// own counters.
+
+// CheckConservation verifies the frame-count conservation identity on one
+// pipeline snapshot: every accepted frame is exactly one of emitted,
+// dropped, or in flight. The identity survives restarts because retired
+// incarnations fold their final (flushed, InFlight=0) stats into the
+// worker totals.
+func CheckConservation(label string, s rt.Stats) []string {
+	var v []string
+	if s.FramesIn != s.FramesOut+s.FramesDropped+s.InFlight {
+		v = append(v, fmt.Sprintf(
+			"%s: conservation broken: in %d != out %d + dropped %d + inflight %d",
+			label, s.FramesIn, s.FramesOut, s.FramesDropped, s.InFlight))
+	}
+	if s.FramesHung > s.Errors {
+		v = append(v, fmt.Sprintf("%s: hung %d > errors %d (hung frames must count as errors)",
+			label, s.FramesHung, s.Errors))
+	}
+	if s.Panics > s.Errors {
+		v = append(v, fmt.Sprintf("%s: panics %d > errors %d", label, s.Panics, s.Errors))
+	}
+	return v
+}
+
+// CheckSupervisor verifies conservation on the aggregate and on every
+// worker of a supervisor snapshot.
+func CheckSupervisor(st serve.SupervisorStats) []string {
+	v := CheckConservation("aggregate", st.Aggregate)
+	for _, w := range st.Workers {
+		v = append(v, CheckConservation(fmt.Sprintf("worker %d", w.ID), w.Pipeline)...)
+	}
+	return v
+}
+
+// CheckMonotone verifies that the cumulative counters never move backwards
+// between two supervisor snapshots (prev taken before cur). Retires fold
+// final incarnation stats into the worker totals, so a restart must never
+// appear as a counter reset from the outside.
+func CheckMonotone(prev, cur serve.SupervisorStats) []string {
+	var v []string
+	mono := func(label, name string, p, c uint64) {
+		if c < p {
+			v = append(v, fmt.Sprintf("%s: %s went backwards: %d -> %d", label, name, p, c))
+		}
+	}
+	check := func(label string, p, c rt.Stats) {
+		mono(label, "FramesIn", p.FramesIn, c.FramesIn)
+		mono(label, "FramesOut", p.FramesOut, c.FramesOut)
+		mono(label, "FramesDropped", p.FramesDropped, c.FramesDropped)
+		mono(label, "DeadlineMisses", p.DeadlineMisses, c.DeadlineMisses)
+		mono(label, "Errors", p.Errors, c.Errors)
+		mono(label, "Panics", p.Panics, c.Panics)
+		mono(label, "FramesHung", p.FramesHung, c.FramesHung)
+	}
+	check("aggregate", prev.Aggregate, cur.Aggregate)
+	mono("supervisor", "Restarts", prev.Restarts, cur.Restarts)
+	mono("supervisor", "Wedges", prev.Wedges, cur.Wedges)
+	if len(prev.Workers) == len(cur.Workers) {
+		for i := range prev.Workers {
+			check(fmt.Sprintf("worker %d", i), prev.Workers[i].Pipeline, cur.Workers[i].Pipeline)
+			mono(fmt.Sprintf("worker %d", i), "Restarts", prev.Workers[i].Restarts, cur.Workers[i].Restarts)
+			mono(fmt.Sprintf("worker %d", i), "Wedges", prev.Workers[i].Wedges, cur.Workers[i].Wedges)
+		}
+	}
+	return v
+}

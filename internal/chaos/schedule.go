@@ -1,0 +1,149 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// FaultKind enumerates the fault classes a soak schedule can inject.
+type FaultKind int
+
+const (
+	// SoftStall slows a pyramid level while observing the frame context:
+	// the per-frame deadline cuts it short and the degradation ladder
+	// engages. Dur is how long the fault stays applied.
+	SoftStall FaultKind = iota
+	// HardStall makes a pyramid level sleep while IGNORING the frame
+	// context — the hang only the rt liveness watchdog can detect. The
+	// sleep length is chosen to exceed the watchdog bound but stay finite,
+	// so the abandoned goroutine unsticks before the soak settles.
+	HardStall
+	// Fail makes a pyramid level return an error: a poisoned stream that
+	// trips the consecutive-error restart budget.
+	Fail
+	// Panic makes a pyramid level panic: the crash the supervisor
+	// rebuilds the worker from.
+	Panic
+	// Corrupt submits one poison frame (pixel buffer shorter than the
+	// header claims) that panics inside the feature extractor.
+	Corrupt
+	// Burst fires a rapid volley of extra frames at one stream —
+	// overload that must shed or degrade, never crash.
+	Burst
+
+	numFaultKinds = int(Burst) + 1
+)
+
+// String names the kind for logs and replay output.
+func (k FaultKind) String() string {
+	switch k {
+	case SoftStall:
+		return "soft-stall"
+	case HardStall:
+		return "hard-stall"
+	case Fail:
+		return "fail"
+	case Panic:
+		return "panic"
+	case Corrupt:
+		return "corrupt"
+	case Burst:
+		return "burst"
+	default:
+		return fmt.Sprintf("FaultKind(%d)", int(k))
+	}
+}
+
+// Event is one scheduled fault: at offset At from soak start, apply Kind
+// against Stream (level faults land on the stream's worker at pyramid
+// level Level) and keep it applied for Dur before clearing.
+type Event struct {
+	At     time.Duration `json:"at_ns"`
+	Stream int           `json:"stream"`
+	Level  int           `json:"level"`
+	Kind   FaultKind     `json:"kind"`
+	Dur    time.Duration `json:"dur_ns"`
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("@%s stream %d level %d %s for %s",
+		e.At.Round(time.Millisecond), e.Stream, e.Level, e.Kind, e.Dur.Round(time.Millisecond))
+}
+
+// Schedule is a time-ordered fault plan.
+type Schedule []Event
+
+// ScheduleConfig bounds the generated schedule.
+type ScheduleConfig struct {
+	// Events is the number of faults to schedule. Default 8.
+	Events int
+	// Horizon is the soak window events are spread over; events land in
+	// [0, 0.75*Horizon) so the tail of the soak observes recovery.
+	// Default 2s.
+	Horizon time.Duration
+	// Streams is the stream-ID space faults target. Default 1.
+	Streams int
+	// Levels is the pyramid-level space level faults target. Default 3
+	// (the 128x256 synthetic frame's pyramid depth at step 1.3).
+	Levels int
+	// HangTimeout is the watchdog bound hard stalls must exceed to
+	// guarantee a wedge. Hard-stall sleeps are drawn from
+	// [2*HangTimeout, 3*HangTimeout), long enough to trip the watchdog
+	// with margin, short enough that abandoned goroutines unstick before
+	// settling checks. Default 150ms.
+	HangTimeout time.Duration
+}
+
+func (c ScheduleConfig) withDefaults() ScheduleConfig {
+	if c.Events <= 0 {
+		c.Events = 8
+	}
+	if c.Horizon <= 0 {
+		c.Horizon = 2 * time.Second
+	}
+	if c.Streams <= 0 {
+		c.Streams = 1
+	}
+	if c.Levels <= 0 {
+		c.Levels = 3
+	}
+	if c.HangTimeout <= 0 {
+		c.HangTimeout = 150 * time.Millisecond
+	}
+	return c
+}
+
+// Generate builds a reproducible fault schedule: the same seed and config
+// always yield the identical event list, so any soak failure replays
+// exactly (cmd/pdsoak -seed N). Events are time-ordered.
+func Generate(seed int64, cfg ScheduleConfig) Schedule {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(seed))
+	window := cfg.Horizon * 3 / 4
+	sched := make(Schedule, 0, cfg.Events)
+	for i := 0; i < cfg.Events; i++ {
+		ev := Event{
+			At:     time.Duration(rng.Int63n(int64(window))),
+			Stream: rng.Intn(cfg.Streams),
+			Level:  rng.Intn(cfg.Levels),
+			Kind:   FaultKind(rng.Intn(numFaultKinds)),
+		}
+		switch ev.Kind {
+		case HardStall:
+			// Past the watchdog with margin, but finite: the abandoned
+			// scanner must unstick before the settling check.
+			ev.Dur = 2*cfg.HangTimeout + time.Duration(rng.Int63n(int64(cfg.HangTimeout)))
+		case SoftStall, Fail, Panic:
+			// Active window the fault stays applied before clearing.
+			ev.Dur = 50*time.Millisecond + time.Duration(rng.Int63n(int64(150*time.Millisecond)))
+		case Corrupt, Burst:
+			// Instantaneous, driver-side events; Dur sizes the burst.
+			ev.Dur = time.Duration(rng.Int63n(int64(50 * time.Millisecond)))
+		}
+		sched = append(sched, ev)
+	}
+	sort.Slice(sched, func(i, j int) bool { return sched[i].At < sched[j].At })
+	return sched
+}

@@ -152,6 +152,20 @@ type Metrics struct {
 	FramesIn, FramesOut, FramesDropped Counter
 	// DeadlineMisses, Errors and Panics count per-frame outcomes.
 	DeadlineMisses, Errors, Panics Counter
+	// FramesHung counts frames abandoned by the liveness watchdog: the
+	// scan ran HangTimeout past dispatch without returning, so the
+	// pipeline declared it hung, emitted rt.ErrHung, and wedged.
+	FramesHung Counter
+	// WedgedPipelines gauges pipelines currently in the terminal Wedged
+	// state (incremented when the watchdog fires, decremented when the
+	// wedged pipeline is retired by Close).
+	WedgedPipelines Gauge
+	// AbandonedScanners gauges scan goroutines the watchdog abandoned
+	// that have not yet unstuck and exited. A goroutine stuck in
+	// non-cancellable code cannot be killed, only detached; this gauge is
+	// the leak ledger that lets goroutine-settling checks (internal/chaos)
+	// tolerate exactly the accounted-for leaks and no more.
+	AbandonedScanners Gauge
 	// Degrades and Recovers count degradation-ladder rung transitions.
 	Degrades, Recovers Counter
 	// ArenaHits and ArenaMisses count frame-arena scratch checkouts that

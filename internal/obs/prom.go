@@ -98,6 +98,7 @@ func (m *Metrics) WritePrometheus(w io.Writer, prefix string) {
 		{"deadline_misses_total", &m.DeadlineMisses},
 		{"frame_errors_total", &m.Errors},
 		{"frame_panics_total", &m.Panics},
+		{"frames_hung_total", &m.FramesHung},
 		{"degrade_events_total", &m.Degrades},
 		{"recover_events_total", &m.Recovers},
 		{"arena_hits_total", &m.ArenaHits},
@@ -106,6 +107,10 @@ func (m *Metrics) WritePrometheus(w io.Writer, prefix string) {
 		fmt.Fprintf(w, "# TYPE %s counter\n", p(c.name))
 		WriteCounterLine(w, p(c.name), "", c.c.Load())
 	}
+	fmt.Fprintf(w, "# TYPE %s gauge\n", p("wedged_pipelines"))
+	WriteGaugeLine(w, p("wedged_pipelines"), "", float64(m.WedgedPipelines.Load()))
+	fmt.Fprintf(w, "# TYPE %s gauge\n", p("abandoned_scanners"))
+	WriteGaugeLine(w, p("abandoned_scanners"), "", float64(m.AbandonedScanners.Load()))
 	WriteGaugeLine(w, p("trace_slots"), "", float64(m.Traces.Len()))
 }
 

@@ -39,6 +39,10 @@ type FrameTrace struct {
 	// Missed reports a deadline miss; Failed any per-frame error.
 	Missed bool `json:"missed"`
 	Failed bool `json:"failed"`
+	// Hung reports that the liveness watchdog abandoned this frame's scan
+	// (its Stages are zero — a hung frame never reports where it stuck)
+	// and wedged the pipeline.
+	Hung bool `json:"hung"`
 }
 
 // TraceRing retains the slowest-N frame traces in preallocated slots.

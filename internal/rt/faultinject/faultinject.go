@@ -5,7 +5,11 @@
 //
 //   - per-level stalls and failures, injected into the detection hot path
 //     through core.Config.LevelProbe — an artificially slow or broken
-//     pyramid scale, the fault the degradation ladder sheds around;
+//     pyramid scale, the fault the degradation ladder sheds around. Stalls
+//     come in two grades: StallLevel observes the frame context (a slow but
+//     well-behaved scale, cancelled at the deadline) and HardStallLevel
+//     ignores it (a hang in non-cancellable code, detectable only by the
+//     rt liveness watchdog);
 //   - poison frames, whose pixel buffer is shorter than the header claims
 //     and which therefore panic inside the feature extractor — the fault
 //     per-goroutine panic recovery converts into a per-frame error;
@@ -26,9 +30,10 @@ import (
 
 // levelFault is the injected behaviour of one pyramid level.
 type levelFault struct {
-	stall    time.Duration
-	err      error
-	panicVal any
+	stall     time.Duration
+	hardStall time.Duration
+	err       error
+	panicVal  any
 }
 
 // Faults injects per-level faults into a detector via its Probe method.
@@ -57,6 +62,17 @@ func (f *Faults) set(level int, mod func(*levelFault)) {
 // deadline cuts it short (the frame then reports the context error).
 func (f *Faults) StallLevel(level int, d time.Duration) {
 	f.set(level, func(lf *levelFault) { lf.stall = d })
+}
+
+// HardStallLevel makes every scan of the given pyramid level sleep for d
+// while IGNORING the frame's context — modelling a hang in non-cancellable
+// code (a blocking syscall, a driver call, a tight loop that never checks
+// ctx). A deadline cannot cut it short; only the rt liveness watchdog can
+// detect it, abandon the stuck goroutine, and wedge the pipeline. This is
+// the watchdog's canonical test vector; keep d bounded in tests so the
+// abandoned goroutine eventually unsticks and exits.
+func (f *Faults) HardStallLevel(level int, d time.Duration) {
+	f.set(level, func(lf *levelFault) { lf.hardStall = d })
 }
 
 // FailLevel makes every scan of the given pyramid level abort the frame
@@ -99,6 +115,10 @@ func (f *Faults) Probe(ctx context.Context, level int) error {
 	}
 	if lf.err != nil {
 		return lf.err
+	}
+	if lf.hardStall > 0 {
+		// Deliberately ctx-blind: this is the hang the watchdog exists for.
+		time.Sleep(lf.hardStall)
 	}
 	if lf.stall > 0 {
 		t := time.NewTimer(lf.stall)

@@ -58,6 +58,41 @@ func TestProbeStallRespectsContext(t *testing.T) {
 	}
 }
 
+// TestHardStallIgnoresContext pins the contract split between the two stall
+// variants: a hard stall sleeps out its full duration even under an already-
+// expired context (it is the watchdog's test vector and must not be
+// cancellable), while the soft stall above stays promptly cancellable — the
+// regression this test exists to catch is someone "fixing" HardStallLevel
+// to observe ctx, which would silently turn every watchdog test into a
+// no-op.
+func TestHardStallIgnoresContext(t *testing.T) {
+	f := New()
+	const d = 80 * time.Millisecond
+	f.HardStallLevel(0, d)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // expired before the probe even starts
+	start := time.Now()
+	if err := f.Probe(ctx, 0); err != nil {
+		t.Fatalf("hard stall returned %v, want nil (it must not observe ctx)", err)
+	}
+	if elapsed := time.Since(start); elapsed < d {
+		t.Fatalf("hard stall returned after %v, want the full %v wall-clock sleep", elapsed, d)
+	}
+
+	// The soft variant on the same fault set still cancels promptly.
+	f.Reset()
+	f.StallLevel(0, time.Minute)
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel2()
+	start = time.Now()
+	if err := f.Probe(ctx2, 0); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("soft stall: got %v, want deadline exceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("soft stall ignored the context: took %v", elapsed)
+	}
+}
+
 func TestTruncatePixKeepsHeaderLiesAboutBuffer(t *testing.T) {
 	g := imgproc.NewGray(8, 8)
 	p := TruncatePix(g, 10)

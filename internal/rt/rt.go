@@ -19,7 +19,14 @@
 //     system);
 //   - each frame is scanned under per-goroutine panic recovery, so a
 //     poison frame yields a FrameResult with Err set instead of killing
-//     the stream.
+//     the stream;
+//   - a liveness watchdog (Config.HangTimeout) bounds how long a scan may
+//     run in non-cancellable code: a frame whose scan ignores its context
+//     past the hang timeout is declared hung (FrameResult{Err: ErrHung}),
+//     its goroutine is abandoned under leak accounting, and the pipeline
+//     transitions to the terminal Wedged state — a stuck goroutine cannot
+//     be killed, only detached, so the only safe recovery is a fresh
+//     pipeline (internal/serve's supervisor treats Wedged like a crash).
 //
 // Stats() exposes a snapshot of the runtime counters for dashboards and
 // the cmd/pddetect -stream mode; internal/rt/faultinject drives the
@@ -73,6 +80,18 @@ type Config struct {
 	// within to count toward recovery; the gap between it and 1.0 is the
 	// hysteresis band that prevents oscillation. Default 0.7.
 	RecoverMargin float64
+	// HangTimeout arms the liveness watchdog: a frame whose scan runs this
+	// long past dispatch without returning is declared hung. Well-behaved
+	// slow code is cancelled by the per-frame context at the deadline and
+	// never comes near this bound — only a scan stuck in non-cancellable
+	// code (ignoring its context) can trip it. On expiry the frame is
+	// emitted as FrameResult{Err: ErrHung}, the stuck goroutine is
+	// abandoned (leak-accounted in Stats and the obs registry), and the
+	// pipeline wedges terminally. 0 defaults to 4x the frame deadline;
+	// negative disables the watchdog (restoring the old block-forever
+	// semantics, where only Close's context cancellation can unwind a
+	// cooperative stall and a true hang blocks the pipeline for good).
+	HangTimeout time.Duration
 	// Metrics, if non-nil, receives the pipeline's observability stream:
 	// per-stage latency histograms (via a core detect recorder shared by
 	// every rung), frame/wait histograms, intake/drop/miss/degrade
@@ -164,6 +183,13 @@ func (e *PanicError) Error() string {
 	return fmt.Sprintf("rt: panic while scanning frame: %v", e.Value)
 }
 
+// ErrHung is the per-frame error of a scan abandoned by the liveness
+// watchdog: it ran HangTimeout past dispatch without returning, so it is
+// stuck in code that ignores its context. The carrying FrameResult is the
+// pipeline's last — the pipeline is Wedged after emitting it, and the
+// stream needs a fresh pipeline (internal/serve restarts the worker).
+var ErrHung = errors.New("rt: frame scan hung; pipeline wedged")
+
 // FrameResult is the outcome of one submitted frame.
 type FrameResult struct {
 	// Seq is the frame's submission sequence number (0-based).
@@ -191,18 +217,44 @@ type frameItem struct {
 	at    time.Time
 }
 
+// Claim states of the frame in flight (Pipeline.claim).
+const (
+	claimNone     uint32 = iota // scan in progress, nobody has accounted it
+	claimScanner                // scanner finished in time; result is authoritative
+	claimWatchdog               // watchdog fired first; frame is hung, scanner abandoned
+)
+
 // Pipeline is a running streaming detection runtime. Create it with New,
 // feed it with Submit, consume Results, and Close it when done. The
 // consumer must drain Results; the pipeline applies backpressure (and
 // eventually drops frames) when it does not.
 type Pipeline struct {
-	cfg      Config
-	deadline time.Duration
-	rungs    []Rung
-	dets     []*core.Detector
+	cfg         Config
+	deadline    time.Duration
+	hangTimeout time.Duration // resolved; 0 = watchdog disabled
+	rungs       []Rung
+	dets        []*core.Detector
 
 	in      chan frameItem
 	results chan FrameResult
+
+	// The scan runs on a dedicated scanner goroutine so the run loop can
+	// keep a watchdog on it: scanIn hands one frame over, scanOut (buffered
+	// 1) returns its result. claim arbitrates the hang race — exactly one
+	// of {scanner, watchdog} accounts each frame: the scanner claims on
+	// completion before sending the result; the watchdog claims on timeout
+	// before wedging. A scanner that loses the claim was abandoned — it
+	// discards its late result and exits once scanIn closes.
+	scanIn  chan frameItem
+	scanOut chan FrameResult
+	claim   atomic.Uint32
+
+	// wedged flips once, when the watchdog abandons a scan: the pipeline is
+	// terminally broken (its scanner goroutine is stuck), intake is closed,
+	// and only teardown remains. wedgeRetire makes the obs wedged-gauge
+	// decrement in Close idempotent.
+	wedged      atomic.Bool
+	wedgeRetire sync.Once
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -210,11 +262,13 @@ type Pipeline struct {
 	done       chan struct{}
 	closeOnce  sync.Once
 
-	// closeMu gates intake against Close: Submit holds the read side while
-	// it enqueues, Close takes the write side to flip closed. This makes the
-	// pair safe to race — once Close has the lock, no Submit is mid-enqueue,
-	// so the scan loop's shutdown drain observes every accepted frame and
-	// the FramesIn == FramesOut + FramesDropped invariant survives Close.
+	// closeMu gates intake against Close and the wedge path: Submit holds
+	// the read side while it enqueues; Close and wedge take the write side
+	// to flip closed. This makes the pair safe to race — once the lock is
+	// held, no Submit is mid-enqueue, so the run loop's shutdown drain
+	// observes every accepted frame and the
+	// FramesIn == FramesOut + FramesDropped invariant survives both Close
+	// and a wedge.
 	closeMu sync.RWMutex
 	closed  bool
 
@@ -223,10 +277,11 @@ type Pipeline struct {
 	stats *stats
 
 	// Observability (all nil/zero when Config.Metrics is nil). rec is this
-	// pipeline's frame-stage recorder lane: the scan loop runs one frame at
-	// a time, so every rung detector can share it. prevDeg/prevRec are the
-	// controller transition counts already flushed into the obs counters;
-	// only the scan loop touches them.
+	// pipeline's frame-stage recorder lane: the scanner goroutine runs one
+	// frame at a time, so every rung detector can share it. prevDeg/prevRec
+	// are the controller transition counts already flushed into the obs
+	// counters; only the scanner goroutine's recordFrame touches them (the
+	// wedge path's recordHung deliberately does not).
 	metrics          *obs.Metrics
 	rec              *obs.DetectRecorder
 	arena            *core.Arena
@@ -270,18 +325,28 @@ func New(det *core.Detector, cfg Config) (*Pipeline, error) {
 		}
 		dets[i] = d
 	}
+	hang := cfg.HangTimeout
+	switch {
+	case hang < 0:
+		hang = 0 // watchdog disabled
+	case hang == 0:
+		hang = 4 * deadline
+	}
 	baseCtx, baseCancel := context.WithCancel(context.Background())
 	p := &Pipeline{
-		cfg:        cfg,
-		deadline:   deadline,
-		rungs:      rungs,
-		dets:       dets,
-		in:         make(chan frameItem, cfg.Queue),
-		results:    make(chan FrameResult, cfg.Queue+1),
-		baseCtx:    baseCtx,
-		baseCancel: baseCancel,
-		stop:       make(chan struct{}),
-		done:       make(chan struct{}),
+		cfg:         cfg,
+		deadline:    deadline,
+		hangTimeout: hang,
+		rungs:       rungs,
+		dets:        dets,
+		in:          make(chan frameItem, cfg.Queue),
+		results:     make(chan FrameResult, cfg.Queue+1),
+		scanIn:      make(chan frameItem),
+		scanOut:     make(chan FrameResult, 1),
+		baseCtx:     baseCtx,
+		baseCancel:  baseCancel,
+		stop:        make(chan struct{}),
+		done:        make(chan struct{}),
 		ctrl: newController(len(rungs), cfg.DegradeAfter, cfg.RecoverAfter,
 			cfg.RecoverMargin),
 		stats:   newStats(),
@@ -289,12 +354,25 @@ func New(det *core.Detector, cfg Config) (*Pipeline, error) {
 		rec:     rec,
 		arena:   base.Arena,
 	}
+	go p.scanLoop()
 	go p.run()
 	return p, nil
 }
 
 // Deadline returns the per-frame latency budget the pipeline enforces.
 func (p *Pipeline) Deadline() time.Duration { return p.deadline }
+
+// HangTimeout returns the resolved liveness watchdog bound (0 when the
+// watchdog is disabled).
+func (p *Pipeline) HangTimeout() time.Duration { return p.hangTimeout }
+
+// Wedged reports whether the watchdog has abandoned a hung scan and moved
+// the pipeline to its terminal state: Submit refuses intake, Results is (or
+// is about to be) closed after the final ErrHung result, and the only
+// remaining transition is Close. The stuck scanner goroutine is leak-
+// accounted in Stats().FramesHung and, when metrics are wired, the
+// obs.AbandonedScanners gauge (decremented if it ever unsticks and exits).
+func (p *Pipeline) Wedged() bool { return p.wedged.Load() }
 
 // Ladder returns the degradation ladder, rung 0 first.
 func (p *Pipeline) Ladder() []Rung {
@@ -311,7 +389,8 @@ func (p *Pipeline) Results() <-chan FrameResult { return p.results }
 // full the oldest queued frame is dropped to make room (a newer frame is
 // always worth more to a driver-assistance system than a stale one). It
 // returns false if the frame could not be accepted — the pipeline is
-// closed, or the queue stayed full even after the eviction attempt.
+// closed or wedged, or the queue stayed full even after the eviction
+// attempt.
 func (p *Pipeline) Submit(frame *imgproc.Gray) bool {
 	p.closeMu.RLock()
 	defer p.closeMu.RUnlock()
@@ -389,6 +468,12 @@ func (p *Pipeline) Close() {
 		p.baseCancel()
 	})
 	<-p.done
+	// Retiring a wedged pipeline takes it off the obs wedged-pipelines
+	// gauge (the abandoned-scanner gauge stays up until the stuck
+	// goroutine itself unsticks and exits — that is the actual leak).
+	if p.wedged.Load() && p.metrics != nil {
+		p.wedgeRetire.Do(func() { p.metrics.WedgedPipelines.Add(-1) })
+	}
 }
 
 // Closed reports whether Close has been called. Submit returns false and
@@ -405,23 +490,27 @@ func (p *Pipeline) Closed() bool {
 // Stats returns a snapshot of the runtime counters.
 func (p *Pipeline) Stats() Stats { return p.stats.snapshot(p) }
 
-// run is the scan loop: one goroutine pulls frames off the bounded queue,
-// scans them under the deadline at the controller's current rung, feeds the
-// outcome back to the controller, and emits the result.
+// run is the frame loop: it pulls frames off the bounded queue, hands each
+// to the scanner goroutine, watches the scan with the hang watchdog, feeds
+// the outcome back to the controller, and emits the result. On a hang it
+// wedges the pipeline and exits.
 func (p *Pipeline) run() {
 	defer close(p.done)
 	defer close(p.results)
-	// Frames still queued when Close fires were accepted but will never be
-	// scanned; count them as dropped so the stats invariant
+	// Frames still queued when Close (or a wedge) fires were accepted but
+	// will never be scanned; count them as dropped so the stats invariant
 	// FramesIn == FramesOut + FramesDropped + InFlight holds after
-	// shutdown with InFlight 0. Close flips the intake gate before
-	// signalling stop, so no Submit can add to the queue after this drain
-	// runs.
+	// shutdown with InFlight 0. Both Close and the wedge path flip the
+	// intake gate before this drain runs, so no Submit can add to the
+	// queue afterwards.
 	defer func() {
 		for p.stats.tryEvict(p.in) {
 			p.countDropped()
 		}
 	}()
+	// Closing scanIn lets the scanner goroutine exit: immediately when it
+	// is idle, or whenever it unsticks if it was abandoned mid-hang.
+	defer close(p.scanIn)
 	for {
 		select {
 		case <-p.stop:
@@ -440,7 +529,11 @@ func (p *Pipeline) run() {
 				return
 			default:
 			}
-			r := p.process(it)
+			r, hung := p.dispatch(it)
+			if hung {
+				p.wedge(r)
+				return
+			}
 			p.ctrl.observe(r, p.deadline)
 			p.stats.observe(r)
 			select {
@@ -452,30 +545,107 @@ func (p *Pipeline) run() {
 	}
 }
 
-// process scans one frame under the per-frame deadline at the current rung.
-func (p *Pipeline) process(it frameItem) FrameResult {
-	rung := p.ctrl.current()
-	wait := time.Since(it.at)
-	var arenaGets0, arenaMisses0 uint64
-	if p.metrics != nil {
-		arenaGets0, arenaMisses0 = p.arena.Counters()
+// dispatch hands one frame to the scanner goroutine and waits for its
+// result under the hang watchdog. It returns hung=true when the watchdog
+// claimed the frame: the returned FrameResult is the synthesized ErrHung
+// outcome and the scanner goroutine has been abandoned mid-scan.
+func (p *Pipeline) dispatch(it frameItem) (r FrameResult, hung bool) {
+	p.claim.Store(claimNone)
+	p.scanIn <- it
+	if p.hangTimeout <= 0 {
+		return <-p.scanOut, false
 	}
-	ctx, cancel := context.WithTimeout(p.baseCtx, p.deadline)
-	start := time.Now()
-	dets, err := detectFrame(ctx, p.dets[rung], it.frame)
-	cancel()
-	lat := time.Since(start)
-	r := FrameResult{
-		Seq:        it.seq,
-		Detections: dets,
-		Err:        err,
-		Wait:       wait,
-		Latency:    lat,
-		Missed:     lat > p.deadline || errors.Is(err, context.DeadlineExceeded),
-		Rung:       rung,
+	t := time.NewTimer(p.hangTimeout)
+	defer t.Stop()
+	select {
+	case r = <-p.scanOut:
+		return r, false
+	case <-t.C:
+		if !p.claim.CompareAndSwap(claimNone, claimWatchdog) {
+			// The scanner finished in the same instant the timer fired and
+			// won the claim; its result is in (or about to hit) scanOut.
+			return <-p.scanOut, false
+		}
+		wait := time.Since(it.at) - p.hangTimeout
+		if wait < 0 {
+			wait = 0
+		}
+		return FrameResult{
+			Seq:     it.seq,
+			Err:     ErrHung,
+			Wait:    wait,
+			Latency: p.hangTimeout,
+			Missed:  true,
+			Rung:    p.ctrl.current(),
+		}, true
 	}
-	p.recordFrame(r, arenaGets0, arenaMisses0)
-	return r
+}
+
+// wedge moves the pipeline to its terminal state after the watchdog
+// abandoned a hung scan: intake closes, the hung frame is accounted (it
+// left the queue but will never be scanned to completion by anyone we can
+// wait for), the abandoned goroutine is leak-accounted, and the final
+// ErrHung result is emitted. The caller (run) returns immediately after,
+// draining the queue as dropped and closing Results.
+func (p *Pipeline) wedge(r FrameResult) {
+	p.closeMu.Lock()
+	p.closed = true
+	p.closeMu.Unlock()
+	p.wedged.Store(true)
+	// Politeness: if the stuck code ever starts observing its context
+	// again, let it unwind promptly rather than running to completion.
+	p.baseCancel()
+	p.stats.observeHung(r)
+	p.recordHung(r)
+	select {
+	case p.results <- r:
+	case <-p.stop:
+	}
+}
+
+// scanLoop is the dedicated scanner goroutine: it scans one frame at a
+// time on behalf of the run loop. Splitting the scan onto its own
+// goroutine is what makes the hang watchdog possible — the run loop can
+// abandon a scan stuck in non-cancellable code, which an in-line call
+// never could. A scanner that loses the completion claim discards its
+// late result (the watchdog already emitted ErrHung for that frame) and
+// retires the abandoned-goroutine ledger entry on its way out.
+func (p *Pipeline) scanLoop() {
+	for it := range p.scanIn {
+		rung := p.ctrl.current()
+		wait := time.Since(it.at)
+		var arenaGets0, arenaMisses0 uint64
+		if p.metrics != nil {
+			arenaGets0, arenaMisses0 = p.arena.Counters()
+		}
+		ctx, cancel := context.WithTimeout(p.baseCtx, p.deadline)
+		start := time.Now()
+		dets, err := detectFrame(ctx, p.dets[rung], it.frame)
+		cancel()
+		lat := time.Since(start)
+		r := FrameResult{
+			Seq:        it.seq,
+			Detections: dets,
+			Err:        err,
+			Wait:       wait,
+			Latency:    lat,
+			Missed:     lat > p.deadline || errors.Is(err, context.DeadlineExceeded),
+			Rung:       rung,
+		}
+		if p.claim.CompareAndSwap(claimNone, claimScanner) {
+			p.recordFrame(r, arenaGets0, arenaMisses0)
+			p.scanOut <- r
+			continue
+		}
+		// Abandoned: the watchdog gave up on this frame long ago and the
+		// pipeline is wedged. The late result is discarded (the frame was
+		// already accounted as hung); this goroutine's only remaining job
+		// is to check out of the leak ledger and exit via the closed
+		// scanIn.
+		if p.metrics != nil {
+			p.metrics.AbandonedScanners.Add(-1)
+		}
+	}
 }
 
 // recordFrame mirrors one frame outcome into the obs registry: outcome
@@ -527,6 +697,41 @@ func (p *Pipeline) recordFrame(r FrameResult, arenaGets0, arenaMisses0 uint64) {
 		ArenaMiss: frameMisses > 0,
 		Missed:    r.Missed,
 		Failed:    r.Err != nil,
+	}
+	m.Traces.Record(&tr)
+}
+
+// recordHung mirrors a watchdog-abandoned frame into the obs registry. The
+// hung frame counts as emitted (its ErrHung result is the pipeline's last),
+// its trace carries the Hung flag with a zero stage breakdown (a stuck scan
+// never reports where it is), and the wedge/abandonment gauges go up. The
+// scanner's own recordFrame never runs for this frame — the claim CAS
+// guarantees exactly one of the two accounts it — so the registry mirrors
+// stay additive. Runs on the run loop; no-op when metrics are disabled.
+func (p *Pipeline) recordHung(r FrameResult) {
+	m := p.metrics
+	if m == nil {
+		return
+	}
+	m.FramesOut.Inc()
+	m.Errors.Inc()
+	m.DeadlineMisses.Inc()
+	m.FramesHung.Inc()
+	m.WedgedPipelines.Add(1)
+	m.AbandonedScanners.Add(1)
+	m.Frame.Observe(r.Latency)
+	m.Wait.Observe(r.Wait)
+	tr := obs.FrameTrace{
+		Seq:      r.Seq,
+		Worker:   p.cfg.MetricsID,
+		Rung:     r.Rung,
+		Wait:     r.Wait,
+		Total:    r.Latency,
+		Deadline: p.deadline,
+		Margin:   p.deadline - r.Latency,
+		Missed:   true,
+		Failed:   true,
+		Hung:     true,
 	}
 	m.Traces.Record(&tr)
 }

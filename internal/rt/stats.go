@@ -26,9 +26,18 @@ type Stats struct {
 	// DeadlineMisses counts frames that exceeded the per-frame budget.
 	DeadlineMisses uint64
 	// Errors counts frames that failed for any reason (deadline cutoff,
-	// detection error, recovered panic); Panics counts the recovered
-	// panics among them.
+	// detection error, recovered panic, watchdog abandonment); Panics
+	// counts the recovered panics among them and FramesHung the frames the
+	// liveness watchdog abandoned. Each hung frame counts in FramesOut too
+	// (its ErrHung result was emitted), so conservation holds through a
+	// wedge; it also left one abandoned goroutine behind, making
+	// FramesHung the accounted-leak ledger for goroutine-settling checks.
 	Errors, Panics uint64
+	FramesHung     uint64
+	// Wedged reports the terminal hung state: the watchdog abandoned a
+	// scan and the pipeline refuses further intake. A wedged pipeline can
+	// only be Closed and replaced.
+	Wedged bool
 	// DegradeEvents and RecoverEvents count controller rung transitions.
 	DegradeEvents, RecoverEvents uint64
 	// Rung is the current degradation rung (0 = full quality) of Rungs
@@ -44,10 +53,14 @@ type Stats struct {
 
 // String renders the snapshot as a one-line operator summary.
 func (s Stats) String() string {
+	wedged := ""
+	if s.Wedged {
+		wedged = " WEDGED"
+	}
 	return fmt.Sprintf(
-		"in %d out %d dropped %d inflight %d | misses %d errors %d (panics %d) | rung %d/%d (skip %d, workers %d) | lat avg %s max %s / budget %s",
+		"in %d out %d dropped %d inflight %d | misses %d errors %d (panics %d, hung %d)%s | rung %d/%d (skip %d, workers %d) | lat avg %s max %s / budget %s",
 		s.FramesIn, s.FramesOut, s.FramesDropped, s.InFlight,
-		s.DeadlineMisses, s.Errors, s.Panics,
+		s.DeadlineMisses, s.Errors, s.Panics, s.FramesHung, wedged,
 		s.Rung, s.Rungs-1, s.SkipFinest, s.Workers,
 		s.AvgLatency.Round(time.Microsecond), s.MaxLatency.Round(time.Microsecond),
 		s.Deadline.Round(time.Microsecond))
@@ -69,6 +82,7 @@ type stats struct {
 	inflight         uint64
 	misses           uint64
 	errs, panics     uint64
+	hung             uint64
 
 	waitSum, latSum time.Duration
 	maxWait, maxLat time.Duration
@@ -145,6 +159,29 @@ func (s *stats) observe(r FrameResult) {
 	}
 }
 
+// observeHung folds a watchdog-abandoned frame into the counters in one
+// critical section: it is emitted (out), retired from in-flight, and
+// tallied as a missed, erroring, hung frame — so the conservation identity
+// holds at every instant through a wedge, and FramesHung tracks exactly
+// the abandoned goroutines a settling check must tolerate.
+func (s *stats) observeHung(r FrameResult) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.out++
+	s.inflight--
+	s.misses++
+	s.errs++
+	s.hung++
+	s.waitSum += r.Wait
+	s.latSum += r.Latency
+	if r.Wait > s.maxWait {
+		s.maxWait = r.Wait
+	}
+	if r.Latency > s.maxLat {
+		s.maxLat = r.Latency
+	}
+}
+
 // snapshot assembles the exported Stats, pulling the controller state and
 // ladder geometry from the pipeline.
 func (s *stats) snapshot(p *Pipeline) Stats {
@@ -159,6 +196,8 @@ func (s *stats) snapshot(p *Pipeline) Stats {
 		DeadlineMisses: s.misses,
 		Errors:         s.errs,
 		Panics:         s.panics,
+		FramesHung:     s.hung,
+		Wedged:         p.wedged.Load(),
 		DegradeEvents:  deg,
 		RecoverEvents:  rec,
 		Rung:           cur,

@@ -114,8 +114,9 @@ type statszResponse struct {
 //	               restarting, or draining, Retry-After set. 504: deadline
 //	               exceeded. 500: detector fault.
 //	GET  /healthz  200 while the process is alive (liveness).
-//	GET  /readyz   200 when serving; 503 while the breaker is open or the
-//	               server is draining (readiness — take it out of rotation).
+//	GET  /readyz   200 when serving; 503 while the breaker is open, the
+//	               server is draining, or no worker has a live non-wedged
+//	               pipeline (readiness — take it out of rotation).
 //	GET  /statsz   statszResponse JSON: server, breaker, supervisor stats.
 //	GET  /metricsz Prometheus text exposition: the obs registry (stage and
 //	               frame latency summaries, pipeline counters) when
@@ -368,6 +369,10 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, resp)
 	case errors.Is(err, ErrWorkerRestarting), errors.Is(err, ErrSupervisorClosed):
 		s.writeUnavailable(w, http.StatusServiceUnavailable, s.cfg.RetryAfter, err.Error())
+	case errors.Is(err, rt.ErrHung):
+		// The frame's scan hung and its worker is being torn down and
+		// rebuilt; retry lands on the fresh incarnation (or sheds).
+		s.writeUnavailable(w, http.StatusServiceUnavailable, s.cfg.RetryAfter, err.Error())
 	case errors.Is(err, context.DeadlineExceeded):
 		writeJSON(w, http.StatusGatewayTimeout, errorResponse{Error: "deadline exceeded"})
 	case errors.Is(err, context.Canceled):
@@ -389,18 +394,32 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
-func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+// Ready reports whether the server would pass its readiness probe, and the
+// reason when it would not: draining, breaker open, or every worker
+// pipeline dead (restarting) or wedged. It is the programmatic form of
+// GET /readyz, shared with the chaos harness's recovery-SLO checker.
+func (s *Server) Ready() (bool, string) {
 	s.mu.Lock()
 	draining := s.draining
 	s.mu.Unlock()
 	switch {
 	case draining:
-		s.writeUnavailable(w, http.StatusServiceUnavailable, s.cfg.RetryAfter, "draining")
+		return false, "draining"
 	case s.breaker.State() == BreakerOpen:
-		s.writeUnavailable(w, http.StatusServiceUnavailable, s.cfg.RetryAfter, "circuit breaker open")
+		return false, "circuit breaker open"
+	case s.sup.Running() == 0:
+		return false, "no workers running"
 	default:
-		writeJSON(w, http.StatusOK, map[string]bool{"ready": true})
+		return true, ""
 	}
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if ready, reason := s.Ready(); !ready {
+		s.writeUnavailable(w, http.StatusServiceUnavailable, s.cfg.RetryAfter, reason)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"ready": true})
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
@@ -451,6 +470,12 @@ func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
 	for _, ws := range sup.Workers {
 		obs.WriteCounterLine(w, "pd_worker_restarts_total", fmt.Sprintf("worker=%q", strconv.Itoa(ws.ID)), ws.Restarts)
 	}
+	fmt.Fprintf(w, "# TYPE pd_worker_wedges_total counter\n")
+	for _, ws := range sup.Workers {
+		obs.WriteCounterLine(w, "pd_worker_wedges_total", fmt.Sprintf("worker=%q", strconv.Itoa(ws.ID)), ws.Wedges)
+	}
+	fmt.Fprintf(w, "# TYPE pd_workers_running gauge\n")
+	obs.WriteGaugeLine(w, "pd_workers_running", "", float64(s.sup.Running()))
 	fmt.Fprintf(w, "# TYPE pd_frames_inflight gauge\n")
 	obs.WriteGaugeLine(w, "pd_frames_inflight", "", float64(sup.Aggregate.InFlight))
 }

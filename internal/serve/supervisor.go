@@ -1,13 +1,14 @@
 // Package serve is the fault-tolerant multi-stream serving layer over the
 // detection runtime: many concurrent camera streams sharing one process,
-// where one crashing or slow stream must not take down the rest.
+// where one crashing, hanging, or slow stream must not take down the rest.
 //
 // It composes three pieces, each usable on its own:
 //
 //   - Supervisor owns N worker rt.Pipelines (one per stream shard, streams
-//     pinned by ID), restarts a worker killed by a panic or a poisoned
-//     stream with capped exponential backoff plus jitter, and aggregates
-//     the workers' rt.Stats;
+//     pinned by ID), restarts a worker killed by a panic, a poisoned
+//     stream, or a liveness-watchdog wedge (rt.ErrHung) with capped
+//     exponential backoff plus jitter, and aggregates the workers'
+//     rt.Stats;
 //   - Server exposes the supervisor over HTTP with per-request deadline
 //     propagation, a bounded admission queue that load-sheds with 429 +
 //     Retry-After, a circuit breaker (closed -> open -> half-open),
@@ -19,8 +20,10 @@
 // internal/rt; this package supplies the always-on, multi-camera serving
 // contract that GPU/SoC deployments of this detector family assume.
 // cmd/pdserve serves a model, examples/loadgen drives a server past
-// capacity, and internal/rt/faultinject scripts the deterministic
-// panic->restart, overload->shed, and trip->probe->recover tests.
+// capacity, internal/rt/faultinject scripts the deterministic
+// panic->restart, overload->shed, hang->wedge->restart, and
+// trip->probe->recover tests, and internal/chaos soaks the whole stack
+// under a seeded fault schedule.
 package serve
 
 import (
@@ -43,6 +46,20 @@ import (
 // crashed incarnation.
 type DetectorFactory func(worker int) (*core.Detector, error)
 
+// workerPipe is the slice of rt.Pipeline the supervisor depends on. The
+// production implementation is always *rt.Pipeline; tests inject
+// misbehaving implementations (never-responding, always-wedged) that would
+// be awkward to provoke through a real detector.
+type workerPipe interface {
+	Submit(frame *imgproc.Gray) bool
+	Results() <-chan rt.FrameResult
+	Close()
+	Stats() rt.Stats
+	Deadline() time.Duration
+	HangTimeout() time.Duration
+	Wedged() bool
+}
+
 // SupervisorConfig tunes the supervisor.
 type SupervisorConfig struct {
 	// Workers is the number of worker pipelines. Streams are pinned to
@@ -63,6 +80,15 @@ type SupervisorConfig struct {
 	// frame fails is indistinguishable from a wedged worker from the
 	// outside. 0 means the default of 16; negative disables.
 	RestartAfterErrors int
+	// ResultTimeout bounds how long a worker waits for the result of a
+	// submitted frame before declaring the pipeline result-silent and
+	// restarting it. This is the supervisor's own liveness net under the
+	// pipeline's watchdog: even if the pipeline never reports (watchdog
+	// disabled, or wedged without emitting), the worker recovers. 0 derives
+	// the bound from the pipeline — Deadline + 2*HangTimeout when the
+	// watchdog is enabled, unbounded when it is disabled; negative forces
+	// unbounded.
+	ResultTimeout time.Duration
 }
 
 func (c SupervisorConfig) withDefaults() SupervisorConfig {
@@ -117,9 +143,14 @@ type worker struct {
 // WorkerStatus describes one worker in a stats snapshot.
 type WorkerStatus struct {
 	ID int `json:"id"`
-	// State is "running" or "restarting".
+	// State is "running", "wedged" (the live pipeline's watchdog tripped
+	// and the worker is about to retire it), or "restarting".
 	State    string `json:"state"`
 	Restarts uint64 `json:"restarts"`
+	// Wedges counts hang escalations: each time this worker's pipeline was
+	// declared hung (rt.ErrHung, a result-silent timeout, or intake refused
+	// by a wedged pipeline) and torn down.
+	Wedges uint64 `json:"wedges"`
 	// Pipeline aggregates the rt.Stats of every incarnation of this
 	// worker's pipeline (restarts do not reset the counters).
 	Pipeline rt.Stats `json:"pipeline"`
@@ -129,19 +160,22 @@ type WorkerStatus struct {
 type SupervisorStats struct {
 	Workers  []WorkerStatus `json:"workers"`
 	Restarts uint64         `json:"restarts"`
+	// Wedges totals the hang escalations across workers.
+	Wedges uint64 `json:"wedges"`
 	// Aggregate folds every worker's pipeline counters together (sums for
 	// counters, max for worst-case latencies, frame-weighted means).
 	Aggregate rt.Stats `json:"aggregate"`
 }
 
 // Supervisor owns N worker pipelines and keeps them alive: a worker whose
-// frame scan panics (rt.PanicError) or whose stream turns into a run of
-// consecutive failures is torn down and rebuilt from the DetectorFactory
-// under capped exponential backoff with jitter, while the other workers
-// keep serving their streams untouched.
+// frame scan panics (rt.PanicError), hangs past the liveness watchdog
+// (rt.ErrHung / a result-silent ResultTimeout), or whose stream turns into
+// a run of consecutive failures is torn down and rebuilt from the
+// DetectorFactory under capped exponential backoff with jitter, while the
+// other workers keep serving their streams untouched.
 type Supervisor struct {
 	cfg     SupervisorConfig
-	factory DetectorFactory
+	newPipe func(worker int) (workerPipe, error)
 	workers []*worker
 
 	stop      chan struct{}
@@ -150,10 +184,11 @@ type Supervisor struct {
 
 	mu       sync.Mutex
 	rng      *rand.Rand
-	pipes    []*rt.Pipeline // current pipeline per worker; nil while restarting
-	prior    []rt.Stats     // folded stats of retired pipelines
-	restarts []uint64       // restart events per worker
-	consec   []int          // consecutive restarts (reset by a healthy frame)
+	pipes    []workerPipe // current pipeline per worker; nil while restarting
+	prior    []rt.Stats   // folded stats of retired pipelines
+	restarts []uint64     // restart events per worker
+	wedges   []uint64     // hang escalations per worker
+	consec   []int        // consecutive restarts (reset by a healthy frame)
 }
 
 // NewSupervisor builds the initial pipeline for every worker (failing fast
@@ -162,19 +197,38 @@ func NewSupervisor(factory DetectorFactory, cfg SupervisorConfig) (*Supervisor, 
 	if factory == nil {
 		return nil, errors.New("serve: nil detector factory")
 	}
+	// Every incarnation is labelled with the worker index so its entries in
+	// the shared trace ring (rt.Config.Metrics) stay attributable across
+	// restarts.
+	newPipe := func(id int) (workerPipe, error) {
+		det, err := factory(id)
+		if err != nil {
+			return nil, fmt.Errorf("detector factory: %w", err)
+		}
+		pc := cfg.Pipeline
+		pc.MetricsID = id
+		return rt.New(det, pc)
+	}
+	return newSupervisorWith(newPipe, cfg)
+}
+
+// newSupervisorWith is the injectable constructor behind NewSupervisor:
+// tests substitute pipe builders that return scripted implementations.
+func newSupervisorWith(newPipe func(int) (workerPipe, error), cfg SupervisorConfig) (*Supervisor, error) {
 	cfg = cfg.withDefaults()
 	s := &Supervisor{
 		cfg:      cfg,
-		factory:  factory,
+		newPipe:  newPipe,
 		stop:     make(chan struct{}),
 		rng:      rand.New(rand.NewSource(time.Now().UnixNano())),
-		pipes:    make([]*rt.Pipeline, cfg.Workers),
+		pipes:    make([]workerPipe, cfg.Workers),
 		prior:    make([]rt.Stats, cfg.Workers),
 		restarts: make([]uint64, cfg.Workers),
+		wedges:   make([]uint64, cfg.Workers),
 		consec:   make([]int, cfg.Workers),
 	}
 	for i := 0; i < cfg.Workers; i++ {
-		pipe, err := s.buildPipeline(i)
+		pipe, err := newPipe(i)
 		if err != nil {
 			for _, p := range s.pipes {
 				if p != nil {
@@ -196,6 +250,21 @@ func NewSupervisor(factory DetectorFactory, cfg SupervisorConfig) (*Supervisor, 
 // Workers returns the number of worker pipelines.
 func (s *Supervisor) Workers() int { return len(s.workers) }
 
+// Running returns the number of workers with a live, non-wedged pipeline —
+// the capacity a readiness probe should report. Workers in restart backoff
+// or wedged-pending-teardown do not count.
+func (s *Supervisor) Running() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, p := range s.pipes {
+		if p != nil && !p.Wedged() {
+			n++
+		}
+	}
+	return n
+}
+
 // workerFor pins a stream ID to a worker.
 func (s *Supervisor) workerFor(stream int) int {
 	n := len(s.workers)
@@ -207,9 +276,18 @@ func (s *Supervisor) workerFor(stream int) int {
 // result; the scan itself additionally runs under the worker pipeline's
 // per-frame budget. Do is safe for concurrent use; requests for the same
 // stream serialize on that stream's worker.
+//
+// The caller's context wins at every wait point: a context that is already
+// done returns its error immediately rather than racing a ready channel in
+// select (Go picks ready cases at random, so without the explicit check an
+// expired request could still consume a worker slot — or, worse, report
+// ErrSupervisorClosed for what was the caller's own cancellation).
 func (s *Supervisor) Do(ctx context.Context, stream int, frame *imgproc.Gray) ([]eval.Detection, error) {
 	if frame == nil {
 		return nil, errors.New("serve: nil frame")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	w := s.workers[s.workerFor(stream)]
 	j := job{ctx: ctx, frame: frame, reply: make(chan jobResult, 1)}
@@ -219,6 +297,11 @@ func (s *Supervisor) Do(ctx context.Context, stream int, frame *imgproc.Gray) ([
 		return nil, ctx.Err()
 	case <-s.stop:
 		return nil, ErrSupervisorClosed
+	}
+	if err := ctx.Err(); err != nil {
+		// The job may still reach the worker; its own ctx check (or the
+		// buffered reply) keeps the worker from blocking on our behalf.
+		return nil, err
 	}
 	select {
 	case r := <-j.reply:
@@ -241,7 +324,7 @@ func (s *Supervisor) Close() {
 		// take the lock too (rt.Close is idempotent, so double-close with
 		// the owning worker is fine).
 		s.mu.Lock()
-		pipes := append([]*rt.Pipeline(nil), s.pipes...)
+		pipes := append([]workerPipe(nil), s.pipes...)
 		s.mu.Unlock()
 		for _, p := range pipes {
 			if p != nil {
@@ -252,21 +335,8 @@ func (s *Supervisor) Close() {
 	s.wg.Wait()
 }
 
-// buildPipeline constructs a fresh detector and pipeline for one worker.
-// Every incarnation is labelled with the worker index so its entries in the
-// shared trace ring (rt.Config.Metrics) stay attributable across restarts.
-func (s *Supervisor) buildPipeline(id int) (*rt.Pipeline, error) {
-	det, err := s.factory(id)
-	if err != nil {
-		return nil, fmt.Errorf("detector factory: %w", err)
-	}
-	cfg := s.cfg.Pipeline
-	cfg.MetricsID = id
-	return rt.New(det, cfg)
-}
-
 // installPipe publishes a worker's new pipeline for stats readers.
-func (s *Supervisor) installPipe(id int, p *rt.Pipeline) {
+func (s *Supervisor) installPipe(id int, p workerPipe) {
 	s.mu.Lock()
 	s.pipes[id] = p
 	s.mu.Unlock()
@@ -274,7 +344,7 @@ func (s *Supervisor) installPipe(id int, p *rt.Pipeline) {
 
 // retirePipe closes a worker's pipeline and folds its final stats into the
 // worker's running total.
-func (s *Supervisor) retirePipe(id int, p *rt.Pipeline) {
+func (s *Supervisor) retirePipe(id int, p workerPipe) {
 	p.Close()
 	s.mu.Lock()
 	s.prior[id] = mergeStats(s.prior[id], p.Stats())
@@ -288,6 +358,14 @@ func (s *Supervisor) retirePipe(id int, p *rt.Pipeline) {
 func (s *Supervisor) noteHealthy(id int) {
 	s.mu.Lock()
 	s.consec[id] = 0
+	s.mu.Unlock()
+}
+
+// noteWedge records a hang escalation for the worker: its pipeline was
+// declared hung and is about to be torn down and rebuilt.
+func (s *Supervisor) noteWedge(id int) {
+	s.mu.Lock()
+	s.wedges[id]++
 	s.mu.Unlock()
 }
 
@@ -323,9 +401,26 @@ func backoffDelay(n int, base, max time.Duration) time.Duration {
 	return d
 }
 
+// resultWait resolves the bounded wait for one frame's result from the
+// given pipeline incarnation. <= 0 means unbounded.
+func (s *Supervisor) resultWait(pipe workerPipe) time.Duration {
+	if s.cfg.ResultTimeout != 0 {
+		return s.cfg.ResultTimeout
+	}
+	if h := pipe.HangTimeout(); h > 0 {
+		// The pipeline's own watchdog should fire first (after at most
+		// Deadline of queue wait plus HangTimeout of scan); the extra
+		// HangTimeout of slack keeps this net strictly behind it, so a
+		// result-silent timeout here means the pipeline's liveness
+		// machinery itself failed.
+		return pipe.Deadline() + 2*h
+	}
+	return 0
+}
+
 // runWorker is one worker's supervision loop: serve the pipeline until it
 // needs a restart, retire it, back off, rebuild, repeat.
-func (s *Supervisor) runWorker(w *worker, pipe *rt.Pipeline) {
+func (s *Supervisor) runWorker(w *worker, pipe workerPipe) {
 	defer s.wg.Done()
 	for {
 		select {
@@ -337,7 +432,7 @@ func (s *Supervisor) runWorker(w *worker, pipe *rt.Pipeline) {
 		default:
 		}
 		if pipe == nil {
-			p, err := s.buildPipeline(w.id)
+			p, err := s.newPipe(w.id)
 			if err != nil {
 				// The factory itself is failing; keep backing off.
 				if !s.sleepServingErrors(w, s.restartDelay(w.id)) {
@@ -362,10 +457,15 @@ func (s *Supervisor) runWorker(w *worker, pipe *rt.Pipeline) {
 
 // servePipe feeds jobs to one pipeline incarnation in lock-step (one frame
 // in flight at a time, so results pair with requests). It returns true when
-// the worker must be restarted — a frame panicked, the consecutive-error
-// budget ran out, or the pipeline refused intake — and false on shutdown.
-func (s *Supervisor) servePipe(w *worker, pipe *rt.Pipeline) bool {
+// the worker must be restarted — a frame panicked or hung, the
+// consecutive-error budget ran out, the pipeline went result-silent past
+// the ResultTimeout bound, or it refused intake — and false on shutdown.
+// Every restart-worthy outcome fails the in-flight job fast with a
+// retryable error before the teardown begins, so no caller waits out a
+// backoff.
+func (s *Supervisor) servePipe(w *worker, pipe workerPipe) bool {
 	consecErrs := 0
+	wait := s.resultWait(pipe)
 	for {
 		select {
 		case <-s.stop:
@@ -376,25 +476,60 @@ func (s *Supervisor) servePipe(w *worker, pipe *rt.Pipeline) bool {
 				continue
 			}
 			if !pipe.Submit(j.frame) {
-				// Intake refused: the pipeline is closed under us.
+				// Intake refused: the pipeline is closed — or wedged —
+				// under us.
 				j.reply <- jobResult{err: fmt.Errorf("%w (worker %d)", ErrWorkerRestarting, w.id)}
+				if pipe.Wedged() {
+					s.noteWedge(w.id)
+				}
 				return true
 			}
+			// A fresh timer per job (not deferred-stopped: defers would
+			// accumulate across the loop; the teardown paths below may
+			// strand one timer to fire unheard, which is harmless).
 			var res rt.FrameResult
+			var timeout <-chan time.Time
+			var tmr *time.Timer
+			if wait > 0 {
+				tmr = time.NewTimer(wait)
+				timeout = tmr.C
+			}
 			select {
 			case r, ok := <-pipe.Results():
 				if !ok {
 					j.reply <- jobResult{err: fmt.Errorf("%w (worker %d)", ErrWorkerRestarting, w.id)}
+					if pipe.Wedged() {
+						s.noteWedge(w.id)
+					}
 					return true
 				}
 				res = r
+			case <-timeout:
+				// Result-silent: the frame went in and nothing came out
+				// within the liveness bound — the pipeline's own watchdog
+				// should have reported first. Treat it exactly like a
+				// wedge: fail the job fast and rebuild. (retirePipe's
+				// Close aborts whatever the pipeline was doing.)
+				j.reply <- jobResult{err: fmt.Errorf("%w (worker %d: result-silent past %v)", ErrWorkerRestarting, w.id, wait)}
+				s.noteWedge(w.id)
+				return true
 			case <-s.stop:
 				j.reply <- jobResult{err: ErrSupervisorClosed}
 				return false
 			}
+			if tmr != nil {
+				tmr.Stop()
+			}
 			j.reply <- jobResult{dets: res.Detections, err: res.Err}
 			var pe *rt.PanicError
 			switch {
+			case errors.Is(res.Err, rt.ErrHung):
+				// The pipeline's watchdog abandoned the scan and wedged the
+				// pipeline: it will never serve again. Escalate to a
+				// restart immediately — the caller already has the ErrHung
+				// result (retryable at the HTTP layer).
+				s.noteWedge(w.id)
+				return true
 			case errors.As(res.Err, &pe):
 				// The scan panicked: treat the worker as killed and rebuild
 				// it from scratch rather than trusting detector state that
@@ -438,24 +573,30 @@ func (s *Supervisor) Stats() SupervisorStats {
 	defer s.mu.Unlock()
 	out := SupervisorStats{}
 	for i := range s.workers {
-		ws := WorkerStatus{ID: i, Restarts: s.restarts[i], Pipeline: s.prior[i]}
-		if p := s.pipes[i]; p != nil {
+		ws := WorkerStatus{ID: i, Restarts: s.restarts[i], Wedges: s.wedges[i], Pipeline: s.prior[i]}
+		switch p := s.pipes[i]; {
+		case p == nil:
+			ws.State = "restarting"
+		case p.Wedged():
+			ws.State = "wedged"
+			ws.Pipeline = mergeStats(ws.Pipeline, p.Stats())
+		default:
 			ws.State = "running"
 			ws.Pipeline = mergeStats(ws.Pipeline, p.Stats())
-		} else {
-			ws.State = "restarting"
 		}
 		out.Workers = append(out.Workers, ws)
 		out.Restarts += s.restarts[i]
+		out.Wedges += s.wedges[i]
 		out.Aggregate = mergeStats(out.Aggregate, ws.Pipeline)
 	}
 	return out
 }
 
 // mergeStats folds two pipeline snapshots: counters add, worst cases take
-// the max, averages re-weight by emitted frames, and the ladder position
-// reports the more degraded of the two (an aggregate is only as healthy as
-// its worst worker).
+// the max, averages re-weight by emitted frames, the wedged flag ORs (an
+// aggregate containing any wedged incarnation reports it), and the ladder
+// position reports the more degraded of the two (an aggregate is only as
+// healthy as its worst worker).
 func mergeStats(a, b rt.Stats) rt.Stats {
 	out := a
 	out.FramesIn += b.FramesIn
@@ -465,6 +606,8 @@ func mergeStats(a, b rt.Stats) rt.Stats {
 	out.DeadlineMisses += b.DeadlineMisses
 	out.Errors += b.Errors
 	out.Panics += b.Panics
+	out.FramesHung += b.FramesHung
+	out.Wedged = a.Wedged || b.Wedged
 	out.DegradeEvents += b.DegradeEvents
 	out.RecoverEvents += b.RecoverEvents
 	if b.Rung > out.Rung {
