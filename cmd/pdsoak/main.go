@@ -10,6 +10,12 @@
 //
 //	pdsoak -seed 7 -duration 5s -workers 2 -streams 3 -events 16
 //
+// With -replicas N (N > 1) the soak boots N full replica stacks behind the
+// internal/gateway front end instead: the schedule gains replica-level
+// kill/stall events and the gateway's invariants (exactly one answer per
+// accepted request, budgeted hedge/retry spend, rejoins bounded by
+// ejections) are polled alongside the per-replica ones.
+//
 // The same seed always replays the same fault schedule, so a CI soak
 // failure reproduces exactly: rerun with the seed it printed. Exits 1 when
 // any invariant was violated.
@@ -35,6 +41,7 @@ func main() {
 		duration = flag.Duration("duration", 5*time.Second, "fault-schedule horizon")
 		workers  = flag.Int("workers", 2, "supervised worker pipelines")
 		streams  = flag.Int("streams", 3, "concurrent camera streams")
+		replicas = flag.Int("replicas", 1, "replica stacks; above 1 they serve behind the gateway and the schedule gains replica kill/stall events")
 		events   = flag.Int("events", 16, "scheduled faults")
 		deadline = flag.Duration("deadline", 60*time.Millisecond, "per-frame budget")
 		hang     = flag.Duration("hang-timeout", 150*time.Millisecond, "liveness watchdog bound (hard stalls are scheduled past it)")
@@ -54,6 +61,7 @@ func main() {
 		Events:        *events,
 		FrameInterval: *interval,
 		RecoverySLO:   *slo,
+		Replicas:      *replicas,
 	}
 	if !*quiet {
 		cfg.Logf = log.Printf
@@ -62,8 +70,8 @@ func main() {
 	ctx, cancel := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer cancel()
 
-	log.Printf("soak: seed %d, %s horizon, %d workers, %d streams, %d events, deadline %s, watchdog %s",
-		*seed, *duration, *workers, *streams, *events, *deadline, *hang)
+	log.Printf("soak: seed %d, %s horizon, %d replicas, %d workers, %d streams, %d events, deadline %s, watchdog %s",
+		*seed, *duration, *replicas, *workers, *streams, *events, *deadline, *hang)
 	res, err := chaos.Soak(ctx, cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -75,13 +83,17 @@ func main() {
 	}
 	log.Printf("frames %d (ok %d, rejected %d, failed %d); restarts %d, wedges %d, hung %d",
 		res.Frames, res.OK, res.Rejected, res.Failed, res.Restarts, res.Wedges, res.FramesHung)
+	if *replicas > 1 {
+		log.Printf("gateway: %d hedges fired, %d ejections, %d rejoins",
+			res.Hedges, res.Ejections, res.Rejoins)
+	}
 
 	if len(res.Violations) > 0 {
 		for _, v := range res.Violations {
 			log.Printf("VIOLATION: %s", v)
 		}
-		log.Printf("replay: pdsoak -seed %d -duration %s -workers %d -streams %d -events %d -deadline %s -hang-timeout %s",
-			*seed, *duration, *workers, *streams, *events, *deadline, *hang)
+		log.Printf("replay: pdsoak -seed %d -replicas %d -duration %s -workers %d -streams %d -events %d -deadline %s -hang-timeout %s",
+			*seed, *replicas, *duration, *workers, *streams, *events, *deadline, *hang)
 		os.Exit(1)
 	}
 	log.Printf("self-healed: zero invariant violations")

@@ -3,6 +3,10 @@
 // admission queue sheds with 429, the retrying client backs off and gets
 // through, the circuit breaker trips on a detector fault burst, fails fast
 // while open, and recovers through a half-open probe once the fault clears.
+// The final phase steps up a layer: two replicas behind the multi-replica
+// gateway, one replica killed mid-traffic — the gateway hedges around it,
+// ejects it, keeps serving on the survivor, and readmits the dead replica
+// through probation once it returns.
 //
 // Everything runs in-process against a real HTTP listener on a loopback
 // port; faults are scripted with internal/rt/faultinject, so the run is
@@ -23,12 +27,38 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/gateway"
 	"repro/internal/imgproc"
 	"repro/internal/rt"
 	"repro/internal/rt/faultinject"
 	"repro/internal/serve"
 	"repro/internal/svm"
 )
+
+// killable wraps a gateway backend with a kill switch. A killed replica is
+// a frozen process, not a crashed one: requests hang until their context
+// is cancelled — the failure mode only hedging can route around — while
+// probes fail fast so readmission waits for the revival.
+type killable struct {
+	inner gateway.Backend
+	dead  atomic.Bool
+}
+
+func (k *killable) Detect(ctx context.Context, stream int, frame *imgproc.Gray) ([]eval.Detection, error) {
+	if k.dead.Load() {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	return k.inner.Detect(ctx, stream, frame)
+}
+
+func (k *killable) Probe(ctx context.Context) error {
+	if k.dead.Load() {
+		return errors.New("replica killed")
+	}
+	return k.inner.Probe(ctx)
+}
 
 func main() {
 	log.SetFlags(0)
@@ -203,6 +233,104 @@ func main() {
 	hangStats := sup.Stats()
 	fmt.Printf("  worker restarted and serving again: restarts=%d wedges=%d hung_frames=%d\n",
 		hangStats.Restarts, hangStats.Wedges, hangStats.Aggregate.FramesHung)
+
+	// Phase 6 — fleet: two replicas behind the multi-replica gateway. Kill
+	// one mid-traffic (frozen, so pinned requests hang): the gateway hedges
+	// around the outage, ejects the dead replica on the hedge-loss
+	// failures, serves everything on the survivor, then probes the revived
+	// replica back in through probation.
+	fmt.Println("\n== phase 6: fleet (replica killed; gateway hedges, ejects, readmits) ==")
+	cleanFactory := func(worker int) (*core.Detector, error) {
+		cfg := core.DefaultConfig()
+		cfg.Mode = core.FeaturePyramid
+		cfg.ScaleStep = 1.3
+		cfg.Workers = 1
+		model := &svm.Model{W: make([]float64, cfg.DescriptorLen())}
+		return core.NewDetector(model, cfg)
+	}
+	var fleetBackends []gateway.Backend
+	var fleetSups []*serve.Supervisor
+	var valve *killable
+	for i := 0; i < 2; i++ {
+		fsup, err := serve.NewSupervisor(cleanFactory, serve.SupervisorConfig{
+			Workers:  1,
+			Pipeline: rt.Config{Deadline: 5 * time.Second},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fleetSups = append(fleetSups, fsup)
+		var b gateway.Backend = &gateway.LocalBackend{Sup: fsup, Srv: serve.NewServer(fsup, serve.ServerConfig{})}
+		if i == 0 {
+			valve = &killable{inner: b}
+			b = valve
+		}
+		fleetBackends = append(fleetBackends, b)
+	}
+	gw, err := gateway.New(fleetBackends, gateway.Config{
+		EjectAfter:         3,
+		EjectBackoff:       200 * time.Millisecond,
+		EjectBackoffMax:    800 * time.Millisecond,
+		ProbationSuccesses: 2,
+		ProbeInterval:      50 * time.Millisecond,
+		HedgeWarmup:        4,
+		HedgeFloor:         10 * time.Millisecond,
+		HedgeCeil:          500 * time.Millisecond,
+		Seed:               1,
+		Logf: func(format string, args ...any) {
+			fmt.Printf("  "+format+"\n", args...)
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	driveFleet := func(n int, label string) (ok int) {
+		for i := 0; i < n; i++ {
+			for s := 0; s < 2; s++ {
+				if _, err := gw.Do(ctx, s, frame); err == nil {
+					ok++
+				}
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		st := gw.Stats()
+		fmt.Printf("  %s: %d/%d frames ok (hedges %d, ejections %d, rejoins %d)\n",
+			label, ok, 2*n, st.HedgesFired, st.Ejections, st.Rejoins)
+		return ok
+	}
+	driveFleet(5, "warmup, both replicas healthy")
+	fmt.Printf("  hedge delay settled at %s — killing r0 (frozen: requests hang, only a hedge gets around it)\n",
+		gw.Stats().HedgeDelay.Round(time.Millisecond))
+	valve.dead.Store(true)
+	driveFleet(5, "r0 dead")
+	if st := gw.Stats(); st.Ejections == 0 || st.HedgesFired == 0 {
+		log.Fatalf("fleet phase: killed replica should be hedged around and ejected (hedges %d, ejections %d)",
+			st.HedgesFired, st.Ejections)
+	}
+	driveFleet(5, "r0 ejected, all traffic on r1")
+	fmt.Println("  reviving r0")
+	valve.dead.Store(false)
+	rejoinBy := time.Now().Add(5 * time.Second)
+	for gw.Stats().Rejoins == 0 {
+		if time.Now().After(rejoinBy) {
+			log.Fatal("fleet phase: revived replica was not readmitted within 5s")
+		}
+		for s := 0; s < 2; s++ {
+			gw.Do(ctx, s, frame)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	driveFleet(3, "r0 readmitted")
+	gwStats := gw.Stats()
+	if gwStats.Answered != gwStats.Accepted {
+		log.Fatalf("fleet phase: %d accepted but %d answered", gwStats.Accepted, gwStats.Answered)
+	}
+	fmt.Printf("  gateway: accepted=%d answered=%d (exactly one answer each), hedge wins=%d\n",
+		gwStats.Accepted, gwStats.Answered, gwStats.HedgeWins)
+	gw.Close()
+	for _, fsup := range fleetSups {
+		fsup.Close()
+	}
 
 	// Final accounting from the service's own counters.
 	fmt.Println("\n== final stats ==")

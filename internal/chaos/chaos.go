@@ -59,6 +59,13 @@ type Config struct {
 	// RecoverySLO bounds how long after the schedule ends the stack may
 	// take to report ready and serve every stream again. Default 5s.
 	RecoverySLO time.Duration
+	// Replicas selects the topology: at most 1 (the default) soaks a
+	// single supervisor stack exactly as before; above 1 it boots that
+	// many full replica stacks behind an internal/gateway front end, adds
+	// replica-level kill/stall events to the schedule, and polls the
+	// gateway invariants (one answer per request, budgeted hedge/retry
+	// spend, rejoins bounded by ejections) alongside the per-replica ones.
+	Replicas int
 	// Logf, when non-nil, receives progress lines (cmd/pdsoak wires it to
 	// the terminal; tests leave it nil).
 	Logf func(format string, args ...any)
@@ -104,8 +111,12 @@ type Result struct {
 	Frames, OK, Rejected, Failed uint64
 	// Restarts, Wedges, FramesHung are the final supervisor totals: a
 	// soak whose schedule contains hard stalls must show all three
-	// nonzero, or the watchdog never engaged.
+	// nonzero, or the watchdog never engaged. On gateway soaks they are
+	// summed across replicas.
 	Restarts, Wedges, FramesHung uint64
+	// Hedges, Ejections, Rejoins are the gateway's final totals on
+	// gateway soaks (Config.Replicas > 1); zero on single-stack soaks.
+	Hedges, Ejections, Rejoins uint64
 	// Violations lists every invariant breach observed; empty means the
 	// system self-healed cleanly.
 	Violations []string
@@ -180,6 +191,9 @@ func poisonFrame() *imgproc.Gray { return faultinject.TruncatePix(soakFrame(), 6
 // invariant breaches are reported in Result.Violations, not as errors.
 func Soak(ctx context.Context, cfg Config) (Result, error) {
 	cfg = cfg.withDefaults()
+	if cfg.Replicas > 1 {
+		return soakGateway(ctx, cfg)
+	}
 	sched := Generate(cfg.Seed, ScheduleConfig{
 		Events:      cfg.Events,
 		Horizon:     cfg.Horizon,

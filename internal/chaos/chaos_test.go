@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/gateway"
 	"repro/internal/rt"
 	"repro/internal/serve"
 )
@@ -68,6 +69,65 @@ func TestSoakShort(t *testing.T) {
 	}
 }
 
+// gatewaySoakSeed pins the tier-1 gateway soak. Seed 8's schedule (at the
+// config below, Replicas 2) contains a replica kill, a replica stall, and
+// hard stalls — the full kill -> eject -> hedge-around -> rejoin arc.
+const gatewaySoakSeed = 8
+
+// TestSoakShortGateway is the tier-1 gateway chaos acceptance: two full
+// replica stacks behind the gateway, a seeded schedule that kills and
+// stalls whole replicas, and zero invariant violations at the end —
+// exactly one answer per accepted request, hedge/retry spend within
+// budget, every replica readmitted and every stream serving once the
+// faults cleared.
+func TestSoakShortGateway(t *testing.T) {
+	cfg := Config{
+		Seed:          gatewaySoakSeed,
+		Workers:       1,
+		Streams:       3,
+		Replicas:      2,
+		Deadline:      250 * time.Millisecond,
+		HangTimeout:   400 * time.Millisecond,
+		Horizon:       1200 * time.Millisecond,
+		Events:        10,
+		FrameInterval: 15 * time.Millisecond,
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := Soak(ctx, cfg)
+	if err != nil {
+		t.Fatalf("soak harness error: %v", err)
+	}
+	if len(res.Violations) > 0 {
+		t.Errorf("replay with: go run ./cmd/pdsoak -seed %d -replicas %d -workers %d -streams %d -events %d -duration %s -deadline %s -hang-timeout %s",
+			cfg.Seed, cfg.Replicas, cfg.Workers, cfg.Streams, cfg.Events, cfg.Horizon, cfg.Deadline, cfg.HangTimeout)
+		t.Errorf("schedule:")
+		for _, ev := range res.Schedule {
+			t.Errorf("  %s", ev)
+		}
+		for _, v := range res.Violations {
+			t.Errorf("violation: %s", v)
+		}
+	}
+	if res.Frames == 0 || res.OK == 0 {
+		t.Errorf("soak served %d frames (%d ok); expected a live stream", res.Frames, res.OK)
+	}
+	// The pinned seed must actually exercise the replica-level kinds, or
+	// this test silently degrades into the single-stack soak.
+	kills, stalls := 0, 0
+	for _, ev := range res.Schedule {
+		switch ev.Kind {
+		case ReplicaKill:
+			kills++
+		case ReplicaStall:
+			stalls++
+		}
+	}
+	if kills == 0 || stalls == 0 {
+		t.Errorf("schedule had %d replica kills and %d replica stalls; the pinned seed must include both", kills, stalls)
+	}
+}
+
 // TestGenerateDeterministic: the same seed and config must yield the
 // identical schedule — the property the replay workflow rests on — and a
 // different seed a different one.
@@ -95,6 +155,82 @@ func TestGenerateDeterministic(t *testing.T) {
 		if ev.Kind == HardStall && ev.Dur < 2*150*time.Millisecond {
 			t.Errorf("hard stall %d duration %v below the 2x watchdog bound", i, ev.Dur)
 		}
+	}
+}
+
+// TestGenerateReplicaGating pins the compatibility contract: a config with
+// Replicas <= 1 must generate the byte-identical schedule it always did
+// (no extra rng draws, no replica-level kinds), while Replicas > 1 widens
+// the kind space and targets replicas in range.
+func TestGenerateReplicaGating(t *testing.T) {
+	base := ScheduleConfig{Events: 64, Horizon: 2 * time.Second, Streams: 4, HangTimeout: 150 * time.Millisecond}
+	legacy := Generate(42, base)
+	one := base
+	one.Replicas = 1
+	if !reflect.DeepEqual(legacy, Generate(42, one)) {
+		t.Fatal("Replicas=1 changed the schedule; single-stack seeds must stay byte-identical")
+	}
+	for i, ev := range legacy {
+		if ev.Kind >= FaultKind(numFaultKinds) {
+			t.Fatalf("event %d: single-stack schedule drew replica-level kind %s", i, ev.Kind)
+		}
+		if ev.Replica != 0 {
+			t.Fatalf("event %d: single-stack schedule targeted replica %d", i, ev.Replica)
+		}
+	}
+
+	multi := base
+	multi.Replicas = 3
+	sched := Generate(42, multi)
+	sawReplicaKind, sawNonZeroReplica := false, false
+	for i, ev := range sched {
+		if ev.Replica < 0 || ev.Replica >= 3 {
+			t.Fatalf("event %d targets replica %d, out of range [0,3)", i, ev.Replica)
+		}
+		if ev.Kind == ReplicaKill || ev.Kind == ReplicaStall {
+			sawReplicaKind = true
+			if ev.Dur <= 0 {
+				t.Fatalf("event %d: replica-level event with non-positive duration %v", i, ev.Dur)
+			}
+		}
+		if ev.Replica != 0 {
+			sawNonZeroReplica = true
+		}
+	}
+	if !sawReplicaKind || !sawNonZeroReplica {
+		t.Fatalf("64-event replica schedule drew no replica kinds (%v) or never targeted replica != 0 (%v)",
+			sawReplicaKind, sawNonZeroReplica)
+	}
+}
+
+// TestCheckGatewayFlagsBreach: each gateway invariant checker must fire on
+// a broken snapshot (a checker that never fires proves nothing).
+func TestCheckGatewayFlagsBreach(t *testing.T) {
+	b := GatewayBudgets{HedgeBurst: 8, RetryBurst: 8, HedgeRatio: 0.1, RetryRatio: 0.1}
+	good := gateway.Stats{Accepted: 100, Answered: 100, HedgesFired: 10, HedgeWins: 4, Retries: 6, Ejections: 2, Rejoins: 2}
+	if v := CheckGateway(good, good, b); len(v) != 0 {
+		t.Errorf("consistent stats flagged: %v", v)
+	}
+	cases := []struct {
+		name string
+		cur  gateway.Stats
+	}{
+		{"answered>accepted", gateway.Stats{Accepted: 100, Answered: 101}},
+		{"wins>fired", gateway.Stats{Accepted: 100, Answered: 100, HedgesFired: 3, HedgeWins: 4}},
+		{"rejoins>ejections", gateway.Stats{Accepted: 100, Answered: 100, Ejections: 1, Rejoins: 2}},
+		{"hedge over budget", gateway.Stats{Accepted: 100, Answered: 100, HedgesFired: 19}},
+		{"retry over budget", gateway.Stats{Accepted: 100, Answered: 100, Retries: 19}},
+	}
+	for _, tc := range cases {
+		if v := CheckGateway(tc.cur, tc.cur, b); len(v) != 1 {
+			t.Errorf("%s produced %d violations, want 1: %v", tc.name, len(v), v)
+		}
+	}
+	// Monotone regression between snapshots.
+	back := good
+	back.Accepted, back.Answered = 50, 50
+	if v := CheckGateway(good, back, b); len(v) != 2 {
+		t.Errorf("counter regression produced %d violations, want 2 (Accepted, Answered): %v", len(v), v)
 	}
 }
 

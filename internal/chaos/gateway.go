@@ -1,0 +1,397 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/eval"
+	"repro/internal/gateway"
+	"repro/internal/imgproc"
+	"repro/internal/obs"
+	"repro/internal/rt"
+	"repro/internal/rt/faultinject"
+	"repro/internal/serve"
+)
+
+// flakyBackend wraps a replica's backend with replica-level fault valves:
+// killed, every request fails fast with a transient 503 (the process is
+// gone); stalled, every request blocks until its context is cancelled —
+// the outage only the gateway's hedging can route around. Probes fail in
+// both states, so an ejected replica is not readmitted until the valve
+// clears.
+type flakyBackend struct {
+	inner   gateway.Backend
+	dead    atomic.Bool
+	stalled atomic.Bool
+}
+
+func (f *flakyBackend) Detect(ctx context.Context, stream int, frame *imgproc.Gray) ([]eval.Detection, error) {
+	if f.dead.Load() {
+		return nil, &serve.APIError{Status: 503, Message: "chaos: replica killed"}
+	}
+	if f.stalled.Load() {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	return f.inner.Detect(ctx, stream, frame)
+}
+
+func (f *flakyBackend) Probe(ctx context.Context) error {
+	if f.dead.Load() {
+		return errors.New("chaos: replica killed")
+	}
+	if f.stalled.Load() {
+		return errors.New("chaos: replica stalled")
+	}
+	return f.inner.Probe(ctx)
+}
+
+// replicaStack is one in-process replica: its own supervisor + server
+// stack, its own fault injectors, and the flaky valve the schedule's
+// replica-level events flip.
+type replicaStack struct {
+	sup    *serve.Supervisor
+	srv    *serve.Server
+	flaky  *flakyBackend
+	faults map[int]*faultinject.Faults
+}
+
+// soakGateway is the gateway-topology soak: cfg.Replicas full serving
+// stacks fronted by a gateway, the schedule extended with replica-level
+// kills and stalls, and the gateway's own invariants — exactly one answer
+// per accepted request, hedge/retry spend within budget, rejoins bounded
+// by ejections — polled alongside each replica's conservation checks.
+// Recovery demands more than the single-stack soak: after faults clear,
+// every replica must be back in rotation (ejected ones probed and
+// readmitted) and every stream serving through the gateway.
+func soakGateway(ctx context.Context, cfg Config) (Result, error) {
+	sched := Generate(cfg.Seed, ScheduleConfig{
+		Events:      cfg.Events,
+		Horizon:     cfg.Horizon,
+		Streams:     cfg.Streams,
+		HangTimeout: cfg.HangTimeout,
+		Replicas:    cfg.Replicas,
+	})
+	res := Result{Schedule: sched}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	baseline := runtime.NumGoroutine()
+	// One Metrics shared by every replica: the abandoned-scanner ledger
+	// must drain to zero across the whole topology before the soak may
+	// settle, exactly as in the single-stack soak.
+	metrics := obs.NewMetrics()
+	stacks := make([]*replicaStack, cfg.Replicas)
+	backends := make([]gateway.Backend, cfg.Replicas)
+	for i := range stacks {
+		faults := make(map[int]*faultinject.Faults, cfg.Workers)
+		for w := 0; w < cfg.Workers; w++ {
+			faults[w] = faultinject.New()
+		}
+		sup, err := serve.NewSupervisor(syntheticFactory(faults), serve.SupervisorConfig{
+			Workers: cfg.Workers,
+			Pipeline: rt.Config{
+				Deadline:    cfg.Deadline,
+				HangTimeout: cfg.HangTimeout,
+				Metrics:     metrics,
+			},
+			RestartBackoff:     20 * time.Millisecond,
+			RestartBackoffMax:  200 * time.Millisecond,
+			RestartAfterErrors: 8,
+		})
+		if err != nil {
+			for _, st := range stacks[:i] {
+				st.sup.Close()
+			}
+			return res, fmt.Errorf("chaos: boot replica %d: %w", i, err)
+		}
+		srv := serve.NewServer(sup, serve.ServerConfig{Metrics: metrics})
+		flaky := &flakyBackend{inner: &gateway.LocalBackend{Sup: sup, Srv: srv}}
+		stacks[i] = &replicaStack{sup: sup, srv: srv, flaky: flaky, faults: faults}
+		backends[i] = flaky
+	}
+
+	// Gateway knobs scaled to the soak's deadline: hedge within a frame
+	// budget, eject fast, probe fast, so a 150-400ms replica outage plays
+	// the whole eject -> probe -> probation -> rejoin arc inside the
+	// schedule tail.
+	budgets := GatewayBudgets{HedgeBurst: 8, RetryBurst: 8, HedgeRatio: 0.1, RetryRatio: 0.1}
+	gw, err := gateway.New(backends, gateway.Config{
+		EjectAfter:         3,
+		EjectBackoff:       100 * time.Millisecond,
+		EjectBackoffMax:    400 * time.Millisecond,
+		ProbationSuccesses: 2,
+		ProbeInterval:      50 * time.Millisecond,
+		ProbeTimeout:       100 * time.Millisecond,
+		HedgeQuantile:      0.9,
+		HedgeFloor:         cfg.Deadline / 4,
+		HedgeCeil:          cfg.Deadline,
+		HedgeWarmup:        4,
+		HedgeBurst:         budgets.HedgeBurst,
+		HedgeRatio:         budgets.HedgeRatio,
+		RetryBurst:         budgets.RetryBurst,
+		RetryRatio:         budgets.RetryRatio,
+		Seed:               cfg.Seed,
+		Logf:               logf,
+	})
+	if err != nil {
+		for _, st := range stacks {
+			st.sup.Close()
+		}
+		return res, fmt.Errorf("chaos: boot gateway: %w", err)
+	}
+	viol := &violations{}
+
+	workerOf := func(stream int) int { return ((stream % cfg.Workers) + cfg.Workers) % cfg.Workers }
+	// One gateway Do may serialize a stalled primary, a hedge wait, and a
+	// retry; bound it past all three so a stuck topology surfaces as an
+	// error, not a stuck soak.
+	reqTimeout := 2*cfg.Deadline + 2*cfg.HangTimeout + 250*time.Millisecond
+
+	doOne := func(stream int, frame *imgproc.Gray) {
+		rctx, cancel := context.WithTimeout(ctx, reqTimeout)
+		defer cancel()
+		_, err := gw.Do(rctx, stream, frame)
+		atomic.AddUint64(&res.Frames, 1)
+		var ae *serve.APIError
+		switch {
+		case err == nil:
+			atomic.AddUint64(&res.OK, 1)
+		case errors.Is(err, serve.ErrWorkerRestarting), errors.Is(err, rt.ErrHung),
+			errors.Is(err, serve.ErrSupervisorClosed), errors.Is(err, gateway.ErrNoReplicas):
+			atomic.AddUint64(&res.Rejected, 1)
+		case errors.As(err, &ae) && ae.Transient():
+			atomic.AddUint64(&res.Rejected, 1)
+		default:
+			atomic.AddUint64(&res.Failed, 1)
+		}
+	}
+
+	start := time.Now()
+	end := start.Add(cfg.Horizon)
+	var wg sync.WaitGroup
+	soakDone := make(chan struct{})
+
+	for s := 0; s < cfg.Streams; s++ {
+		wg.Add(1)
+		go func(stream int) {
+			defer wg.Done()
+			frame := soakFrame()
+			for time.Now().Before(end) && ctx.Err() == nil {
+				doOne(stream, frame)
+				select {
+				case <-time.After(cfg.FrameInterval):
+				case <-ctx.Done():
+					return
+				}
+			}
+		}(s)
+	}
+
+	// Fault applier: level faults land inside the event's replica; the
+	// replica-level kinds flip that replica's valve for Dur.
+	for _, ev := range sched {
+		wg.Add(1)
+		go func(ev Event) {
+			defer wg.Done()
+			select {
+			case <-time.After(ev.At):
+			case <-ctx.Done():
+				return
+			}
+			stack := stacks[ev.Replica]
+			logf("chaos: %s", ev)
+			switch ev.Kind {
+			case ReplicaKill:
+				stack.flaky.dead.Store(true)
+				defer stack.flaky.dead.Store(false)
+			case ReplicaStall:
+				stack.flaky.stalled.Store(true)
+				defer stack.flaky.stalled.Store(false)
+			case SoftStall:
+				f := stack.faults[workerOf(ev.Stream)]
+				f.StallLevel(ev.Level, 10*cfg.Deadline)
+				defer f.Reset()
+			case HardStall:
+				f := stack.faults[workerOf(ev.Stream)]
+				f.HardStallLevel(ev.Level, ev.Dur)
+				defer f.Reset()
+			case Fail:
+				f := stack.faults[workerOf(ev.Stream)]
+				f.FailLevel(ev.Level, fmt.Errorf("chaos: injected failure (stream %d)", ev.Stream))
+				defer f.Reset()
+			case Panic:
+				f := stack.faults[workerOf(ev.Stream)]
+				f.PanicLevel(ev.Level, fmt.Sprintf("chaos: injected panic (stream %d)", ev.Stream))
+				defer f.Reset()
+			case Corrupt:
+				doOne(ev.Stream, poisonFrame())
+				return
+			case Burst:
+				var bwg sync.WaitGroup
+				for i := 0; i < 8; i++ {
+					bwg.Add(1)
+					go func() { defer bwg.Done(); doOne(ev.Stream, soakFrame()) }()
+				}
+				bwg.Wait()
+				return
+			}
+			select {
+			case <-time.After(ev.Dur):
+			case <-ctx.Done():
+			}
+		}(ev)
+	}
+
+	// Invariant poller: per-replica conservation + monotonicity, plus the
+	// gateway's own invariants, at every tick while faults fire.
+	var pollWg sync.WaitGroup
+	pollWg.Add(1)
+	go func() {
+		defer pollWg.Done()
+		prev := make([]serve.SupervisorStats, len(stacks))
+		for i, st := range stacks {
+			prev[i] = st.sup.Stats()
+		}
+		prevGw := gw.Stats()
+		tick := time.NewTicker(20 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-soakDone:
+				return
+			case <-ctx.Done():
+				return
+			case <-tick.C:
+				for i, st := range stacks {
+					cur := st.sup.Stats()
+					label := fmt.Sprintf("replica %d", i)
+					for _, s := range CheckSupervisor(cur) {
+						viol.add(label + ": " + s)
+					}
+					for _, s := range CheckMonotone(prev[i], cur) {
+						viol.add(label + ": " + s)
+					}
+					prev[i] = cur
+				}
+				curGw := gw.Stats()
+				viol.add(CheckGateway(prevGw, curGw, budgets)...)
+				prevGw = curGw
+			}
+		}
+	}()
+
+	teardown := func() {
+		gw.Close()
+		for _, st := range stacks {
+			st.sup.Close()
+		}
+	}
+
+	streamsAndFaultsDone := make(chan struct{})
+	go func() { wg.Wait(); close(streamsAndFaultsDone) }()
+	select {
+	case <-streamsAndFaultsDone:
+	case <-ctx.Done():
+		close(soakDone)
+		teardown()
+		return res, fmt.Errorf("chaos: soak cancelled: %w", ctx.Err())
+	}
+	for _, st := range stacks {
+		st.flaky.dead.Store(false)
+		st.flaky.stalled.Store(false)
+		for _, f := range st.faults {
+			f.Reset()
+		}
+	}
+
+	// Recovery SLO: every replica server ready, every replica back in the
+	// gateway's rotation, and every stream serving through the gateway.
+	logf("chaos: schedule done after %s; verifying recovery", time.Since(start).Round(time.Millisecond))
+	recoverBy := time.Now().Add(cfg.RecoverySLO)
+	recovered := func() bool {
+		for _, st := range stacks {
+			if ready, _ := st.srv.Ready(); !ready {
+				return false
+			}
+		}
+		for _, s := range gw.ReplicaStates() {
+			if s == gateway.Ejected {
+				return false
+			}
+		}
+		for s := 0; s < cfg.Streams; s++ {
+			rctx, cancel := context.WithTimeout(ctx, reqTimeout)
+			_, err := gw.Do(rctx, s, soakFrame())
+			cancel()
+			if err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	for !recovered() {
+		if ctx.Err() != nil {
+			close(soakDone)
+			teardown()
+			return res, fmt.Errorf("chaos: soak cancelled: %w", ctx.Err())
+		}
+		if time.Now().After(recoverBy) {
+			viol.add(fmt.Sprintf("recovery SLO missed: gateway not serving %s after faults cleared (states %v)",
+				cfg.RecoverySLO, gw.ReplicaStates()))
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	close(soakDone)
+	pollWg.Wait()
+
+	for i, st := range stacks {
+		s := st.sup.Stats()
+		res.Restarts += s.Restarts
+		res.Wedges += s.Wedges
+		res.FramesHung += s.Aggregate.FramesHung
+		for _, msg := range CheckSupervisor(s) {
+			viol.add(fmt.Sprintf("replica %d: %s", i, msg))
+		}
+	}
+	gwStats := gw.Stats()
+	res.Hedges = gwStats.HedgesFired
+	res.Ejections = gwStats.Ejections
+	res.Rejoins = gwStats.Rejoins
+	viol.add(CheckGateway(gwStats, gwStats, budgets)...)
+
+	teardown()
+	settleBy := time.Now().Add(cfg.RecoverySLO + 3*cfg.HangTimeout)
+	for metrics.AbandonedScanners.Load() != 0 {
+		if time.Now().After(settleBy) {
+			viol.add(fmt.Sprintf("abandoned-scanner ledger did not drain: %d still booked",
+				metrics.AbandonedScanners.Load()))
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	for runtime.NumGoroutine() > baseline {
+		if time.Now().After(settleBy) {
+			viol.add(fmt.Sprintf("goroutines did not settle: %d running, baseline %d",
+				runtime.NumGoroutine(), baseline))
+			break
+		}
+		runtime.GC()
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	res.Violations = viol.snapshot()
+	logf("chaos: %d frames (%d ok, %d rejected, %d failed), %d restarts, %d wedges, %d hung, "+
+		"%d hedges, %d ejections, %d rejoins, %d violations",
+		res.Frames, res.OK, res.Rejected, res.Failed, res.Restarts, res.Wedges, res.FramesHung,
+		res.Hedges, res.Ejections, res.Rejoins, len(res.Violations))
+	return res, nil
+}

@@ -3,6 +3,7 @@ package chaos
 import (
 	"fmt"
 
+	"repro/internal/gateway"
 	"repro/internal/rt"
 	"repro/internal/serve"
 )
@@ -42,6 +43,61 @@ func CheckSupervisor(st serve.SupervisorStats) []string {
 	for _, w := range st.Workers {
 		v = append(v, CheckConservation(fmt.Sprintf("worker %d", w.ID), w.Pipeline)...)
 	}
+	return v
+}
+
+// GatewayBudgets are the hedge/retry budget knobs CheckGateway verifies
+// spend against; they must mirror what the gateway under test was
+// configured with.
+type GatewayBudgets struct {
+	HedgeBurst, RetryBurst int
+	HedgeRatio, RetryRatio float64
+}
+
+// CheckGateway verifies the gateway's own invariants on a snapshot pair
+// (prev taken before cur):
+//
+//   - exactly one answer per accepted request: Answered never exceeds
+//     Accepted (the gateway loads Answered first, so this holds even on
+//     concurrent snapshots), and hedge wins never exceed hedges fired;
+//   - hedge and retry spend stay within budget: at most the burst plus
+//     the per-success refill ratio times the traffic that refilled it
+//     (Answered bounds successes from above);
+//   - a replica cannot rejoin more often than it was ejected;
+//   - every cumulative counter is monotone between snapshots.
+func CheckGateway(prev, cur gateway.Stats, b GatewayBudgets) []string {
+	var v []string
+	if cur.Answered > cur.Accepted {
+		v = append(v, fmt.Sprintf("gateway: answered %d > accepted %d (more answers than requests)",
+			cur.Answered, cur.Accepted))
+	}
+	if cur.HedgeWins > cur.HedgesFired {
+		v = append(v, fmt.Sprintf("gateway: hedge wins %d > hedges fired %d", cur.HedgeWins, cur.HedgesFired))
+	}
+	if cur.Rejoins > cur.Ejections {
+		v = append(v, fmt.Sprintf("gateway: rejoins %d > ejections %d", cur.Rejoins, cur.Ejections))
+	}
+	if max := float64(b.HedgeBurst) + b.HedgeRatio*float64(cur.Answered); float64(cur.HedgesFired) > max+1e-6 {
+		v = append(v, fmt.Sprintf("gateway: hedge spend %d over budget %.1f (burst %d + %.2f x %d answered)",
+			cur.HedgesFired, max, b.HedgeBurst, b.HedgeRatio, cur.Answered))
+	}
+	if max := float64(b.RetryBurst) + b.RetryRatio*float64(cur.Answered); float64(cur.Retries) > max+1e-6 {
+		v = append(v, fmt.Sprintf("gateway: retry spend %d over budget %.1f (burst %d + %.2f x %d answered)",
+			cur.Retries, max, b.RetryBurst, b.RetryRatio, cur.Answered))
+	}
+	mono := func(name string, p, c uint64) {
+		if c < p {
+			v = append(v, fmt.Sprintf("gateway: %s went backwards: %d -> %d", name, p, c))
+		}
+	}
+	mono("Accepted", prev.Accepted, cur.Accepted)
+	mono("Answered", prev.Answered, cur.Answered)
+	mono("HedgesFired", prev.HedgesFired, cur.HedgesFired)
+	mono("HedgeWins", prev.HedgeWins, cur.HedgeWins)
+	mono("Retries", prev.Retries, cur.Retries)
+	mono("Ejections", prev.Ejections, cur.Ejections)
+	mono("Rejoins", prev.Rejoins, cur.Rejoins)
+	mono("Probes", prev.Probes, cur.Probes)
 	return v
 }
 

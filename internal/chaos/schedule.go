@@ -33,7 +33,21 @@ const (
 	// overload that must shed or degrade, never crash.
 	Burst
 
-	numFaultKinds = int(Burst) + 1
+	// ReplicaKill takes a whole replica down: every request it sees fails
+	// fast with 503 until the event clears. Only generated for gateway
+	// topologies (ScheduleConfig.Replicas > 1); the gateway must eject
+	// the replica and rejoin it after it returns.
+	ReplicaKill
+	// ReplicaStall makes a whole replica hang: requests block until
+	// cancelled. The hang only the gateway's hedging can route around.
+	ReplicaStall
+
+	// numFaultKinds spans the single-stack kinds; schedules for Replicas
+	// <= 1 draw only from these, which keeps every pre-gateway seed's
+	// schedule byte-identical. numAllFaultKinds adds the replica-level
+	// kinds for gateway topologies.
+	numFaultKinds    = int(Burst) + 1
+	numAllFaultKinds = int(ReplicaStall) + 1
 )
 
 // String names the kind for logs and replay output.
@@ -51,6 +65,10 @@ func (k FaultKind) String() string {
 		return "corrupt"
 	case Burst:
 		return "burst"
+	case ReplicaKill:
+		return "replica-kill"
+	case ReplicaStall:
+		return "replica-stall"
 	default:
 		return fmt.Sprintf("FaultKind(%d)", int(k))
 	}
@@ -58,16 +76,25 @@ func (k FaultKind) String() string {
 
 // Event is one scheduled fault: at offset At from soak start, apply Kind
 // against Stream (level faults land on the stream's worker at pyramid
-// level Level) and keep it applied for Dur before clearing.
+// level Level) and keep it applied for Dur before clearing. In gateway
+// topologies Replica is the replica the fault lands on — the whole
+// replica for ReplicaKill/ReplicaStall, the replica whose worker takes
+// the level fault otherwise.
 type Event struct {
-	At     time.Duration `json:"at_ns"`
-	Stream int           `json:"stream"`
-	Level  int           `json:"level"`
-	Kind   FaultKind     `json:"kind"`
-	Dur    time.Duration `json:"dur_ns"`
+	At      time.Duration `json:"at_ns"`
+	Stream  int           `json:"stream"`
+	Level   int           `json:"level"`
+	Replica int           `json:"replica"`
+	Kind    FaultKind     `json:"kind"`
+	Dur     time.Duration `json:"dur_ns"`
 }
 
 func (e Event) String() string {
+	switch e.Kind {
+	case ReplicaKill, ReplicaStall:
+		return fmt.Sprintf("@%s replica %d %s for %s",
+			e.At.Round(time.Millisecond), e.Replica, e.Kind, e.Dur.Round(time.Millisecond))
+	}
 	return fmt.Sprintf("@%s stream %d level %d %s for %s",
 		e.At.Round(time.Millisecond), e.Stream, e.Level, e.Kind, e.Dur.Round(time.Millisecond))
 }
@@ -94,6 +121,12 @@ type ScheduleConfig struct {
 	// with margin, short enough that abandoned goroutines unstick before
 	// settling checks. Default 150ms.
 	HangTimeout time.Duration
+	// Replicas is the replica space faults target. At most 1 (the
+	// default), the schedule is the classic single-stack plan and is
+	// byte-identical to what every earlier seed produced. Above 1, each
+	// event additionally draws a target replica and the kind space widens
+	// to include ReplicaKill and ReplicaStall.
+	Replicas int
 }
 
 func (c ScheduleConfig) withDefaults() ScheduleConfig {
@@ -123,12 +156,23 @@ func Generate(seed int64, cfg ScheduleConfig) Schedule {
 	rng := rand.New(rand.NewSource(seed))
 	window := cfg.Horizon * 3 / 4
 	sched := make(Schedule, 0, cfg.Events)
+	// Replica-aware schedules widen the kind space and draw one extra
+	// value per event. Both changes are gated on Replicas > 1 so the rng
+	// consumption — and therefore every existing seed's schedule — stays
+	// byte-identical for single-stack configs.
+	kinds := numFaultKinds
+	if cfg.Replicas > 1 {
+		kinds = numAllFaultKinds
+	}
 	for i := 0; i < cfg.Events; i++ {
 		ev := Event{
 			At:     time.Duration(rng.Int63n(int64(window))),
 			Stream: rng.Intn(cfg.Streams),
 			Level:  rng.Intn(cfg.Levels),
-			Kind:   FaultKind(rng.Intn(numFaultKinds)),
+			Kind:   FaultKind(rng.Intn(kinds)),
+		}
+		if cfg.Replicas > 1 {
+			ev.Replica = rng.Intn(cfg.Replicas)
 		}
 		switch ev.Kind {
 		case HardStall:
@@ -141,6 +185,11 @@ func Generate(seed int64, cfg ScheduleConfig) Schedule {
 		case Corrupt, Burst:
 			// Instantaneous, driver-side events; Dur sizes the burst.
 			ev.Dur = time.Duration(rng.Int63n(int64(50 * time.Millisecond)))
+		case ReplicaKill, ReplicaStall:
+			// Long enough that the gateway observes the outage and ejects
+			// the replica, short enough that it returns and rejoins well
+			// inside the soak tail.
+			ev.Dur = 150*time.Millisecond + time.Duration(rng.Int63n(int64(250*time.Millisecond)))
 		}
 		sched = append(sched, ev)
 	}

@@ -1,0 +1,153 @@
+package gateway
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts time for the gateway: hedge timers, ejection backoffs,
+// and probe cadence all read it, so tests (and the chaos harness) can
+// drive every timing decision deterministically with a FakeClock instead
+// of sleeping real wall time under -race.
+type Clock interface {
+	Now() time.Time
+	// NewTimer returns a one-shot timer firing after d (immediately for
+	// d <= 0).
+	NewTimer(d time.Duration) Timer
+}
+
+// Timer is the one-shot timer a Clock hands out.
+type Timer interface {
+	// C fires at most once, when the timer elapses.
+	C() <-chan time.Time
+	// Stop cancels the timer; it reports whether the stop prevented the
+	// fire (time.Timer semantics).
+	Stop() bool
+}
+
+// realClock is the production Clock: thin wrappers over package time.
+type realClock struct{}
+
+func (realClock) Now() time.Time                 { return time.Now() }
+func (realClock) NewTimer(d time.Duration) Timer { return realTimer{time.NewTimer(d)} }
+
+type realTimer struct{ t *time.Timer }
+
+func (t realTimer) C() <-chan time.Time { return t.t.C }
+func (t realTimer) Stop() bool          { return t.t.Stop() }
+
+// FakeClock is a manually advanced Clock for deterministic tests: Now
+// stands still until Advance moves it, and Advance fires every pending
+// timer whose deadline it reaches, in deadline order. Safe for concurrent
+// use. Production code never constructs one; it lives here (not in a
+// _test file) so the gateway's own tests and external harnesses share a
+// single implementation.
+type FakeClock struct {
+	mu      sync.Mutex
+	now     time.Time
+	timers  []*fakeTimer
+	created int
+	waiters []chan struct{}
+}
+
+// NewFakeClock returns a FakeClock reading start.
+func NewFakeClock(start time.Time) *FakeClock {
+	return &FakeClock{now: start}
+}
+
+// Now returns the fake time.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// NewTimer returns a timer firing when the fake clock advances past d
+// from now (immediately for d <= 0).
+func (c *FakeClock) NewTimer(d time.Duration) Timer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := &fakeTimer{clock: c, deadline: c.now.Add(d), ch: make(chan time.Time, 1)}
+	if d <= 0 {
+		t.fired = true
+		t.ch <- c.now
+	}
+	c.timers = append(c.timers, t)
+	c.created++
+	for _, w := range c.waiters {
+		select {
+		case w <- struct{}{}:
+		default:
+		}
+	}
+	return t
+}
+
+// Advance moves the clock forward by d and fires every pending timer
+// whose deadline is reached, earliest first.
+func (c *FakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+	// Fire in deadline order so chained timeouts resolve the way real time
+	// would; the list is small in tests, so a simple repeated min scan is
+	// fine.
+	for {
+		var next *fakeTimer
+		for _, t := range c.timers {
+			if t.fired || t.stopped || t.deadline.After(c.now) {
+				continue
+			}
+			if next == nil || t.deadline.Before(next.deadline) {
+				next = t
+			}
+		}
+		if next == nil {
+			return
+		}
+		next.fired = true
+		next.ch <- c.now
+	}
+}
+
+// BlockUntilTimers waits until at least n timers have been created over
+// the clock's lifetime (fired and stopped ones count). Tests use it to
+// rendezvous with a goroutine that is about to wait on a timer: once the
+// timer exists, an Advance is guaranteed to reach it.
+func (c *FakeClock) BlockUntilTimers(n int) {
+	c.mu.Lock()
+	if c.created >= n {
+		c.mu.Unlock()
+		return
+	}
+	w := make(chan struct{}, 1)
+	c.waiters = append(c.waiters, w)
+	c.mu.Unlock()
+	for {
+		<-w
+		c.mu.Lock()
+		done := c.created >= n
+		c.mu.Unlock()
+		if done {
+			return
+		}
+	}
+}
+
+type fakeTimer struct {
+	clock    *FakeClock
+	deadline time.Time
+	ch       chan time.Time
+	fired    bool
+	stopped  bool
+}
+
+func (t *fakeTimer) C() <-chan time.Time { return t.ch }
+
+func (t *fakeTimer) Stop() bool {
+	t.clock.mu.Lock()
+	defer t.clock.mu.Unlock()
+	was := !t.fired && !t.stopped
+	t.stopped = true
+	return was
+}

@@ -1,0 +1,688 @@
+// Package gateway is the resilient front end over N detection replicas:
+// a replica pool with active health probing and passive outlier ejection,
+// power-of-two-choices least-in-flight balancing with stream affinity,
+// latency-quantile hedged requests, and token-bucket hedge/retry budgets.
+//
+// The serving stack below this (internal/serve) keeps one replica alive —
+// supervisor restarts, circuit breaker, bounded admission. What it cannot
+// do is route around a replica that is up but sick: wedged enough to be
+// slow, not wedged enough to fail. The gateway owns that layer. A replica
+// that stalls gets hedged around after a delay derived from the gateway's
+// own latency histogram; a replica that keeps failing is ejected with
+// capped exponential backoff, probed while out, and readmitted through a
+// probation window; and both hedges and retries spend from token buckets
+// refilled by primary traffic, so a brown-out cannot amplify itself into
+// a retry storm.
+//
+// Every timing decision flows through an injectable Clock and every
+// random choice through a seeded RNG, so the eject -> probe -> probation
+// -> readmit sequence and the hedge race are deterministically testable
+// under -race (and chaos-soakable under internal/chaos).
+package gateway
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/eval"
+	"repro/internal/imgproc"
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// ErrNoReplicas is returned by New when the pool is empty, and by Do when
+// every replica has been tried without an answer and no retry is possible.
+var ErrNoReplicas = errors.New("gateway: no replicas")
+
+// Config tunes the gateway. The zero value gets sensible defaults.
+type Config struct {
+	// EjectAfter ejects a replica after this many consecutive failures.
+	// Default 3.
+	EjectAfter int
+	// EjectWindow / EjectRate is the second passive trigger: once the
+	// window (default 16 results) is full, a failure fraction >= EjectRate
+	// (default 0.5) ejects even without a consecutive run.
+	EjectWindow int
+	EjectRate   float64
+	// EjectBackoff is the first ejection's out-of-rotation time; each
+	// consecutive ejection episode doubles it up to EjectBackoffMax, and a
+	// full readmission resets the ladder. Defaults 1s / 30s.
+	EjectBackoff    time.Duration
+	EjectBackoffMax time.Duration
+	// ProbationSuccesses is how many consecutive clean results a probed
+	// replica must serve before it counts as readmitted. Default 3.
+	ProbationSuccesses int
+	// ProbeInterval is the active prober's sweep cadence. 0 means the
+	// default 500ms; negative disables the background prober (tests drive
+	// ProbeSweep by hand). ProbeTimeout bounds one probe (default 250ms).
+	ProbeInterval time.Duration
+	ProbeTimeout  time.Duration
+	// HedgeQuantile picks the hedge delay from the gateway's own success
+	// latency histogram (default p95), clamped to [HedgeFloor, HedgeCeil]
+	// (defaults 5ms / 1s). Until HedgeWarmup samples exist (default 8) the
+	// delay is HedgeCeil — hedging on no evidence would double load for
+	// nothing.
+	HedgeQuantile float64
+	HedgeFloor    time.Duration
+	HedgeCeil     time.Duration
+	HedgeWarmup   uint64
+	// HedgeRatio / HedgeBurst budget hedges: the bucket holds at most
+	// HedgeBurst tokens and gains HedgeRatio tokens per successful
+	// request, so steady-state hedges are at most that fraction of primary
+	// traffic. RetryRatio / RetryBurst do the same for post-failure
+	// retries. Defaults 0.1 / 8 each.
+	HedgeRatio float64
+	HedgeBurst int
+	RetryRatio float64
+	RetryBurst int
+	// Clock injects time (hedge timers, ejection backoffs, probe cadence);
+	// nil means the real clock. Seed seeds the balancing RNG; 0 derives
+	// one from the clock. Logf, when set, narrates state transitions.
+	Clock Clock
+	Seed  int64
+	Logf  func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.EjectAfter <= 0 {
+		c.EjectAfter = 3
+	}
+	if c.EjectWindow <= 0 {
+		c.EjectWindow = 16
+	}
+	if c.EjectRate <= 0 || c.EjectRate > 1 {
+		c.EjectRate = 0.5
+	}
+	if c.EjectBackoff <= 0 {
+		c.EjectBackoff = time.Second
+	}
+	if c.EjectBackoffMax < c.EjectBackoff {
+		c.EjectBackoffMax = 30 * time.Second
+		if c.EjectBackoffMax < c.EjectBackoff {
+			c.EjectBackoffMax = c.EjectBackoff
+		}
+	}
+	if c.ProbationSuccesses <= 0 {
+		c.ProbationSuccesses = 3
+	}
+	if c.ProbeInterval == 0 {
+		c.ProbeInterval = 500 * time.Millisecond
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = 250 * time.Millisecond
+	}
+	if c.HedgeQuantile <= 0 || c.HedgeQuantile >= 1 {
+		c.HedgeQuantile = 0.95
+	}
+	if c.HedgeFloor <= 0 {
+		c.HedgeFloor = 5 * time.Millisecond
+	}
+	if c.HedgeCeil < c.HedgeFloor {
+		c.HedgeCeil = time.Second
+		if c.HedgeCeil < c.HedgeFloor {
+			c.HedgeCeil = c.HedgeFloor
+		}
+	}
+	if c.HedgeWarmup == 0 {
+		c.HedgeWarmup = 8
+	}
+	if c.HedgeRatio <= 0 {
+		c.HedgeRatio = 0.1
+	}
+	if c.HedgeBurst <= 0 {
+		c.HedgeBurst = 8
+	}
+	if c.RetryRatio <= 0 {
+		c.RetryRatio = 0.1
+	}
+	if c.RetryBurst <= 0 {
+		c.RetryBurst = 8
+	}
+	if c.Clock == nil {
+		c.Clock = realClock{}
+	}
+	return c
+}
+
+// tokenBucket meters hedges/retries against primary traffic in integer
+// milli-tokens (float accumulation would drift and is not deterministic
+// across platforms). Guarded by the gateway mutex.
+type tokenBucket struct {
+	balance, max, depositMilli int64
+}
+
+func newTokenBucket(burst int, ratio float64) *tokenBucket {
+	max := int64(burst) * 1000
+	return &tokenBucket{balance: max, max: max, depositMilli: int64(ratio * 1000)}
+}
+
+// deposit credits one successful primary request.
+func (b *tokenBucket) deposit() {
+	b.balance += b.depositMilli
+	if b.balance > b.max {
+		b.balance = b.max
+	}
+}
+
+// take spends one whole token if available.
+func (b *tokenBucket) take() bool {
+	if b.balance < 1000 {
+		return false
+	}
+	b.balance -= 1000
+	return true
+}
+
+// Stats is a gateway counter snapshot.
+type Stats struct {
+	// Accepted counts Do calls admitted (valid frame, non-empty pool);
+	// Answered counts Do returns. The gateway's core invariant is exactly
+	// one answer per accepted request: Answered is read before Accepted,
+	// so Answered <= Accepted holds in every snapshot even mid-flight.
+	Accepted uint64 `json:"accepted"`
+	Answered uint64 `json:"answered"`
+	// HedgesFired counts hedge attempts launched; HedgeWins those whose
+	// answer was the one returned. Retries counts post-failure retry
+	// attempts launched.
+	HedgesFired uint64 `json:"hedges_fired"`
+	HedgeWins   uint64 `json:"hedge_wins"`
+	Retries     uint64 `json:"retries"`
+	// Ejections / Rejoins / Probes count pool state transitions.
+	Ejections uint64 `json:"ejections"`
+	Rejoins   uint64 `json:"rejoins"`
+	Probes    uint64 `json:"probes"`
+	// HedgeDelay is the current hedge delay the next request would use.
+	HedgeDelay time.Duration `json:"hedge_delay_ns"`
+	// Replicas holds the per-replica view.
+	Replicas []ReplicaStats `json:"replicas"`
+}
+
+// Gateway fronts a pool of detection replicas. Use New; the zero value is
+// not usable.
+type Gateway struct {
+	cfg      Config
+	clock    Clock
+	replicas []*replica
+
+	// mu guards the health machines, the RNG, and the token buckets.
+	mu          sync.Mutex
+	rng         *rand.Rand
+	hedgeBucket *tokenBucket
+	retryBucket *tokenBucket
+
+	// latency observes every successful attempt gateway-wide; the hedge
+	// delay is its configured quantile.
+	latency obs.Histogram
+
+	accepted, answered     obs.Counter
+	hedgesFired, hedgeWins obs.Counter
+	retries                obs.Counter
+	ejections, rejoins     obs.Counter
+	probesSent             obs.Counter
+
+	stop      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+// New builds a gateway over the given replicas. Replica i is named "r<i>"
+// in stats and logs.
+func New(backends []Backend, cfg Config) (*Gateway, error) {
+	if len(backends) == 0 {
+		return nil, ErrNoReplicas
+	}
+	cfg = cfg.withDefaults()
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = cfg.Clock.Now().UnixNano()
+	}
+	g := &Gateway{
+		cfg:         cfg,
+		clock:       cfg.Clock,
+		rng:         rand.New(rand.NewSource(seed)),
+		hedgeBucket: newTokenBucket(cfg.HedgeBurst, cfg.HedgeRatio),
+		retryBucket: newTokenBucket(cfg.RetryBurst, cfg.RetryRatio),
+		stop:        make(chan struct{}),
+	}
+	for i, b := range backends {
+		g.replicas = append(g.replicas, &replica{
+			name:    fmt.Sprintf("r%d", i),
+			backend: b,
+			health:  newHealthMachine(cfg),
+		})
+	}
+	if cfg.ProbeInterval > 0 {
+		g.wg.Add(1)
+		go g.probeLoop()
+	}
+	return g, nil
+}
+
+// Close stops the background prober. In-flight Do calls are unaffected
+// (their contexts bound them); the caller owns the backends.
+func (g *Gateway) Close() {
+	g.closeOnce.Do(func() { close(g.stop) })
+	g.wg.Wait()
+}
+
+func (g *Gateway) logf(format string, args ...any) {
+	if g.cfg.Logf != nil {
+		g.cfg.Logf(format, args...)
+	}
+}
+
+// streamHash is FNV-1a over the stream ID's little-endian bytes: the
+// affinity mapping must be stable across processes and runs (a restart
+// must not reshuffle every stream onto cold replicas).
+func streamHash(stream int) uint64 {
+	h := uint64(1469598103934665603)
+	v := uint64(stream)
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= 1099511628211
+		v >>= 8
+	}
+	return h
+}
+
+// pick selects the next replica to attempt, excluding tried ones. The
+// first attempt prefers the stream's affinity pin when it is in rotation
+// (stable mapping keeps per-stream worker state warm downstream); all
+// other choices are power-of-two-choices least-in-flight over the
+// in-rotation candidates. When nothing at all is in rotation the first
+// attempt fails static — it picks among ejected replicas rather than
+// refusing outright, because a wrong "everything is down" verdict must
+// degrade to trying, not to certain failure. Hedges and retries never
+// fail static: once one in-rotation replica has been tried, spending
+// budget on a known-ejected one buys nothing. Returns nil when no
+// candidate remains. Caller holds g.mu.
+func (g *Gateway) pick(stream int, tried map[*replica]bool) *replica {
+	cands := make([]*replica, 0, len(g.replicas))
+	for _, r := range g.replicas {
+		if !tried[r] && r.health.inRotation() {
+			cands = append(cands, r)
+		}
+	}
+	failStatic := len(cands) == 0
+	if failStatic {
+		if len(tried) > 0 {
+			return nil
+		}
+		for _, r := range g.replicas {
+			cands = append(cands, r)
+		}
+	}
+	switch len(cands) {
+	case 0:
+		return nil
+	case 1:
+		return cands[0]
+	}
+	if len(tried) == 0 && !failStatic {
+		pin := g.replicas[streamHash(stream)%uint64(len(g.replicas))]
+		for _, r := range cands {
+			if r == pin {
+				return pin
+			}
+		}
+		// The pin is ejected or already tried: fall through to P2C — this
+		// is the affinity failover.
+	}
+	i := g.rng.Intn(len(cands))
+	j := g.rng.Intn(len(cands) - 1)
+	if j >= i {
+		j++
+	}
+	if cands[j].inFlight.Load() < cands[i].inFlight.Load() {
+		return cands[j]
+	}
+	return cands[i]
+}
+
+// hedgeDelay is the wait before launching a hedge: the configured
+// quantile of observed success latency, clamped to [floor, ceil], or the
+// ceiling before warmup.
+func (g *Gateway) hedgeDelay() time.Duration {
+	s := g.latency.Snapshot()
+	if s.Count < g.cfg.HedgeWarmup {
+		return g.cfg.HedgeCeil
+	}
+	d := s.Quantile(g.cfg.HedgeQuantile)
+	if d < g.cfg.HedgeFloor {
+		d = g.cfg.HedgeFloor
+	}
+	if d > g.cfg.HedgeCeil {
+		d = g.cfg.HedgeCeil
+	}
+	return d
+}
+
+// classify maps an attempt error to (fault, retryable): fault charges the
+// replica's health machine, retryable permits another replica to be
+// tried. Cancellation charges no one — it is the gateway's own doing
+// (a sibling won) or the caller's. Deadline expiry charges the replica
+// (it was too slow) but cannot be retried (the budget is gone). Client
+// faults (4xx other than 429) charge no one and end the request: the
+// frame is bad on every replica. Server faults (5xx) charge the replica;
+// 500 is not retried (a deterministic detector fault would recur), while
+// 429/503/504 — load shed, restarting, timed out — are the transient
+// signals worth another replica.
+func classify(err error) (fault, retryable bool) {
+	if err == nil {
+		return false, false
+	}
+	if errors.Is(err, context.Canceled) {
+		return false, false
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return true, false
+	}
+	var ae *serve.APIError
+	if errors.As(err, &ae) {
+		if ae.Transient() {
+			return true, true
+		}
+		if ae.Status >= 400 && ae.Status < 500 {
+			return false, false
+		}
+		return true, false
+	}
+	// Local sentinels (ErrWorkerRestarting, rt.ErrHung wrapped) and
+	// transport-level failures: the replica is sick, another may not be.
+	return true, true
+}
+
+// attemptResult is one backend attempt's outcome.
+type attemptResult struct {
+	rep     *replica
+	dets    []eval.Detection
+	err     error
+	elapsed time.Duration
+}
+
+// launch starts one attempt goroutine. The results channel is buffered
+// for the maximum number of launches, so an abandoned attempt's late
+// result never blocks its goroutine.
+func (g *Gateway) launch(ctx context.Context, rep *replica, stream int, frame *imgproc.Gray, results chan<- attemptResult) {
+	rep.inFlight.Add(1)
+	start := g.clock.Now()
+	go func() {
+		dets, err := rep.backend.Detect(ctx, stream, frame)
+		rep.inFlight.Add(-1)
+		results <- attemptResult{rep: rep, dets: dets, err: err, elapsed: g.clock.Now().Sub(start)}
+	}()
+}
+
+// recordSuccess books a winning attempt: latency into both histograms,
+// the health machine fed, the budgets refilled, and any still-outstanding
+// sibling attempts charged a hedge-loss failure — the replica that was
+// overtaken is the slow one, and its abandoned attempt's eventual
+// cancellation is deliberately not counted (that would charge it twice,
+// or charge cancellation as if it were the fault).
+func (g *Gateway) recordSuccess(win attemptResult, pending map[*replica]bool) {
+	now := g.clock.Now()
+	win.rep.successes.Inc()
+	win.rep.latency.Observe(win.elapsed)
+	g.latency.Observe(win.elapsed)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.hedgeBucket.deposit()
+	g.retryBucket.deposit()
+	if ej, re := win.rep.health.recordResult(now, false); ej || re {
+		g.noteTransition(win.rep, ej, re)
+	}
+	for rep, out := range pending {
+		if !out || rep == win.rep {
+			continue
+		}
+		rep.failures.Inc()
+		if ej, re := rep.health.recordResult(now, true); ej || re {
+			g.noteTransition(rep, ej, re)
+		}
+	}
+}
+
+// recordFailure books one failed attempt against its replica.
+func (g *Gateway) recordFailure(r attemptResult) {
+	r.rep.failures.Inc()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if ej, re := r.rep.health.recordResult(g.clock.Now(), true); ej || re {
+		g.noteTransition(r.rep, ej, re)
+	}
+}
+
+// noteTransition tallies and narrates an ejection or readmission. Caller
+// holds g.mu.
+func (g *Gateway) noteTransition(rep *replica, ejected, readmitted bool) {
+	if ejected {
+		rep.ejections.Inc()
+		g.ejections.Inc()
+		g.logf("gateway: replica %s ejected (episode %d, retry in %v)",
+			rep.name, rep.health.ejections, rep.health.backoff())
+	}
+	if readmitted {
+		rep.rejoins.Inc()
+		g.rejoins.Inc()
+		g.logf("gateway: replica %s readmitted", rep.name)
+	}
+}
+
+// Do runs one frame of the given stream through the pool: affinity-pinned
+// primary, a budgeted hedge after the latency-quantile delay, and a
+// budgeted retry on a fresh replica after total failure. Exactly one
+// answer comes back per call, and the first success wins — the loser's
+// context is cancelled.
+func (g *Gateway) Do(ctx context.Context, stream int, frame *imgproc.Gray) ([]eval.Detection, error) {
+	if frame == nil {
+		return nil, errors.New("gateway: nil frame")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	g.accepted.Inc()
+	defer g.answered.Inc()
+
+	actx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	// Cap: primary + one hedge + one retry.
+	results := make(chan attemptResult, 3)
+	tried := make(map[*replica]bool, len(g.replicas))
+	pending := make(map[*replica]bool, len(g.replicas))
+
+	g.mu.Lock()
+	primary := g.pick(stream, tried)
+	g.mu.Unlock()
+	if primary == nil {
+		return nil, ErrNoReplicas
+	}
+	tried[primary], pending[primary] = true, true
+	g.launch(actx, primary, stream, frame, results)
+
+	// The hedge timer only exists while a hedge is possible: a second
+	// replica must exist. It is armed once; a fired-and-spent (or
+	// budget-denied) hedge does not re-arm.
+	var hedgeC <-chan time.Time
+	var hedgeTimer Timer
+	if len(g.replicas) > 1 {
+		hedgeTimer = g.clock.NewTimer(g.hedgeDelay())
+		hedgeC = hedgeTimer.C()
+		defer hedgeTimer.Stop()
+	}
+
+	hedged := false
+	retried := false
+	var lastErr error
+	outstanding := 1
+	for {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-hedgeC:
+			hedgeC = nil
+			g.mu.Lock()
+			var cand *replica
+			if g.hedgeBucket.take() {
+				cand = g.pick(stream, tried)
+				if cand == nil {
+					// No untried replica: refund — nothing was hedged.
+					g.hedgeBucket.balance += 1000
+				}
+			}
+			g.mu.Unlock()
+			if cand == nil {
+				continue
+			}
+			hedged = true
+			g.hedgesFired.Inc()
+			cand.hedges.Inc()
+			tried[cand], pending[cand] = true, true
+			outstanding++
+			g.launch(actx, cand, stream, frame, results)
+		case r := <-results:
+			outstanding--
+			pending[r.rep] = false
+			if r.err == nil {
+				g.recordSuccess(r, pending)
+				if hedged && r.rep != primary {
+					g.hedgeWins.Inc()
+				}
+				return r.dets, nil
+			}
+			lastErr = r.err
+			fault, retryable := classify(r.err)
+			if fault {
+				g.recordFailure(r)
+			}
+			if outstanding > 0 {
+				// A sibling is still running; its answer decides.
+				continue
+			}
+			if !retryable {
+				return nil, r.err
+			}
+			if !retried {
+				g.mu.Lock()
+				var cand *replica
+				if g.retryBucket.take() {
+					cand = g.pick(stream, tried)
+					if cand == nil {
+						g.retryBucket.balance += 1000
+					}
+				}
+				g.mu.Unlock()
+				if cand != nil {
+					retried = true
+					g.retries.Inc()
+					tried[cand], pending[cand] = true, true
+					outstanding++
+					g.launch(actx, cand, stream, frame, results)
+					continue
+				}
+			}
+			return nil, fmt.Errorf("gateway: %d attempt(s) failed: %w", len(tried), lastErr)
+		}
+	}
+}
+
+// probeLoop is the background active prober: every ProbeInterval it
+// sweeps the pool and probes each ejected replica whose backoff has
+// elapsed.
+func (g *Gateway) probeLoop() {
+	defer g.wg.Done()
+	for {
+		t := g.clock.NewTimer(g.cfg.ProbeInterval)
+		select {
+		case <-g.stop:
+			t.Stop()
+			return
+		case <-t.C():
+			g.ProbeSweep(context.Background())
+		}
+	}
+}
+
+// ProbeSweep probes every ejected replica whose backoff has elapsed and
+// feeds the outcomes to the health machines. Exported so tests (and the
+// chaos harness) with the prober disabled can drive readmission
+// deterministically.
+func (g *Gateway) ProbeSweep(ctx context.Context) {
+	g.mu.Lock()
+	now := g.clock.Now()
+	var due []*replica
+	for _, r := range g.replicas {
+		if r.health.probeDue(now) {
+			due = append(due, r)
+		}
+	}
+	g.mu.Unlock()
+	for _, r := range due {
+		pctx, cancel := context.WithTimeout(ctx, g.cfg.ProbeTimeout)
+		err := r.backend.Probe(pctx)
+		cancel()
+		r.probes.Inc()
+		g.probesSent.Inc()
+		g.mu.Lock()
+		if r.health.recordProbe(g.clock.Now(), err == nil) {
+			g.logf("gateway: replica %s probe ok, entering probation", r.name)
+		} else if err != nil {
+			g.logf("gateway: replica %s probe failed (%v), backoff re-armed", r.name, err)
+		}
+		g.mu.Unlock()
+	}
+}
+
+// ReplicaStates returns each replica's current health state, indexed as
+// the backends were passed to New.
+func (g *Gateway) ReplicaStates() []HealthState {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]HealthState, len(g.replicas))
+	for i, r := range g.replicas {
+		out[i] = r.health.state
+	}
+	return out
+}
+
+// Stats snapshots the gateway counters. Answered is loaded before
+// Accepted so concurrent pollers always observe Answered <= Accepted.
+func (g *Gateway) Stats() Stats {
+	st := Stats{
+		Answered:    g.answered.Load(),
+		Accepted:    g.accepted.Load(),
+		HedgesFired: g.hedgesFired.Load(),
+		HedgeWins:   g.hedgeWins.Load(),
+		Retries:     g.retries.Load(),
+		Ejections:   g.ejections.Load(),
+		Rejoins:     g.rejoins.Load(),
+		Probes:      g.probesSent.Load(),
+		HedgeDelay:  g.hedgeDelay(),
+	}
+	g.mu.Lock()
+	states := make([]HealthState, len(g.replicas))
+	for i, r := range g.replicas {
+		states[i] = r.health.state
+	}
+	g.mu.Unlock()
+	for i, r := range g.replicas {
+		s := r.latency.Snapshot()
+		st.Replicas = append(st.Replicas, ReplicaStats{
+			Name:      r.name,
+			State:     states[i].String(),
+			InFlight:  r.inFlight.Load(),
+			Successes: r.successes.Load(),
+			Failures:  r.failures.Load(),
+			Hedges:    r.hedges.Load(),
+			Ejections: r.ejections.Load(),
+			Rejoins:   r.rejoins.Load(),
+			Probes:    r.probes.Load(),
+			P50:       s.Quantile(0.5).Seconds(),
+			P99:       s.Quantile(0.99).Seconds(),
+		})
+	}
+	return st
+}

@@ -1,0 +1,190 @@
+package gateway
+
+import (
+	"testing"
+	"time"
+)
+
+// healthTestConfig is the machine configuration the table tests share:
+// small numbers so transitions are reachable in a handful of steps, and
+// a 100ms/400ms backoff ladder so rung arithmetic is easy to pin.
+func healthTestConfig() Config {
+	return Config{
+		EjectAfter:         3,
+		EjectWindow:        4,
+		EjectRate:          0.5,
+		EjectBackoff:       100 * time.Millisecond,
+		EjectBackoffMax:    400 * time.Millisecond,
+		ProbationSuccesses: 2,
+	}.withDefaults()
+}
+
+// TestHealthMachineLifecycle walks the full healthy -> ejected ->
+// probation -> readmitted arc on a fake timeline and pins every
+// transition edge: the backoff gate before probing, the probation
+// success count, and the ladder reset after a full readmission.
+func TestHealthMachineLifecycle(t *testing.T) {
+	h := newHealthMachine(healthTestConfig())
+	now := time.Unix(1000, 0)
+
+	// Two consecutive failures: still in rotation.
+	for i := 0; i < 2; i++ {
+		if ej, re := h.recordResult(now, true); ej || re {
+			t.Fatalf("failure %d transitioned early (ejected=%v readmitted=%v)", i+1, ej, re)
+		}
+	}
+	if h.state != Healthy {
+		t.Fatalf("state %v after 2 failures, want Healthy", h.state)
+	}
+	// Third consecutive failure ejects.
+	if ej, _ := h.recordResult(now, true); !ej {
+		t.Fatal("third consecutive failure must eject")
+	}
+	if h.state != Ejected || h.inRotation() {
+		t.Fatalf("state %v, inRotation %v after ejection", h.state, h.inRotation())
+	}
+
+	// The backoff gates probing: not due at +99ms, due at +100ms.
+	if h.probeDue(now.Add(99 * time.Millisecond)) {
+		t.Error("probe due before the 100ms backoff elapsed")
+	}
+	now = now.Add(100 * time.Millisecond)
+	if !h.probeDue(now) {
+		t.Error("probe not due after the backoff elapsed")
+	}
+
+	// In-rotation results arriving while Ejected (attempts that were in
+	// flight at ejection time) are stale and must not move the machine.
+	if ej, re := h.recordResult(now, true); ej || re {
+		t.Error("stale result moved an ejected machine")
+	}
+	if ej, re := h.recordResult(now, false); ej || re {
+		t.Error("stale success moved an ejected machine")
+	}
+
+	// A failed probe re-arms the same rung without escalating.
+	if h.recordProbe(now, false) {
+		t.Error("failed probe must not enter probation")
+	}
+	if h.probeDue(now.Add(99 * time.Millisecond)) {
+		t.Error("failed probe did not re-arm the backoff")
+	}
+	now = now.Add(100 * time.Millisecond)
+
+	// A successful probe enters probation (in rotation, on watch).
+	if !h.recordProbe(now, true) {
+		t.Fatal("successful probe must enter probation")
+	}
+	if h.state != Probation || !h.inRotation() {
+		t.Fatalf("state %v, inRotation %v after probe success", h.state, h.inRotation())
+	}
+
+	// ProbationSuccesses(2) clean results readmit.
+	if ej, re := h.recordResult(now, false); ej || re {
+		t.Fatal("first probation success transitioned early")
+	}
+	ej, re := h.recordResult(now, false)
+	if ej || !re {
+		t.Fatalf("second probation success: ejected=%v readmitted=%v, want readmission", ej, re)
+	}
+	if h.state != Healthy {
+		t.Fatalf("state %v after readmission, want Healthy", h.state)
+	}
+
+	// Full readmission resets the ladder: the next ejection waits the
+	// base backoff again, not a doubled rung.
+	for i := 0; i < 3; i++ {
+		h.recordResult(now, true)
+	}
+	if h.state != Ejected {
+		t.Fatal("post-readmission failures must eject again")
+	}
+	if h.probeDue(now.Add(99*time.Millisecond)) || !h.probeDue(now.Add(100*time.Millisecond)) {
+		t.Error("readmission did not reset the backoff ladder to the base rung")
+	}
+}
+
+// TestHealthMachineProbationFailureEscalates pins the re-ejection ladder:
+// a probation failure ejects again with a doubled backoff, and the ladder
+// caps at EjectBackoffMax.
+func TestHealthMachineProbationFailureEscalates(t *testing.T) {
+	h := newHealthMachine(healthTestConfig())
+	now := time.Unix(2000, 0)
+	wantBackoffs := []time.Duration{
+		100 * time.Millisecond, // episode 1: base
+		200 * time.Millisecond, // episode 2: doubled
+		400 * time.Millisecond, // episode 3: doubled again == max
+		400 * time.Millisecond, // episode 4: capped
+		400 * time.Millisecond, // episode 5: still capped
+	}
+	// First ejection via consecutive failures.
+	for i := 0; i < 3; i++ {
+		h.recordResult(now, true)
+	}
+	for ep, want := range wantBackoffs {
+		if h.state != Ejected {
+			t.Fatalf("episode %d: state %v, want Ejected", ep+1, h.state)
+		}
+		if h.probeDue(now.Add(want - time.Millisecond)) {
+			t.Errorf("episode %d: probe due before the %v backoff", ep+1, want)
+		}
+		now = now.Add(want)
+		if !h.probeDue(now) {
+			t.Errorf("episode %d: probe not due after %v", ep+1, want)
+		}
+		if ep == len(wantBackoffs)-1 {
+			break
+		}
+		// Probe in, then fail on probation: next episode, longer rung.
+		if !h.recordProbe(now, true) {
+			t.Fatalf("episode %d: probe success must enter probation", ep+1)
+		}
+		if ej, _ := h.recordResult(now, true); !ej {
+			t.Fatalf("episode %d: probation failure must re-eject", ep+1)
+		}
+	}
+}
+
+// TestHealthMachineErrorRateTrigger pins the windowed trigger: failures
+// spread out (never EjectAfter consecutive) still eject once the full
+// window's failure fraction reaches EjectRate — and never before the
+// window has filled.
+func TestHealthMachineErrorRateTrigger(t *testing.T) {
+	cfg := healthTestConfig()
+	cfg.EjectAfter = 100 // keep the consecutive trigger out of the way
+	h := newHealthMachine(cfg)
+	now := time.Unix(3000, 0)
+
+	// fail, ok, fail: window not yet full (3 of 4) — 2/3 failing would
+	// already clear the 0.5 rate, so this pins the full-window guard.
+	for i, f := range []bool{true, false, true} {
+		if ej, _ := h.recordResult(now, f); ej {
+			t.Fatalf("result %d ejected before the window filled", i+1)
+		}
+	}
+	// Fourth result fails: window [fail ok fail fail] = 3/4 >= 0.5.
+	if ej, _ := h.recordResult(now, true); !ej {
+		t.Fatal("full window at 3/4 failures must eject at rate 0.5")
+	}
+}
+
+// TestHealthMachineSuccessResetsConsecutive: interleaved successes keep a
+// flaky-but-mostly-fine replica in rotation (the consecutive counter
+// resets; the windowed rate is the trigger that judges it).
+func TestHealthMachineSuccessResetsConsecutive(t *testing.T) {
+	cfg := healthTestConfig()
+	cfg.EjectWindow = 8
+	cfg.EjectRate = 0.9 // rate trigger effectively off
+	h := newHealthMachine(cfg)
+	now := time.Unix(4000, 0)
+	for i := 0; i < 20; i++ {
+		// fail, fail, ok, fail, fail, ok, ... never 3 consecutive.
+		failed := i%3 != 2
+		if ej, _ := h.recordResult(now, failed); ej {
+			t.Fatalf("result %d ejected despite the reset at every third result", i+1)
+		}
+	}
+	if h.state != Healthy {
+		t.Fatalf("state %v, want Healthy", h.state)
+	}
+}

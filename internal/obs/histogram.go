@@ -77,6 +77,19 @@ func (h *Histogram) Observe(d time.Duration) {
 	h.buckets[bucketIndex(v)].Add(1)
 }
 
+// Quantile returns the q-quantile of the recorded durations without the
+// caller taking an explicit snapshot — shorthand for Snapshot().Quantile(q)
+// for single-quantile reads off the scrape/decision path (the gateway's
+// hedging delay reads one quantile per request). Safe on a nil receiver
+// (returns 0). The bucket-error contract is HistogramSnapshot.Quantile's.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h == nil {
+		return 0
+	}
+	s := h.Snapshot()
+	return s.Quantile(q)
+}
+
 // HistogramSnapshot is a point-in-time copy of a histogram. Counters are
 // loaded individually, so a snapshot taken while recording proceeds may
 // be off by the frames in flight during the loads — fine for monitoring,

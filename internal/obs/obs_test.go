@@ -70,6 +70,48 @@ func TestHistogramQuantiles(t *testing.T) {
 	}
 }
 
+// TestHistogramQuantileExact pins the quantile accessor against exactly
+// known values: a 1..100 ms ramp (one observation per millisecond) has
+// p50 = 50ms, p95 = 95ms, p99 = 99ms by construction. The accessor must
+// never understate (it reports the containing bucket's upper bound,
+// clamped to the observed max) and must overstate by at most the 12.5%
+// bucket-error bound the hedging delay (internal/gateway) relies on: a
+// hedge timer derived from an overstated p95 fires late and wastes the
+// budget window, so the bound is load-bearing, not cosmetic.
+func TestHistogramQuantileExact(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	for _, tc := range []struct {
+		q     float64
+		exact time.Duration
+	}{
+		{0.5, 50 * time.Millisecond},
+		{0.95, 95 * time.Millisecond},
+		{0.99, 99 * time.Millisecond},
+	} {
+		got := h.Quantile(tc.q) // the snapshot-free accessor under test
+		if got < tc.exact {
+			t.Errorf("Quantile(%.2f) = %s understates exact %s", tc.q, got, tc.exact)
+		}
+		if maxErr := tc.exact / 8; got > tc.exact+maxErr {
+			t.Errorf("Quantile(%.2f) = %s exceeds exact %s by more than 12.5%% (%s allowed)",
+				tc.q, got, tc.exact, maxErr)
+		}
+		if snap := h.Snapshot(); snap.Quantile(tc.q) != got {
+			t.Errorf("accessor and snapshot disagree at q=%.2f: %s vs %s",
+				tc.q, got, snap.Quantile(tc.q))
+		}
+	}
+	// Nil receiver: the accessor is an observability hook and must be safe
+	// wherever a possibly-nil *Histogram travels.
+	var nilH *Histogram
+	if nilH.Quantile(0.5) != 0 {
+		t.Error("nil histogram Quantile must return 0")
+	}
+}
+
 // TestHistogramEdges covers empty, negative, and overflow observations.
 func TestHistogramEdges(t *testing.T) {
 	var h Histogram

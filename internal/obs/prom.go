@@ -37,8 +37,13 @@ func WriteGaugeLine(w io.Writer, name, labels string, v float64) {
 	}
 }
 
-// writeSummary renders one histogram snapshot as a Prometheus summary.
-func writeSummary(w io.Writer, name, labels string, s HistogramSnapshot) {
+// WriteSummary renders one histogram snapshot as a Prometheus summary
+// (p50/p95/p99 quantile samples plus _sum, _count, and a _max_seconds
+// companion gauge). labels is the rendered label set without braces (""
+// for none). Exported so layers outside this package with their own
+// histograms (internal/gateway's per-replica latency) render the same
+// shape the shared registry does.
+func WriteSummary(w io.Writer, name, labels string, s HistogramSnapshot) {
 	sep := ""
 	if labels != "" {
 		sep = ","
@@ -74,7 +79,7 @@ func (m *Metrics) WritePrometheus(w io.Writer, prefix string) {
 		if snap.Count == 0 {
 			continue
 		}
-		writeSummary(w, p("stage_seconds"), `stage="`+s.String()+`"`, snap)
+		WriteSummary(w, p("stage_seconds"), `stage="`+s.String()+`"`, snap)
 	}
 	for _, h := range [...]struct {
 		name string
@@ -85,7 +90,7 @@ func (m *Metrics) WritePrometheus(w io.Writer, prefix string) {
 		{"queue_wait_seconds", &m.Wait},
 	} {
 		fmt.Fprintf(w, "# TYPE %s summary\n", p(h.name))
-		writeSummary(w, p(h.name), "", h.h.Snapshot())
+		WriteSummary(w, p(h.name), "", h.h.Snapshot())
 	}
 
 	for _, c := range [...]struct {

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"net/http"
 	"strconv"
@@ -26,8 +27,9 @@ type ClientConfig struct {
 	MaxAttempts int
 	// BackoffBase/BackoffMax shape the exponential retry backoff: attempt
 	// n waits base * 2^(n-1) capped at max, jittered over [d/2, d]. A
-	// server Retry-After hint raises the wait when it is longer. Defaults
-	// 50ms / 2s.
+	// server Retry-After hint raises the wait when it is longer, but never
+	// past BackoffMax (a hostile header must not defeat the retry policy).
+	// Defaults 50ms / 2s.
 	BackoffBase time.Duration
 	BackoffMax  time.Duration
 	// HTTPClient is the transport; default a plain &http.Client{} (the
@@ -111,13 +113,21 @@ func NewClient(baseURL string, cfg ClientConfig) *Client {
 func (c *Client) Retries() uint64 { return c.retries.Load() }
 
 // backoff returns the jittered wait before retrying after attempt n
-// (1-based), at least as long as the server's hint.
+// (1-based), raised to the server's hint when that is longer — but never
+// past BackoffMax. The hint arrives off the wire, so an arbitrarily large
+// (or hostile) Retry-After taken verbatim would turn one bad header into
+// a wait that outlives any reasonable deadline — Detect then reports
+// "deadline too tight to retry" without ever retrying. The configured
+// ceiling is the client owner's word against the server's.
 func (c *Client) backoff(n int, hint time.Duration) time.Duration {
 	d := backoffDelay(n, c.cfg.BackoffBase, c.cfg.BackoffMax)
 	half := d / 2
 	c.mu.Lock()
 	d = half + time.Duration(c.rng.Int63n(int64(half)+1))
 	c.mu.Unlock()
+	if hint > c.cfg.BackoffMax {
+		hint = c.cfg.BackoffMax
+	}
 	if hint > d {
 		d = hint
 	}
@@ -219,10 +229,10 @@ func (c *Client) attempt(ctx context.Context, stream int, payload []byte) ([]eva
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		msg := readErrorMessage(resp.Body)
-		return nil, parseRetryAfter(resp.Header.Get("Retry-After")), &APIError{
+		return nil, ParseRetryAfter(resp.Header.Get("Retry-After")), &APIError{
 			Status:     resp.StatusCode,
 			Message:    msg,
-			RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+			RetryAfter: ParseRetryAfter(resp.Header.Get("Retry-After")),
 		}
 	}
 	var dr DetectResponse
@@ -250,14 +260,45 @@ func readErrorMessage(r io.Reader) string {
 	return string(bytes.TrimSpace(raw))
 }
 
-// parseRetryAfter reads the server's fractional-seconds Retry-After hint.
-func parseRetryAfter(v string) time.Duration {
+// maxRetryAfter caps a parsed Retry-After hint. The header is an unsigned
+// unauthenticated suggestion from the network: a hostile or buggy server
+// can send "1e300" (finite, so it parses) and a naive float-to-Duration
+// conversion overflows into garbage. One day is far beyond any retry
+// horizon this client serves; Client.backoff additionally clamps the hint
+// to its own BackoffMax.
+const maxRetryAfter = 24 * time.Hour
+
+// ParseRetryAfter reads a Retry-After header in any of the forms this
+// stack meets: this server's fractional seconds ("0.250"), RFC 9110
+// delay-seconds ("120"), and the RFC 9110 HTTP-date form (the remaining
+// wait is measured against the local clock). Unparseable, non-finite
+// (NaN/Inf pass strconv.ParseFloat but are not durations), negative, or
+// already-elapsed hints return 0 — "no hint" — and anything huge clamps
+// to maxRetryAfter, so a hostile header can never manufacture an
+// overflowed or unbounded backoff. Exported for callers that layer their
+// own retry policy over this package's wire contract (internal/gateway).
+func ParseRetryAfter(v string) time.Duration {
 	if v == "" {
 		return 0
 	}
-	secs, err := strconv.ParseFloat(v, 64)
-	if err != nil || secs < 0 {
-		return 0
+	if secs, err := strconv.ParseFloat(v, 64); err == nil {
+		if math.IsNaN(secs) || math.IsInf(secs, 0) || secs < 0 {
+			return 0
+		}
+		if secs > maxRetryAfter.Seconds() {
+			return maxRetryAfter
+		}
+		return time.Duration(secs * float64(time.Second))
 	}
-	return time.Duration(secs * float64(time.Second))
+	if t, err := http.ParseTime(v); err == nil {
+		d := time.Until(t)
+		if d <= 0 {
+			return 0
+		}
+		if d > maxRetryAfter {
+			return maxRetryAfter
+		}
+		return d
+	}
+	return 0
 }

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"net/http"
 	"strconv"
 	"testing"
 	"time"
@@ -36,5 +37,92 @@ func TestRetryAfterValueBoundaries(t *testing.T) {
 				t.Errorf("rendered %q must parse as a positive float (got %v, %v)", got, v, err)
 			}
 		})
+	}
+}
+
+// TestParseRetryAfterHostile pins the parser against the inputs a hostile
+// or merely broken server can put on the wire. strconv.ParseFloat happily
+// accepts "NaN" and "Inf" — NaN passes a `< 0` guard (every comparison
+// with NaN is false) and both turn into garbage durations when multiplied
+// into nanoseconds — and RFC 9110's integer-seconds and HTTP-date forms
+// must parse as real hints rather than silently reading as 0.
+func TestParseRetryAfterHostile(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		v    string
+		want time.Duration
+	}{
+		{"empty", "", 0},
+		{"fractional seconds", "0.250", 250 * time.Millisecond},
+		{"rfc9110 integer seconds", "120", 2 * time.Minute},
+		{"zero", "0", 0},
+		{"NaN", "NaN", 0},
+		{"negative NaN", "-NaN", 0},
+		{"Inf", "Inf", 0},
+		{"plus Inf", "+Inf", 0},
+		{"minus Inf", "-Inf", 0},
+		{"spelled infinity", "infinity", 0},
+		{"negative", "-5", 0},
+		{"negative fractional", "-0.5", 0},
+		{"overflowing exponent", "1e309", 0},        // parses to +Inf with ErrRange
+		{"huge but finite", "1e300", maxRetryAfter}, // would overflow Duration
+		{"huge integer", "99999999999999999999", maxRetryAfter},
+		{"garbage", "soon", 0},
+		{"trailing garbage", "5s", 0},
+		{"hex float", "0x1p4", 16 * time.Second}, // ParseFloat accepts it; finite and positive, so honored
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := ParseRetryAfter(tc.v); got != tc.want {
+				t.Errorf("ParseRetryAfter(%q) = %v, want %v", tc.v, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestParseRetryAfterHTTPDate covers the RFC 9110 HTTP-date form, which
+// is relative to the local clock: a date ~10s out must yield roughly that
+// wait, and a date in the past must yield 0, not a negative duration.
+func TestParseRetryAfterHTTPDate(t *testing.T) {
+	future := time.Now().Add(10 * time.Second).UTC().Format(http.TimeFormat)
+	got := ParseRetryAfter(future)
+	// http.TimeFormat has one-second resolution and the clock advances
+	// between formatting and parsing, so accept a generous bracket.
+	if got < 8*time.Second || got > 10*time.Second+time.Second {
+		t.Errorf("ParseRetryAfter(%q) = %v, want ~10s", future, got)
+	}
+	past := time.Now().Add(-time.Hour).UTC().Format(http.TimeFormat)
+	if got := ParseRetryAfter(past); got != 0 {
+		t.Errorf("ParseRetryAfter(past date) = %v, want 0", got)
+	}
+	if got := ParseRetryAfter("Tue, 31 Feb 2099 00:00:00 GMT"); got != 0 {
+		t.Errorf("ParseRetryAfter(invalid date) = %v, want 0", got)
+	}
+}
+
+// TestBackoffClampsServerHint: the server's Retry-After hint raises the
+// backoff, but never past the client's own BackoffMax — one hostile or
+// buggy header must not manufacture a wait that swallows the caller's
+// whole deadline (Detect would then fail every retry with "deadline too
+// tight to retry" without ever retrying).
+func TestBackoffClampsServerHint(t *testing.T) {
+	c := NewClient("http://127.0.0.1:0", ClientConfig{
+		BackoffBase: 10 * time.Millisecond,
+		BackoffMax:  200 * time.Millisecond,
+	})
+	for _, hint := range []time.Duration{
+		10 * time.Hour, maxRetryAfter, time.Duration(1<<62 - 1),
+	} {
+		if got := c.backoff(1, hint); got > 200*time.Millisecond {
+			t.Errorf("backoff(1, %v) = %v exceeds BackoffMax 200ms", hint, got)
+		}
+	}
+	// A modest hint below the ceiling is still honored when it exceeds the
+	// jittered exponential wait.
+	if got := c.backoff(1, 150*time.Millisecond); got < 150*time.Millisecond {
+		t.Errorf("backoff(1, 150ms) = %v, want >= the 150ms hint", got)
+	}
+	// And the ceiling itself still applies to the exponential ladder.
+	if got := c.backoff(20, 0); got > 200*time.Millisecond {
+		t.Errorf("backoff(20, 0) = %v exceeds BackoffMax 200ms", got)
 	}
 }
