@@ -21,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"math/rand"
 	"net/http/httptest"
 	"os"
@@ -122,6 +123,9 @@ func main() {
 		run(fmt.Sprintf("DetectParallel/workers=%d", n), benchDetect(0, false))
 	}
 	run("ScoreWindow/zero-copy", benchScoreWindow)
+	run("DetectCascade/dense", benchDetectCascade(core.CascadeOff))
+	run("DetectCascade/exact", benchDetectCascade(core.CascadeExact))
+	run("DetectCascade/calibrated", benchDetectCascade(core.CascadeCalibrated))
 	run("ServeRoundTrip", benchServeRoundTrip)
 
 	// Observability overhead: the same single-worker scan with the obs
@@ -141,6 +145,26 @@ func main() {
 		pct := (on.NsPerOp - off.NsPerOp) / off.NsPerOp * 100
 		fmt.Printf("%-32s %+.2f%% ns/op, %+d allocs/op\n",
 			"obs overhead (metrics on-off)", pct, on.AllocsPerOp-off.AllocsPerOp)
+	}
+
+	// Cascade speedup on the clutter-negative workload (ISSUE 9 acceptance:
+	// exact mode >= 1.5x over dense at workers=1).
+	var cd, ce, cc *benchResult
+	for i := range rep.Results {
+		switch rep.Results[i].Name {
+		case "DetectCascade/dense":
+			cd = &rep.Results[i]
+		case "DetectCascade/exact":
+			ce = &rep.Results[i]
+		case "DetectCascade/calibrated":
+			cc = &rep.Results[i]
+		}
+	}
+	if cd != nil && ce != nil && ce.NsPerOp > 0 {
+		fmt.Printf("%-32s %.2fx ns/op over dense\n", "cascade speedup (exact)", cd.NsPerOp/ce.NsPerOp)
+	}
+	if cd != nil && cc != nil && cc.NsPerOp > 0 {
+		fmt.Printf("%-32s %.2fx ns/op over dense\n", "cascade speedup (calibrated)", cd.NsPerOp/cc.NsPerOp)
 	}
 
 	if *jsonPath != "" {
@@ -264,6 +288,71 @@ func benchScoreWindow(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, ok := fm.ScoreWindow(w, i%(fm.BlocksX-8), i%(fm.BlocksY-16), 8, 16); !ok {
 			b.Fatal("window rejected")
+		}
+	}
+}
+
+// benchDetectCascade benchmarks the single-worker multi-scale scan of a
+// clutter-only VGA frame with the given cascade mode and a concentrated-mass
+// model (per-row amplitude 0.02*0.55^r — the shape a soft-cascade-trained
+// SVM has, and the shape the Cauchy-Schwarz bound prunes). Exact mode is
+// bit-identical to dense (core's differential tests assert it); the report
+// compares ns/op across the three modes.
+func benchDetectCascade(mode core.CascadeMode) func(b *testing.B) {
+	return func(b *testing.B) {
+		cfg := core.DefaultConfig()
+		cfg.Mode = core.FeaturePyramid
+		cfg.Workers = 1
+		cfg.Threshold = 0.5
+		cfg.Cascade = mode
+		cx, cy := cfg.HOG.WindowCells(cfg.WindowW, cfg.WindowH)
+		wbx, wby := cfg.HOG.WindowBlocks(cx, cy)
+		bl := cfg.HOG.BlockLen()
+		rowLen := wbx * bl
+		rng := rand.New(rand.NewSource(47))
+		model := &svm.Model{W: make([]float64, wby*rowLen)}
+		for r := 0; r < wby; r++ {
+			a := 0.02 * math.Pow(0.55, float64(r))
+			for i := r * rowLen; i < (r+1)*rowLen; i++ {
+				model.W[i] = a * rng.NormFloat64()
+			}
+		}
+		if mode == core.CascadeCalibrated {
+			// Floors fitted on one synthetic positive perfectly aligned with
+			// the weights (per-block 0.95 * w_b/||w_b||).
+			casc, err := svm.NewCascade(model, wbx, wby, bl)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pos := make([]float64, len(model.W))
+			for blk := 0; blk+bl <= len(model.W); blk += bl {
+				var ss float64
+				for _, v := range model.W[blk : blk+bl] {
+					ss += v * v
+				}
+				if n := math.Sqrt(ss); n > 0 {
+					for i := blk; i < blk+bl; i++ {
+						pos[i] = 0.95 * model.W[i] / n
+					}
+				}
+			}
+			floors, err := casc.Calibrate(model, [][]float64{pos}, 0.05)
+			if err != nil {
+				b.Fatal(err)
+			}
+			model.Calib = &svm.CascadeCalib{Stages: wby, Margin: 0.05, Thresholds: floors}
+		}
+		det, err := core.NewDetector(model, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		frame := randFrame(640, 480, 48)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := det.Detect(frame); err != nil {
+				b.Fatal(err)
+			}
 		}
 	}
 }

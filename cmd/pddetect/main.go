@@ -29,19 +29,21 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("pddetect: ")
 	var (
-		modelPath = flag.String("model", "pedestrian.model", "trained model file")
-		in        = flag.String("in", "", "input PGM frame")
-		mode      = flag.String("mode", "feature", "pyramid mode: image, feature, chained, fixed, octave")
-		lambda    = flag.Float64("lambda", 0, "power-law channel correction (octave mode)")
-		step      = flag.Float64("step", 1.1, "pyramid scale step")
-		maxScales = flag.Int("scales", 0, "max pyramid levels (0 = all that fit)")
-		threshold = flag.Float64("threshold", 0, "SVM decision threshold")
-		nms       = flag.Float64("nms", 0.3, "NMS IoU (<= 0 disables)")
-		workers   = flag.Int("workers", 0, "scan worker goroutines (0 = GOMAXPROCS, 1 = serial)")
-		annotate  = flag.String("annotate", "", "write an annotated PPM here")
-		stream    = flag.Int("stream", 0, "feed the frame N times through the streaming runtime")
-		fps       = flag.Float64("fps", 60, "frame rate for -stream (sets the per-frame deadline)")
-		hang      = flag.Duration("hang-timeout", 0, "liveness watchdog for -stream: abandon a scan stuck this long and wedge the pipeline (0 derives 4x the frame deadline, negative disables)")
+		modelPath  = flag.String("model", "pedestrian.model", "trained model file")
+		in         = flag.String("in", "", "input PGM frame")
+		mode       = flag.String("mode", "feature", "pyramid mode: image, feature, chained, fixed, octave")
+		lambda     = flag.Float64("lambda", 0, "power-law channel correction (octave mode)")
+		step       = flag.Float64("step", 1.1, "pyramid scale step")
+		maxScales  = flag.Int("scales", 0, "max pyramid levels (0 = all that fit)")
+		threshold  = flag.Float64("threshold", 0, "SVM decision threshold")
+		nms        = flag.Float64("nms", 0.3, "NMS IoU (<= 0 disables)")
+		workers    = flag.Int("workers", 0, "scan worker goroutines (0 = GOMAXPROCS, 1 = serial)")
+		cascade    = flag.Bool("cascade", false, "staged early-rejection scoring, exact mode (bit-identical detections, faster)")
+		cascadeCal = flag.Bool("cascade-calibrated", false, "staged scoring with calibrated per-stage floors (needs a model trained with pdtrain -cascade-calibrate)")
+		annotate   = flag.String("annotate", "", "write an annotated PPM here")
+		stream     = flag.Int("stream", 0, "feed the frame N times through the streaming runtime")
+		fps        = flag.Float64("fps", 60, "frame rate for -stream (sets the per-frame deadline)")
+		hang       = flag.Duration("hang-timeout", 0, "liveness watchdog for -stream: abandon a scan stuck this long and wedge the pipeline (0 derives 4x the frame deadline, negative disables)")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -62,6 +64,12 @@ func main() {
 	cfg.Threshold = *threshold
 	cfg.NMSOverlap = *nms
 	cfg.Workers = *workers
+	switch {
+	case *cascadeCal:
+		cfg.Cascade = core.CascadeCalibrated
+	case *cascade:
+		cfg.Cascade = core.CascadeExact
+	}
 	octave := false
 	switch *mode {
 	case "image":

@@ -43,6 +43,9 @@ func main() {
 		threshold = flag.Float64("threshold", 0, "SVM decision threshold")
 		nms       = flag.Float64("nms", 0.3, "NMS IoU (<= 0 disables)")
 
+		cascade    = flag.Bool("cascade", false, "staged early-rejection scoring, exact mode (bit-identical detections, faster)")
+		cascadeCal = flag.Bool("cascade-calibrated", false, "staged scoring with calibrated per-stage floors (needs a model trained with pdtrain -cascade-calibrate)")
+
 		workers = flag.Int("workers", 1, "supervised worker pipelines (streams pin by ID modulo this)")
 		fps     = flag.Float64("fps", 30, "per-worker frame budget (sets the pipeline deadline)")
 		queue   = flag.Int("queue", 16, "admission queue depth (beyond it requests shed with 429)")
@@ -69,6 +72,12 @@ func main() {
 	cfg.ScaleStep = *step
 	cfg.Threshold = *threshold
 	cfg.NMSOverlap = *nms
+	switch {
+	case *cascadeCal:
+		cfg.Cascade = core.CascadeCalibrated
+	case *cascade:
+		cfg.Cascade = core.CascadeExact
+	}
 	switch *mode {
 	case "image":
 		cfg.Mode = core.ImagePyramid

@@ -29,6 +29,9 @@ func main() {
 		loss  = flag.String("loss", "l2", "hinge loss: l1 or l2")
 		mine  = flag.Int("mine", 0, "hard-negative mining rounds")
 		check = flag.Int("check", 300, "held-out windows for the accuracy report (0 disables)")
+
+		cascCal    = flag.Bool("cascade-calibrate", false, "fit soft-cascade per-stage rejection floors on the training positives and embed them in the model")
+		cascMargin = flag.Float64("cascade-margin", 0.05, "safety margin subtracted from the fitted per-stage floors (larger = fewer early misses, less pruning)")
 	)
 	flag.Parse()
 
@@ -61,6 +64,39 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	model := det.Model()
+	var casc *svm.Cascade
+	if *cascCal {
+		// Soft-cascade calibration (Bourdev & Brandt style): derive the
+		// stage schedule from the trained weights, then set each stage's
+		// rejection floor to the minimum partial score any training
+		// positive reaches at that stage, minus the safety margin. By
+		// construction no training positive is rejected early; the held-out
+		// block below reports the early-miss rate on unseen positives.
+		cx, cy := cfg.HOG.WindowCells(cfg.WindowW, cfg.WindowH)
+		wbx, wby := cfg.HOG.WindowBlocks(cx, cy)
+		casc, err = svm.NewCascade(model, wbx, wby, cfg.HOG.BlockLen())
+		if err != nil {
+			log.Fatal(err)
+		}
+		x, err := core.ExtractDescriptors(set, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var pos [][]float64
+		for i, xi := range x {
+			if set.Labels[i] == 1 {
+				pos = append(pos, xi)
+			}
+		}
+		floors, err := casc.Calibrate(model, pos, *cascMargin)
+		if err != nil {
+			log.Fatal(err)
+		}
+		model.Calib = &svm.CascadeCalib{Stages: wby, Margin: *cascMargin, Thresholds: floors}
+		log.Printf("cascade calibrated: %d stages, margin %g, fitted on %d positives",
+			wby, *cascMargin, len(pos))
+	}
 	if *check > 0 {
 		test, err := g.RenderAt(g.NewSpecSet(*check/4, (*check*3)/4), 1.0)
 		if err != nil {
@@ -71,11 +107,24 @@ func main() {
 			log.Fatal(err)
 		}
 		log.Printf("held-out accuracy: %.4f on %d windows",
-			svm.Accuracy(det.Model(), x, test.Labels), test.Len())
+			svm.Accuracy(model, x, test.Labels), test.Len())
+		if casc != nil {
+			var pos [][]float64
+			for i, xi := range x {
+				if test.Labels[i] == 1 {
+					pos = append(pos, xi)
+				}
+			}
+			miss, err := casc.MissRate(model, pos)
+			if err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("cascade held-out early-miss rate: %.4f on %d positives", miss, len(pos))
+		}
 	}
-	if err := det.Model().Save(*out); err != nil {
+	if err := model.Save(*out); err != nil {
 		log.Fatal(err)
 	}
 	log.Printf("model (%d weights, bias %.4f) written to %s",
-		len(det.Model().W), det.Model().B, *out)
+		len(model.W), model.B, *out)
 }

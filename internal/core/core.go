@@ -82,6 +82,12 @@ type Config struct {
 	// Fixed configures the fixed-point scaler (FeaturePyramidFixed); nil
 	// uses featpyr.NewFixedScaler defaults.
 	Fixed *featpyr.FixedScaler
+	// Cascade selects staged early-rejection window scoring (see
+	// CascadeMode). CascadeExact is pure optimization — detections stay
+	// bit-identical to CascadeOff at every worker count; CascadeCalibrated
+	// trades a measured miss bound for more pruning and needs a calibrated
+	// model. Off by default.
+	Cascade CascadeMode
 	// Workers bounds the goroutines used on the detection hot path: pyramid
 	// levels are built and scanned concurrently, each level sharded across
 	// window rows. 0 means GOMAXPROCS; 1 scans serially. Window scores do
@@ -185,6 +191,9 @@ type Detector struct {
 	cfg   Config
 	model *svm.Model
 	arena *Arena
+	// plan is the cascade stage schedule (nil when Cascade is off), built
+	// once in NewDetector and shared read-only by every scan worker.
+	plan *hog.StagePlan
 }
 
 // NewDetector validates the configuration against the model dimensions.
@@ -208,7 +217,11 @@ func NewDetector(model *svm.Model, cfg Config) (*Detector, error) {
 	if cfg.Scale.LevelTimer == nil {
 		cfg.Scale.LevelTimer = cfg.Metrics.LevelTimer()
 	}
-	return &Detector{cfg: cfg, model: model, arena: arena}, nil
+	plan, err := buildStagePlan(model, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Detector{cfg: cfg, model: model, arena: arena, plan: plan}, nil
 }
 
 // Config returns the detector's configuration.
@@ -277,6 +290,11 @@ type pyrLevel struct {
 	fm     *hog.FeatureMap
 	sx, sy float64
 	index  int
+	// normCap bounds the L2 norm of any block vector of this level's map
+	// (levelNormCap); 0 means no bound is available and the exact cascade
+	// scans the level dense. Zero-valued pyrLevels (octave scans) therefore
+	// default to the safe dense path.
+	normCap float64
 }
 
 // maxLevels returns the level cap handed to the pyramid builders.
@@ -386,10 +404,11 @@ func (d *Detector) buildLevels(ctx context.Context, frame *imgproc.Gray) ([]pyrL
 				// The exact per-axis scale of this level (sizes are
 				// rounded per level, separately in X and Y).
 				levels[i] = pyrLevel{
-					fm:    fm,
-					sx:    float64(frame.W) / float64(img.W),
-					sy:    float64(frame.H) / float64(img.H),
-					index: s.index,
+					fm:      fm,
+					sx:      float64(frame.W) / float64(img.W),
+					sy:      float64(frame.H) / float64(img.H),
+					index:   s.index,
+					normCap: d.levelNormCap(s.index),
 				}
 			}(i, s)
 		}
@@ -518,10 +537,11 @@ func (d *Detector) buildLevels(ctx context.Context, frame *imgproc.Gray) ([]pyrL
 			// ratio (grids are rounded per level, like image pyramid
 			// sizes, and independently per axis).
 			out = append(out, pyrLevel{
-				fm:    l.Map,
-				sx:    float64(baseBX) / float64(l.Map.BlocksX),
-				sy:    float64(baseBY) / float64(l.Map.BlocksY),
-				index: i,
+				fm:      l.Map,
+				sx:      float64(baseBX) / float64(l.Map.BlocksX),
+				sy:      float64(baseBY) / float64(l.Map.BlocksY),
+				index:   i,
+				normCap: d.levelNormCap(i),
 			})
 		}
 		return out, release, nil
@@ -550,34 +570,90 @@ func firstError(errs []error) error {
 }
 
 // scanLevelRows slides the detection window over block rows [row0, row1) of
-// one feature map, appending scored detections to out. Windows are scored
-// zero-copy against the feature map (hog.FeatureMap.ScoreWindow) — nothing
-// is allocated per window. sx and sy map level pixel coordinates back to
-// frame pixels per axis. Cancellation is checked once per window row, so an
-// expired ctx stops a scan within one row; the caller discards partial
-// output on error, keeping results deterministic.
-func (d *Detector) scanLevelRows(ctx context.Context, fm *hog.FeatureMap, sx, sy float64, row0, row1 int, out []eval.Detection) ([]eval.Detection, error) {
+// one pyramid level, appending scored detections to out. Windows are scored
+// zero-copy against the feature map — nothing is allocated per window.
+// l.sx and l.sy map level pixel coordinates back to frame pixels per axis.
+// Cancellation is checked once per window row, so an expired ctx stops a
+// scan within one row; the caller discards partial output on error, keeping
+// results deterministic.
+//
+// With a cascade plan the staged kernel replaces the dense one. Exact mode
+// needs the level's block-norm bound; a level without one (l.normCap == 0)
+// scans dense, so octave scans and lambda-scaled float pyramids stay
+// correct without special cases. The staged path keeps the zero-allocation
+// property: the per-row dot scratch is a stack array (windows are at most
+// maxStackRows block rows tall in every shipped geometry; taller ones fall
+// back to one allocation per shard, not per window) and cascade counters
+// accumulate in a stack tally folded into the shared registry once per
+// call.
+func (d *Detector) scanLevelRows(ctx context.Context, l pyrLevel, row0, row1 int, out []eval.Detection) ([]eval.Detection, error) {
 	wbx, wby := d.cfg.windowBlocks()
 	cell := d.cfg.HOG.CellSize
 	w := d.model.W
+	fm, sx, sy := l.fm, l.sx, l.sy
+	plan := d.plan
+	if plan != nil && d.cfg.Cascade == CascadeExact && l.normCap <= 0 {
+		plan = nil // no norm bound: exact pruning impossible, scan dense
+	}
+	if plan == nil {
+		for by := row0; by < row1; by++ {
+			if err := ctx.Err(); err != nil {
+				return out, err
+			}
+			for bx := 0; bx+wbx <= fm.BlocksX; bx++ {
+				score, ok := fm.ScoreWindow(w, bx, by, wbx, wby)
+				if !ok {
+					continue
+				}
+				score += d.model.B
+				if score <= d.cfg.Threshold {
+					continue
+				}
+				// Window anchor in level pixels, then back to frame pixels.
+				box := geom.XYWH(bx*cell, by*cell, d.cfg.WindowW, d.cfg.WindowH).ScaleXY(sx, sy)
+				out = append(out, eval.Detection{Box: box, Score: score})
+			}
+		}
+		return out, nil
+	}
+
+	// Staged path. The kernel tests the raw (bias-free) score against the
+	// bias-adjusted threshold: score+B > Threshold <=> score > Threshold-B.
+	thr := d.cfg.Threshold - d.model.B
+	const maxStackRows = 64
+	var rowBuf [maxStackRows]float64
+	rowDots := rowBuf[:]
+	if wby > maxStackRows {
+		rowDots = make([]float64, wby)
+	}
+	var tally cascadeTally
+	reg := d.cfg.Metrics.Metrics()
 	for by := row0; by < row1; by++ {
 		if err := ctx.Err(); err != nil {
+			tally.fold(reg, wbx)
 			return out, err
 		}
 		for bx := 0; bx+wbx <= fm.BlocksX; bx++ {
-			score, ok := fm.ScoreWindow(w, bx, by, wbx, wby)
+			score, rowsEval, accepted, ok := fm.ScoreWindowStaged(w, bx, by, wbx, wby, plan, thr, l.normCap, rowDots)
 			if !ok {
 				continue
 			}
+			tally.windows++
+			tally.rows += uint64(rowsEval)
+			if !accepted {
+				tally.reject(rowsEval)
+				continue
+			}
+			tally.accepted++
 			score += d.model.B
 			if score <= d.cfg.Threshold {
 				continue
 			}
-			// Window anchor in level pixels, then back to frame pixels.
 			box := geom.XYWH(bx*cell, by*cell, d.cfg.WindowW, d.cfg.WindowH).ScaleXY(sx, sy)
 			out = append(out, eval.Detection{Box: box, Score: score})
 		}
 	}
+	tally.fold(reg, wbx)
 	return out, nil
 }
 
@@ -721,7 +797,7 @@ func (d *Detector) scanLevels(ctx context.Context, levels []pyrLevel) ([]eval.De
 		var out []eval.Detection
 		var err error
 		for i, l := range levels {
-			out, err = d.scanLevelRows(ctx, l.fm, l.sx, l.sy, 0, rows[i], out)
+			out, err = d.scanLevelRows(ctx, l, 0, rows[i], out)
 			if err != nil {
 				return nil, err
 			}
@@ -731,9 +807,8 @@ func (d *Detector) scanLevels(ctx context.Context, levels []pyrLevel) ([]eval.De
 	shards := shardLevels(rows, workers)
 	outs := make([][]eval.Detection, len(shards))
 	err := runShards(ctx, shards, workers, func(i int, s rowShard) error {
-		l := levels[s.level]
 		var err error
-		outs[i], err = d.scanLevelRows(ctx, l.fm, l.sx, l.sy, s.row0, s.row1, nil)
+		outs[i], err = d.scanLevelRows(ctx, levels[s.level], s.row0, s.row1, nil)
 		return err
 	})
 	if err != nil {

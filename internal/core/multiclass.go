@@ -1,7 +1,9 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/eval"
@@ -91,20 +93,17 @@ func (m *MultiDetector) Detect(frame *imgproc.Gray) ([]ClassDetection, error) {
 		}(i, c)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	// Report every failed class, not just the first: with independent
+	// per-class models one poison model should not mask another's error.
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
 	}
 	var merged []ClassDetection
 	for _, r := range results {
 		merged = append(merged, r...)
 	}
-	// Sort by descending score, stable across classes.
-	for i := 1; i < len(merged); i++ {
-		for j := i; j > 0 && merged[j].Score > merged[j-1].Score; j-- {
-			merged[j], merged[j-1] = merged[j-1], merged[j]
-		}
-	}
+	// Sort by descending score, stable across classes (equal scores keep
+	// configured class order).
+	sort.SliceStable(merged, func(i, j int) bool { return merged[i].Score > merged[j].Score })
 	return merged, nil
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math/rand"
+	"strings"
 	"sync"
 	"testing"
 
@@ -153,5 +154,86 @@ func TestMultiDetectorFindsBothClasses(t *testing.T) {
 		if dets[i].Score > dets[i-1].Score {
 			t.Fatal("merged detections not sorted")
 		}
+	}
+}
+
+// TestMultiDetectorReportsEveryFailure: when several class detectors fail on
+// the same frame, the joined error names each failed class — one poison
+// model must not mask another's diagnosis.
+func TestMultiDetectorReportsEveryFailure(t *testing.T) {
+	ped := DefaultConfig()
+	pedDet, err := NewDetector(&svm.Model{W: make([]float64, ped.DescriptorLen())}, ped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	veh := vehicleConfig()
+	vehDet, err := NewDetector(&svm.Model{W: make([]float64, veh.DescriptorLen())}, veh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMultiDetector(
+		Class{Name: "pedestrian", Detector: pedDet},
+		Class{Name: "vehicle", Detector: vehDet})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A frame smaller than both windows fails every class.
+	if _, err := m.Detect(imgproc.NewGray(32, 32)); err == nil {
+		t.Fatal("undersized frame succeeded")
+	} else {
+		for _, class := range []string{`"pedestrian"`, `"vehicle"`} {
+			if !strings.Contains(err.Error(), class) {
+				t.Errorf("joined error %q does not mention class %s", err, class)
+			}
+		}
+	}
+}
+
+// TestMultiDetectorStableMergeOrder: the merge is a stable sort, so equal
+// scores keep the configured class order instead of an arbitrary one.
+func TestMultiDetectorStableMergeOrder(t *testing.T) {
+	// Zero-weight models score every window at exactly the bias, so both
+	// classes emit nothing but score-1.0 detections.
+	ped := DefaultConfig()
+	pedDet, err := NewDetector(&svm.Model{W: make([]float64, ped.DescriptorLen()), B: 1}, ped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	veh := vehicleConfig()
+	vehDet, err := NewDetector(&svm.Model{W: make([]float64, veh.DescriptorLen()), B: 1}, veh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMultiDetector(
+		Class{Name: "pedestrian", Detector: pedDet},
+		Class{Name: "vehicle", Detector: vehDet})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dets, err := m.Detect(imgproc.NewGray(64, 128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dets) < 2 {
+		t.Fatalf("expected detections from both classes, got %d", len(dets))
+	}
+	// All scores tie at 1.0, so every pedestrian detection must precede
+	// every vehicle detection.
+	sawVehicle := false
+	for i, d := range dets {
+		if d.Score != 1.0 {
+			t.Fatalf("detection %d score %v, want exactly 1.0", i, d.Score)
+		}
+		switch d.Class {
+		case "vehicle":
+			sawVehicle = true
+		case "pedestrian":
+			if sawVehicle {
+				t.Fatal("pedestrian detection after a vehicle one: merge not stable")
+			}
+		}
+	}
+	if !sawVehicle {
+		t.Fatal("no vehicle detections merged")
 	}
 }

@@ -41,7 +41,7 @@ func TestScanLevelRowsScalesAxesIndependently(t *testing.T) {
 	wbx, wby := cfg.windowBlocks() // 8 x 16
 	rows := fm.BlocksY - wby + 1
 	cols := fm.BlocksX - wbx + 1
-	out, err := d.scanLevelRows(context.Background(), fm, 1.5, 2.0, 0, rows, nil)
+	out, err := d.scanLevelRows(context.Background(), pyrLevel{fm: fm, sx: 1.5, sy: 2.0}, 0, rows, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -94,19 +94,62 @@ func (d *Detector) ScoreMapsCtx(ctx context.Context, frame *imgproc.Gray) ([]*Sc
 			Scores: make([]float64, nx*rows[i]),
 		}
 	}
+	// With a cascade enabled the maps stay thresholding-equivalent rather
+	// than value-identical: a pruned anchor records the cascade's upper
+	// bound on its score (+ bias), which is <= Threshold by construction of
+	// the rejection test, so thresholding a cascade score map selects the
+	// same anchors as thresholding a dense one; heat maps just flatten in
+	// the pruned (deeply negative) regions. Accepted anchors record their
+	// exact, bit-identical score.
 	w := d.model.W
+	thr := d.cfg.Threshold - d.model.B
 	err = runShards(ctx, shardLevels(rows, d.cfg.workers()), d.cfg.workers(), func(_ int, s rowShard) error {
-		fm := levels[s.level].fm
+		l := levels[s.level]
+		fm := l.fm
 		sm := maps[s.level]
+		plan := d.plan
+		if plan != nil && d.cfg.Cascade == CascadeExact && l.normCap <= 0 {
+			plan = nil
+		}
+		if plan == nil {
+			for by := s.row0; by < s.row1; by++ {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				for bx := 0; bx < sm.W; bx++ {
+					score, _ := fm.ScoreWindow(w, bx, by, wbx, wby)
+					sm.Scores[by*sm.W+bx] = score + d.model.B
+				}
+			}
+			return nil
+		}
+		var rowBuf [64]float64
+		rowDots := rowBuf[:]
+		if wby > len(rowBuf) {
+			rowDots = make([]float64, wby)
+		}
+		var tally cascadeTally
 		for by := s.row0; by < s.row1; by++ {
 			if err := ctx.Err(); err != nil {
+				tally.fold(d.cfg.Metrics.Metrics(), wbx)
 				return err
 			}
 			for bx := 0; bx < sm.W; bx++ {
-				score, _ := fm.ScoreWindow(w, bx, by, wbx, wby)
+				score, rowsEval, accepted, ok := fm.ScoreWindowStaged(w, bx, by, wbx, wby, plan, thr, l.normCap, rowDots)
+				if !ok {
+					continue
+				}
+				tally.windows++
+				tally.rows += uint64(rowsEval)
+				if accepted {
+					tally.accepted++
+				} else {
+					tally.reject(rowsEval)
+				}
 				sm.Scores[by*sm.W+bx] = score + d.model.B
 			}
 		}
+		tally.fold(d.cfg.Metrics.Metrics(), wbx)
 		return nil
 	})
 	if err != nil {

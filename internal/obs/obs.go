@@ -172,8 +172,65 @@ type Metrics struct {
 	// were served from the pool versus freshly grown.
 	ArenaHits, ArenaMisses Counter
 
+	// CascadeWindows counts windows entering the staged early-rejection
+	// scorer, CascadeAccepted the subset that survived every stage (and so
+	// received an exact score), and CascadeBlocks the HOG blocks actually
+	// evaluated — the work the dense scan would have multiplied out is
+	// CascadeWindows * blocks-per-window, so the pruning ratio falls out of
+	// these three numbers. Scan shards accumulate locally and fold in once
+	// per shard, keeping the window loop free of shared-cache-line traffic.
+	CascadeWindows, CascadeAccepted, CascadeBlocks Counter
+	// CascadeStageRejects[k] counts windows rejected right after cascade
+	// stage k (stage-rank order, not raster row). Window geometries deeper
+	// than the bank clamp into the last slot.
+	CascadeStageRejects [CascadeStages]Counter
+
 	// Traces retains the slowest frames seen so far.
 	Traces TraceRing
+}
+
+// CascadeStages is the size of the per-stage rejection counter bank; the
+// paper's 64x128 window has 16 block-row stages, so 32 leaves headroom for
+// exotic window geometries without making the registry grow per detector.
+const CascadeStages = 32
+
+// CascadeStats is a point-in-time snapshot of the cascade counters, as
+// exposed on /statsz.
+type CascadeStats struct {
+	Windows      uint64   `json:"windows"`
+	Accepted     uint64   `json:"accepted"`
+	Blocks       uint64   `json:"blocks_evaluated"`
+	MeanBlocks   float64  `json:"mean_blocks_evaluated"`
+	StageRejects []uint64 `json:"stage_rejects,omitempty"`
+}
+
+// CascadeSnapshot captures the cascade counters. MeanBlocks is the average
+// number of blocks evaluated per staged window (0 with no traffic);
+// StageRejects is trimmed of trailing all-zero stages.
+func (m *Metrics) CascadeSnapshot() CascadeStats {
+	if m == nil {
+		return CascadeStats{}
+	}
+	s := CascadeStats{
+		Windows:  m.CascadeWindows.Load(),
+		Accepted: m.CascadeAccepted.Load(),
+		Blocks:   m.CascadeBlocks.Load(),
+	}
+	if s.Windows > 0 {
+		s.MeanBlocks = float64(s.Blocks) / float64(s.Windows)
+	}
+	last := -1
+	var rejects [CascadeStages]uint64
+	for i := range m.CascadeStageRejects {
+		rejects[i] = m.CascadeStageRejects[i].Load()
+		if rejects[i] != 0 {
+			last = i
+		}
+	}
+	if last >= 0 {
+		s.StageRejects = append([]uint64(nil), rejects[:last+1]...)
+	}
+	return s
 }
 
 // NewMetrics returns an empty registry. (The zero value works too; the

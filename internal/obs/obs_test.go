@@ -268,3 +268,77 @@ func TestStageString(t *testing.T) {
 		t.Error("out-of-range stages must stringify as unknown")
 	}
 }
+
+// TestCascadeSnapshot pins the snapshot semantics the cascade scan relies
+// on: nil-safety, the mean-blocks derivation, and trailing-zero trimming of
+// the per-stage rejection bank (including the clamp slot).
+func TestCascadeSnapshot(t *testing.T) {
+	var nilM *Metrics
+	if s := nilM.CascadeSnapshot(); s.Windows != 0 || s.StageRejects != nil {
+		t.Errorf("nil registry snapshot %+v", s)
+	}
+	m := NewMetrics()
+	if s := m.CascadeSnapshot(); s.MeanBlocks != 0 || s.StageRejects != nil {
+		t.Errorf("empty registry snapshot %+v", s)
+	}
+	m.CascadeWindows.Add(8)
+	m.CascadeAccepted.Add(2)
+	m.CascadeBlocks.Add(20)
+	m.CascadeStageRejects[1].Add(5)
+	m.CascadeStageRejects[CascadeStages-1].Add(1) // deep-geometry clamp slot
+	s := m.CascadeSnapshot()
+	if s.Windows != 8 || s.Accepted != 2 || s.Blocks != 20 {
+		t.Errorf("snapshot %+v", s)
+	}
+	if s.MeanBlocks != 2.5 {
+		t.Errorf("mean blocks %v, want 2.5", s.MeanBlocks)
+	}
+	if len(s.StageRejects) != CascadeStages {
+		t.Fatalf("rejects trimmed to %d with the last slot set", len(s.StageRejects))
+	}
+	if s.StageRejects[1] != 5 || s.StageRejects[CascadeStages-1] != 1 {
+		t.Errorf("stage rejects %v", s.StageRejects)
+	}
+}
+
+// TestWritePrometheusCascade checks the cascade counters' exposition:
+// totals always render (counters are monotone from process start), but the
+// stage label family and the mean gauge appear only with traffic.
+func TestWritePrometheusCascade(t *testing.T) {
+	m := NewMetrics()
+	var quiet strings.Builder
+	m.WritePrometheus(&quiet, "pd")
+	if strings.Contains(quiet.String(), "pd_cascade_stage_rejects_total{") {
+		t.Error("quiet registry renders stage-reject samples")
+	}
+	if strings.Contains(quiet.String(), "pd_cascade_mean_blocks_evaluated") {
+		t.Error("quiet registry renders the mean gauge")
+	}
+
+	m.CascadeWindows.Add(4)
+	m.CascadeAccepted.Add(1)
+	m.CascadeBlocks.Add(10)
+	m.CascadeStageRejects[3].Add(3)
+	var b strings.Builder
+	m.WritePrometheus(&b, "pd")
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE pd_cascade_windows_total counter",
+		"pd_cascade_windows_total 4",
+		"pd_cascade_accepted_total 1",
+		"pd_cascade_blocks_evaluated_total 10",
+		"# TYPE pd_cascade_stage_rejects_total counter",
+		`pd_cascade_stage_rejects_total{stage="3"} 3`,
+		"# TYPE pd_cascade_mean_blocks_evaluated gauge",
+		"pd_cascade_mean_blocks_evaluated 2.5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if !strings.HasPrefix(line, "#") && len(strings.Fields(line)) != 2 {
+			t.Errorf("malformed sample line %q", line)
+		}
+	}
+}

@@ -108,9 +108,30 @@ func (m *Metrics) WritePrometheus(w io.Writer, prefix string) {
 		{"recover_events_total", &m.Recovers},
 		{"arena_hits_total", &m.ArenaHits},
 		{"arena_misses_total", &m.ArenaMisses},
+		{"cascade_windows_total", &m.CascadeWindows},
+		{"cascade_accepted_total", &m.CascadeAccepted},
+		{"cascade_blocks_evaluated_total", &m.CascadeBlocks},
 	} {
 		fmt.Fprintf(w, "# TYPE %s counter\n", p(c.name))
 		WriteCounterLine(w, p(c.name), "", c.c.Load())
+	}
+	// Per-stage rejection counters: only stages that have fired render, so
+	// a cascade-off service does not pad scrapes with 32 zero lines.
+	wroteStageType := false
+	for i := range m.CascadeStageRejects {
+		v := m.CascadeStageRejects[i].Load()
+		if v == 0 {
+			continue
+		}
+		if !wroteStageType {
+			fmt.Fprintf(w, "# TYPE %s counter\n", p("cascade_stage_rejects_total"))
+			wroteStageType = true
+		}
+		WriteCounterLine(w, p("cascade_stage_rejects_total"), fmt.Sprintf(`stage="%d"`, i), v)
+	}
+	if cs := m.CascadeSnapshot(); cs.Windows > 0 {
+		fmt.Fprintf(w, "# TYPE %s gauge\n", p("cascade_mean_blocks_evaluated"))
+		WriteGaugeLine(w, p("cascade_mean_blocks_evaluated"), "", cs.MeanBlocks)
 	}
 	fmt.Fprintf(w, "# TYPE %s gauge\n", p("wedged_pipelines"))
 	WriteGaugeLine(w, p("wedged_pipelines"), "", float64(m.WedgedPipelines.Load()))

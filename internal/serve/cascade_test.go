@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestStatszReportsCascade pins the observability surface of the
+// early-rejection cascade: once the scan has folded counters into the
+// shared registry, /statsz grows a cascade block whose numbers match the
+// registry, and /metricsz exposes the totals, the per-stage rejection
+// counters, and the mean-blocks gauge. A registry with no cascade traffic
+// must render neither (the block and the gauge are meaningless at zero).
+func TestStatszReportsCascade(t *testing.T) {
+	m := obs.NewMetrics()
+	// Simulate what two scan shards fold in: 100 windows, 10 accepted,
+	// rejections after stages 1 and 3, 420 blocks evaluated in total.
+	m.CascadeWindows.Add(100)
+	m.CascadeAccepted.Add(10)
+	m.CascadeBlocks.Add(420)
+	m.CascadeStageRejects[0].Add(70)
+	m.CascadeStageRejects[2].Add(20)
+
+	sup, err := newSupervisorWith(
+		func(int) (workerPipe, error) { return newFakePipe(false, false), nil },
+		SupervisorConfig{
+			Workers:           1,
+			RestartBackoff:    50 * time.Millisecond,
+			RestartBackoffMax: 200 * time.Millisecond,
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sup.Close()
+	srv := NewServer(sup, ServerConfig{Metrics: m})
+
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/statsz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/statsz = %d", rec.Code)
+	}
+	var st statszResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Cascade == nil {
+		t.Fatalf("/statsz has no cascade block:\n%s", rec.Body.String())
+	}
+	if st.Cascade.Windows != 100 || st.Cascade.Accepted != 10 || st.Cascade.Blocks != 420 {
+		t.Errorf("cascade stats %+v", st.Cascade)
+	}
+	if st.Cascade.MeanBlocks != 4.2 {
+		t.Errorf("mean blocks %v, want 4.2", st.Cascade.MeanBlocks)
+	}
+	// Trimmed at the last nonzero stage: stages 0..2, with stage 1 zero.
+	if len(st.Cascade.StageRejects) != 3 ||
+		st.Cascade.StageRejects[0] != 70 || st.Cascade.StageRejects[1] != 0 || st.Cascade.StageRejects[2] != 20 {
+		t.Errorf("stage rejects %v", st.Cascade.StageRejects)
+	}
+
+	rec = httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metricsz", nil))
+	body := rec.Body.String()
+	for _, want := range []string{
+		"pd_cascade_windows_total 100",
+		"pd_cascade_accepted_total 10",
+		"pd_cascade_blocks_evaluated_total 420",
+		`pd_cascade_stage_rejects_total{stage="0"} 70`,
+		`pd_cascade_stage_rejects_total{stage="2"} 20`,
+		"pd_cascade_mean_blocks_evaluated 4.2",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metricsz missing %q:\n%s", want, body)
+		}
+	}
+	// Zero stages are not rendered (the label space stays small).
+	if strings.Contains(body, `stage="1"`) {
+		t.Errorf("/metricsz renders an all-zero stage:\n%s", body)
+	}
+
+	// A quiet registry renders no cascade surface at all.
+	quiet := NewServer(sup, ServerConfig{Metrics: obs.NewMetrics()})
+	rec = httptest.NewRecorder()
+	quiet.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/statsz", nil))
+	var st2 statszResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &st2); err != nil {
+		t.Fatal(err)
+	}
+	if st2.Cascade != nil {
+		t.Errorf("quiet registry still reports cascade: %+v", st2.Cascade)
+	}
+	rec = httptest.NewRecorder()
+	quiet.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metricsz", nil))
+	if strings.Contains(rec.Body.String(), "pd_cascade_mean_blocks_evaluated") {
+		t.Error("quiet registry renders the mean-blocks gauge")
+	}
+}

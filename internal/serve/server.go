@@ -100,6 +100,10 @@ type statszResponse struct {
 	Server     ServerStats     `json:"server"`
 	Breaker    BreakerStats    `json:"breaker"`
 	Supervisor SupervisorStats `json:"supervisor"`
+	// Cascade reports the early-rejection scorer's counters (windows,
+	// accepted, blocks evaluated, per-stage rejects); present only when the
+	// server carries a metrics registry and the cascade has seen traffic.
+	Cascade *obs.CascadeStats `json:"cascade,omitempty"`
 }
 
 // Server is the HTTP front of a Supervisor.
@@ -423,11 +427,17 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, statszResponse{
+	resp := statszResponse{
 		Server:     s.Stats(),
 		Breaker:    s.breaker.Stats(),
 		Supervisor: s.sup.Stats(),
-	})
+	}
+	if m := s.cfg.Metrics; m != nil {
+		if cs := m.CascadeSnapshot(); cs.Windows > 0 {
+			resp.Cascade = &cs
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleMetricsz renders the Prometheus text scrape: the shared obs

@@ -22,6 +22,20 @@ import (
 //	...
 //
 // Weights use %.17g so the round trip is exact.
+//
+// A model carrying a soft-cascade calibration (pdtrain -cascade-calibrate)
+// appends one optional trailing section — older readers that stop after the
+// weights still load the plain model:
+//
+//	cascade <stages>
+//	margin <m>
+//	t
+//	<t0>
+//	...
+//
+// with exactly <stages> per-stage floors in stage-rank order. The stage
+// schedule is not stored: it is recomputed deterministically from the
+// weights and the window geometry (NewCascade).
 
 const modelMagic = "pdsvm 1"
 
@@ -34,6 +48,17 @@ func (m *Model) Write(w io.Writer) error {
 	fmt.Fprintln(bw, "w")
 	for _, v := range m.W {
 		fmt.Fprintf(bw, "%.17g\n", v)
+	}
+	if m.Calib != nil {
+		if err := m.Calib.Validate(); err != nil {
+			return err
+		}
+		fmt.Fprintf(bw, "cascade %d\n", m.Calib.Stages)
+		fmt.Fprintf(bw, "margin %.17g\n", m.Calib.Margin)
+		fmt.Fprintln(bw, "t")
+		for _, v := range m.Calib.Thresholds {
+			fmt.Fprintf(bw, "%.17g\n", v)
+		}
 	}
 	return bw.Flush()
 }
@@ -122,7 +147,77 @@ func Read(r io.Reader) (*Model, error) {
 			return nil, fmt.Errorf("svm: non-finite weight %d %q", i, line)
 		}
 	}
+	// Optional trailing cascade-calibration section. Anything else after
+	// the weights is a malformed or truncated-then-resumed file; refuse it
+	// instead of silently dropping data.
+	for sc.Scan() {
+		line = strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		cal, err := readCascadeSection(line, next)
+		if err != nil {
+			return nil, err
+		}
+		m.Calib = cal
+		// Nothing may follow the calibration.
+		for sc.Scan() {
+			if strings.TrimSpace(sc.Text()) != "" {
+				return nil, fmt.Errorf("svm: trailing data after cascade section: %q", strings.TrimSpace(sc.Text()))
+			}
+		}
+		break
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
 	return m, nil
+}
+
+// readCascadeSection parses the optional trailing calibration block, whose
+// header line has already been consumed into head.
+func readCascadeSection(head string, next func() (string, error)) (*CascadeCalib, error) {
+	var stages int
+	if _, err := fmt.Sscanf(head, "cascade %d", &stages); err != nil {
+		return nil, fmt.Errorf("svm: unexpected trailing data %q", head)
+	}
+	if stages < 1 || stages > maxCascadeRows {
+		return nil, fmt.Errorf("svm: implausible cascade stage count %d", stages)
+	}
+	line, err := next()
+	if err != nil {
+		return nil, fmt.Errorf("svm: reading cascade margin: %w", err)
+	}
+	var marginStr string
+	if _, err := fmt.Sscanf(line, "margin %s", &marginStr); err != nil {
+		return nil, fmt.Errorf("svm: parsing %q: %w", line, err)
+	}
+	margin, err := strconv.ParseFloat(marginStr, 64)
+	if err != nil {
+		return nil, fmt.Errorf("svm: parsing cascade margin %q: %w", marginStr, err)
+	}
+	line, err = next()
+	if err != nil {
+		return nil, fmt.Errorf("svm: reading cascade threshold header: %w", err)
+	}
+	if line != "t" {
+		return nil, fmt.Errorf("svm: expected cascade threshold header, got %q", line)
+	}
+	cal := &CascadeCalib{Stages: stages, Margin: margin, Thresholds: make([]float64, stages)}
+	for i := 0; i < stages; i++ {
+		line, err = next()
+		if err != nil {
+			return nil, fmt.Errorf("svm: reading cascade threshold %d: %w", i, err)
+		}
+		cal.Thresholds[i], err = strconv.ParseFloat(line, 64)
+		if err != nil {
+			return nil, fmt.Errorf("svm: parsing cascade threshold %d %q: %w", i, line, err)
+		}
+	}
+	if err := cal.Validate(); err != nil {
+		return nil, err
+	}
+	return cal, nil
 }
 
 func isFinite(v float64) bool {

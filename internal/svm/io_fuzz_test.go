@@ -53,6 +53,17 @@ func FuzzRead(f *testing.F) {
 	f.Add([]byte("pdsvm 1\ndim 1\nbias zero\nw\n1\n"))
 	f.Add([]byte("pdsvm 1\ndim 1\nbias 0\nweights\n1\n"))
 	f.Add([]byte("pdsvm 1\ndim 1\nbias 0\nw\n0x1p5q\n"))
+	// Cascade calibration sections: valid, truncated, hostile counts,
+	// non-finite floors, and trailing garbage after a complete section.
+	f.Add([]byte("pdsvm 1\ndim 1\nbias 0\nw\n1\ncascade 2\nmargin 0.5\nt\n-1\n-2\n"))
+	f.Add([]byte("pdsvm 1\ndim 1\nbias 0\nw\n1\ncascade 2\nmargin 0.5\nt\n-1\n"))
+	f.Add([]byte("pdsvm 1\ndim 1\nbias 0\nw\n1\ncascade 0\nmargin 0\nt\n"))
+	f.Add([]byte("pdsvm 1\ndim 1\nbias 0\nw\n1\ncascade 99999999\nmargin 0\nt\n"))
+	f.Add([]byte("pdsvm 1\ndim 1\nbias 0\nw\n1\ncascade 1\nmargin NaN\nt\n0\n"))
+	f.Add([]byte("pdsvm 1\ndim 1\nbias 0\nw\n1\ncascade 1\nmargin -1\nt\n0\n"))
+	f.Add([]byte("pdsvm 1\ndim 1\nbias 0\nw\n1\ncascade 1\nmargin 0\nt\nInf\n"))
+	f.Add([]byte("pdsvm 1\ndim 1\nbias 0\nw\n1\ncascade 1\nmargin 0\nt\n0\ngarbage\n"))
+	f.Add([]byte("pdsvm 1\ndim 1\nbias 0\nw\n1\nnot-a-section\n"))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := Read(bytes.NewReader(data))
@@ -90,6 +101,24 @@ func FuzzRead(f *testing.F) {
 		for i := range m.W {
 			if m2.W[i] != m.W[i] {
 				t.Fatalf("round trip changed weight %d: %v -> %v", i, m.W[i], m2.W[i])
+			}
+		}
+		// An accepted cascade calibration must be structurally sound and
+		// survive the round trip too.
+		if (m.Calib == nil) != (m2.Calib == nil) {
+			t.Fatal("round trip changed calibration presence")
+		}
+		if m.Calib != nil {
+			if err := m.Calib.Validate(); err != nil {
+				t.Fatalf("accepted model has invalid calibration: %v", err)
+			}
+			if m2.Calib.Stages != m.Calib.Stages || m2.Calib.Margin != m.Calib.Margin {
+				t.Fatal("round trip changed calibration header")
+			}
+			for i := range m.Calib.Thresholds {
+				if m2.Calib.Thresholds[i] != m.Calib.Thresholds[i] {
+					t.Fatalf("round trip changed cascade threshold %d", i)
+				}
 			}
 		}
 	})

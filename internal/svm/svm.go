@@ -60,6 +60,10 @@ func DefaultTrainConfig() TrainConfig {
 type Model struct {
 	W []float64 // weight vector, one element per feature
 	B float64   // bias
+	// Calib, when non-nil, carries a soft-cascade calibration fitted by
+	// pdtrain (per-stage early-rejection floors; see Cascade). It rides
+	// along through model I/O and is ignored by dense scoring.
+	Calib *CascadeCalib
 }
 
 // Score returns the decision value w.x + b. It panics if the feature vector
@@ -83,7 +87,7 @@ func (m *Model) Predict(x []float64) int {
 func (m *Model) Clone() *Model {
 	w := make([]float64, len(m.W))
 	copy(w, m.W)
-	return &Model{W: w, B: m.B}
+	return &Model{W: w, B: m.B, Calib: m.Calib.Clone()}
 }
 
 func dot(a, b []float64) float64 {
