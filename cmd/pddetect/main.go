@@ -21,6 +21,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/imgproc"
 	"repro/internal/obs"
+	"repro/internal/roi"
 	"repro/internal/rt"
 	"repro/internal/svm"
 )
@@ -44,6 +45,9 @@ func main() {
 		stream     = flag.Int("stream", 0, "feed the frame N times through the streaming runtime")
 		fps        = flag.Float64("fps", 60, "frame rate for -stream (sets the per-frame deadline)")
 		hang       = flag.Duration("hang-timeout", 0, "liveness watchdog for -stream: abandon a scan stuck this long and wedge the pipeline (0 derives 4x the frame deadline, negative disables)")
+		roiOn      = flag.Bool("roi", false, "add a track-guided ROI rung to the -stream degradation ladder (restricted scans around live tracks when overloaded)")
+		roiEvery   = flag.Int("roi-full-every", roi.DefaultFullEvery, "ROI rung dense-scan cadence: a full scan every K frames bounds new-entrant latency to K-1 frames")
+		roiMargin  = flag.Int("roi-margin", roi.DefaultMarginPx, "ROI rung dilation in pixels around each tracked box")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -93,7 +97,11 @@ func main() {
 		if octave {
 			log.Fatal("-stream does not support octave mode")
 		}
-		runStream(det, frame, *stream, *fps, *hang)
+		var roiCfg *roi.Config
+		if *roiOn {
+			roiCfg = &roi.Config{FullEvery: *roiEvery, MarginPx: *roiMargin}
+		}
+		runStream(det, frame, *stream, *fps, *hang, roiCfg)
 		return
 	}
 	var dets []eval.Detection
@@ -125,9 +133,9 @@ func main() {
 // runStream replays the frame n times through the streaming runtime at the
 // given frame rate and reports the per-frame outcomes plus the final Stats
 // snapshot — the software rendition of the paper's 60 fps budget analysis.
-func runStream(det *core.Detector, frame *imgproc.Gray, n int, fps float64, hang time.Duration) {
+func runStream(det *core.Detector, frame *imgproc.Gray, n int, fps float64, hang time.Duration, roiCfg *roi.Config) {
 	m := obs.NewMetrics()
-	p, err := rt.New(det, rt.Config{FPS: fps, HangTimeout: hang, Metrics: m})
+	p, err := rt.New(det, rt.Config{FPS: fps, HangTimeout: hang, ROI: roiCfg, Metrics: m})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -150,6 +158,9 @@ func runStream(det *core.Detector, frame *imgproc.Gray, n int, fps float64, hang
 				status = "error: " + r.Err.Error()
 			case r.Missed:
 				status = "missed deadline"
+			}
+			if r.ROI {
+				status += " (roi)"
 			}
 			log.Printf("frame %3d: rung %d, %3d detections, latency %8s  %s",
 				r.Seq, r.Rung, len(r.Detections), r.Latency.Round(time.Microsecond), status)

@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/roi"
 	"repro/internal/rt"
 	"repro/internal/serve"
 	"repro/internal/svm"
@@ -51,6 +52,10 @@ func main() {
 		queue   = flag.Int("queue", 16, "admission queue depth (beyond it requests shed with 429)")
 		timeout = flag.Duration("timeout", 2*time.Second, "default per-request deadline (X-Deadline-Ms overrides)")
 		hang    = flag.Duration("hang-timeout", 0, "liveness watchdog: abandon a scan stuck this long and restart the worker (0 derives 4x the frame deadline, negative disables)")
+
+		roiOn     = flag.Bool("roi", false, "add a track-guided ROI rung to each worker's degradation ladder (restricted scans around live tracks when overloaded)")
+		roiEvery  = flag.Int("roi-full-every", roi.DefaultFullEvery, "ROI rung dense-scan cadence: a full scan every K frames bounds new-entrant latency to K-1 frames")
+		roiMargin = flag.Int("roi-margin", roi.DefaultMarginPx, "ROI rung dilation in pixels around each tracked box")
 
 		breakerFailures = flag.Int("breaker-failures", 5, "consecutive detector failures that open the circuit breaker")
 		breakerCooldown = flag.Duration("breaker-cooldown", 2*time.Second, "open-breaker cooldown before the half-open probe")
@@ -101,9 +106,13 @@ func main() {
 	factory := func(worker int) (*core.Detector, error) {
 		return core.NewDetector(model, cfg)
 	}
+	var roiCfg *roi.Config
+	if *roiOn {
+		roiCfg = &roi.Config{FullEvery: *roiEvery, MarginPx: *roiMargin}
+	}
 	sup, err := serve.NewSupervisor(factory, serve.SupervisorConfig{
 		Workers:            *workers,
-		Pipeline:           rt.Config{FPS: *fps, HangTimeout: *hang, Metrics: metrics},
+		Pipeline:           rt.Config{FPS: *fps, HangTimeout: *hang, ROI: roiCfg, Metrics: metrics},
 		RestartBackoff:     *restartBackoff,
 		RestartBackoffMax:  *restartBackoffMax,
 		RestartAfterErrors: *restartAfter,

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"repro/internal/chaos"
+	"repro/internal/roi"
 )
 
 func main() {
@@ -48,6 +49,10 @@ func main() {
 		interval = flag.Duration("interval", 15*time.Millisecond, "per-stream frame cadence")
 		slo      = flag.Duration("recovery-slo", 5*time.Second, "post-schedule recovery bound (ready + all streams serving)")
 		quiet    = flag.Bool("quiet", false, "suppress per-event progress lines")
+
+		roiOn     = flag.Bool("roi", false, "give every worker pipeline a track-guided ROI rung (degradation passes through restricted scans; sets DegradeAfter 1)")
+		roiEvery  = flag.Int("roi-full-every", roi.DefaultFullEvery, "ROI rung dense-scan cadence (full scan every K frames)")
+		roiMargin = flag.Int("roi-margin", roi.DefaultMarginPx, "ROI rung dilation in pixels around tracked boxes")
 	)
 	flag.Parse()
 
@@ -62,6 +67,10 @@ func main() {
 		FrameInterval: *interval,
 		RecoverySLO:   *slo,
 		Replicas:      *replicas,
+	}
+	if *roiOn {
+		cfg.ROI = &roi.Config{FullEvery: *roiEvery, MarginPx: *roiMargin}
+		cfg.DegradeAfter = 1
 	}
 	if !*quiet {
 		cfg.Logf = log.Printf
@@ -86,6 +95,10 @@ func main() {
 	if *replicas > 1 {
 		log.Printf("gateway: %d hedges fired, %d ejections, %d rejoins",
 			res.Hedges, res.Ejections, res.Rejoins)
+	}
+	if *roiOn {
+		log.Printf("roi: %d restricted scans, %d full scans at ROI rungs",
+			res.ROIScans, res.ROIFullScans)
 	}
 
 	if len(res.Violations) > 0 {

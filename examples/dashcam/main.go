@@ -8,6 +8,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"time"
@@ -19,12 +20,20 @@ import (
 	"repro/internal/geom"
 	"repro/internal/imgproc"
 	"repro/internal/obs"
+	"repro/internal/roi"
 	"repro/internal/rt"
 	"repro/internal/rt/faultinject"
 )
 
+var (
+	roiOn     = flag.Bool("roi", true, "track-guided ROI rung in the streaming demo's degradation ladder")
+	roiEvery  = flag.Int("roi-full-every", roi.DefaultFullEvery, "ROI rung dense-scan cadence (full scan every K frames)")
+	roiMargin = flag.Int("roi-margin", roi.DefaultMarginPx, "ROI rung dilation in pixels around tracked boxes")
+)
+
 func main() {
 	log.SetFlags(0)
+	flag.Parse()
 
 	gen := dataset.New(7)
 	train, err := gen.RenderAt(gen.NewSpecSet(150, 450), 1.0)
@@ -145,7 +154,14 @@ func streamDemo(det *core.Detector, cfg core.Config, scenes []*dataset.Scene) {
 	// paper's hardware speed); the injected stall blows through it.
 	deadline := 250 * time.Millisecond
 	m := obs.NewMetrics()
-	p, err := rt.New(d, rt.Config{Deadline: deadline, DegradeAfter: 2, RecoverAfter: 2, Metrics: m})
+	// With -roi the ladder sheds to a track-guided restricted scan before it
+	// sheds pyramid levels: cheaper frames with zero loss on tracked
+	// pedestrians and a bounded (-roi-full-every) delay on new entrants.
+	var roiCfg *roi.Config
+	if *roiOn {
+		roiCfg = &roi.Config{FullEvery: *roiEvery, MarginPx: *roiMargin}
+	}
+	p, err := rt.New(d, rt.Config{Deadline: deadline, DegradeAfter: 2, RecoverAfter: 2, ROI: roiCfg, Metrics: m})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -171,6 +187,9 @@ func streamDemo(det *core.Detector, cfg core.Config, scenes []*dataset.Scene) {
 				status = "error: " + r.Err.Error()
 			case r.Missed:
 				status = "missed deadline"
+			}
+			if r.ROI {
+				status += " (roi: scanned tracked regions only)"
 			}
 			fmt.Printf("  frame %2d [%s]: rung %d, latency %8s  %s\n",
 				r.Seq, note, r.Rung, r.Latency.Round(time.Millisecond), status)

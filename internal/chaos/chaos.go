@@ -31,6 +31,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/imgproc"
 	"repro/internal/obs"
+	"repro/internal/roi"
 	"repro/internal/rt"
 	"repro/internal/rt/faultinject"
 	"repro/internal/serve"
@@ -66,6 +67,17 @@ type Config struct {
 	// gateway invariants (one answer per request, budgeted hedge/retry
 	// spend, rejoins bounded by ejections) alongside the per-replica ones.
 	Replicas int
+	// ROI, when non-nil, gives every worker pipeline a track-guided ROI
+	// rung (rt.Config.ROI): degradation under the injected faults then
+	// passes through restricted scans, and the synthetic model is biased
+	// positive so detections exist, tracks form, and the restricted scans
+	// carry real regions. The conservation and settling invariants are
+	// unchanged — ROI scheduling must not create or lose frames.
+	ROI *roi.Config
+	// DegradeAfter passes through to rt.Config.DegradeAfter (0 keeps the
+	// runtime default). ROI soaks set 1 so a single soft-stall miss
+	// reliably drops a worker onto its ROI rung.
+	DegradeAfter int
 	// Logf, when non-nil, receives progress lines (cmd/pdsoak wires it to
 	// the terminal; tests leave it nil).
 	Logf func(format string, args ...any)
@@ -117,6 +129,11 @@ type Result struct {
 	// Hedges, Ejections, Rejoins are the gateway's final totals on
 	// gateway soaks (Config.Replicas > 1); zero on single-stack soaks.
 	Hedges, Ejections, Rejoins uint64
+	// ROIScans and ROIFullScans are the aggregate restricted/full scan
+	// counts at ROI rungs (Config.ROI non-nil). A soak whose schedule
+	// forced degradation must show at least one of them nonzero, or the
+	// ROI rung never engaged.
+	ROIScans, ROIFullScans uint64
 	// Violations lists every invariant breach observed; empty means the
 	// system self-healed cleanly.
 	Violations []string
@@ -157,12 +174,14 @@ func (v *violations) snapshot() []string {
 	return append([]string(nil), v.list...)
 }
 
-// syntheticFactory builds per-worker detectors with an all-zero model —
-// every window scores the bias, below threshold, so the soak exercises the
-// full scan path (pyramid, features, classifier, NMS) without needing
-// trained weights. faultsFor wires each worker's fault probe; a restarted
+// syntheticFactory builds per-worker detectors with a zero-weight model —
+// every window scores the bias, so the soak exercises the full scan path
+// (pyramid, features, classifier, NMS) without needing trained weights.
+// bias 0 keeps every window below threshold (no detections); a positive
+// bias makes every scanned window a detection, which ROI soaks use to keep
+// the tracker warm. faultsFor wires each worker's fault probe; a restarted
 // worker re-installs its probe, so cleared faults govern recovery.
-func syntheticFactory(faultsFor map[int]*faultinject.Faults) serve.DetectorFactory {
+func syntheticFactory(faultsFor map[int]*faultinject.Faults, bias float64) serve.DetectorFactory {
 	return func(worker int) (*core.Detector, error) {
 		cfg := core.DefaultConfig()
 		cfg.Mode = core.FeaturePyramid
@@ -171,9 +190,19 @@ func syntheticFactory(faultsFor map[int]*faultinject.Faults) serve.DetectorFacto
 		if f := faultsFor[worker]; f != nil {
 			cfg.LevelProbe = f.Probe
 		}
-		model := &svm.Model{W: make([]float64, cfg.DescriptorLen())}
+		model := &svm.Model{W: make([]float64, cfg.DescriptorLen()), B: bias}
 		return core.NewDetector(model, cfg)
 	}
+}
+
+// soakBias selects the synthetic model bias for a soak config: positive
+// (detections everywhere) when an ROI rung needs live tracks, zero (quiet
+// detector) otherwise.
+func soakBias(cfg Config) float64 {
+	if cfg.ROI != nil {
+		return 0.5
+	}
+	return 0
 }
 
 // soakFrame is the synthetic camera frame: 128x256 yields a 3-level
@@ -212,12 +241,14 @@ func Soak(ctx context.Context, cfg Config) (Result, error) {
 	for i := 0; i < cfg.Workers; i++ {
 		faultsFor[i] = faultinject.New()
 	}
-	sup, err := serve.NewSupervisor(syntheticFactory(faultsFor), serve.SupervisorConfig{
+	sup, err := serve.NewSupervisor(syntheticFactory(faultsFor, soakBias(cfg)), serve.SupervisorConfig{
 		Workers: cfg.Workers,
 		Pipeline: rt.Config{
-			Deadline:    cfg.Deadline,
-			HangTimeout: cfg.HangTimeout,
-			Metrics:     metrics,
+			Deadline:     cfg.Deadline,
+			HangTimeout:  cfg.HangTimeout,
+			DegradeAfter: cfg.DegradeAfter,
+			ROI:          cfg.ROI,
+			Metrics:      metrics,
 		},
 		RestartBackoff:     20 * time.Millisecond,
 		RestartBackoffMax:  200 * time.Millisecond,
@@ -400,6 +431,8 @@ func Soak(ctx context.Context, cfg Config) (Result, error) {
 	res.Restarts = st.Restarts
 	res.Wedges = st.Wedges
 	res.FramesHung = st.Aggregate.FramesHung
+	res.ROIScans = st.Aggregate.ROIScans
+	res.ROIFullScans = st.Aggregate.ROIFullScans
 	viol.add(CheckSupervisor(st)...)
 
 	// Teardown and settle: the abandoned-scanner ledger must drain (every

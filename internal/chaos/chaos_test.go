@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/gateway"
+	"repro/internal/roi"
 	"repro/internal/rt"
 	"repro/internal/serve"
 )
@@ -66,6 +67,59 @@ func TestSoakShort(t *testing.T) {
 	if hasHard && (res.Wedges == 0 || res.FramesHung == 0) {
 		t.Errorf("schedule had hard stalls but wedges=%d framesHung=%d — the watchdog never engaged",
 			res.Wedges, res.FramesHung)
+	}
+}
+
+// roiSoakSeed pins the tier-1 ROI soak. Seed 3's schedule (at the config
+// below) contains three soft stalls and two hard stalls: with DegradeAfter
+// 1, each soft-stall deadline miss reliably drops the affected worker onto
+// its ROI rung.
+const roiSoakSeed = 3
+
+// TestSoakShortROI reruns the tier-1 soak with an ROI rung in every
+// worker's ladder and a positive-bias model keeping the trackers warm:
+// frame-count conservation, counter monotonicity, recovery, and goroutine
+// settling must all hold while degradation routes frames through
+// track-guided restricted scans.
+func TestSoakShortROI(t *testing.T) {
+	cfg := Config{
+		Seed:          roiSoakSeed,
+		Workers:       2,
+		Streams:       3,
+		Deadline:      250 * time.Millisecond,
+		HangTimeout:   400 * time.Millisecond,
+		Horizon:       1200 * time.Millisecond,
+		Events:        10,
+		FrameInterval: 15 * time.Millisecond,
+		DegradeAfter:  1,
+		ROI:           &roi.Config{FullEvery: 4, MarginPx: 32},
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := Soak(ctx, cfg)
+	if err != nil {
+		t.Fatalf("soak harness error: %v", err)
+	}
+	if len(res.Violations) > 0 {
+		t.Errorf("replay with: go run ./cmd/pdsoak -roi -seed %d -workers %d -streams %d -events %d -duration %s -deadline %s -hang-timeout %s",
+			cfg.Seed, cfg.Workers, cfg.Streams, cfg.Events, cfg.Horizon, cfg.Deadline, cfg.HangTimeout)
+		t.Errorf("schedule:")
+		for _, ev := range res.Schedule {
+			t.Errorf("  %s", ev)
+		}
+		for _, v := range res.Violations {
+			t.Errorf("violation: %s", v)
+		}
+	}
+	if res.Frames == 0 || res.OK == 0 {
+		t.Errorf("soak served %d frames (%d ok); expected a live stream", res.Frames, res.OK)
+	}
+	// The pinned seed's soft stalls force degradation, and with ROI in the
+	// ladder the first rung down is the ROI rung: the scheduler must have
+	// planned scans there.
+	if res.ROIScans+res.ROIFullScans == 0 {
+		t.Errorf("degrading soak never engaged the ROI rung (restricted %d, full %d)",
+			res.ROIScans, res.ROIFullScans)
 	}
 }
 

@@ -95,12 +95,14 @@ func soakGateway(ctx context.Context, cfg Config) (Result, error) {
 		for w := 0; w < cfg.Workers; w++ {
 			faults[w] = faultinject.New()
 		}
-		sup, err := serve.NewSupervisor(syntheticFactory(faults), serve.SupervisorConfig{
+		sup, err := serve.NewSupervisor(syntheticFactory(faults, soakBias(cfg)), serve.SupervisorConfig{
 			Workers: cfg.Workers,
 			Pipeline: rt.Config{
-				Deadline:    cfg.Deadline,
-				HangTimeout: cfg.HangTimeout,
-				Metrics:     metrics,
+				Deadline:     cfg.Deadline,
+				HangTimeout:  cfg.HangTimeout,
+				DegradeAfter: cfg.DegradeAfter,
+				ROI:          cfg.ROI,
+				Metrics:      metrics,
 			},
 			RestartBackoff:     20 * time.Millisecond,
 			RestartBackoffMax:  200 * time.Millisecond,
@@ -358,6 +360,8 @@ func soakGateway(ctx context.Context, cfg Config) (Result, error) {
 		res.Restarts += s.Restarts
 		res.Wedges += s.Wedges
 		res.FramesHung += s.Aggregate.FramesHung
+		res.ROIScans += s.Aggregate.ROIScans
+		res.ROIFullScans += s.Aggregate.ROIFullScans
 		for _, msg := range CheckSupervisor(s) {
 			viol.add(fmt.Sprintf("replica %d: %s", i, msg))
 		}

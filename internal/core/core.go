@@ -109,6 +109,18 @@ type Config struct {
 	// streaming runtime hands one arena to every degradation rung). nil
 	// gives the detector a private arena in NewDetector.
 	Arena *Arena
+	// Regions, if non-nil, is the mutable region-of-interest holder for
+	// temporal scan scheduling (internal/roi): while the set is active,
+	// DetectRaw and ScoreMaps scan only the windows whose center falls in
+	// one of its frame-pixel rectangles, mapped per level into
+	// window-anchor spans; while inactive, scans are dense. Like Arena it
+	// is shared across detectors (every rung of a streaming pipeline reads
+	// the same set) and owns the reusable span scratch that keeps the
+	// restricted path allocation-free. It serves one in-flight frame at a
+	// time — mutate it only between frames. Restriction composes with
+	// Workers sharding and both cascade modes and preserves raster-order
+	// determinism; DetectOctave ignores it.
+	Regions *RegionSet
 	// Metrics, if non-nil, receives per-stage latency observations from the
 	// detect path: HOG cell binning and normalization (via the arena
 	// scratch), pyramid construction, window scanning, and NMS, plus
@@ -271,6 +283,7 @@ func (d *Detector) DetectRawCtx(ctx context.Context, frame *imgproc.Gray) ([]eva
 		return nil, err
 	}
 	defer release()
+	d.applyRegions(levels)
 	t0 := time.Now()
 	out, err := d.scanLevels(ctx, levels)
 	if err != nil {
@@ -295,6 +308,10 @@ type pyrLevel struct {
 	// scans the level dense. Zero-valued pyrLevels (octave scans) therefore
 	// default to the safe dense path.
 	normCap float64
+	// spans restricts the scan to these anchor rectangles (applyRegions):
+	// nil scans the whole level dense, a non-nil empty slice skips the
+	// level entirely (the active region set touches none of its anchors).
+	spans []anchorSpan
 }
 
 // maxLevels returns the level cap handed to the pyramid builders.
@@ -586,11 +603,25 @@ func firstError(errs []error) error {
 // back to one allocation per shard, not per window) and cascade counters
 // accumulate in a stack tally folded into the shared registry once per
 // call.
+//
+// A region-restricted level (l.spans non-nil) scans only its anchor spans.
+// Both kernels iterate a span slice; the dense case is the degenerate
+// single full-width span, built on the stack, so the unrestricted path
+// pays one extra bounds test per row and no allocation. Spans are
+// non-overlapping and bx0-sorted, so restricted output stays in raster
+// order — the exact subsequence a dense scan would emit for those anchors.
 func (d *Detector) scanLevelRows(ctx context.Context, l pyrLevel, row0, row1 int, out []eval.Detection) ([]eval.Detection, error) {
 	wbx, wby := d.cfg.windowBlocks()
 	cell := d.cfg.HOG.CellSize
 	w := d.model.W
 	fm, sx, sy := l.fm, l.sx, l.sy
+	fullSpan := [1]anchorSpan{{bx0: 0, bx1: fm.BlocksX - wbx + 1, by0: 0, by1: fm.BlocksY - wby + 1}}
+	spans := l.spans
+	if spans == nil {
+		spans = fullSpan[:]
+	} else if len(spans) == 0 {
+		return out, nil // active region set touches no anchor of this level
+	}
 	plan := d.plan
 	if plan != nil && d.cfg.Cascade == CascadeExact && l.normCap <= 0 {
 		plan = nil // no norm bound: exact pruning impossible, scan dense
@@ -600,18 +631,24 @@ func (d *Detector) scanLevelRows(ctx context.Context, l pyrLevel, row0, row1 int
 			if err := ctx.Err(); err != nil {
 				return out, err
 			}
-			for bx := 0; bx+wbx <= fm.BlocksX; bx++ {
-				score, ok := fm.ScoreWindow(w, bx, by, wbx, wby)
-				if !ok {
+			for si := range spans {
+				sp := spans[si]
+				if by < sp.by0 || by >= sp.by1 {
 					continue
 				}
-				score += d.model.B
-				if score <= d.cfg.Threshold {
-					continue
+				for bx := sp.bx0; bx < sp.bx1; bx++ {
+					score, ok := fm.ScoreWindow(w, bx, by, wbx, wby)
+					if !ok {
+						continue
+					}
+					score += d.model.B
+					if score <= d.cfg.Threshold {
+						continue
+					}
+					// Window anchor in level pixels, then back to frame pixels.
+					box := geom.XYWH(bx*cell, by*cell, d.cfg.WindowW, d.cfg.WindowH).ScaleXY(sx, sy)
+					out = append(out, eval.Detection{Box: box, Score: score})
 				}
-				// Window anchor in level pixels, then back to frame pixels.
-				box := geom.XYWH(bx*cell, by*cell, d.cfg.WindowW, d.cfg.WindowH).ScaleXY(sx, sy)
-				out = append(out, eval.Detection{Box: box, Score: score})
 			}
 		}
 		return out, nil
@@ -633,24 +670,30 @@ func (d *Detector) scanLevelRows(ctx context.Context, l pyrLevel, row0, row1 int
 			tally.fold(reg, wbx)
 			return out, err
 		}
-		for bx := 0; bx+wbx <= fm.BlocksX; bx++ {
-			score, rowsEval, accepted, ok := fm.ScoreWindowStaged(w, bx, by, wbx, wby, plan, thr, l.normCap, rowDots)
-			if !ok {
+		for si := range spans {
+			sp := spans[si]
+			if by < sp.by0 || by >= sp.by1 {
 				continue
 			}
-			tally.windows++
-			tally.rows += uint64(rowsEval)
-			if !accepted {
-				tally.reject(rowsEval)
-				continue
+			for bx := sp.bx0; bx < sp.bx1; bx++ {
+				score, rowsEval, accepted, ok := fm.ScoreWindowStaged(w, bx, by, wbx, wby, plan, thr, l.normCap, rowDots)
+				if !ok {
+					continue
+				}
+				tally.windows++
+				tally.rows += uint64(rowsEval)
+				if !accepted {
+					tally.reject(rowsEval)
+					continue
+				}
+				tally.accepted++
+				score += d.model.B
+				if score <= d.cfg.Threshold {
+					continue
+				}
+				box := geom.XYWH(bx*cell, by*cell, d.cfg.WindowW, d.cfg.WindowH).ScaleXY(sx, sy)
+				out = append(out, eval.Detection{Box: box, Score: score})
 			}
-			tally.accepted++
-			score += d.model.B
-			if score <= d.cfg.Threshold {
-				continue
-			}
-			box := geom.XYWH(bx*cell, by*cell, d.cfg.WindowW, d.cfg.WindowH).ScaleXY(sx, sy)
-			out = append(out, eval.Detection{Box: box, Score: score})
 		}
 	}
 	tally.fold(reg, wbx)

@@ -1,0 +1,481 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/eval"
+	"repro/internal/geom"
+	"repro/internal/imgproc"
+	"repro/internal/obs"
+	"repro/internal/svm"
+)
+
+func TestFloorCeilDiv(t *testing.T) {
+	cases := []struct{ a, b, floor, ceil int }{
+		{0, 8, 0, 0},
+		{7, 8, 0, 1},
+		{8, 8, 1, 1},
+		{9, 8, 1, 2},
+		{-1, 8, -1, 0},
+		{-8, 8, -1, -1},
+		{-9, 8, -2, -1},
+		{-64, 8, -8, -8},
+	}
+	for _, c := range cases {
+		if got := floorDiv(c.a, c.b); got != c.floor {
+			t.Errorf("floorDiv(%d, %d) = %d, want %d", c.a, c.b, got, c.floor)
+		}
+		if got := ceilDiv(c.a, c.b); got != c.ceil {
+			t.Errorf("ceilDiv(%d, %d) = %d, want %d", c.a, c.b, got, c.ceil)
+		}
+	}
+}
+
+// centerInMappedRegion is the spec of the center rule, written
+// independently of the span arithmetic under test: anchor (bx, by) of a
+// level with scales (sx, sy) qualifies when its window center, in level
+// pixels, lands inside the region's outward-rounded projection.
+func centerInMappedRegion(r geom.Rect, bx, by int, sx, sy float64, cell, winW, winH int) bool {
+	cx := bx*cell + winW/2
+	cy := by*cell + winH/2
+	lx0 := int(math.Floor(float64(r.Min.X) / sx))
+	ly0 := int(math.Floor(float64(r.Min.Y) / sy))
+	lx1 := int(math.Ceil(float64(r.Max.X) / sx))
+	ly1 := int(math.Ceil(float64(r.Max.Y) / sy))
+	return cx >= lx0 && cx < lx1 && cy >= ly0 && cy < ly1
+}
+
+// TestRegionAnchorSpanBruteForce checks the closed-form span against the
+// center-rule spec for every anchor of a grid, across random regions and
+// scales (including regions hanging off the level and scales that put
+// anchor centers on rounding boundaries).
+func TestRegionAnchorSpanBruteForce(t *testing.T) {
+	const cell, winW, winH = 8, 64, 128
+	const nx, ny = 40, 30
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 500; trial++ {
+		r := geom.XYWH(rng.Intn(500)-100, rng.Intn(400)-100, 1+rng.Intn(300), 1+rng.Intn(300))
+		sx := 1 + 2*rng.Float64()
+		sy := 1 + 2*rng.Float64()
+		sp, ok := regionAnchorSpan(r, sx, sy, cell, winW, winH, nx, ny)
+		for by := 0; by < ny; by++ {
+			for bx := 0; bx < nx; bx++ {
+				inSpan := ok && bx >= sp.bx0 && bx < sp.bx1 && by >= sp.by0 && by < sp.by1
+				want := centerInMappedRegion(r, bx, by, sx, sy, cell, winW, winH)
+				if inSpan != want {
+					t.Fatalf("trial %d: region %v scales (%.3f, %.3f) anchor (%d, %d): span says %v, center rule says %v (span %+v ok=%v)",
+						trial, r, sx, sy, bx, by, inSpan, want, sp, ok)
+				}
+			}
+		}
+	}
+}
+
+// TestDisjointSpans checks the sweep decomposition: the output covers
+// exactly the union of the candidates (no bounding-box over-coverage),
+// spans are pairwise disjoint, and spans sharing a block row appear in
+// ascending bx order — the raster-order invariant the scan kernels rely on.
+func TestDisjointSpans(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	rs := NewRegionSet()
+	const grid = 32
+	for trial := 0; trial < 300; trial++ {
+		n := rng.Intn(6)
+		cand := make([]anchorSpan, 0, n)
+		for i := 0; i < n; i++ {
+			x0, y0 := rng.Intn(grid-1), rng.Intn(grid-1)
+			cand = append(cand, anchorSpan{
+				bx0: x0, bx1: x0 + 1 + rng.Intn(grid-x0-1),
+				by0: y0, by1: y0 + 1 + rng.Intn(grid-y0-1),
+			})
+		}
+		out := rs.disjointSpans(nil, cand)
+		var want, got [grid][grid]bool
+		for _, sp := range cand {
+			for y := sp.by0; y < sp.by1; y++ {
+				for x := sp.bx0; x < sp.bx1; x++ {
+					want[y][x] = true
+				}
+			}
+		}
+		for _, sp := range out {
+			for y := sp.by0; y < sp.by1; y++ {
+				for x := sp.bx0; x < sp.bx1; x++ {
+					if got[y][x] {
+						t.Fatalf("trial %d: anchor (%d, %d) covered twice by %v", trial, x, y, out)
+					}
+					got[y][x] = true
+				}
+			}
+		}
+		if want != got {
+			t.Fatalf("trial %d: decomposition of %v covers a different anchor set: %v", trial, cand, out)
+		}
+		for i := range out {
+			for j := i + 1; j < len(out); j++ {
+				a, b := out[i], out[j]
+				if a.by0 < b.by1 && b.by0 < a.by1 && a.bx1 > b.bx0 {
+					t.Fatalf("trial %d: spans %d and %d share a row out of bx order: %+v %+v", trial, i, j, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestRegionSetSemantics(t *testing.T) {
+	var nilSet *RegionSet
+	if nilSet.Active() {
+		t.Error("nil region set reports active")
+	}
+	rs := NewRegionSet()
+	if rs.Active() || rs.Rects() != nil {
+		t.Error("fresh region set should be inactive")
+	}
+	in := []geom.Rect{geom.XYWH(10, 10, 50, 50)}
+	rs.Set(in)
+	in[0] = geom.XYWH(99, 99, 1, 1) // Set must copy, not alias
+	if !rs.Active() || len(rs.Rects()) != 1 || rs.Rects()[0] != geom.XYWH(10, 10, 50, 50) {
+		t.Errorf("after Set: active=%v rects=%v", rs.Active(), rs.Rects())
+	}
+	rs.Set(nil)
+	if !rs.Active() || len(rs.Rects()) != 0 {
+		t.Error("empty Set should stay active with zero rects")
+	}
+	rs.Clear()
+	if rs.Active() || rs.Rects() != nil {
+		t.Error("Clear should deactivate")
+	}
+}
+
+// regionTestModel builds a seeded random-weight model: unlike the trained
+// detector it scores windows with plenty of variation on pure noise, which
+// gives the differential tests detections at every pyramid level.
+func regionTestModel(cfg Config, seed int64) *svm.Model {
+	rng := rand.New(rand.NewSource(seed))
+	w := make([]float64, cfg.DescriptorLen())
+	for i := range w {
+		w[i] = rng.NormFloat64()
+	}
+	return &svm.Model{W: w}
+}
+
+func regionTestFrame(w, h int, seed int64) *imgproc.Gray {
+	rng := rand.New(rand.NewSource(seed))
+	frame := imgproc.NewGray(w, h)
+	for i := range frame.Pix {
+		frame.Pix[i] = uint8(rng.Intn(256))
+	}
+	return frame
+}
+
+// regionTestThreshold picks a detection threshold from the dense score
+// distribution: roughly the top-n quantile, nudged to the midpoint between
+// two adjacent scores so no window sits exactly on the threshold (the scan
+// keeps score > Threshold strictly; a tie would make the differential
+// sensitive to comparison direction rather than region logic).
+func regionTestThreshold(t *testing.T, maps []*ScoreMap, n int) float64 {
+	t.Helper()
+	var all []float64
+	for _, sm := range maps {
+		for _, v := range sm.Scores {
+			if !math.IsInf(v, -1) {
+				all = append(all, v)
+			}
+		}
+	}
+	if len(all) <= n+1 {
+		t.Fatalf("only %d dense scores, need > %d", len(all), n+1)
+	}
+	sort.Float64s(all)
+	hi := all[len(all)-n]
+	lo := all[len(all)-n-1]
+	if hi == lo {
+		t.Fatalf("tied scores at the %d-quantile; pick another seed", n)
+	}
+	return (hi + lo) / 2
+}
+
+var regionTestRects = []geom.Rect{
+	geom.XYWH(40, 30, 90, 140),
+	geom.XYWH(100, 50, 80, 120), // overlaps the first: exercises the sweep
+	geom.XYWH(210, 100, 70, 100),
+}
+
+// TestScoreMapsROIExactFilter pins the center rule at anchor granularity
+// for every pyramid mode: a restricted score map holds exactly the dense
+// value at anchors whose window center falls in a region and -Inf
+// everywhere else.
+func TestScoreMapsROIExactFilter(t *testing.T) {
+	for _, mode := range []PyramidMode{ImagePyramid, FeaturePyramid, FeaturePyramidChained} {
+		t.Run(mode.String(), func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.Mode = mode
+			cfg.Workers = 1
+			cfg.Regions = NewRegionSet()
+			d, err := NewDetector(regionTestModel(cfg, 101), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			frame := regionTestFrame(320, 240, 9)
+			cfg.Regions.Clear()
+			dense, err := d.ScoreMaps(frame)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Regions.Set(regionTestRects)
+			roi, err := d.ScoreMaps(frame)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(roi) != len(dense) {
+				t.Fatalf("%d restricted maps vs %d dense", len(roi), len(dense))
+			}
+			cell := cfg.HOG.CellSize
+			kept := 0
+			for i, dm := range dense {
+				rm := roi[i]
+				if rm.W != dm.W || rm.H != dm.H || rm.Scale != dm.Scale || rm.ScaleY != dm.ScaleY {
+					t.Fatalf("level %d: geometry mismatch %+v vs %+v", i, rm, dm)
+				}
+				for y := 0; y < dm.H; y++ {
+					for x := 0; x < dm.W; x++ {
+						in := false
+						for _, r := range regionTestRects {
+							if centerInMappedRegion(r, x, y, dm.Scale, dm.ScaleY, cell, cfg.WindowW, cfg.WindowH) {
+								in = true
+								break
+							}
+						}
+						got := rm.At(x, y)
+						if in {
+							if got != dm.At(x, y) {
+								t.Fatalf("level %d anchor (%d, %d): restricted %v != dense %v", i, x, y, got, dm.At(x, y))
+							}
+							kept++
+						} else if !math.IsInf(got, -1) {
+							t.Fatalf("level %d anchor (%d, %d): outside regions but scored %v", i, x, y, got)
+						}
+					}
+				}
+			}
+			if kept == 0 {
+				t.Fatal("regions mapped to zero anchors; test is vacuous")
+			}
+		})
+	}
+}
+
+// TestDetectROIExactFilter pins the end-to-end claim: restricted DetectRaw
+// returns exactly the dense detections whose window center falls in a
+// region, in the same raster order, at worker counts 1 and 4, with the
+// exact cascade staying bit-identical on the restricted scan.
+func TestDetectROIExactFilter(t *testing.T) {
+	base := DefaultConfig()
+	base.Workers = 1
+	probe, err := NewDetector(regionTestModel(base, 101), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := regionTestFrame(320, 240, 9)
+	denseMaps, err := probe.ScoreMaps(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	thr := regionTestThreshold(t, denseMaps, 200)
+
+	run := func(workers int, cascade CascadeMode, rects []geom.Rect) []eval.Detection {
+		t.Helper()
+		cfg := DefaultConfig()
+		cfg.Workers = workers
+		cfg.Threshold = thr
+		cfg.Cascade = cascade
+		cfg.Regions = NewRegionSet()
+		if rects != nil {
+			cfg.Regions.Set(rects)
+		}
+		d, err := NewDetector(regionTestModel(cfg, 101), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dets, err := d.DetectRaw(frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dets
+	}
+
+	denseDets := run(1, CascadeOff, nil)
+	if len(denseDets) != 200 {
+		t.Fatalf("threshold quantile yielded %d dense detections, want 200", len(denseDets))
+	}
+
+	// Reconstruct every above-threshold anchor's detection from the dense
+	// score maps in raster order, keeping the ones the center rule selects.
+	// DetectRaw stable-sorts by score, and stability preserves raster order
+	// among ties, so sorting the filtered reconstruction the same way yields
+	// the exact expected restricted output — derived without the span
+	// machinery. The unfiltered reconstruction must equal the dense output,
+	// which pins the box arithmetic of the reconstruction itself.
+	cell := base.HOG.CellSize
+	var want, rebuilt []eval.Detection
+	for _, sm := range denseMaps {
+		for y := 0; y < sm.H; y++ {
+			for x := 0; x < sm.W; x++ {
+				score := sm.At(x, y)
+				if !(score > thr) {
+					continue
+				}
+				det := eval.Detection{
+					Box:   geom.XYWH(x*cell, y*cell, base.WindowW, base.WindowH).ScaleXY(sm.Scale, sm.ScaleY),
+					Score: score,
+				}
+				rebuilt = append(rebuilt, det)
+				for _, r := range regionTestRects {
+					if centerInMappedRegion(r, x, y, sm.Scale, sm.ScaleY, cell, base.WindowW, base.WindowH) {
+						want = append(want, det)
+						break
+					}
+				}
+			}
+		}
+	}
+	sortByScore(rebuilt)
+	sortByScore(want)
+	if len(rebuilt) != len(denseDets) {
+		t.Fatalf("score maps rebuilt %d detections, DetectRaw returned %d", len(rebuilt), len(denseDets))
+	}
+	for i := range rebuilt {
+		if rebuilt[i] != denseDets[i] {
+			t.Fatalf("rebuilt dense detection %d = %+v, DetectRaw returned %+v", i, rebuilt[i], denseDets[i])
+		}
+	}
+	if len(want) == 0 || len(want) == len(denseDets) {
+		t.Fatalf("degenerate expected set: %d of %d dense detections in regions", len(want), len(denseDets))
+	}
+
+	for _, workers := range []int{1, 4} {
+		for _, cascade := range []CascadeMode{CascadeOff, CascadeExact} {
+			got := run(workers, cascade, regionTestRects)
+			if len(got) != len(want) {
+				t.Fatalf("workers=%d cascade=%v: %d restricted detections, want %d", workers, cascade, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("workers=%d cascade=%v: detection %d = %+v, want %+v", workers, cascade, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestDetectROIFullAndEmptyRegions pins the two boundary cases: a region
+// covering the whole frame reproduces the dense scan bit for bit, and an
+// active empty set detects nothing; clearing the set restores dense
+// scanning on the same detector.
+func TestDetectROIFullAndEmptyRegions(t *testing.T) {
+	base := DefaultConfig()
+	base.Workers = 1
+	probe, err := NewDetector(regionTestModel(base, 101), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := regionTestFrame(320, 240, 9)
+	denseMaps, err := probe.ScoreMaps(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := DefaultConfig()
+	cfg.Workers = 1
+	cfg.Threshold = regionTestThreshold(t, denseMaps, 150)
+	rs := NewRegionSet()
+	cfg.Regions = rs
+	d, err := NewDetector(regionTestModel(cfg, 101), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dense, err := d.Detect(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dense) == 0 {
+		t.Fatal("no dense detections; test is vacuous")
+	}
+
+	rs.Set([]geom.Rect{geom.R(0, 0, 320, 240)})
+	full, err := d.Detect(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) != len(dense) {
+		t.Fatalf("full-frame region: %d detections vs %d dense", len(full), len(dense))
+	}
+	for i := range dense {
+		if full[i] != dense[i] {
+			t.Fatalf("full-frame region detection %d = %+v, want %+v", i, full[i], dense[i])
+		}
+	}
+
+	rs.Set(nil)
+	none, err := d.Detect(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(none) != 0 {
+		t.Fatalf("active empty region set produced %d detections", len(none))
+	}
+
+	rs.Clear()
+	again, err := d.Detect(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != len(dense) {
+		t.Fatalf("after Clear: %d detections vs %d dense", len(again), len(dense))
+	}
+}
+
+// TestDetectAllocsROI re-pins the TestDetectAllocs budget on the restricted
+// scan path with metrics enabled, flipping between restricted and dense
+// frames the way the streaming runtime's cadence does: region planning,
+// span mapping, and the span-restricted kernels must all run out of the
+// RegionSet's reused scratch.
+func TestDetectAllocsROI(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Workers = 1
+	cfg.Metrics = obs.NewDetectRecorder(obs.NewMetrics())
+	cfg.Regions = NewRegionSet()
+	model := &svm.Model{W: make([]float64, cfg.DescriptorLen()), B: -1}
+	d, err := NewDetector(model, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := regionTestFrame(320, 240, 5)
+	rects := []geom.Rect{geom.XYWH(24, 16, 100, 160), geom.XYWH(180, 40, 90, 150)}
+	detect := func(i int) {
+		if i%3 == 0 {
+			cfg.Regions.Clear() // cadence frame: dense full scan
+		} else {
+			cfg.Regions.Set(rects)
+		}
+		if _, err := d.Detect(frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 6; i++ {
+		detect(i)
+	}
+	const budget = 32
+	i := 0
+	n := testing.AllocsPerRun(21, func() {
+		detect(i)
+		i++
+	})
+	if n > budget {
+		t.Errorf("Detect with regions: %v allocs/op in steady state, budget %d", n, budget)
+	}
+}

@@ -63,7 +63,9 @@ func (sm *ScoreMap) ToImage() *imgproc.Gray {
 // DetectRaw, so the maps correspond exactly to the windows the configured
 // Mode scans — image-pyramid, feature-pyramid, chained and fixed detectors
 // all get heat maps of their own pyramid. Scoring is zero-copy and sharded
-// across window rows over the configured worker pool.
+// across window rows over the configured worker pool. An active
+// Config.Regions set restricts scoring to the region anchor spans exactly
+// like DetectRaw; anchors outside the regions read as -Inf.
 func (d *Detector) ScoreMaps(frame *imgproc.Gray) ([]*ScoreMap, error) {
 	return d.ScoreMapsCtx(context.Background(), frame)
 }
@@ -78,6 +80,7 @@ func (d *Detector) ScoreMapsCtx(ctx context.Context, frame *imgproc.Gray) ([]*Sc
 		return nil, err
 	}
 	defer release()
+	d.applyRegions(levels)
 	wbx, wby := d.cfg.windowBlocks()
 	rows := d.scanRows(levels)
 	maps := make([]*ScoreMap, len(levels))
@@ -93,6 +96,15 @@ func (d *Detector) ScoreMapsCtx(ctx context.Context, frame *imgproc.Gray) ([]*Sc
 			H:      rows[i],
 			Scores: make([]float64, nx*rows[i]),
 		}
+		// An active region set restricts scoring exactly like DetectRaw:
+		// anchors outside the spans are never evaluated and read as -Inf,
+		// so thresholding a restricted map selects exactly the restricted
+		// detections.
+		if l.spans != nil {
+			for j := range maps[i].Scores {
+				maps[i].Scores[j] = math.Inf(-1)
+			}
+		}
 	}
 	// With a cascade enabled the maps stay thresholding-equivalent rather
 	// than value-identical: a pruned anchor records the cascade's upper
@@ -107,6 +119,13 @@ func (d *Detector) ScoreMapsCtx(ctx context.Context, frame *imgproc.Gray) ([]*Sc
 		l := levels[s.level]
 		fm := l.fm
 		sm := maps[s.level]
+		fullSpan := [1]anchorSpan{{bx0: 0, bx1: sm.W, by0: 0, by1: sm.H}}
+		spans := l.spans
+		if spans == nil {
+			spans = fullSpan[:]
+		} else if len(spans) == 0 {
+			return nil // active region set touches no anchor of this level
+		}
 		plan := d.plan
 		if plan != nil && d.cfg.Cascade == CascadeExact && l.normCap <= 0 {
 			plan = nil
@@ -116,9 +135,15 @@ func (d *Detector) ScoreMapsCtx(ctx context.Context, frame *imgproc.Gray) ([]*Sc
 				if err := ctx.Err(); err != nil {
 					return err
 				}
-				for bx := 0; bx < sm.W; bx++ {
-					score, _ := fm.ScoreWindow(w, bx, by, wbx, wby)
-					sm.Scores[by*sm.W+bx] = score + d.model.B
+				for si := range spans {
+					sp := spans[si]
+					if by < sp.by0 || by >= sp.by1 {
+						continue
+					}
+					for bx := sp.bx0; bx < sp.bx1; bx++ {
+						score, _ := fm.ScoreWindow(w, bx, by, wbx, wby)
+						sm.Scores[by*sm.W+bx] = score + d.model.B
+					}
 				}
 			}
 			return nil
@@ -134,19 +159,25 @@ func (d *Detector) ScoreMapsCtx(ctx context.Context, frame *imgproc.Gray) ([]*Sc
 				tally.fold(d.cfg.Metrics.Metrics(), wbx)
 				return err
 			}
-			for bx := 0; bx < sm.W; bx++ {
-				score, rowsEval, accepted, ok := fm.ScoreWindowStaged(w, bx, by, wbx, wby, plan, thr, l.normCap, rowDots)
-				if !ok {
+			for si := range spans {
+				sp := spans[si]
+				if by < sp.by0 || by >= sp.by1 {
 					continue
 				}
-				tally.windows++
-				tally.rows += uint64(rowsEval)
-				if accepted {
-					tally.accepted++
-				} else {
-					tally.reject(rowsEval)
+				for bx := sp.bx0; bx < sp.bx1; bx++ {
+					score, rowsEval, accepted, ok := fm.ScoreWindowStaged(w, bx, by, wbx, wby, plan, thr, l.normCap, rowDots)
+					if !ok {
+						continue
+					}
+					tally.windows++
+					tally.rows += uint64(rowsEval)
+					if accepted {
+						tally.accepted++
+					} else {
+						tally.reject(rowsEval)
+					}
+					sm.Scores[by*sm.W+bx] = score + d.model.B
 				}
-				sm.Scores[by*sm.W+bx] = score + d.model.B
 			}
 		}
 		tally.fold(d.cfg.Metrics.Metrics(), wbx)

@@ -172,6 +172,15 @@ type Metrics struct {
 	// were served from the pool versus freshly grown.
 	ArenaHits, ArenaMisses Counter
 
+	// ROIScans counts frames scanned under a track-guided region
+	// restriction (internal/roi), ROIFullScans the scheduler's dense
+	// cadence frames, and ROIRegions the total regions across restricted
+	// frames (ROIRegions/ROIScans is the mean regions per restricted
+	// scan). ROIActivePipelines gauges pipelines currently operating at an
+	// ROI rung of their degradation ladder.
+	ROIScans, ROIFullScans, ROIRegions Counter
+	ROIActivePipelines                 Gauge
+
 	// CascadeWindows counts windows entering the staged early-rejection
 	// scorer, CascadeAccepted the subset that survived every stage (and so
 	// received an exact score), and CascadeBlocks the HOG blocks actually
@@ -229,6 +238,34 @@ func (m *Metrics) CascadeSnapshot() CascadeStats {
 	}
 	if last >= 0 {
 		s.StageRejects = append([]uint64(nil), rejects[:last+1]...)
+	}
+	return s
+}
+
+// ROIStats is a point-in-time snapshot of the temporal ROI scheduler
+// counters, as exposed on /statsz.
+type ROIStats struct {
+	Scans           uint64  `json:"scans"`
+	FullScans       uint64  `json:"full_scans"`
+	Regions         uint64  `json:"regions"`
+	MeanRegions     float64 `json:"mean_regions"`
+	ActivePipelines int64   `json:"active_pipelines"`
+}
+
+// ROISnapshot captures the ROI scheduler counters. MeanRegions is the
+// average region count per restricted scan (0 with no traffic).
+func (m *Metrics) ROISnapshot() ROIStats {
+	if m == nil {
+		return ROIStats{}
+	}
+	s := ROIStats{
+		Scans:           m.ROIScans.Load(),
+		FullScans:       m.ROIFullScans.Load(),
+		Regions:         m.ROIRegions.Load(),
+		ActivePipelines: m.ROIActivePipelines.Load(),
+	}
+	if s.Scans > 0 {
+		s.MeanRegions = float64(s.Regions) / float64(s.Scans)
 	}
 	return s
 }

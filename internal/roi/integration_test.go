@@ -1,0 +1,304 @@
+package roi_test
+
+// Differential and property tests for ROI-scheduled detection against the
+// trained end-to-end stack: scheduler (internal/roi) + tracker
+// (internal/track) + region-restricted scans (internal/core). These pin
+// the two guarantees the design claims:
+//
+//   - on a static scene the ROI loop's detections are IDENTICAL to dense
+//     scanning, every frame, at any worker count;
+//   - on moving scenes no confirmed track is ever lost relative to dense
+//     scanning, and a pedestrian entering mid-clip is detected within
+//     FullEvery frames of the first frame dense scanning can see it.
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/eval"
+	"repro/internal/geom"
+	"repro/internal/imgproc"
+	"repro/internal/roi"
+	"repro/internal/track"
+)
+
+var (
+	integOnce sync.Once
+	integDet  *core.Detector
+	integErr  error
+)
+
+// integDetector trains one shared model for this package's tests.
+func integDetector(t *testing.T) *core.Detector {
+	t.Helper()
+	integOnce.Do(func() {
+		gen := dataset.New(1001)
+		cfg := core.DefaultConfig()
+		rendered, err := gen.RenderAt(gen.NewSpecSet(150, 450), 1.0)
+		if err != nil {
+			integErr = err
+			return
+		}
+		integDet, integErr = core.Train(rendered, cfg, core.DefaultTrainOptions())
+	})
+	if integErr != nil {
+		t.Fatal(integErr)
+	}
+	return integDet
+}
+
+// roiLoop replays frames through the full ROI stack — scheduler plans from
+// last frame's tracks, the region set restricts the scan, the tracker
+// consumes the detections — and returns per-frame detections plus which
+// frames were restricted scans.
+func roiLoop(t *testing.T, model *core.Detector, frames []*imgproc.Gray, workers int, rcfg roi.Config) (dets [][]eval.Detection, restricted []bool) {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.Workers = workers
+	rs := core.NewRegionSet()
+	cfg.Regions = rs
+	d, err := core.NewDetector(model.Model(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := roi.New(rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk := track.New(track.DefaultConfig())
+	var boxes []geom.Rect
+	for _, frame := range frames {
+		boxes = tk.AppendLiveBoxes(boxes[:0])
+		plan := sched.Plan(boxes, frame.W, frame.H)
+		if plan.Full {
+			rs.Clear()
+		} else {
+			rs.Set(plan.Regions)
+		}
+		out, err := d.Detect(frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tk.Update(out)
+		dets = append(dets, out)
+		restricted = append(restricted, !plan.Full)
+	}
+	return dets, restricted
+}
+
+// denseDets runs plain dense detection (no regions) on every frame.
+func denseDets(t *testing.T, model *core.Detector, frames []*imgproc.Gray) [][]eval.Detection {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.Workers = 1
+	d, err := core.NewDetector(model.Model(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([][]eval.Detection, len(frames))
+	for f, frame := range frames {
+		dets, err := d.Detect(frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[f] = dets
+	}
+	return out
+}
+
+func sameDets(a, b []eval.Detection) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestROIStaticSceneMatchesDense: on a static scene the tracks sit exactly
+// on the dense detections, so every restricted scan must reproduce the
+// dense result bit for bit — the ROI schedule costs nothing in output.
+func TestROIStaticSceneMatchesDense(t *testing.T) {
+	det := integDetector(t)
+	gen := dataset.New(2002)
+	scene, err := gen.MakeScene(dataset.SceneConfig{
+		W: 320, H: 240, Pedestrians: 2, MinHeight: 140, MaxHeight: 200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 9 // three FullEvery=3 cadence cycles
+	frames := make([]*imgproc.Gray, n)
+	for i := range frames {
+		frames[i] = scene.Frame
+	}
+	dense := denseDets(t, det, frames)
+	if len(dense[0]) == 0 {
+		t.Fatal("dense scan found nothing on the static scene; the differential would be vacuous")
+	}
+	for _, workers := range []int{1, 4} {
+		dets, restr := roiLoop(t, det, frames, workers, roi.Config{FullEvery: 3, MarginPx: 32})
+		sawRestricted := false
+		for f := range frames {
+			if !sameDets(dets[f], dense[f]) {
+				t.Errorf("workers=%d frame %d (restricted=%v): ROI loop diverged from dense\n got: %v\nwant: %v",
+					workers, f, restr[f], dets[f], dense[f])
+			}
+			sawRestricted = sawRestricted || restr[f]
+		}
+		if !sawRestricted {
+			t.Errorf("workers=%d: no restricted frames in %d-frame loop with FullEvery=3", workers, n)
+		}
+	}
+}
+
+// TestROIMovingSequenceProperties replays a seeded moving clip and checks
+// the scheduler's contract frame by frame:
+//
+//   - worker counts do not change results (byte-identical sharding);
+//   - full-cadence frames are bit-identical to dense scanning;
+//   - zero confirmed-track misses: any dense detection overlapping a live
+//     track's predicted box also appears in the restricted scan.
+func TestROIMovingSequenceProperties(t *testing.T) {
+	det := integDetector(t)
+	for _, seed := range []int64{301, 302} {
+		seq, err := dataset.New(seed).MakeSequence(dataset.SequenceConfig{
+			W: 320, H: 240, Frames: 8, Pedestrians: 2, FPS: 10,
+			ApproachRate: 0.05, WalkSpeedPx: 30,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rcfg := roi.Config{FullEvery: 4, MarginPx: 48}
+		dense := denseDets(t, det, seq.Frames)
+		dets1, restr := roiLoop(t, det, seq.Frames, 1, rcfg)
+		dets4, _ := roiLoop(t, det, seq.Frames, 4, rcfg)
+
+		// Replay the loop once more to reconstruct the per-frame track
+		// boxes the scheduler planned from (roiLoop owns its tracker).
+		tk := track.New(track.DefaultConfig())
+		for f := range seq.Frames {
+			if !sameDets(dets1[f], dets4[f]) {
+				t.Errorf("seed %d frame %d: workers=4 diverged from workers=1\n got: %v\nwant: %v",
+					seed, f, dets4[f], dets1[f])
+			}
+			if !restr[f] && !sameDets(dets1[f], dense[f]) {
+				t.Errorf("seed %d frame %d: full-cadence scan diverged from dense\n got: %v\nwant: %v",
+					seed, f, dets1[f], dense[f])
+			}
+			if restr[f] {
+				// Zero confirmed-track misses: every dense detection that
+				// overlaps a live track box must survive the restriction.
+				boxes := tk.AppendLiveBoxes(nil)
+				for _, dd := range dense[f] {
+					covered := false
+					for _, b := range boxes {
+						if geom.IoU(dd.Box, b) >= 0.5 {
+							covered = true
+							break
+						}
+					}
+					if !covered {
+						continue // an entrant; the cadence bound covers it
+					}
+					found := false
+					for _, rd := range dets1[f] {
+						if geom.IoU(rd.Box, dd.Box) >= 0.5 {
+							found = true
+							break
+						}
+					}
+					if !found {
+						t.Errorf("seed %d frame %d: dense detection %v covers live track but is missing from the restricted scan %v",
+							seed, f, dd, dets1[f])
+					}
+				}
+			}
+			tk.Update(dets1[f])
+		}
+	}
+}
+
+// TestROIEntrantDetectedWithinFullEvery pins the bounded-miss guarantee
+// end to end: a pedestrian drawn into the clip mid-stream (far from every
+// track, so no restricted scan covers it) must be detected no later than
+// the first full-cadence scan after dense scanning first sees it — at most
+// FullEvery-1 frames of latency.
+func TestROIEntrantDetectedWithinFullEvery(t *testing.T) {
+	det := integDetector(t)
+	gen := dataset.New(2003)
+	scene, err := gen.MakeScene(dataset.SceneConfig{
+		W: 400, H: 240, Pedestrians: 1, MinHeight: 150, MaxHeight: 180,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scene.Truth) != 1 {
+		t.Fatalf("scene has %d pedestrians, want 1", len(scene.Truth))
+	}
+	// Place the entrant in whichever frame half the resident pedestrian
+	// does not occupy.
+	entrantBox := geom.XYWH(280, 60, 80, 160)
+	if scene.Truth[0].Min.X > scene.Frame.W/2 {
+		entrantBox = geom.XYWH(40, 60, 80, 160)
+	}
+	pose := dataset.RandomPose(rand.New(rand.NewSource(99)))
+
+	const n, appearAt = 10, 4
+	const fullEvery = 4
+	frames := make([]*imgproc.Gray, n)
+	for i := range frames {
+		if i < appearAt {
+			frames[i] = scene.Frame
+			continue
+		}
+		f := scene.Frame.Clone()
+		dataset.DrawPedestrian(f, entrantBox, pose)
+		frames[i] = f
+	}
+	entrantTruth := dataset.FigureBounds(entrantBox, pose)
+
+	seesEntrant := func(dets []eval.Detection) bool {
+		for _, d := range dets {
+			if geom.IoU(d.Box, entrantTruth) >= 0.5 {
+				return true
+			}
+		}
+		return false
+	}
+	dense := denseDets(t, det, frames)
+	firstDense := -1
+	for f, dd := range dense {
+		if seesEntrant(dd) {
+			firstDense = f
+			break
+		}
+	}
+	if firstDense != appearAt {
+		t.Fatalf("dense scanning first sees the entrant at frame %d, want %d — retune the fixture", firstDense, appearAt)
+	}
+
+	for _, workers := range []int{1, 4} {
+		dets, restr := roiLoop(t, det, frames, workers, roi.Config{FullEvery: fullEvery, MarginPx: 32})
+		firstROI := -1
+		for f := range dets {
+			if seesEntrant(dets[f]) {
+				firstROI = f
+				break
+			}
+		}
+		if firstROI < 0 {
+			t.Fatalf("workers=%d: ROI loop never detected the entrant (restricted schedule: %v)", workers, restr)
+		}
+		if lat := firstROI - firstDense; lat >= fullEvery {
+			t.Errorf("workers=%d: entrant latency %d frames breaks the FullEvery=%d bound (dense %d, roi %d)",
+				workers, lat, fullEvery, firstDense, firstROI)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+// Package roi is the temporal scan scheduler of the detection stack: given
+// the tracked pedestrians of the previous frame, it decides which parts of
+// the next frame the multi-scale detector must actually scan.
+//
+// The paper's real-time claim rests on a driving video being temporally
+// coherent — a pedestrian visible in frame t is, with overwhelming
+// probability, within a small motion envelope of its frame-t box in frame
+// t+1. The scheduler exploits exactly that and nothing more:
+//
+//   - on most frames it emits the union of the live track boxes, each
+//     dilated by a motion margin and merged when overlapping (a restricted
+//     scan — core.RegionSet maps the rectangles through the pyramid
+//     geometry into per-level window-anchor spans);
+//   - every FullEvery-th scheduled frame it demands a dense full scan.
+//
+// The cadence is what turns the heuristic into a guarantee: a pedestrian
+// entering the scene is missed by restricted scans only until the next
+// full scan, which is at most FullEvery-1 frames away — the bounded-miss
+// property. Restricted frames can never lose an existing track either,
+// because every live track's dilated box is always scanned. There is no
+// randomness and no wall-clock input anywhere in the schedule: the same
+// track history produces the same plan, frame for frame, which is what
+// lets the differential tests pin ROI detections against dense scans.
+package roi
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+// Config tunes the scheduler.
+type Config struct {
+	// FullEvery is the dense-scan cadence K: scheduled frame f is a full
+	// scan when f % K == 0, so a new entrant waits at most K-1 frames for
+	// a dense scan. 1 (or less, via DefaultFullEvery) degenerates to a
+	// full scan every frame. Default 6.
+	FullEvery int
+	// MarginPx dilates each track box on all four sides before merging,
+	// in frame pixels. It must cover the inter-frame motion of a tracked
+	// pedestrian plus the spatial spread of the detector's above-threshold
+	// windows around it; the defaults assume the dataset generator's walk
+	// and approach rates at typical frame rates. Default 32.
+	MarginPx int
+}
+
+// DefaultFullEvery and DefaultMarginPx are the zero-value substitutes.
+const (
+	DefaultFullEvery = 6
+	DefaultMarginPx  = 32
+)
+
+// DefaultConfig returns the default cadence and margin.
+func DefaultConfig() Config {
+	return Config{FullEvery: DefaultFullEvery, MarginPx: DefaultMarginPx}
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.FullEvery <= 0 {
+		c.FullEvery = DefaultFullEvery
+	}
+	if c.MarginPx == 0 {
+		c.MarginPx = DefaultMarginPx
+	}
+	return c
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.MarginPx < 0 {
+		return fmt.Errorf("roi: negative margin %d", c.MarginPx)
+	}
+	if c.FullEvery < 0 {
+		return fmt.Errorf("roi: negative full-scan cadence %d", c.FullEvery)
+	}
+	return nil
+}
+
+// Plan is the scheduler's decision for one frame.
+type Plan struct {
+	// Frame is the 0-based index of the frame in the scheduler's clock
+	// (counting only frames the scheduler planned).
+	Frame int
+	// Full demands a dense scan of the whole frame. Regions is nil.
+	Full bool
+	// Regions are the merged, frame-clipped scan rectangles of a
+	// restricted frame. They are pairwise non-overlapping and sorted by
+	// (Min.Y, Min.X). An empty (but planned) region set is legitimate: no
+	// live tracks means nothing needs scanning until the next full scan.
+	// The slice is owned by the scheduler and valid until the next Plan
+	// call.
+	Regions []geom.Rect
+}
+
+// Scheduler emits scan plans. It is not safe for concurrent use; the
+// streaming runtime drives it from its single scan loop.
+type Scheduler struct {
+	cfg   Config
+	frame int
+	rects []geom.Rect // reused Plan.Regions backing store
+}
+
+// New returns a scheduler positioned before frame 0 (the first plan is a
+// full scan, so a cold start never trusts an empty track set).
+func New(cfg Config) (*Scheduler, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Scheduler{cfg: cfg.withDefaults()}, nil
+}
+
+// Config returns the resolved configuration.
+func (s *Scheduler) Config() Config { return s.cfg }
+
+// Frame returns the number of frames planned so far.
+func (s *Scheduler) Frame() int { return s.frame }
+
+// Reset rewinds the scheduler's clock to frame 0, forcing the next plan to
+// be a full scan. The runtime calls it when ROI scanning re-engages after
+// an interruption long enough for the track state to have gone stale.
+func (s *Scheduler) Reset() { s.frame = 0 }
+
+// Plan advances the scheduler's clock one frame and returns the scan plan:
+// a dense full scan on the cadence (or when tracking cannot help), else
+// the live track boxes dilated by the motion margin, clipped to the
+// frame, and merged to a non-overlapping set.
+func (s *Scheduler) Plan(tracks []geom.Rect, frameW, frameH int) Plan {
+	f := s.frame
+	s.frame++
+	if s.cfg.FullEvery <= 1 || f%s.cfg.FullEvery == 0 {
+		return Plan{Frame: f, Full: true}
+	}
+	bounds := geom.R(0, 0, frameW, frameH)
+	m := s.cfg.MarginPx
+	out := s.rects[:0]
+	for _, b := range tracks {
+		r := geom.R(b.Min.X-m, b.Min.Y-m, b.Max.X+m, b.Max.Y+m).Intersect(bounds)
+		if !r.Empty() {
+			out = append(out, r)
+		}
+	}
+	out = MergeRects(out)
+	s.rects = out
+	return Plan{Frame: f, Regions: out}
+}
+
+// MergeRects merges overlapping rectangles in place until no two overlap,
+// replacing each overlapping pair with its bounding union, and returns the
+// surviving set sorted by (Min.Y, Min.X). Unions may cover ground neither
+// input covered — for a scan schedule a superset is always safe. The
+// fixpoint loop is quadratic; region counts are track counts, which are
+// small.
+func MergeRects(rects []geom.Rect) []geom.Rect {
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < len(rects); i++ {
+			for j := i + 1; j < len(rects); j++ {
+				if rects[i].Intersect(rects[j]).Empty() {
+					continue
+				}
+				rects[i] = rects[i].Union(rects[j])
+				rects[j] = rects[len(rects)-1]
+				rects = rects[:len(rects)-1]
+				j--
+				changed = true
+			}
+		}
+	}
+	// Insertion sort: region counts are tiny and this avoids the
+	// sort.Slice closure allocation on the per-frame path.
+	for i := 1; i < len(rects); i++ {
+		for j := i; j > 0 && lessRect(rects[j], rects[j-1]); j-- {
+			rects[j], rects[j-1] = rects[j-1], rects[j]
+		}
+	}
+	return rects
+}
+
+// lessRect orders rectangles by (Min.Y, Min.X).
+func lessRect(a, b geom.Rect) bool {
+	if a.Min.Y != b.Min.Y {
+		return a.Min.Y < b.Min.Y
+	}
+	return a.Min.X < b.Min.X
+}

@@ -1,0 +1,192 @@
+package roi
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Config{MarginPx: -1}).Validate(); err == nil {
+		t.Error("negative margin should fail validation")
+	}
+	if err := (Config{FullEvery: -1}).Validate(); err == nil {
+		t.Error("negative cadence should fail validation")
+	}
+	if _, err := New(Config{MarginPx: -1}); err == nil {
+		t.Error("New should reject an invalid config")
+	}
+}
+
+func TestPlanCadence(t *testing.T) {
+	s, err := New(Config{FullEvery: 4, MarginPx: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracks := []geom.Rect{geom.XYWH(100, 100, 64, 128)}
+	for f := 0; f < 20; f++ {
+		p := s.Plan(tracks, 640, 480)
+		if p.Frame != f {
+			t.Fatalf("frame %d: plan frame %d", f, p.Frame)
+		}
+		wantFull := f%4 == 0
+		if p.Full != wantFull {
+			t.Errorf("frame %d: full=%v, want %v", f, p.Full, wantFull)
+		}
+		if p.Full && p.Regions != nil {
+			t.Errorf("frame %d: full plan carries regions", f)
+		}
+		if !p.Full && len(p.Regions) != 1 {
+			t.Errorf("frame %d: %d regions, want 1", f, len(p.Regions))
+		}
+	}
+}
+
+// TestBoundedMissArithmetic is the proof sketch as a property: whatever
+// frame an entrant appears on, the next full scan is at most FullEvery-1
+// frames later.
+func TestBoundedMissArithmetic(t *testing.T) {
+	for _, k := range []int{1, 2, 3, 6, 10} {
+		s, err := New(Config{FullEvery: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lastFull := -1
+		for f := 0; f < 5*k; f++ {
+			p := s.Plan(nil, 320, 240)
+			if p.Full {
+				lastFull = f
+			}
+			// An entrant visible since any frame e <= f has waited
+			// f - lastFull <= K-1 frames at every instant.
+			if lastFull < 0 || f-lastFull >= k {
+				t.Fatalf("K=%d: frame %d is %d frames past the last full scan", k, f, f-lastFull)
+			}
+		}
+	}
+}
+
+func TestPlanFullEveryOneIsAlwaysDense(t *testing.T) {
+	s, err := New(Config{FullEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := 0; f < 5; f++ {
+		if p := s.Plan([]geom.Rect{geom.XYWH(0, 0, 64, 128)}, 320, 240); !p.Full {
+			t.Fatalf("frame %d: FullEvery=1 must scan dense", f)
+		}
+	}
+}
+
+func TestPlanDilatesAndClips(t *testing.T) {
+	s, err := New(Config{FullEvery: 8, MarginPx: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Plan(nil, 320, 240) // frame 0: full
+	// A track touching the frame corner: dilation must clip to the frame.
+	p := s.Plan([]geom.Rect{geom.XYWH(0, 0, 64, 128)}, 320, 240)
+	if p.Full {
+		t.Fatal("frame 1 should be restricted")
+	}
+	want := geom.R(0, 0, 64+16, 128+16)
+	if len(p.Regions) != 1 || p.Regions[0] != want {
+		t.Fatalf("regions %v, want [%v]", p.Regions, want)
+	}
+	// A track fully outside the frame contributes nothing.
+	p = s.Plan([]geom.Rect{geom.XYWH(1000, 1000, 64, 128)}, 320, 240)
+	if p.Full || len(p.Regions) != 0 {
+		t.Fatalf("off-frame track: plan %+v, want empty restricted", p)
+	}
+}
+
+func TestPlanNoTracksScansNothingUntilCadence(t *testing.T) {
+	s, err := New(Config{FullEvery: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fulls := 0
+	for f := 0; f < 9; f++ {
+		p := s.Plan(nil, 320, 240)
+		if p.Full {
+			fulls++
+		} else if len(p.Regions) != 0 {
+			t.Fatalf("frame %d: empty track set produced regions %v", f, p.Regions)
+		}
+	}
+	if fulls != 3 {
+		t.Fatalf("%d full scans over 9 frames at K=3, want 3", fulls)
+	}
+}
+
+func TestReset(t *testing.T) {
+	s, err := New(Config{FullEvery: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Plan(nil, 320, 240)
+	s.Plan(nil, 320, 240)
+	s.Reset()
+	if p := s.Plan(nil, 320, 240); !p.Full || p.Frame != 0 {
+		t.Fatalf("post-Reset plan %+v, want full frame 0", p)
+	}
+}
+
+func TestMergeRects(t *testing.T) {
+	got := MergeRects([]geom.Rect{
+		geom.R(0, 0, 10, 10),
+		geom.R(5, 5, 15, 15), // overlaps the first
+		geom.R(100, 0, 110, 10),
+	})
+	want := []geom.Rect{geom.R(0, 0, 15, 15), geom.R(100, 0, 110, 10)}
+	if len(got) != len(want) {
+		t.Fatalf("merged %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("merged %v, want %v", got, want)
+		}
+	}
+}
+
+// TestMergeRectsProperty: for random inputs the output is pairwise
+// non-overlapping, sorted, and covers every input rectangle.
+func TestMergeRectsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(8)
+		in := make([]geom.Rect, 0, n)
+		for i := 0; i < n; i++ {
+			x, y := rng.Intn(200), rng.Intn(200)
+			in = append(in, geom.XYWH(x, y, 1+rng.Intn(80), 1+rng.Intn(80)))
+		}
+		orig := append([]geom.Rect(nil), in...)
+		out := MergeRects(in)
+		for i := range out {
+			for j := i + 1; j < len(out); j++ {
+				if !out[i].Intersect(out[j]).Empty() {
+					t.Fatalf("trial %d: outputs %v and %v overlap", trial, out[i], out[j])
+				}
+			}
+			if i > 0 && lessRect(out[i], out[i-1]) {
+				t.Fatalf("trial %d: output unsorted: %v", trial, out)
+			}
+		}
+		for _, r := range orig {
+			covered := false
+			for _, o := range out {
+				if o.ContainsRect(r) {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				t.Fatalf("trial %d: input %v not covered by output %v", trial, r, out)
+			}
+		}
+	}
+}

@@ -45,8 +45,11 @@ import (
 	"repro/internal/core"
 	"repro/internal/das"
 	"repro/internal/eval"
+	"repro/internal/geom"
 	"repro/internal/imgproc"
 	"repro/internal/obs"
+	"repro/internal/roi"
+	"repro/internal/track"
 )
 
 // Config tunes the streaming runtime. The zero value is not usable: either
@@ -92,6 +95,17 @@ type Config struct {
 	// semantics, where only Close's context cancellation can unwind a
 	// cooperative stall and a true hang blocks the pipeline for good).
 	HangTimeout time.Duration
+	// ROI, if non-nil, enables the temporal scan scheduler (internal/roi)
+	// and adds an ROI rung to the degradation ladder: under deadline
+	// pressure the pipeline first switches to track-guided region scanning
+	// (dense only every ROI.FullEvery-th frame — cheap, and lossless for
+	// tracked pedestrians with new entrants bounded by the cadence) before
+	// it starts shedding finest pyramid levels; recovery re-engages full
+	// dense scanning every frame. The pipeline feeds an internal tracker
+	// from every successful frame at every rung, so the track state is warm
+	// the moment the ROI rung engages; if ROI scanning re-engages after
+	// frames at another rung, the scheduler restarts with a full scan.
+	ROI *roi.Config
 	// Metrics, if non-nil, receives the pipeline's observability stream:
 	// per-stage latency histograms (via a core detect recorder shared by
 	// every rung), frame/wait histograms, intake/drop/miss/degrade
@@ -153,21 +167,32 @@ type Rung struct {
 	SkipFinest int
 	// Workers is the scan worker count at this rung.
 	Workers int
+	// ROI marks a rung that scans under the temporal ROI scheduler instead
+	// of dense every frame. Only present when Config.ROI is set.
+	ROI bool
 }
 
 // ladder builds the degradation ladder from the detector's own operating
-// point: rung 0 is the configured detector; the next MaxShed rungs shed one
-// more finest pyramid level each (the biggest win per step — the finest
-// level carries the most windows); the remaining rungs halve the scan
-// workers down to minWorkers at maximum shed. Frame dropping is not a rung:
-// the bounded queue drops stale frames at every rung.
-func ladder(baseSkip, baseWorkers, maxShed, minWorkers int) []Rung {
+// point: rung 0 is the configured detector; with ROI enabled, rung 1 keeps
+// the full pyramid but scans track-guided regions (ROI scanning loses no
+// tracked pedestrian and bounds entrant latency by the cadence, so it is
+// the cheapest-to-recover shed and comes first); the next MaxShed rungs
+// shed one more finest pyramid level each (the biggest win per step — the
+// finest level carries the most windows); the remaining rungs halve the
+// scan workers down to minWorkers at maximum shed. Every rung below the
+// ROI rung keeps ROI scanning: level shedding under pressure composes with
+// region restriction. Frame dropping is not a rung: the bounded queue
+// drops stale frames at every rung.
+func ladder(baseSkip, baseWorkers, maxShed, minWorkers int, roiEnabled bool) []Rung {
 	rungs := []Rung{{SkipFinest: baseSkip, Workers: baseWorkers}}
+	if roiEnabled {
+		rungs = append(rungs, Rung{SkipFinest: baseSkip, Workers: baseWorkers, ROI: true})
+	}
 	for s := 1; s <= maxShed; s++ {
-		rungs = append(rungs, Rung{SkipFinest: baseSkip + s, Workers: baseWorkers})
+		rungs = append(rungs, Rung{SkipFinest: baseSkip + s, Workers: baseWorkers, ROI: roiEnabled})
 	}
 	for w := baseWorkers / 2; w >= minWorkers && w < rungs[len(rungs)-1].Workers; w /= 2 {
-		rungs = append(rungs, Rung{SkipFinest: baseSkip + maxShed, Workers: w})
+		rungs = append(rungs, Rung{SkipFinest: baseSkip + maxShed, Workers: w, ROI: roiEnabled})
 	}
 	return rungs
 }
@@ -208,6 +233,10 @@ type FrameResult struct {
 	Missed bool
 	// Rung is the degradation rung the frame was scanned at.
 	Rung int
+	// ROI reports that the frame was scanned under a track-guided region
+	// restriction (an ROI rung's non-cadence frame). Cadence frames at an
+	// ROI rung and every frame at a dense rung report false.
+	ROI bool
 }
 
 // frameItem is one queued frame.
@@ -276,6 +305,22 @@ type Pipeline struct {
 	ctrl  *controller
 	stats *stats
 
+	// Temporal ROI state (all nil/zero when Config.ROI is nil). The
+	// scheduler, tracker, region set, and track-box scratch are owned by
+	// the scanner goroutine — it plans regions, scans, and feeds the
+	// tracker strictly in sequence, which is exactly the one-frame-at-a-
+	// time contract core.RegionSet demands. roiPrev remembers whether the
+	// previous frame was planned at an ROI rung (a re-engage resets the
+	// scheduler so the first frame back is a full scan — the track state
+	// may be stale). roiEngaged mirrors "this pipeline is at an ROI rung"
+	// for the obs gauge, atomically so Close can retire it.
+	sched      *roi.Scheduler
+	tracker    *track.Tracker
+	regions    *core.RegionSet
+	trackBoxes []geom.Rect
+	roiPrev    bool
+	roiEngaged atomic.Bool
+
 	// Observability (all nil/zero when Config.Metrics is nil). rec is this
 	// pipeline's frame-stage recorder lane: the scanner goroutine runs one
 	// frame at a time, so every rung detector can share it. prevDeg/prevRec
@@ -302,12 +347,27 @@ func New(det *core.Detector, cfg Config) (*Pipeline, error) {
 	if baseWorkers <= 0 {
 		baseWorkers = runtime.GOMAXPROCS(0)
 	}
-	rungs := ladder(base.SkipFinest, baseWorkers, cfg.MaxShed, cfg.MinWorkers)
+	rungs := ladder(base.SkipFinest, baseWorkers, cfg.MaxShed, cfg.MinWorkers, cfg.ROI != nil)
 	// All rungs share one frame arena: the scan loop runs one frame at a
 	// time, and a rung switch should reuse the already-grown scratch
 	// buffers rather than warm up private ones.
 	if base.Arena == nil {
 		base.Arena = core.NewArena()
+	}
+	// With ROI enabled, all rungs also share one region set (the mutable
+	// restriction the scan loop plans into before each frame) and one
+	// tracker feeding the scheduler.
+	var sched *roi.Scheduler
+	var tracker *track.Tracker
+	var regions *core.RegionSet
+	if cfg.ROI != nil {
+		var err error
+		if sched, err = roi.New(*cfg.ROI); err != nil {
+			return nil, err
+		}
+		regions = core.NewRegionSet()
+		base.Regions = regions
+		tracker = track.New(track.DefaultConfig())
 	}
 	var rec *obs.DetectRecorder
 	if cfg.Metrics != nil {
@@ -353,6 +413,9 @@ func New(det *core.Detector, cfg Config) (*Pipeline, error) {
 		metrics: cfg.Metrics,
 		rec:     rec,
 		arena:   base.Arena,
+		sched:   sched,
+		tracker: tracker,
+		regions: regions,
 	}
 	go p.scanLoop()
 	go p.run()
@@ -473,6 +536,13 @@ func (p *Pipeline) Close() {
 	// goroutine itself unsticks and exits — that is the actual leak).
 	if p.wedged.Load() && p.metrics != nil {
 		p.wedgeRetire.Do(func() { p.metrics.WedgedPipelines.Add(-1) })
+	}
+	// Likewise a pipeline that closed while at an ROI rung leaves the
+	// ROI-active gauge. The run loop has exited here, so the scanner is
+	// idle (or abandoned and past its gauge updates) and the swap cannot
+	// race a transition.
+	if p.metrics != nil && p.roiEngaged.Swap(false) {
+		p.metrics.ROIActivePipelines.Add(-1)
 	}
 }
 
@@ -613,6 +683,7 @@ func (p *Pipeline) wedge(r FrameResult) {
 func (p *Pipeline) scanLoop() {
 	for it := range p.scanIn {
 		rung := p.ctrl.current()
+		restricted := p.planROI(rung, it.frame)
 		wait := time.Since(it.at)
 		var arenaGets0, arenaMisses0 uint64
 		if p.metrics != nil {
@@ -623,6 +694,13 @@ func (p *Pipeline) scanLoop() {
 		dets, err := detectFrame(ctx, p.dets[rung], it.frame)
 		cancel()
 		lat := time.Since(start)
+		if p.tracker != nil && err == nil {
+			// Feed the tracker at every rung, not just ROI rungs: warm
+			// track state is what makes engaging the ROI rung safe, and it
+			// costs nothing compared to the scan. Failed frames are skipped
+			// (no detections to associate; tracks coast on misses instead).
+			p.tracker.Update(dets)
+		}
 		r := FrameResult{
 			Seq:        it.seq,
 			Detections: dets,
@@ -631,6 +709,7 @@ func (p *Pipeline) scanLoop() {
 			Latency:    lat,
 			Missed:     lat > p.deadline || errors.Is(err, context.DeadlineExceeded),
 			Rung:       rung,
+			ROI:        restricted,
 		}
 		if p.claim.CompareAndSwap(claimNone, claimScanner) {
 			p.recordFrame(r, arenaGets0, arenaMisses0)
@@ -646,6 +725,56 @@ func (p *Pipeline) scanLoop() {
 			p.metrics.AbandonedScanners.Add(-1)
 		}
 	}
+}
+
+// planROI prepares the shared region set for one frame: at an ROI rung it
+// asks the scheduler for a plan built from the live track boxes and
+// installs it (dense cadence frames clear the restriction); at a dense
+// rung it clears the restriction and forgets the schedule, so a later
+// re-engage starts with a full scan. It returns whether the frame will be
+// scanned restricted, and keeps the stats and obs mirrors of the schedule.
+// Runs on the scanner goroutine only; no-op without a scheduler.
+func (p *Pipeline) planROI(rung int, frame *imgproc.Gray) bool {
+	if p.sched == nil {
+		return false
+	}
+	atROI := p.rungs[rung].ROI
+	if p.metrics != nil && p.roiEngaged.Swap(atROI) != atROI {
+		if atROI {
+			p.metrics.ROIActivePipelines.Add(1)
+		} else {
+			p.metrics.ROIActivePipelines.Add(-1)
+		}
+	}
+	if !atROI {
+		p.roiPrev = false
+		p.regions.Clear()
+		return false
+	}
+	if !p.roiPrev {
+		// Re-engaging after dense frames: the scheduler's clock restarts so
+		// the first ROI-rung frame is a full scan, re-anchoring the track
+		// state before any restricted frame trusts it.
+		p.sched.Reset()
+		p.roiPrev = true
+	}
+	p.trackBoxes = p.tracker.AppendLiveBoxes(p.trackBoxes[:0])
+	plan := p.sched.Plan(p.trackBoxes, frame.W, frame.H)
+	if plan.Full {
+		p.regions.Clear()
+	} else {
+		p.regions.Set(plan.Regions)
+	}
+	p.stats.observeROIPlan(plan)
+	if p.metrics != nil {
+		if plan.Full {
+			p.metrics.ROIFullScans.Inc()
+		} else {
+			p.metrics.ROIScans.Inc()
+			p.metrics.ROIRegions.Add(uint64(len(plan.Regions)))
+		}
+	}
+	return !plan.Full
 }
 
 // recordFrame mirrors one frame outcome into the obs registry: outcome

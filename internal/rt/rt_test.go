@@ -76,7 +76,7 @@ func TestShedUnderStallAndRecover(t *testing.T) {
 	}
 	defer p.Close()
 
-	wantLadder := []Rung{{0, 1}, {1, 1}, {2, 1}}
+	wantLadder := []Rung{{SkipFinest: 0, Workers: 1}, {SkipFinest: 1, Workers: 1}, {SkipFinest: 2, Workers: 1}}
 	if got := p.Ladder(); len(got) != len(wantLadder) || got[0] != wantLadder[0] ||
 		got[1] != wantLadder[1] || got[2] != wantLadder[2] {
 		t.Fatalf("ladder %+v, want %+v", got, wantLadder)

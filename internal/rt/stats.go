@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"repro/internal/roi"
 )
 
 // Stats is a point-in-time snapshot of the pipeline counters.
@@ -41,9 +43,16 @@ type Stats struct {
 	// DegradeEvents and RecoverEvents count controller rung transitions.
 	DegradeEvents, RecoverEvents uint64
 	// Rung is the current degradation rung (0 = full quality) of Rungs
-	// total; SkipFinest and Workers describe its operating point.
+	// total; SkipFinest, Workers, and ROIRung describe its operating point.
 	Rung, Rungs         int
 	SkipFinest, Workers int
+	ROIRung             bool
+	// ROIScans counts frames scanned under a track-guided region
+	// restriction, ROIFullScans the scheduler's dense cadence frames (both
+	// zero without Config.ROI — dense-rung frames are neither). ROIRegions
+	// accumulates the region count of every restricted frame, so
+	// ROIRegions/ROIScans is the mean regions per restricted scan.
+	ROIScans, ROIFullScans, ROIRegions uint64
 	// Deadline is the enforced per-frame budget.
 	Deadline time.Duration
 	// Queue wait and detection latency, cumulative mean and worst case.
@@ -57,11 +66,19 @@ func (s Stats) String() string {
 	if s.Wedged {
 		wedged = " WEDGED"
 	}
+	roiRung := ""
+	if s.ROIRung {
+		roiRung = ", roi"
+	}
+	roiStats := ""
+	if s.ROIScans+s.ROIFullScans > 0 {
+		roiStats = fmt.Sprintf(" | roi %d restricted / %d full", s.ROIScans, s.ROIFullScans)
+	}
 	return fmt.Sprintf(
-		"in %d out %d dropped %d inflight %d | misses %d errors %d (panics %d, hung %d)%s | rung %d/%d (skip %d, workers %d) | lat avg %s max %s / budget %s",
+		"in %d out %d dropped %d inflight %d | misses %d errors %d (panics %d, hung %d)%s | rung %d/%d (skip %d, workers %d%s)%s | lat avg %s max %s / budget %s",
 		s.FramesIn, s.FramesOut, s.FramesDropped, s.InFlight,
 		s.DeadlineMisses, s.Errors, s.Panics, s.FramesHung, wedged,
-		s.Rung, s.Rungs-1, s.SkipFinest, s.Workers,
+		s.Rung, s.Rungs-1, s.SkipFinest, s.Workers, roiRung, roiStats,
 		s.AvgLatency.Round(time.Microsecond), s.MaxLatency.Round(time.Microsecond),
 		s.Deadline.Round(time.Microsecond))
 }
@@ -83,6 +100,8 @@ type stats struct {
 	misses           uint64
 	errs, panics     uint64
 	hung             uint64
+
+	roiScans, roiFull, roiRegions uint64
 
 	waitSum, latSum time.Duration
 	maxWait, maxLat time.Duration
@@ -182,6 +201,20 @@ func (s *stats) observeHung(r FrameResult) {
 	}
 }
 
+// observeROIPlan counts one scheduler decision: a restricted frame with its
+// region count, or a dense cadence frame. Runs on the scanner goroutine
+// before the scan, so a snapshot taken mid-frame already sees the plan.
+func (s *stats) observeROIPlan(p roi.Plan) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if p.Full {
+		s.roiFull++
+	} else {
+		s.roiScans++
+		s.roiRegions += uint64(len(p.Regions))
+	}
+}
+
 // snapshot assembles the exported Stats, pulling the controller state and
 // ladder geometry from the pipeline.
 func (s *stats) snapshot(p *Pipeline) Stats {
@@ -204,6 +237,10 @@ func (s *stats) snapshot(p *Pipeline) Stats {
 		Rungs:          len(p.rungs),
 		SkipFinest:     p.rungs[cur].SkipFinest,
 		Workers:        p.rungs[cur].Workers,
+		ROIRung:        p.rungs[cur].ROI,
+		ROIScans:       s.roiScans,
+		ROIFullScans:   s.roiFull,
+		ROIRegions:     s.roiRegions,
 		Deadline:       p.deadline,
 		MaxWait:        s.maxWait,
 		MaxLatency:     s.maxLat,

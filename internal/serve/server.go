@@ -104,6 +104,11 @@ type statszResponse struct {
 	// accepted, blocks evaluated, per-stage rejects); present only when the
 	// server carries a metrics registry and the cascade has seen traffic.
 	Cascade *obs.CascadeStats `json:"cascade,omitempty"`
+	// ROI reports the temporal scan scheduler's counters (restricted and
+	// cadence full scans, regions, pipelines at an ROI rung); present only
+	// when the server carries a metrics registry and the scheduler has
+	// planned at least one frame.
+	ROI *obs.ROIStats `json:"roi,omitempty"`
 }
 
 // Server is the HTTP front of a Supervisor.
@@ -435,6 +440,9 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	if m := s.cfg.Metrics; m != nil {
 		if cs := m.CascadeSnapshot(); cs.Windows > 0 {
 			resp.Cascade = &cs
+		}
+		if rs := m.ROISnapshot(); rs.Scans+rs.FullScans > 0 {
+			resp.ROI = &rs
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)

@@ -610,10 +610,14 @@ func mergeStats(a, b rt.Stats) rt.Stats {
 	out.Wedged = a.Wedged || b.Wedged
 	out.DegradeEvents += b.DegradeEvents
 	out.RecoverEvents += b.RecoverEvents
+	out.ROIScans += b.ROIScans
+	out.ROIFullScans += b.ROIFullScans
+	out.ROIRegions += b.ROIRegions
 	if b.Rung > out.Rung {
 		out.Rung = b.Rung
 		out.SkipFinest = b.SkipFinest
 		out.Workers = b.Workers
+		out.ROIRung = b.ROIRung
 	}
 	if b.Rungs > out.Rungs {
 		out.Rungs = b.Rungs

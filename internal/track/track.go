@@ -123,6 +123,20 @@ func (t *Tracker) Confirmed() []*Track {
 // Frame returns the number of Update calls so far.
 func (t *Tracker) Frame() int { return t.frame }
 
+// AppendLiveBoxes appends the current boxes of every live (non-deleted)
+// track to dst and returns it. Tentative tracks are included: the ROI
+// scheduler must keep scanning a candidate or it can never confirm. The
+// append-style signature lets a per-frame caller reuse one backing slice
+// (dst[:0]) and stay off the heap.
+func (t *Tracker) AppendLiveBoxes(dst []geom.Rect) []geom.Rect {
+	for _, tr := range t.tracks {
+		if tr.State != Deleted {
+			dst = append(dst, tr.Box)
+		}
+	}
+	return dst
+}
+
 // Update associates one frame's detections with the track set: greedy
 // best-IoU matching in descending detection-score order, with constant-
 // velocity coasting of the predicted box for unmatched tracks.
@@ -138,7 +152,15 @@ func (t *Tracker) Update(dets []eval.Detection) {
 	for i := range order {
 		order[i] = i
 	}
-	sort.Slice(order, func(a, b int) bool { return dets[order[a]].Score > dets[order[b]].Score })
+	// Tie-break equal scores by detection index: sort.Slice is unstable, so
+	// without it two same-score detections could associate in either order
+	// and steal each other's track run to run.
+	sort.Slice(order, func(a, b int) bool {
+		if dets[order[a]].Score != dets[order[b]].Score {
+			return dets[order[a]].Score > dets[order[b]].Score
+		}
+		return order[a] < order[b]
+	})
 
 	matched := make(map[*Track]bool)
 	usedDet := make([]bool, len(dets))
